@@ -1,0 +1,122 @@
+//! Criterion benchmarks of the substrate engines: MNA ladder solves,
+//! Monte-Carlo mismatch sampling, netlist evaluation and analysis,
+//! Quine–McCluskey minimization, and ADC conversion paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use printed_adc::{BespokeAdcBank, ConventionalAdc};
+use printed_analog::ladder::Ladder;
+use printed_analog::MismatchModel;
+use printed_datasets::Benchmark;
+use printed_dtree::baseline::{baseline_netlist, encode_sample};
+use printed_dtree::cart::train_depth_selected;
+use printed_logic::qm::minimize;
+use printed_logic::report::{analyze, AnalysisConfig};
+use printed_pdk::{AnalogModel, CellLibrary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mna(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mna-ladder-solve");
+    for bits in [4u32, 6, 8] {
+        let ladder = Ladder::full(bits, 1.0, 2500.0);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &ladder, |b, l| {
+            b.iter(|| l.tap_voltages().expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mc(c: &mut Criterion) {
+    let ladder = Ladder::full(4, 1.0, 2500.0);
+    let model = MismatchModel::typical_printed();
+    c.bench_function("mc-mismatch-sample/4bit-full-ladder", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| model.sample(black_box(&ladder), &mut rng).expect("solves"))
+    });
+}
+
+fn bench_netlist(c: &mut Criterion) {
+    let (train_data, test_data) = Benchmark::Cardio.load_quantized(4).expect("built-ins load");
+    let model = train_depth_selected(&train_data, &test_data, 8);
+    let netlist = baseline_netlist(&model.tree);
+    let sample = encode_sample(test_data.sample(0), 4);
+    c.bench_function("netlist-eval/Cardio-baseline", |b| {
+        b.iter(|| netlist.eval(black_box(&sample)))
+    });
+    let library = CellLibrary::egfet();
+    c.bench_function("netlist-analyze/Cardio-baseline", |b| {
+        b.iter(|| analyze(black_box(&netlist), &library, &AnalysisConfig::printed_20hz()))
+    });
+}
+
+fn bench_qm(c: &mut Criterion) {
+    // Threshold functions over 6 variables: 64-minterm onsets.
+    let onset: Vec<u32> = (20..64).collect();
+    c.bench_function("qm-minimize/6var-threshold", |b| {
+        b.iter(|| minimize(6, black_box(&onset), &[]))
+    });
+}
+
+fn bench_adc_conversion(c: &mut Criterion) {
+    let adc = ConventionalAdc::new(4);
+    let analog = AnalogModel::egfet();
+    c.bench_function("adc-convert/ideal", |b| {
+        b.iter(|| {
+            (0..100)
+                .map(|i| adc.convert(black_box(i as f64 / 100.0)) as usize)
+                .sum::<usize>()
+        })
+    });
+    let mut bank = BespokeAdcBank::new(4);
+    for t in [2, 7, 11] {
+        bank.require(0, t).expect("valid taps");
+    }
+    c.bench_function("adc-convert/bespoke-electrical", |b| {
+        b.iter(|| bank.convert(0, black_box(0.6), &analog))
+    });
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    use printed_codesign::ensemble::ensemble_netlist;
+    use printed_codesign::UnaryClassifier;
+    use printed_dtree::forest::{train_forest, ForestConfig};
+    use printed_logic::fanout::legalize_fanout;
+
+    let (train_data, test_data) = Benchmark::Cardio.load_quantized(4).expect("built-ins load");
+    let model = train_depth_selected(&train_data, &test_data, 8);
+    let unary = UnaryClassifier::from_tree(&model.tree);
+    let netlist = unary.to_netlist();
+    c.bench_function("fanout-legalize/Cardio-unary", |b| {
+        b.iter(|| legalize_fanout(black_box(&netlist), 4))
+    });
+    c.bench_function("verilog-export/Cardio-unary", |b| {
+        b.iter(|| printed_logic::verilog::to_verilog(black_box(&netlist)))
+    });
+    let forest = train_forest(&train_data, &ForestConfig::default());
+    c.bench_function("ensemble-netlist/Cardio-3x3", |b| {
+        b.iter(|| ensemble_netlist(black_box(&forest)))
+    });
+}
+
+fn bench_fault_campaign(c: &mut Criterion) {
+    use printed_codesign::robustness::fault_robustness;
+    let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+    let model = train_depth_selected(&train_data, &test_data, 4);
+    c.bench_function("fault-robustness/Seeds-depth4", |b| {
+        b.iter(|| fault_robustness(black_box(&model.tree), black_box(&test_data)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mna,
+    bench_mc,
+    bench_netlist,
+    bench_qm,
+    bench_adc_conversion,
+    bench_transforms,
+    bench_fault_campaign
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion benchmarks of the training/co-design pipeline: CART training,
+//! ADC-aware training (Algorithm 1), the τ×depth exploration, unary
+//! synthesis, and baseline synthesis. The paper reports ~6 min for the full
+//! exploration on a Xeon server (Python/sklearn); these benches document
+//! what the pure-Rust implementation achieves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use printed_codesign::explore::{explore, ExplorationConfig};
+use printed_codesign::train::{train_adc_aware, AdcAwareConfig};
+use printed_codesign::{synthesize_unary, UnaryClassifier};
+use printed_datasets::Benchmark;
+use printed_dtree::cart::{train, train_depth_selected, CartConfig};
+use printed_dtree::synthesize_baseline;
+
+fn bench_cart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cart-train-depth6");
+    for benchmark in [Benchmark::Seeds, Benchmark::Vertebral3C, Benchmark::Cardio] {
+        let (train_data, _) = benchmark.load_quantized(4).expect("built-ins load");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark),
+            &train_data,
+            |b, data| b.iter(|| train(black_box(data), &CartConfig::with_max_depth(6))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_adc_aware(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adc-aware-train-depth6");
+    for benchmark in [Benchmark::Seeds, Benchmark::Cardio] {
+        let (train_data, _) = benchmark.load_quantized(4).expect("built-ins load");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark),
+            &train_data,
+            |b, data| {
+                b.iter(|| {
+                    train_adc_aware(
+                        black_box(data),
+                        &AdcAwareConfig { max_depth: 6, tau: 0.01, ..Default::default() },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_depth_selection(c: &mut Criterion) {
+    let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+    c.bench_function("depth-selected-baseline/Seeds", |b| {
+        b.iter(|| train_depth_selected(black_box(&train_data), black_box(&test_data), 8))
+    });
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    // The paper's headline runtime claim: full τ×depth brute force.
+    let mut group = c.benchmark_group("full-exploration-paper-grid");
+    group.sample_size(10);
+    for benchmark in [Benchmark::Seeds, Benchmark::Vertebral2C] {
+        let (train_data, test_data) = benchmark.load_quantized(4).expect("built-ins load");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark),
+            &(train_data, test_data),
+            |b, (tr, te)| {
+                b.iter(|| explore(black_box(tr), black_box(te), &ExplorationConfig::paper()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let (train_data, test_data) = Benchmark::Cardio.load_quantized(4).expect("built-ins load");
+    let model = train_depth_selected(&train_data, &test_data, 8);
+    c.bench_function("synthesize-baseline/Cardio", |b| {
+        b.iter(|| synthesize_baseline(black_box(&model.tree)))
+    });
+    c.bench_function("synthesize-unary/Cardio", |b| {
+        b.iter(|| synthesize_unary(black_box(&model.tree)))
+    });
+    c.bench_function("unary-transform/Cardio", |b| {
+        b.iter(|| UnaryClassifier::from_tree(black_box(&model.tree)))
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (train_data, test_data) = Benchmark::Pendigits.load_quantized(4).expect("built-ins load");
+    let model = train_depth_selected(&train_data, &test_data, 6);
+    let unary = UnaryClassifier::from_tree(&model.tree);
+    let samples: Vec<&[u8]> = (0..test_data.len()).map(|i| test_data.sample(i)).collect();
+    c.bench_function("predict-tree/Pendigits-testset", |b| {
+        b.iter(|| {
+            samples
+                .iter()
+                .map(|s| model.tree.predict(black_box(s)))
+                .sum::<usize>()
+        })
+    });
+    c.bench_function("predict-unary/Pendigits-testset", |b| {
+        b.iter(|| {
+            samples
+                .iter()
+                .map(|s| unary.predict(black_box(s)).expect("one-hot"))
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cart,
+    bench_adc_aware,
+    bench_depth_selection,
+    bench_exploration,
+    bench_synthesis,
+    bench_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! The co-design CLI: run the full flow on a benchmark and optionally
+//! export the resulting hardware as structural Verilog and SPICE.
+//!
+//! ```sh
+//! cargo run --release -p printed-bench --bin codesign -- seeds --loss 0.01 \
+//!     --verilog seeds.v --spice seeds_ladder.sp
+//! ```
+//!
+//! Arguments:
+//! * `<benchmark>` — any Table I dataset name (`table1` row labels or their
+//!   lowercase forms);
+//! * `--loss <fraction>` — accuracy-loss constraint (default `0.01`);
+//! * `--quick` — reduced τ×depth grid;
+//! * `--verilog <path>` — write the unary classifier netlist as Verilog;
+//! * `--spice <path>` — write the bespoke reference ladder as a SPICE deck.
+
+use std::process::ExitCode;
+
+use printed_analog::ladder::Ladder;
+use printed_analog::spice::ladder_deck;
+use printed_bench::BITS;
+use printed_codesign::explore::{explore, ExplorationConfig};
+use printed_datasets::Benchmark;
+use printed_dtree::cart::train_depth_selected;
+use printed_dtree::synthesize_baseline;
+use printed_logic::verilog::to_verilog;
+use printed_pdk::AnalogModel;
+
+struct Args {
+    benchmark: Benchmark,
+    loss: f64,
+    quick: bool,
+    verilog: Option<String>,
+    spice: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let benchmark: Benchmark = argv
+        .next()
+        .ok_or("usage: codesign <benchmark> [--loss F] [--quick] [--verilog P] [--spice P]")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let mut args = Args { benchmark, loss: 0.01, quick: false, verilog: None, spice: None };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--loss" => {
+                let v = argv.next().ok_or("--loss needs a value")?;
+                args.loss = v.parse().map_err(|e| format!("--loss: {e}"))?;
+                if !(0.0..1.0).contains(&args.loss) {
+                    return Err("--loss must be in [0, 1)".into());
+                }
+            }
+            "--quick" => args.quick = true,
+            "--verilog" => args.verilog = Some(argv.next().ok_or("--verilog needs a path")?),
+            "--spice" => args.spice = Some(argv.next().ok_or("--spice needs a path")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let (train, test) =
+        args.benchmark.load_quantized(BITS).map_err(|e| format!("load: {e}"))?;
+    println!(
+        "{}: {} train / {} test samples, {} features, {} classes",
+        args.benchmark,
+        train.len(),
+        test.len(),
+        train.n_features(),
+        train.n_classes()
+    );
+
+    let reference = train_depth_selected(&train, &test, 8);
+    let baseline = synthesize_baseline(&reference.tree);
+    println!(
+        "baseline [2]: {:.1}% accuracy, {:.2}, {:.2}",
+        reference.test_accuracy * 100.0,
+        baseline.total_area(),
+        baseline.total_power()
+    );
+
+    let grid = if args.quick { ExplorationConfig::quick() } else { ExplorationConfig::paper() };
+    let sweep = explore(&train, &test, &grid);
+    let chosen = sweep
+        .select(args.loss)
+        .or_else(|| sweep.most_accurate())
+        .ok_or("empty exploration grid")?;
+    let r = chosen.system.reduction_vs(&baseline);
+    println!(
+        "co-design (τ={}, depth {}): {:.1}% accuracy, {:.2}, {:.2} — {:.1}x area, {:.1}x power vs baseline",
+        chosen.tau,
+        chosen.depth,
+        chosen.test_accuracy * 100.0,
+        chosen.system.total_area(),
+        chosen.system.total_power(),
+        r.area_factor,
+        r.power_factor
+    );
+    println!(
+        "{} comparators over {} inputs; self-powered: {}\n",
+        chosen.system.comparator_count(),
+        chosen.system.input_count(),
+        chosen.system.is_self_powered()
+    );
+    println!(
+        "{}",
+        printed_codesign::Datasheet::new(
+            format!("{}", args.benchmark),
+            &chosen.system,
+            Some(chosen.test_accuracy),
+        )
+    );
+
+    if let Some(path) = &args.verilog {
+        let netlist = chosen.system.classifier.to_netlist();
+        std::fs::write(path, to_verilog(&netlist)).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote unary classifier netlist to {path}");
+    }
+    if let Some(path) = &args.spice {
+        let analog = AnalogModel::egfet();
+        let taps = chosen.system.classifier.adc_bank().distinct_taps();
+        if taps.is_empty() {
+            return Err("design has no retained taps; nothing to export".into());
+        }
+        let ladder = Ladder::pruned(
+            BITS,
+            &taps,
+            analog.supply.volts(),
+            analog.unit_resistor.ohms(),
+        )
+        .map_err(|e| format!("ladder: {e}"))?;
+        let deck = ladder_deck(&ladder, &format!("{} bespoke reference ladder", args.benchmark));
+        std::fs::write(path, deck).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote bespoke ladder SPICE deck to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Input-precision sweep: the paper sets 4-bit inputs because "this is the
+//! value delivering close to floating-point accuracy for all datasets" —
+//! a claim stated without a figure. This experiment regenerates the
+//! evidence: baseline accuracy and co-designed system cost at every input
+//! precision from 2 to 6 bits, per benchmark.
+//!
+//! Run with `cargo run --release -p printed-bench --bin precision`.
+
+use printed_bench::{hrule, row_label, DEPTH_CAP};
+use printed_codesign::system::synthesize_unary_with;
+use printed_datasets::Benchmark;
+use printed_dtree::cart::train_depth_selected;
+use printed_logic::report::AnalysisConfig;
+use printed_pdk::{AnalogModel, CellLibrary};
+
+fn main() {
+    println!("Input-precision sweep: accuracy (and co-designed power µW) per bit width");
+    println!("(the paper's 4-bit choice should sit at the accuracy knee)\n");
+    print!("{:<14}", "Dataset");
+    for bits in 2..=6u32 {
+        print!(" | {bits:>5} bits        ");
+    }
+    println!();
+    hrule(14 + 5 * 22);
+
+    for benchmark in [
+        Benchmark::Seeds,
+        Benchmark::Vertebral2C,
+        Benchmark::Vertebral3C,
+        Benchmark::BalanceScale,
+        Benchmark::Cardio,
+        Benchmark::WhiteWine,
+    ] {
+        print!("{}", row_label(benchmark));
+        for bits in 2..=6u32 {
+            let (train, test) =
+                benchmark.load_quantized(bits).expect("built-ins load at any precision");
+            let model = train_depth_selected(&train, &test, DEPTH_CAP);
+            // Price the classifier with the analog model rescaled to this
+            // resolution (comparator power tracks reference voltage).
+            let system = synthesize_unary_with(
+                &model.tree,
+                &CellLibrary::egfet(),
+                &AnalogModel::egfet_with_bits(bits),
+                &AnalysisConfig::printed_20hz(),
+            );
+            print!(
+                " | {:>5.1}% ({:>6.0})",
+                model.test_accuracy * 100.0,
+                system.total_power().uw()
+            );
+        }
+        println!();
+    }
+    println!(
+        "\nReading: accuracy typically saturates by 4 bits while ADC power keeps\n\
+         growing with precision — the knee that justifies the paper's choice."
+    );
+}

@@ -1,0 +1,79 @@
+//! # printed-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper,
+//! plus Criterion benchmarks of the substrates. The binaries:
+//!
+//! * `table1` — baseline bespoke decision trees (accuracy, #comparators,
+//!   #inputs, ADC/total area and power) for all eight benchmarks.
+//! * `fig3` — bespoke ADC area/power vs number and position of output
+//!   unary digits.
+//! * `fig4` — area/power reduction of the unary architecture + bespoke
+//!   ADCs over the baseline (ADC-unaware training).
+//! * `fig5` — additional gains from ADC-aware training at 0%/1%/5%
+//!   accuracy loss.
+//! * `table2` — the final co-design vs baselines \[2\] and \[7\], with the
+//!   2 mW self-powering verdict.
+//! * `ablations` — objective ablations of Algorithm 1 and Monte-Carlo
+//!   mismatch robustness.
+//!
+//! Shared row-formatting helpers live in this library crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use printed_datasets::Benchmark;
+use printed_dtree::cart::{train_depth_selected, TrainedModel};
+use printed_dtree::{synthesize_baseline, BaselineDesign};
+
+/// Depth cap used across the paper's evaluation.
+pub const DEPTH_CAP: usize = 8;
+
+/// Input precision used across the paper's evaluation.
+pub const BITS: u32 = 4;
+
+/// Trains the paper's baseline model (ADC-unaware, depth-selected) for a
+/// benchmark.
+///
+/// # Panics
+///
+/// Panics if the benchmark pipeline fails (it cannot for built-ins).
+pub fn baseline_model(benchmark: Benchmark) -> TrainedModel {
+    let (train, test) = benchmark
+        .load_quantized(BITS)
+        .expect("benchmark pipeline is infallible for built-ins");
+    train_depth_selected(&train, &test, DEPTH_CAP)
+}
+
+/// Trains and synthesizes the full baseline system for a benchmark.
+pub fn baseline_design(benchmark: Benchmark) -> (TrainedModel, BaselineDesign) {
+    let model = baseline_model(benchmark);
+    let design = synthesize_baseline(&model.tree);
+    (model, design)
+}
+
+/// Formats a `Benchmark` name padded to the table column width.
+pub fn row_label(benchmark: Benchmark) -> String {
+    format!("{:<14}", benchmark.to_string())
+}
+
+/// Prints a horizontal rule of the given width.
+pub fn hrule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_model_trains_quickly_on_small_benchmark() {
+        let model = baseline_model(Benchmark::Seeds);
+        assert!(model.test_accuracy > 0.7);
+        assert!(model.depth <= DEPTH_CAP);
+    }
+
+    #[test]
+    fn row_label_pads() {
+        assert_eq!(row_label(Benchmark::Seeds).len(), 14);
+    }
+}

@@ -1,0 +1,128 @@
+//! Human-readable datasheet rendering of a co-designed system.
+//!
+//! `UnarySystem` holds everything an implementor needs; [`Datasheet`]
+//! arranges it as the one-page summary a hardware release would ship:
+//! accuracy, totals, the self-powering verdict, the bespoke ADC plan per
+//! input, and the per-class logic inventory. Used by the `codesign` CLI
+//! and available to library users via [`Datasheet::new`] + `Display`.
+//!
+//! ```
+//! use printed_codesign::datasheet::Datasheet;
+//! use printed_codesign::synthesize_unary;
+//! use printed_dtree::{DecisionTree, Node};
+//!
+//! let tree = DecisionTree::from_nodes(4, 2, 2, vec![
+//!     Node::Split { feature: 0, threshold: 9, lo: 1, hi: 2 },
+//!     Node::Leaf { class: 0 },
+//!     Node::Leaf { class: 1 },
+//! ])?;
+//! let system = synthesize_unary(&tree);
+//! let sheet = Datasheet::new("demo", &system, Some(0.93));
+//! let text = sheet.to_string();
+//! assert!(text.contains("self-powered"));
+//! assert!(text.contains("input 0"));
+//! # Ok::<(), printed_dtree::TreeError>(())
+//! ```
+
+use core::fmt;
+
+use printed_pdk::HARVESTER_BUDGET;
+
+use crate::system::UnarySystem;
+
+/// A renderable summary of one co-designed system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datasheet<'a> {
+    title: String,
+    system: &'a UnarySystem,
+    test_accuracy: Option<f64>,
+}
+
+impl<'a> Datasheet<'a> {
+    /// Builds a datasheet for `system`; `test_accuracy` (0..1) is printed
+    /// when known.
+    pub fn new(title: impl Into<String>, system: &'a UnarySystem, test_accuracy: Option<f64>) -> Self {
+        Self { title: title.into(), system, test_accuracy }
+    }
+}
+
+impl fmt::Display for Datasheet<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.system;
+        writeln!(f, "=== {} — co-designed printed classifier ===", self.title)?;
+        if let Some(acc) = self.test_accuracy {
+            writeln!(f, "test accuracy        : {:.1}%", acc * 100.0)?;
+        }
+        writeln!(f, "total area           : {:.2}", s.total_area())?;
+        writeln!(f, "total power          : {:.2}", s.total_power())?;
+        writeln!(
+            f,
+            "self-powering        : {} (budget {})",
+            if s.is_self_powered() { "self-powered" } else { "OVER BUDGET" },
+            HARVESTER_BUDGET
+        )?;
+        writeln!(
+            f,
+            "digital logic        : {:.2}, {:.2}, {} cells, critical path {:.1}",
+            s.digital.area,
+            s.digital.total_power(),
+            s.digital.cell_count,
+            s.digital.critical_path
+        )?;
+        writeln!(
+            f,
+            "bespoke ADC bank     : {:.2}, {:.2}, {} comparators, {} ladder resistors",
+            s.adc.area, s.adc.power, s.adc.comparators, s.adc.ladder_resistors
+        )?;
+        let bank = s.classifier.adc_bank();
+        for (feature, taps) in bank.iter() {
+            writeln!(f, "  input {feature:<3} taps {taps:?}")?;
+        }
+        writeln!(f, "label logic ({} classes):", s.classifier.n_classes())?;
+        for class in 0..s.classifier.n_classes() {
+            let sop = s.classifier.class_sop(class);
+            writeln!(
+                f,
+                "  class {class:<3} {} terms, {} literals",
+                sop.cubes().len(),
+                sop.literal_count()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesize_unary;
+    use printed_datasets::Benchmark;
+    use printed_dtree::cart::train_depth_selected;
+
+    #[test]
+    fn datasheet_lists_every_input_and_class() {
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let model = train_depth_selected(&train, &test, 5);
+        let system = synthesize_unary(&model.tree);
+        let sheet =
+            Datasheet::new("Seeds", &system, Some(model.test_accuracy)).to_string();
+        for feature in model.tree.used_features() {
+            assert!(sheet.contains(&format!("input {feature}")), "{sheet}");
+        }
+        for class in 0..3 {
+            assert!(sheet.contains(&format!("class {class}")));
+        }
+        assert!(sheet.contains("test accuracy"));
+        assert!(sheet.contains("comparators"));
+    }
+
+    #[test]
+    fn accuracy_is_optional() {
+        let (train, test) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        let model = train_depth_selected(&train, &test, 3);
+        let system = synthesize_unary(&model.tree);
+        let sheet = Datasheet::new("V2C", &system, None).to_string();
+        assert!(!sheet.contains("test accuracy"));
+        assert!(sheet.contains("=== V2C"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Hyperparameter exploration (paper §IV, Fig. 5 / Table II methodology).
+//!
+//! The paper brute-forces `τ ∈ {0, 0.005, …, 0.03}` × `depth ∈ {2..8}`,
+//! trains an ADC-aware tree for each point, and then selects, for a given
+//! accuracy-loss constraint (0%, 1%, 5%), the most hardware-efficient
+//! design whose accuracy stays within the constraint of the ADC-unaware
+//! reference. Trainings are independent, so the sweep fans out across
+//! threads.
+//!
+//! ```no_run
+//! use printed_codesign::explore::{explore, ExplorationConfig};
+//! use printed_datasets::Benchmark;
+//!
+//! let (train, test) = Benchmark::Seeds.load_quantized(4)?;
+//! let sweep = explore(&train, &test, &ExplorationConfig::paper());
+//! let chosen = sweep.select(0.01).expect("a design within 1% exists");
+//! println!("{} comparators", chosen.system.comparator_count());
+//! # Ok::<(), printed_datasets::DatasetError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use printed_datasets::QuantizedDataset;
+use printed_dtree::cart::train_depth_selected;
+use printed_logic::report::AnalysisConfig;
+use printed_pdk::{AnalogModel, CellLibrary};
+
+use crate::system::{synthesize_unary_with, UnarySystem};
+use crate::train::{train_adc_aware, AdcAwareConfig};
+
+/// The sweep grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationConfig {
+    /// Gini-slack values to sweep.
+    pub taus: Vec<f64>,
+    /// Depths to sweep.
+    pub depths: Vec<usize>,
+    /// Base RNG seed (each grid point derives its own).
+    pub seed: u64,
+}
+
+impl ExplorationConfig {
+    /// The paper's grid: τ from 0 to 0.03 step 0.005, depth 2..=8.
+    pub fn paper() -> Self {
+        Self {
+            taus: (0..=6).map(|i| i as f64 * 0.005).collect(),
+            depths: (2..=8).collect(),
+            seed: 0x0ADC,
+        }
+    }
+
+    /// A reduced grid for quick runs and tests.
+    pub fn quick() -> Self {
+        Self {
+            taus: vec![0.0, 0.01, 0.03],
+            depths: vec![2, 4, 6],
+            seed: 0x0ADC,
+        }
+    }
+}
+
+impl Default for ExplorationConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One grid point's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateDesign {
+    /// Gini slack used.
+    pub tau: f64,
+    /// Depth cap used.
+    pub depth: usize,
+    /// Test accuracy of the trained tree.
+    pub test_accuracy: f64,
+    /// The synthesized co-designed system.
+    pub system: UnarySystem,
+}
+
+/// The full sweep with its reference point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exploration {
+    /// Every grid point, in `(depth, tau)` order.
+    pub candidates: Vec<CandidateDesign>,
+    /// Test accuracy of the ADC-unaware, depth-selected reference model —
+    /// the anchor the accuracy-loss constraints are measured from.
+    pub reference_accuracy: f64,
+}
+
+impl Exploration {
+    /// Selects the most power-efficient candidate whose accuracy loss
+    /// (w.r.t. the reference) is at most `max_loss` (e.g. `0.01` for the
+    /// paper's 1% constraint). Ties break toward smaller area. Returns
+    /// `None` when no candidate meets the constraint.
+    pub fn select(&self, max_loss: f64) -> Option<&CandidateDesign> {
+        let floor = self.reference_accuracy - max_loss;
+        self.candidates
+            .iter()
+            .filter(|c| c.test_accuracy >= floor - 1e-12)
+            .min_by(|a, b| {
+                let pa = a.system.total_power().uw();
+                let pb = b.system.total_power().uw();
+                pa.partial_cmp(&pb)
+                    .expect("finite powers")
+                    .then_with(|| {
+                        a.system
+                            .total_area()
+                            .mm2()
+                            .partial_cmp(&b.system.total_area().mm2())
+                            .expect("finite areas")
+                    })
+            })
+    }
+
+    /// The Pareto-optimal candidates over `(test accuracy, total power)`:
+    /// no returned design is dominated by another (higher-or-equal accuracy
+    /// *and* strictly lower power, or equal power and strictly higher
+    /// accuracy). Sorted by ascending accuracy; duplicates collapsed.
+    pub fn pareto(&self) -> Vec<&CandidateDesign> {
+        let mut frontier: Vec<&CandidateDesign> = self
+            .candidates
+            .iter()
+            .filter(|c| {
+                !self.candidates.iter().any(|d| {
+                    let better_power = d.system.total_power() < c.system.total_power();
+                    let better_acc = d.test_accuracy > c.test_accuracy;
+                    (d.test_accuracy >= c.test_accuracy && better_power)
+                        || (better_acc && d.system.total_power() <= c.system.total_power())
+                })
+            })
+            .collect();
+        frontier.sort_by(|a, b| {
+            a.test_accuracy
+                .partial_cmp(&b.test_accuracy)
+                .expect("finite accuracies")
+        });
+        frontier.dedup_by(|a, b| {
+            a.test_accuracy == b.test_accuracy
+                && a.system.total_power() == b.system.total_power()
+        });
+        frontier
+    }
+
+    /// The accuracy-maximizing candidate (useful as a "0% loss" anchor when
+    /// even the reference accuracy is unreachable on a hard dataset).
+    pub fn most_accurate(&self) -> Option<&CandidateDesign> {
+        self.candidates.iter().max_by(|a, b| {
+            a.test_accuracy
+                .partial_cmp(&b.test_accuracy)
+                .expect("finite accuracies")
+                .then_with(|| {
+                    // Ties: cheaper power wins.
+                    b.system
+                        .total_power()
+                        .uw()
+                        .partial_cmp(&a.system.total_power().uw())
+                        .expect("finite powers")
+                })
+        })
+    }
+}
+
+/// Runs the sweep with default EGFET technology at 20 Hz.
+///
+/// # Panics
+///
+/// Panics if either dataset is empty or the grid is empty.
+pub fn explore(
+    train_data: &QuantizedDataset,
+    test_data: &QuantizedDataset,
+    config: &ExplorationConfig,
+) -> Exploration {
+    explore_with(
+        train_data,
+        test_data,
+        config,
+        &CellLibrary::egfet(),
+        &AnalogModel::egfet(),
+        &AnalysisConfig::printed_20hz(),
+    )
+}
+
+/// [`explore`] under explicit technology/analysis choices.
+pub fn explore_with(
+    train_data: &QuantizedDataset,
+    test_data: &QuantizedDataset,
+    config: &ExplorationConfig,
+    library: &CellLibrary,
+    analog: &AnalogModel,
+    analysis: &AnalysisConfig,
+) -> Exploration {
+    assert!(
+        !config.taus.is_empty() && !config.depths.is_empty(),
+        "exploration grid must be non-empty"
+    );
+    let reference = train_depth_selected(train_data, test_data, *config.depths.iter().max().expect("non-empty"));
+
+    let grid: Vec<(usize, f64)> = config
+        .depths
+        .iter()
+        .flat_map(|&d| config.taus.iter().map(move |&t| (d, t)))
+        .collect();
+
+    // Independent trainings — fan out across threads (scoped, no deps).
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let chunk = grid.len().div_ceil(threads);
+    let mut candidates: Vec<CandidateDesign> = std::thread::scope(|scope| {
+        let handles: Vec<_> = grid
+            .chunks(chunk.max(1))
+            .map(|points| {
+                scope.spawn(move || {
+                    points
+                        .iter()
+                        .map(|&(depth, tau)| {
+                            let cfg = AdcAwareConfig {
+                                max_depth: depth,
+                                tau,
+                                min_samples_split: 2,
+                                // Derive a distinct but reproducible seed per
+                                // grid point.
+                                seed: config
+                                    .seed
+                                    .wrapping_add((depth as u64) << 32)
+                                    .wrapping_add((tau * 1e6) as u64),
+                            };
+                            let tree = train_adc_aware(train_data, &cfg);
+                            let test_accuracy = tree.accuracy(test_data);
+                            let system =
+                                synthesize_unary_with(&tree, library, analog, analysis);
+                            CandidateDesign { tau, depth, test_accuracy, system }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+    candidates.sort_by(|a, b| {
+        a.depth
+            .cmp(&b.depth)
+            .then(a.tau.partial_cmp(&b.tau).expect("finite taus"))
+    });
+
+    Exploration { candidates, reference_accuracy: reference.test_accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use printed_datasets::Benchmark;
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let (train_data, test_data) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        let sweep = explore(&train_data, &test_data, &ExplorationConfig::quick());
+        assert_eq!(sweep.candidates.len(), 9);
+        assert!(sweep.reference_accuracy > 0.7);
+    }
+
+    #[test]
+    fn selection_respects_the_floor() {
+        let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let sweep = explore(&train_data, &test_data, &ExplorationConfig::quick());
+        for loss in [0.0, 0.01, 0.05] {
+            if let Some(chosen) = sweep.select(loss) {
+                assert!(
+                    chosen.test_accuracy >= sweep.reference_accuracy - loss - 1e-9,
+                    "loss {loss}: accuracy {} vs reference {}",
+                    chosen.test_accuracy,
+                    sweep.reference_accuracy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn looser_constraints_never_cost_more_power() {
+        let (train_data, test_data) = Benchmark::Vertebral3C.load_quantized(4).unwrap();
+        let sweep = explore(&train_data, &test_data, &ExplorationConfig::quick());
+        let p = |loss: f64| sweep.select(loss).map(|c| c.system.total_power().uw());
+        if let (Some(p0), Some(p1), Some(p5)) = (p(0.0), p(0.01), p(0.05)) {
+            assert!(p1 <= p0 + 1e-9);
+            assert!(p5 <= p1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let (train_data, test_data) = Benchmark::BalanceScale.load_quantized(4).unwrap();
+        let a = explore(&train_data, &test_data, &ExplorationConfig::quick());
+        let b = explore(&train_data, &test_data, &ExplorationConfig::quick());
+        assert_eq!(a.candidates.len(), b.candidates.len());
+        for (x, y) in a.candidates.iter().zip(&b.candidates) {
+            assert_eq!(x.test_accuracy, y.test_accuracy);
+            assert_eq!(x.system.comparator_count(), y.system.comparator_count());
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_is_nondominated_and_monotone() {
+        let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let sweep = explore(&train_data, &test_data, &ExplorationConfig::quick());
+        let frontier = sweep.pareto();
+        assert!(!frontier.is_empty());
+        // Monotone: accuracy and power both strictly increase along it.
+        for pair in frontier.windows(2) {
+            assert!(pair[0].test_accuracy < pair[1].test_accuracy + 1e-12);
+            assert!(
+                pair[0].system.total_power() <= pair[1].system.total_power(),
+                "frontier must trade power for accuracy"
+            );
+        }
+        // No frontier point is dominated by any candidate.
+        for f in &frontier {
+            for c in &sweep.candidates {
+                let dominates = c.test_accuracy >= f.test_accuracy
+                    && c.system.total_power() < f.system.total_power();
+                assert!(!dominates, "dominated frontier point");
+            }
+        }
+        // The most accurate candidate is always on the frontier.
+        let top = sweep.most_accurate().unwrap();
+        assert!(frontier
+            .iter()
+            .any(|f| f.test_accuracy >= top.test_accuracy - 1e-12));
+    }
+
+    #[test]
+    fn most_accurate_is_at_least_any_selected() {
+        let (train_data, test_data) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        let sweep = explore(&train_data, &test_data, &ExplorationConfig::quick());
+        let top = sweep.most_accurate().unwrap().test_accuracy;
+        if let Some(chosen) = sweep.select(0.01) {
+            assert!(top >= chosen.test_accuracy);
+        }
+    }
+}

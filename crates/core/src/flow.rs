@@ -1,0 +1,211 @@
+//! The one-call co-design flow.
+//!
+//! Everything the paper's framework does, behind a single builder: train
+//! the ADC-unaware reference, synthesize the baseline system, sweep the
+//! ADC-aware grid, select under the accuracy-loss constraint, and package
+//! the result with its comparisons. The experiment binaries and examples
+//! compose the pieces by hand for transparency; downstream users usually
+//! want exactly this.
+//!
+//! ```no_run
+//! use printed_codesign::flow::CodesignFlow;
+//! use printed_datasets::Benchmark;
+//!
+//! let (train, test) = Benchmark::Seeds.load_quantized(4)?;
+//! let outcome = CodesignFlow::new(&train, &test).accuracy_loss(0.01).run();
+//! println!("{}", outcome.datasheet());
+//! assert!(outcome.chosen.system.is_self_powered());
+//! # Ok::<(), printed_datasets::DatasetError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use printed_datasets::QuantizedDataset;
+use printed_dtree::cart::train_depth_selected;
+use printed_dtree::{synthesize_baseline_with, BaselineDesign};
+use printed_logic::report::AnalysisConfig;
+use printed_pdk::{AnalogModel, CellLibrary};
+
+use crate::datasheet::Datasheet;
+use crate::explore::{explore_with, CandidateDesign, Exploration, ExplorationConfig};
+use crate::system::Reduction;
+
+/// Builder for the full co-design flow.
+#[derive(Debug, Clone)]
+pub struct CodesignFlow<'a> {
+    train: &'a QuantizedDataset,
+    test: &'a QuantizedDataset,
+    accuracy_loss: f64,
+    grid: ExplorationConfig,
+    library: CellLibrary,
+    analog: AnalogModel,
+    analysis: AnalysisConfig,
+    title: String,
+}
+
+impl<'a> CodesignFlow<'a> {
+    /// Starts a flow over a train/test pair with the paper's defaults
+    /// (1% accuracy loss, full τ×depth grid, EGFET technology at 20 Hz).
+    pub fn new(train: &'a QuantizedDataset, test: &'a QuantizedDataset) -> Self {
+        Self {
+            train,
+            test,
+            accuracy_loss: 0.01,
+            grid: ExplorationConfig::paper(),
+            library: CellLibrary::egfet(),
+            analog: AnalogModel::egfet(),
+            analysis: AnalysisConfig::printed_20hz(),
+            title: train.name().to_owned(),
+        }
+    }
+
+    /// Sets the accuracy-loss constraint (fraction; `0.01` = one point).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `loss ∈ [0, 1)`.
+    pub fn accuracy_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1), got {loss}");
+        self.accuracy_loss = loss;
+        self
+    }
+
+    /// Replaces the exploration grid (e.g. [`ExplorationConfig::quick`]).
+    pub fn grid(mut self, grid: ExplorationConfig) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Replaces the digital cell library.
+    pub fn library(mut self, library: CellLibrary) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Replaces the analog cost model.
+    pub fn analog(mut self, analog: AnalogModel) -> Self {
+        self.analog = analog;
+        self
+    }
+
+    /// Replaces the analysis conditions.
+    pub fn analysis(mut self, analysis: AnalysisConfig) -> Self {
+        self.analysis = analysis;
+        self
+    }
+
+    /// Sets the title used in the datasheet rendering.
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// Runs the flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dataset is empty or the grid is empty (propagated
+    /// from the underlying stages).
+    pub fn run(self) -> FlowOutcome {
+        let max_depth = self.grid.depths.iter().copied().max().unwrap_or(8);
+        let reference = train_depth_selected(self.train, self.test, max_depth);
+        let baseline = synthesize_baseline_with(
+            &reference.tree,
+            &self.library,
+            &self.analog,
+            &self.analysis,
+        );
+        let sweep = explore_with(
+            self.train,
+            self.test,
+            &self.grid,
+            &self.library,
+            &self.analog,
+            &self.analysis,
+        );
+        let chosen = sweep
+            .select(self.accuracy_loss)
+            .or_else(|| sweep.most_accurate())
+            .expect("non-empty grid yields candidates")
+            .clone();
+        FlowOutcome {
+            title: self.title,
+            accuracy_loss: self.accuracy_loss,
+            reference_accuracy: sweep.reference_accuracy,
+            baseline,
+            sweep,
+            chosen,
+        }
+    }
+}
+
+/// The result of [`CodesignFlow::run`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// Title used for rendering.
+    pub title: String,
+    /// The accuracy-loss constraint the selection used.
+    pub accuracy_loss: f64,
+    /// The ADC-unaware reference's test accuracy.
+    pub reference_accuracy: f64,
+    /// The synthesized state-of-the-art baseline (\[2\]).
+    pub baseline: BaselineDesign,
+    /// The full exploration (all grid points), for custom selection.
+    pub sweep: Exploration,
+    /// The selected co-design.
+    pub chosen: CandidateDesign,
+}
+
+impl FlowOutcome {
+    /// Reduction factors of the chosen design vs the baseline.
+    pub fn reduction(&self) -> Reduction {
+        self.chosen.system.reduction_vs(&self.baseline)
+    }
+
+    /// Renders the chosen design's datasheet.
+    pub fn datasheet(&self) -> String {
+        Datasheet::new(&self.title, &self.chosen.system, Some(self.chosen.test_accuracy))
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use printed_datasets::Benchmark;
+
+    #[test]
+    fn flow_end_to_end_on_small_benchmark() {
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let outcome = CodesignFlow::new(&train, &test)
+            .accuracy_loss(0.01)
+            .grid(ExplorationConfig::quick())
+            .title("Seeds flow")
+            .run();
+        assert!(outcome.chosen.test_accuracy >= outcome.reference_accuracy - 0.01 - 1e-9);
+        let r = outcome.reduction();
+        assert!(r.power_factor > 1.0);
+        let sheet = outcome.datasheet();
+        assert!(sheet.contains("Seeds flow"));
+        assert!(outcome.sweep.candidates.len() == 9);
+    }
+
+    #[test]
+    fn flow_respects_custom_grid_and_loss() {
+        let (train, test) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        let grid = ExplorationConfig { taus: vec![0.0], depths: vec![2, 3], seed: 1 };
+        let outcome = CodesignFlow::new(&train, &test)
+            .accuracy_loss(0.05)
+            .grid(grid)
+            .run();
+        assert_eq!(outcome.sweep.candidates.len(), 2);
+        assert!(outcome.chosen.depth <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be")]
+    fn flow_rejects_invalid_loss() {
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let _ = CodesignFlow::new(&train, &test).accuracy_loss(1.5);
+    }
+}

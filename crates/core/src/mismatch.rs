@@ -1,0 +1,226 @@
+//! Classifier accuracy under printing variation (extension experiment).
+//!
+//! The paper reports nominal numbers only; a natural question for a real
+//! deployment is how robust the co-designed classifier is to printed
+//! resistor mismatch and comparator offset. This module Monte-Carlo-samples
+//! the bespoke front-end (shared perturbed ladder + per-comparator offsets)
+//! and re-scores the tree on *analog* test inputs, where every decision
+//! boundary has drifted to its sampled effective threshold.
+//!
+//! ```no_run
+//! use printed_analog::MismatchModel;
+//! use printed_codesign::mismatch::mismatch_accuracy;
+//! use printed_datasets::Benchmark;
+//! use printed_dtree::cart::train_depth_selected;
+//!
+//! let (train_q, test_q) = Benchmark::Seeds.load_quantized(4)?;
+//! let (_, test_analog) = Benchmark::Seeds.load_split()?;
+//! let model = train_depth_selected(&train_q, &test_q, 8);
+//! let report = mismatch_accuracy(
+//!     &model.tree, &test_analog, &MismatchModel::typical_printed(), 100, 7);
+//! println!("mean accuracy under mismatch: {:.3}", report.mean);
+//! # Ok::<(), printed_datasets::DatasetError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use printed_analog::ladder::Ladder;
+use printed_analog::mc::sample_normal;
+use printed_analog::MismatchModel;
+use printed_datasets::Dataset;
+use printed_dtree::{DecisionTree, Node};
+use printed_pdk::AnalogModel;
+
+use crate::unary::UnaryClassifier;
+
+/// Monte-Carlo accuracy statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MismatchReport {
+    /// Accuracy with ideal (unperturbed) thresholds on analog inputs.
+    pub nominal: f64,
+    /// Mean accuracy over the Monte-Carlo trials.
+    pub mean: f64,
+    /// Worst trial.
+    pub min: f64,
+    /// Best trial.
+    pub max: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+/// Predicts with explicit per-(feature, tap) effective thresholds in
+/// normalized-volts space.
+fn predict_analog(
+    tree: &DecisionTree,
+    sample: &[f64],
+    thresholds: &BTreeMap<(usize, u8), f64>,
+) -> usize {
+    let mut i = 0;
+    loop {
+        match tree.nodes()[i] {
+            Node::Leaf { class } => return class,
+            Node::Split { feature, threshold, lo, hi } => {
+                let t = thresholds[&(feature, threshold)];
+                i = if sample[feature] >= t { hi } else { lo };
+            }
+        }
+    }
+}
+
+fn accuracy_analog(
+    tree: &DecisionTree,
+    data: &Dataset,
+    thresholds: &BTreeMap<(usize, u8), f64>,
+) -> f64 {
+    let correct = data
+        .iter()
+        .filter(|(sample, label)| predict_analog(tree, sample, thresholds) == *label)
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// Runs `trials` Monte-Carlo samples of the bespoke front-end under
+/// `mismatch` and scores `tree` on the normalized (analog) `test` split.
+///
+/// Per trial: one perturbed shared ladder (distinct taps of the tree's
+/// bespoke ADC bank), then an independent input-referred offset per
+/// retained comparator. Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `trials` is 0, the tree has no splits, or `test` is empty or
+/// narrower than the tree's feature space.
+pub fn mismatch_accuracy(
+    tree: &DecisionTree,
+    test: &Dataset,
+    mismatch: &MismatchModel,
+    trials: usize,
+    seed: u64,
+) -> MismatchReport {
+    mismatch_accuracy_with(tree, test, mismatch, trials, seed, &AnalogModel::egfet())
+}
+
+/// [`mismatch_accuracy`] under an explicit analog model.
+pub fn mismatch_accuracy_with(
+    tree: &DecisionTree,
+    test: &Dataset,
+    mismatch: &MismatchModel,
+    trials: usize,
+    seed: u64,
+    analog: &AnalogModel,
+) -> MismatchReport {
+    assert!(trials > 0, "need at least one trial");
+    assert!(tree.split_count() > 0, "a constant tree has no thresholds to perturb");
+    assert!(!test.is_empty(), "cannot score an empty dataset");
+    assert!(test.n_features() >= tree.n_features(), "dataset narrower than the tree");
+
+    let bank = UnaryClassifier::from_tree(tree).adc_bank();
+    let distinct = bank.distinct_taps();
+    let ladder = Ladder::pruned(
+        tree.bits(),
+        &distinct,
+        analog.supply.volts(),
+        analog.unit_resistor.ohms(),
+    )
+    .expect("tree taps are valid");
+
+    // Nominal thresholds: ideal tap voltages.
+    let full = (1u64 << tree.bits()) as f64;
+    let nominal_thresholds: BTreeMap<(usize, u8), f64> = tree
+        .distinct_pairs()
+        .into_iter()
+        .map(|(f, c)| ((f, c), c as f64 / full))
+        .collect();
+    let nominal = accuracy_analog(tree, test, &nominal_thresholds);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accs = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        // Shared perturbed ladder: one vref per distinct tap.
+        let sample = mismatch.sample(&ladder, &mut rng).expect("perturbed ladder solves");
+        let vref: BTreeMap<usize, f64> =
+            sample.taps().iter().map(|t| (t.tap, t.vref_volts)).collect();
+        // Per-comparator offsets on top.
+        let thresholds: BTreeMap<(usize, u8), f64> = tree
+            .distinct_pairs()
+            .into_iter()
+            .map(|(f, c)| {
+                let offset = sample_normal(&mut rng, 0.0, mismatch.comparator_offset_sigma_v);
+                ((f, c), vref[&(c as usize)] - offset)
+            })
+            .collect();
+        accs.push(accuracy_analog(tree, test, &thresholds));
+    }
+
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    MismatchReport { nominal, mean, min, max, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use printed_datasets::Benchmark;
+    use printed_dtree::cart::train_depth_selected;
+
+    fn setup() -> (DecisionTree, Dataset) {
+        let (train_q, test_q) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let (_, test_analog) = Benchmark::Seeds.load_split().unwrap();
+        let model = train_depth_selected(&train_q, &test_q, 5);
+        (model.tree, test_analog)
+    }
+
+    #[test]
+    fn zero_variation_equals_nominal() {
+        let (tree, test) = setup();
+        let report = mismatch_accuracy(&tree, &test, &MismatchModel::none(), 3, 1);
+        assert!((report.mean - report.nominal).abs() < 1e-12);
+        assert_eq!(report.min, report.max);
+    }
+
+    #[test]
+    fn typical_variation_degrades_gracefully() {
+        let (tree, test) = setup();
+        let report =
+            mismatch_accuracy(&tree, &test, &MismatchModel::typical_printed(), 25, 2);
+        assert!(report.min <= report.mean && report.mean <= report.max);
+        assert!(
+            report.mean > report.nominal - 0.25,
+            "mean {} vs nominal {}",
+            report.mean,
+            report.nominal
+        );
+        assert_eq!(report.trials, 25);
+    }
+
+    #[test]
+    fn pessimistic_variation_hurts_more() {
+        let (tree, test) = setup();
+        let typical =
+            mismatch_accuracy(&tree, &test, &MismatchModel::typical_printed(), 25, 3);
+        let pessimistic =
+            mismatch_accuracy(&tree, &test, &MismatchModel::pessimistic_printed(), 25, 3);
+        assert!(pessimistic.mean <= typical.mean + 0.02);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (tree, test) = setup();
+        let a = mismatch_accuracy(&tree, &test, &MismatchModel::typical_printed(), 10, 42);
+        let b = mismatch_accuracy(&tree, &test, &MismatchModel::typical_printed(), 10, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant tree")]
+    fn rejects_constant_tree() {
+        let (_, test) = setup();
+        let tree = DecisionTree::constant(4, test.n_features(), 3, 0);
+        mismatch_accuracy(&tree, &test, &MismatchModel::none(), 1, 0);
+    }
+}

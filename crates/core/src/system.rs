@@ -1,0 +1,159 @@
+//! Full co-designed systems: unary logic + bespoke ADC bank.
+//!
+//! [`synthesize_unary`] assembles everything the co-design produces for one
+//! trained tree — the two-level unary netlist (priced by the
+//! `printed-logic` analyzer) and the bespoke ADC bank (priced by the
+//! calibrated analog model) — and answers the question the paper builds up
+//! to: *does the classifier fit a printed energy harvester's 2 mW budget?*
+//!
+//! ```
+//! use printed_codesign::system::synthesize_unary;
+//! use printed_datasets::Benchmark;
+//! use printed_dtree::cart::train_depth_selected;
+//!
+//! let (train, test) = Benchmark::Vertebral2C.load_quantized(4)?;
+//! let model = train_depth_selected(&train, &test, 8);
+//! let system = synthesize_unary(&model.tree);
+//! assert!(system.is_self_powered());
+//! # Ok::<(), printed_datasets::DatasetError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use printed_adc::AdcCost;
+use printed_dtree::{BaselineDesign, DecisionTree};
+use printed_logic::report::{analyze, AnalysisConfig, DesignReport};
+use printed_pdk::{AnalogModel, Area, CellLibrary, Power, HARVESTER_BUDGET};
+
+use crate::unary::UnaryClassifier;
+
+/// A synthesized co-designed system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnarySystem {
+    /// The unary classifier (two-level logic over unary literals).
+    pub classifier: UnaryClassifier,
+    /// Area/power/timing of the two-level logic.
+    pub digital: DesignReport,
+    /// Cost of the bespoke ADC bank.
+    pub adc: AdcCost,
+}
+
+impl UnarySystem {
+    /// Total system area (logic + ADCs).
+    pub fn total_area(&self) -> Area {
+        self.digital.area + self.adc.area
+    }
+
+    /// Total system power (logic + ADCs).
+    pub fn total_power(&self) -> Power {
+        self.digital.total_power() + self.adc.power
+    }
+
+    /// Number of retained ADC comparators (= distinct `(feature, tap)`
+    /// pairs of the tree).
+    pub fn comparator_count(&self) -> usize {
+        self.adc.comparators
+    }
+
+    /// Number of inputs that need an ADC.
+    pub fn input_count(&self) -> usize {
+        self.classifier.adc_bank().input_count()
+    }
+
+    /// Whether the system fits the printed-energy-harvester budget
+    /// ([`HARVESTER_BUDGET`], 2 mW) — the paper's self-powering criterion.
+    pub fn is_self_powered(&self) -> bool {
+        self.total_power() < HARVESTER_BUDGET
+    }
+
+    /// Area/power reduction factors of this system relative to a baseline
+    /// design (paper's "×" notation: `baseline / ours`).
+    pub fn reduction_vs(&self, baseline: &BaselineDesign) -> Reduction {
+        Reduction {
+            area_factor: baseline.total_area() / self.total_area(),
+            power_factor: baseline.total_power() / self.total_power(),
+        }
+    }
+}
+
+/// Area/power improvement factors (`baseline / ours`; > 1 means we win).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reduction {
+    /// Baseline area divided by ours.
+    pub area_factor: f64,
+    /// Baseline power divided by ours.
+    pub power_factor: f64,
+}
+
+/// Synthesizes the co-designed system for `tree` with default EGFET
+/// technology at 20 Hz.
+pub fn synthesize_unary(tree: &DecisionTree) -> UnarySystem {
+    synthesize_unary_with(
+        tree,
+        &CellLibrary::egfet(),
+        &AnalogModel::egfet(),
+        &AnalysisConfig::printed_20hz(),
+    )
+}
+
+/// Synthesizes the co-designed system under explicit technology/analysis
+/// choices.
+pub fn synthesize_unary_with(
+    tree: &DecisionTree,
+    library: &CellLibrary,
+    analog: &AnalogModel,
+    config: &AnalysisConfig,
+) -> UnarySystem {
+    let classifier = UnaryClassifier::from_tree(tree);
+    let netlist = classifier.to_netlist();
+    let digital = analyze(&netlist, library, config);
+    let adc = classifier.adc_bank().cost(analog);
+    UnarySystem { classifier, digital, adc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use printed_datasets::Benchmark;
+    use printed_dtree::cart::train_depth_selected;
+    use printed_dtree::synthesize_baseline;
+
+    #[test]
+    fn unary_system_beats_baseline_on_both_axes() {
+        for benchmark in [Benchmark::Vertebral3C, Benchmark::Seeds, Benchmark::BalanceScale] {
+            let (train, test) = benchmark.load_quantized(4).unwrap();
+            let model = train_depth_selected(&train, &test, 8);
+            let baseline = synthesize_baseline(&model.tree);
+            let ours = synthesize_unary(&model.tree);
+            let r = ours.reduction_vs(&baseline);
+            assert!(r.area_factor > 1.5, "{benchmark}: area ×{:.2}", r.area_factor);
+            assert!(r.power_factor > 2.0, "{benchmark}: power ×{:.2}", r.power_factor);
+        }
+    }
+
+    #[test]
+    fn small_benchmarks_are_self_powered_even_without_adc_aware_training() {
+        let (train, test) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        let model = train_depth_selected(&train, &test, 8);
+        let system = synthesize_unary(&model.tree);
+        assert!(system.is_self_powered(), "power {}", system.total_power());
+    }
+
+    #[test]
+    fn comparator_count_equals_distinct_pairs() {
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let model = train_depth_selected(&train, &test, 8);
+        let system = synthesize_unary(&model.tree);
+        assert_eq!(system.comparator_count(), model.tree.distinct_pairs().len());
+        assert_eq!(system.input_count(), model.tree.used_features().len());
+    }
+
+    #[test]
+    fn unary_logic_meets_timing_easily() {
+        let (train, test) = Benchmark::Cardio.load_quantized(4).unwrap();
+        let model = train_depth_selected(&train, &test, 8);
+        let system = synthesize_unary(&model.tree);
+        // Two-level logic: a handful of gate delays, far under 50 ms.
+        assert!(system.digital.critical_path.ms() < 20.0);
+    }
+}

@@ -1,0 +1,395 @@
+//! ADC-aware decision-tree training — the paper's Algorithm 1.
+//!
+//! The trainer is Gini-based CART with one change: at every split node it
+//! considers *all* candidates whose Gini score is within `τ` of the best,
+//! and picks among them by induced hardware cost:
+//!
+//! 1. **`S_Z` (zero-cost)** — the exact `(feature, C)` pair was already
+//!    selected somewhere in the tree: reusing it costs only wiring.
+//! 2. **`S_M` (medium-cost)** — the feature already has an ADC but needs a
+//!    new output digit: one extra comparator on an existing ADC.
+//! 3. **`S_H` (high-cost)** — a brand-new input: a new ADC (with one
+//!    comparator).
+//!
+//! The first non-empty set wins. Within `S_M`/`S_H` the *lowest threshold*
+//! `C` is preferred, because low-order taps have lower reference voltages
+//! and therefore cheaper comparators (paper §III-B / Fig. 3); remaining
+//! ties go to the best Gini, then uniformly at random (seeded).
+//!
+//! With `τ = 0` the candidate set contains only Gini-optimal splits, so
+//! accuracy is unaffected — property-tested in this crate's test-suite.
+//!
+//! ```
+//! use printed_codesign::train::{train_adc_aware, AdcAwareConfig};
+//! use printed_datasets::Benchmark;
+//!
+//! let (train, _test) = Benchmark::Seeds.load_quantized(4)?;
+//! let tree = train_adc_aware(&train, &AdcAwareConfig { tau: 0.01, max_depth: 4, ..Default::default() });
+//! assert!(tree.depth() <= 4);
+//! # Ok::<(), printed_datasets::DatasetError>(())
+//! ```
+
+use std::collections::{BTreeSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use printed_datasets::QuantizedDataset;
+use printed_dtree::cart::{split_candidates, CartConfig, SplitCandidate};
+use printed_dtree::{DecisionTree, Node};
+
+/// Configuration for [`train_adc_aware`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdcAwareConfig {
+    /// Depth cap (the paper sweeps 2..=8).
+    pub max_depth: usize,
+    /// Gini slack `τ`: candidates within `best + τ` are eligible for
+    /// hardware-aware selection (the paper sweeps 0..=0.03 step 0.005).
+    pub tau: f64,
+    /// Minimum samples a node must hold to split.
+    pub min_samples_split: usize,
+    /// Seed for the (rare) uniform tie-breaks of Algorithm 1.
+    pub seed: u64,
+}
+
+impl Default for AdcAwareConfig {
+    fn default() -> Self {
+        Self { max_depth: 8, tau: 0.0, min_samples_split: 2, seed: 0x0ADC }
+    }
+}
+
+/// How a candidate pair relates to the hardware already committed — the
+/// paper's three cost classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CostClass {
+    Zero,
+    Medium,
+    High,
+}
+
+fn classify(
+    candidate: &SplitCandidate,
+    selected: &BTreeSet<(usize, u8)>,
+    used_features: &BTreeSet<usize>,
+) -> CostClass {
+    if selected.contains(&(candidate.feature, candidate.threshold)) {
+        CostClass::Zero
+    } else if used_features.contains(&candidate.feature) {
+        CostClass::Medium
+    } else {
+        CostClass::High
+    }
+}
+
+/// Trains a decision tree with Algorithm 1.
+///
+/// Nodes are grown breadth-first ("for 0 ≤ node < Total nodes" in the
+/// paper), with the selected-pair set `DT` shared across the whole tree.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `tau` is negative/not finite.
+pub fn train_adc_aware(data: &QuantizedDataset, config: &AdcAwareConfig) -> DecisionTree {
+    let mut selected = BTreeSet::new();
+    let mut used_features = BTreeSet::new();
+    train_adc_aware_seeded(data, config, &mut selected, &mut used_features, &(0..data.len()).collect::<Vec<_>>())
+}
+
+/// Trains an *ensemble* with Algorithm 1 where the `S_Z`/`S_M` hardware
+/// state is shared **across trees**: a pair selected by tree 0 is zero-cost
+/// for tree 1 (same comparator, extra wire), and an input with an ADC stays
+/// medium-cost everywhere. Each tree sees a bootstrap resample, so the
+/// ensemble gains diversity while the comparator pool stays small — the
+/// natural extension of the paper's Algorithm 1 to printed forests.
+///
+/// # Panics
+///
+/// As for [`train_adc_aware`]; additionally panics if `trees == 0`.
+pub fn train_adc_aware_forest(
+    data: &QuantizedDataset,
+    config: &AdcAwareConfig,
+    trees: usize,
+) -> printed_dtree::Forest {
+    assert!(trees >= 1, "need at least one tree");
+    let mut selected: BTreeSet<(usize, u8)> = BTreeSet::new();
+    let mut used_features: BTreeSet<usize> = BTreeSet::new();
+    let mut boot_rng = StdRng::seed_from_u64(config.seed ^ 0xB007);
+    let members: Vec<DecisionTree> = (0..trees)
+        .map(|t| {
+            let indices: Vec<usize> =
+                (0..data.len()).map(|_| boot_rng.gen_range(0..data.len())).collect();
+            let cfg = AdcAwareConfig { seed: config.seed.wrapping_add(t as u64), ..*config };
+            train_adc_aware_seeded(data, &cfg, &mut selected, &mut used_features, &indices)
+        })
+        .collect();
+    printed_dtree::Forest::from_trees(members)
+}
+
+/// Core Algorithm 1 growth with externally owned hardware state (so
+/// ensembles can share it) over an explicit root subset.
+fn train_adc_aware_seeded(
+    data: &QuantizedDataset,
+    config: &AdcAwareConfig,
+    selected: &mut BTreeSet<(usize, u8)>,
+    used_features: &mut BTreeSet<usize>,
+    root_indices: &[usize],
+) -> DecisionTree {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(!root_indices.is_empty(), "cannot train on an empty subset");
+    assert!(
+        config.tau.is_finite() && config.tau >= 0.0,
+        "tau must be a non-negative finite number, got {}",
+        config.tau
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let cart_cfg = CartConfig {
+        max_depth: config.max_depth,
+        min_samples_split: config.min_samples_split,
+        threshold_strides: Vec::new(),
+    };
+
+    let mut nodes: Vec<Node> = Vec::new();
+
+    // BFS queue of (placeholder index, subset, depth).
+    let mut queue: VecDeque<(usize, Vec<usize>, usize)> = VecDeque::new();
+    nodes.push(Node::Leaf { class: 0 }); // placeholder for the root
+    queue.push_back((0, root_indices.to_vec(), 0));
+
+    while let Some((slot, indices, depth)) = queue.pop_front() {
+        let majority = majority_class(data, &indices);
+        let stop = depth >= config.max_depth
+            || indices.len() < config.min_samples_split
+            || is_pure(data, &indices);
+        if stop {
+            nodes[slot] = Node::Leaf { class: majority };
+            continue;
+        }
+        let candidates = split_candidates(data, &indices, &cart_cfg);
+        if candidates.is_empty() {
+            nodes[slot] = Node::Leaf { class: majority };
+            continue;
+        }
+        let split = select_split(&candidates, selected, used_features, config.tau, &mut rng);
+        selected.insert((split.feature, split.threshold));
+        used_features.insert(split.feature);
+
+        let (lo_idx, hi_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| data.sample(i)[split.feature] < split.threshold);
+        debug_assert!(!lo_idx.is_empty() && !hi_idx.is_empty());
+
+        let lo_slot = nodes.len();
+        nodes.push(Node::Leaf { class: 0 }); // placeholder
+        let hi_slot = nodes.len();
+        nodes.push(Node::Leaf { class: 0 }); // placeholder
+        nodes[slot] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            lo: lo_slot,
+            hi: hi_slot,
+        };
+        queue.push_back((lo_slot, lo_idx, depth + 1));
+        queue.push_back((hi_slot, hi_idx, depth + 1));
+    }
+
+    DecisionTree::from_nodes(data.bits(), data.n_features(), data.n_classes(), nodes)
+        .expect("trainer builds valid trees")
+}
+
+/// Algorithm 1's selection rule over one node's candidate set.
+fn select_split(
+    candidates: &[SplitCandidate],
+    selected: &BTreeSet<(usize, u8)>,
+    used_features: &BTreeSet<usize>,
+    tau: f64,
+    rng: &mut StdRng,
+) -> SplitCandidate {
+    let best_gini = candidates
+        .iter()
+        .map(|c| c.gini)
+        .fold(f64::INFINITY, f64::min);
+    let eligible: Vec<&SplitCandidate> = candidates
+        .iter()
+        .filter(|c| c.gini <= best_gini + tau + 1e-12)
+        .collect();
+    debug_assert!(!eligible.is_empty());
+
+    let of_class = |class: CostClass| -> Vec<&SplitCandidate> {
+        eligible
+            .iter()
+            .copied()
+            .filter(|c| classify(c, selected, used_features) == class)
+            .collect()
+    };
+
+    let zero = of_class(CostClass::Zero);
+    let pool: Vec<&SplitCandidate> = if !zero.is_empty() {
+        // Zero-cost reuse: best Gini wins, ties at random.
+        zero
+    } else {
+        let medium = of_class(CostClass::Medium);
+        let z = if !medium.is_empty() { medium } else { of_class(CostClass::High) };
+        // Lowest threshold first (cheapest comparator), then best Gini.
+        let c_min = z.iter().map(|c| c.threshold).min().expect("non-empty");
+        z.into_iter().filter(|c| c.threshold == c_min).collect()
+    };
+
+    let g_min = pool.iter().map(|c| c.gini).fold(f64::INFINITY, f64::min);
+    let finalists: Vec<&SplitCandidate> =
+        pool.into_iter().filter(|c| (c.gini - g_min).abs() <= 1e-12).collect();
+    *finalists[rng.gen_range(0..finalists.len())]
+}
+
+fn majority_class(data: &QuantizedDataset, indices: &[usize]) -> usize {
+    let mut counts = vec![0usize; data.n_classes()];
+    for &i in indices {
+        counts[data.label(i)] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(c, &n)| (n, std::cmp::Reverse(c)))
+        .map(|(c, _)| c)
+        .expect("non-empty subset")
+}
+
+fn is_pure(data: &QuantizedDataset, indices: &[usize]) -> bool {
+    let first = data.label(indices[0]);
+    indices.iter().all(|&i| data.label(i) == first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use printed_datasets::Benchmark;
+    use printed_dtree::cart::{train, CartConfig};
+
+    #[test]
+    fn tau_zero_matches_cart_accuracy() {
+        // With τ = 0 only Gini-optimal splits are eligible, so training
+        // accuracy equals plain CART's (tie-breaking may differ).
+        for benchmark in [Benchmark::Seeds, Benchmark::Vertebral2C, Benchmark::BalanceScale] {
+            let (train_data, _) = benchmark.load_quantized(4).unwrap();
+            for depth in [2, 4] {
+                let cart = train(&train_data, &CartConfig::with_max_depth(depth));
+                let aware = train_adc_aware(
+                    &train_data,
+                    &AdcAwareConfig { max_depth: depth, tau: 0.0, ..Default::default() },
+                );
+                let ca = cart.accuracy(&train_data);
+                let aa = aware.accuracy(&train_data);
+                assert!(
+                    (ca - aa).abs() < 0.02,
+                    "{benchmark} depth {depth}: cart {ca} vs aware {aa}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positive_tau_reduces_hardware() {
+        let (train_data, _) = Benchmark::Cardio.load_quantized(4).unwrap();
+        let strict = train_adc_aware(
+            &train_data,
+            &AdcAwareConfig { max_depth: 6, tau: 0.0, ..Default::default() },
+        );
+        let relaxed = train_adc_aware(
+            &train_data,
+            &AdcAwareConfig { max_depth: 6, tau: 0.02, ..Default::default() },
+        );
+        // Hardware proxy: distinct (feature, threshold) pairs = retained
+        // comparators.
+        assert!(
+            relaxed.distinct_pairs().len() <= strict.distinct_pairs().len(),
+            "relaxed {} vs strict {}",
+            relaxed.distinct_pairs().len(),
+            strict.distinct_pairs().len()
+        );
+    }
+
+    #[test]
+    fn aware_training_prefers_low_thresholds() {
+        // Among near-tied candidates the trainer must pick lower C values
+        // on average than an unaware CART would on the same data.
+        let (train_data, _) = Benchmark::WhiteWine.load_quantized(4).unwrap();
+        let cart = train(&train_data, &CartConfig::with_max_depth(5));
+        let aware = train_adc_aware(
+            &train_data,
+            &AdcAwareConfig { max_depth: 5, tau: 0.02, ..Default::default() },
+        );
+        let mean_threshold = |t: &printed_dtree::DecisionTree| {
+            let pairs = t.distinct_pairs();
+            pairs.iter().map(|&(_, c)| c as f64).sum::<f64>() / pairs.len() as f64
+        };
+        assert!(
+            mean_threshold(&aware) <= mean_threshold(&cart) + 0.5,
+            "aware {} vs cart {}",
+            mean_threshold(&aware),
+            mean_threshold(&cart)
+        );
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let (train_data, _) = Benchmark::Vertebral3C.load_quantized(4).unwrap();
+        let cfg = AdcAwareConfig { max_depth: 5, tau: 0.01, ..Default::default() };
+        assert_eq!(train_adc_aware(&train_data, &cfg), train_adc_aware(&train_data, &cfg));
+        let other = AdcAwareConfig { seed: 999, ..cfg };
+        // Different seeds may or may not differ; just ensure it runs.
+        let _ = train_adc_aware(&train_data, &other);
+    }
+
+    #[test]
+    fn aware_forest_shares_comparators_across_trees() {
+        use printed_dtree::forest::{train_forest, ForestConfig};
+        let (train_data, test_data) = Benchmark::Vertebral3C.load_quantized(4).unwrap();
+        let cfg = AdcAwareConfig { max_depth: 3, tau: 0.015, ..Default::default() };
+        let aware = train_adc_aware_forest(&train_data, &cfg, 3);
+        let unaware = train_forest(
+            &train_data,
+            &ForestConfig { trees: 3, max_depth: 3, feature_fraction: 1.0, seed: cfg.seed },
+        );
+        // The shared S_Z/S_M state must keep the union comparator pool at
+        // or below the hardware-blind forest's.
+        assert!(
+            aware.distinct_pairs().len() <= unaware.distinct_pairs().len(),
+            "aware {} vs unaware {}",
+            aware.distinct_pairs().len(),
+            unaware.distinct_pairs().len()
+        );
+        // And the ensemble still classifies.
+        assert!(aware.accuracy(&test_data) > 0.6);
+        assert_eq!(aware.trees().len(), 3);
+    }
+
+    #[test]
+    fn aware_forest_is_deterministic() {
+        let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let cfg = AdcAwareConfig { max_depth: 3, tau: 0.01, ..Default::default() };
+        assert_eq!(
+            train_adc_aware_forest(&train_data, &cfg, 3),
+            train_adc_aware_forest(&train_data, &cfg, 3)
+        );
+    }
+
+    #[test]
+    fn respects_depth_cap() {
+        let (train_data, _) = Benchmark::Pendigits.load_quantized(4).unwrap();
+        let tree = train_adc_aware(
+            &train_data,
+            &AdcAwareConfig { max_depth: 3, tau: 0.005, ..Default::default() },
+        );
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau")]
+    fn rejects_negative_tau() {
+        let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
+        train_adc_aware(
+            &train_data,
+            &AdcAwareConfig { tau: -0.01, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,438 @@
+//! Gini-based CART training over quantized features.
+//!
+//! This is the conventional (ADC-unaware) trainer of the baseline \[2\]:
+//! greedy recursive partitioning minimizing the Gini impurity of each
+//! split, thresholds drawn from the values the feature takes in the data.
+//! The split-candidate enumeration is exposed ([`split_candidates`]) so the
+//! ADC-aware trainer in `printed-codesign` can reuse it verbatim and differ
+//! only in *which* near-optimal candidate it picks.
+//!
+//! ```
+//! use printed_datasets::{Dataset, QuantizedDataset};
+//! use printed_dtree::cart::{train, CartConfig};
+//!
+//! let ds = Dataset::from_rows("xor-ish", 1, vec![
+//!     (vec![0.1], 0), (vec![0.2], 0), (vec![0.8], 1), (vec![0.9], 1),
+//! ])?;
+//! let q = QuantizedDataset::from_dataset(&ds, 4);
+//! let tree = train(&q, &CartConfig::with_max_depth(2));
+//! assert_eq!(tree.accuracy(&q), 1.0);
+//! # Ok::<(), printed_datasets::DatasetError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use printed_datasets::QuantizedDataset;
+
+use crate::tree::{DecisionTree, Node};
+
+/// Configuration for [`train`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CartConfig {
+    /// Maximum tree depth (0 trains a constant classifier).
+    pub max_depth: usize,
+    /// Minimum samples a node must hold to be split further.
+    pub min_samples_split: usize,
+    /// Per-feature threshold stride (a power of two): feature `f` may only
+    /// split at thresholds that are multiples of `strides[f]`. This is
+    /// exactly input-precision scaling — a stride of `2^s` at 4-bit data
+    /// means feature `f` is effectively read at `4 − s` bits. Empty means
+    /// stride 1 everywhere.
+    pub threshold_strides: Vec<u8>,
+}
+
+impl CartConfig {
+    /// Full-precision config with the given depth cap.
+    pub fn with_max_depth(max_depth: usize) -> Self {
+        Self { max_depth, min_samples_split: 2, threshold_strides: Vec::new() }
+    }
+
+    fn stride(&self, feature: usize) -> u8 {
+        self.threshold_strides.get(feature).copied().unwrap_or(1).max(1)
+    }
+}
+
+impl Default for CartConfig {
+    /// Depth 8 (the paper's cap), full precision.
+    fn default() -> Self {
+        Self::with_max_depth(8)
+    }
+}
+
+/// One candidate split with its Gini impurity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitCandidate {
+    /// Feature to test.
+    pub feature: usize,
+    /// Threshold level (`sample[feature] ≥ threshold`).
+    pub threshold: u8,
+    /// Weighted Gini impurity of the partition (lower is better).
+    pub gini: f64,
+}
+
+/// Gini impurity of a class histogram: `1 − Σ (n_c/n)²`.
+///
+/// Returns 0 for an empty histogram (an empty node is vacuously pure).
+pub fn gini_impurity(counts: &[usize]) -> f64 {
+    let n: usize = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+}
+
+/// Enumerates every valid split of the node subset `indices`, with Gini
+/// scores — "all possible combinations between input features and their
+/// corresponding values in the training dataset" (Algorithm 1, line 3).
+///
+/// A split is valid when both sides are non-empty and the threshold lies on
+/// the feature's stride grid. Candidates are returned in ascending
+/// `(feature, threshold)` order.
+///
+/// # Panics
+///
+/// Panics if `indices` is empty or contains an out-of-range index.
+pub fn split_candidates(
+    data: &QuantizedDataset,
+    indices: &[usize],
+    config: &CartConfig,
+) -> Vec<SplitCandidate> {
+    assert!(!indices.is_empty(), "cannot enumerate splits of an empty node");
+    let levels = 1usize << data.bits();
+    let n_classes = data.n_classes();
+    let n = indices.len();
+    let mut out = Vec::new();
+
+    for feature in 0..data.n_features() {
+        let stride = config.stride(feature) as usize;
+        // counts[level][class] over the subset, on the stride-coarsened grid
+        // (levels are floored to the grid, which is what a reduced-precision
+        // ADC would output).
+        let mut counts = vec![vec![0usize; n_classes]; levels];
+        for &i in indices {
+            let level = (data.sample(i)[feature] as usize / stride) * stride;
+            counts[level][data.label(i)] += 1;
+        }
+        // Thresholds are the values the (stride-coarsened) feature actually
+        // takes in the node — "∀ C value in dataset for I_i" in Algorithm 1.
+        // The smallest occupied cell is skipped: `I ≥ min` is trivially true
+        // (and a threshold of 0 needs no comparator at all).
+        let occupied: Vec<usize> = (0..levels)
+            .step_by(stride)
+            .filter(|&t| {
+                (t..(t + stride).min(levels))
+                    .any(|lvl| counts[lvl].iter().any(|&c| c > 0))
+            })
+            .collect();
+        let total: Vec<usize> = (0..n_classes)
+            .map(|c| counts.iter().map(|row| row[c]).sum())
+            .collect();
+        let mut lo = vec![0usize; n_classes];
+        let mut cell_cursor = 0usize;
+        for &t in occupied.iter().skip(1) {
+            // Accumulate everything below threshold t into the low side.
+            while cell_cursor < t {
+                for c in 0..n_classes {
+                    lo[c] += counts[cell_cursor][c];
+                }
+                cell_cursor += 1;
+            }
+            let lo_n: usize = lo.iter().sum();
+            debug_assert!(lo_n > 0 && lo_n < n, "occupied-cell thresholds split non-trivially");
+            let hi: Vec<usize> = (0..n_classes).map(|c| total[c] - lo[c]).collect();
+            let hi_n = n - lo_n;
+            let g = (lo_n as f64 * gini_impurity(&lo) + hi_n as f64 * gini_impurity(&hi))
+                / n as f64;
+            out.push(SplitCandidate { feature, threshold: t as u8, gini: g });
+        }
+    }
+    out
+}
+
+/// Majority class of the subset (ties broken toward the smaller class id).
+fn majority_class(data: &QuantizedDataset, indices: &[usize]) -> usize {
+    let mut counts = vec![0usize; data.n_classes()];
+    for &i in indices {
+        counts[data.label(i)] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(c, &n)| (n, std::cmp::Reverse(c)))
+        .map(|(c, _)| c)
+        .expect("non-empty subset")
+}
+
+fn is_pure(data: &QuantizedDataset, indices: &[usize]) -> bool {
+    let first = data.label(indices[0]);
+    indices.iter().all(|&i| data.label(i) == first)
+}
+
+/// Trains a CART decision tree on `data`.
+///
+/// Deterministic: among equal-Gini candidates the smallest
+/// `(feature, threshold)` wins.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn train(data: &QuantizedDataset, config: &CartConfig) -> DecisionTree {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let all: Vec<usize> = (0..data.len()).collect();
+    let mut nodes = Vec::new();
+    grow(data, config, &all, 0, &mut nodes);
+    DecisionTree::from_nodes(data.bits(), data.n_features(), data.n_classes(), nodes)
+        .expect("trainer builds valid trees")
+}
+
+fn grow(
+    data: &QuantizedDataset,
+    config: &CartConfig,
+    indices: &[usize],
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let make_leaf = |nodes: &mut Vec<Node>| {
+        nodes.push(Node::Leaf { class: majority_class(data, indices) });
+        nodes.len() - 1
+    };
+    if depth >= config.max_depth
+        || indices.len() < config.min_samples_split
+        || is_pure(data, indices)
+    {
+        return make_leaf(nodes);
+    }
+    let candidates = split_candidates(data, indices, config);
+    let Some(best) = candidates.iter().min_by(|a, b| {
+        a.gini
+            .partial_cmp(&b.gini)
+            .expect("finite gini")
+            .then(a.feature.cmp(&b.feature))
+            .then(a.threshold.cmp(&b.threshold))
+    }) else {
+        return make_leaf(nodes);
+    };
+
+    let (lo_idx, hi_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| data.sample(i)[best.feature] < best.threshold);
+    debug_assert!(!lo_idx.is_empty() && !hi_idx.is_empty());
+
+    let me = nodes.len();
+    nodes.push(Node::Split {
+        feature: best.feature,
+        threshold: best.threshold,
+        lo: usize::MAX,
+        hi: usize::MAX,
+    });
+    let lo = grow(data, config, &lo_idx, depth + 1, nodes);
+    let hi = grow(data, config, &hi_idx, depth + 1, nodes);
+    nodes[me] = Node::Split { feature: best.feature, threshold: best.threshold, lo, hi };
+    me
+}
+
+/// A trained model with its selection metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedModel {
+    /// The selected tree.
+    pub tree: DecisionTree,
+    /// The depth cap it was trained with.
+    pub depth: usize,
+    /// Training-set accuracy.
+    pub train_accuracy: f64,
+    /// Test-set accuracy (the selection criterion).
+    pub test_accuracy: f64,
+}
+
+/// Trains at every depth `1..=max_depth` and returns the model at the
+/// *minimum* depth achieving the maximum test accuracy — the paper's
+/// baseline model-selection rule.
+///
+/// # Panics
+///
+/// Panics if either dataset is empty or `max_depth` is 0.
+pub fn train_depth_selected(
+    train_data: &QuantizedDataset,
+    test_data: &QuantizedDataset,
+    max_depth: usize,
+) -> TrainedModel {
+    assert!(max_depth >= 1, "max_depth must be at least 1");
+    let mut best: Option<TrainedModel> = None;
+    for depth in 1..=max_depth {
+        let tree = train(train_data, &CartConfig::with_max_depth(depth));
+        let model = TrainedModel {
+            train_accuracy: tree.accuracy(train_data),
+            test_accuracy: tree.accuracy(test_data),
+            tree,
+            depth,
+        };
+        let better = match &best {
+            None => true,
+            // Strictly better accuracy wins; ties keep the shallower tree.
+            Some(b) => model.test_accuracy > b.test_accuracy + 1e-12,
+        };
+        if better {
+            best = Some(model);
+        }
+    }
+    best.expect("at least one depth trained")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use printed_datasets::{Benchmark, Dataset};
+
+    fn quantized(rows: Vec<(Vec<f64>, usize)>, nf: usize) -> QuantizedDataset {
+        let ds = Dataset::from_rows("t", nf, rows).unwrap();
+        QuantizedDataset::from_dataset(&ds, 4)
+    }
+
+    #[test]
+    fn gini_impurity_basics() {
+        assert_eq!(gini_impurity(&[10, 0]), 0.0);
+        assert!((gini_impurity(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert!((gini_impurity(&[1, 1, 1]) - (1.0 - 3.0 / 9.0)).abs() < 1e-12);
+        assert_eq!(gini_impurity(&[]), 0.0);
+        assert_eq!(gini_impurity(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn candidates_partition_validly() {
+        let q = quantized(
+            vec![
+                (vec![0.1, 0.3], 0),
+                (vec![0.4, 0.9], 1),
+                (vec![0.7, 0.2], 0),
+                (vec![0.95, 0.8], 1),
+            ],
+            2,
+        );
+        let all: Vec<usize> = (0..4).collect();
+        let cands = split_candidates(&q, &all, &CartConfig::default());
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.threshold > 0);
+            let lo = all.iter().filter(|&&i| q.sample(i)[c.feature] < c.threshold).count();
+            assert!(lo > 0 && lo < 4, "both sides non-empty for {c:?}");
+            assert!((0.0..=0.5 + 1e-9).contains(&c.gini));
+        }
+        // Perfect separator on feature 1 at threshold 0.8·16=12..13 region:
+        let perfect = cands.iter().find(|c| c.gini == 0.0);
+        assert!(perfect.is_some(), "a zero-gini split exists: {cands:?}");
+    }
+
+    #[test]
+    fn train_separates_linearly_separable_data() {
+        let q = quantized(
+            vec![
+                (vec![0.05], 0),
+                (vec![0.15], 0),
+                (vec![0.25], 0),
+                (vec![0.75], 1),
+                (vec![0.85], 1),
+                (vec![0.95], 1),
+            ],
+            1,
+        );
+        let tree = train(&q, &CartConfig::with_max_depth(1));
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.accuracy(&q), 1.0);
+    }
+
+    #[test]
+    fn deeper_trees_never_hurt_training_accuracy() {
+        let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let mut prev = 0.0;
+        for depth in 1..=6 {
+            let tree = train(&train_data, &CartConfig::with_max_depth(depth));
+            let acc = tree.accuracy(&train_data);
+            assert!(
+                acc >= prev - 1e-12,
+                "depth {depth}: accuracy {acc} dropped below {prev}"
+            );
+            assert!(tree.depth() <= depth);
+            prev = acc;
+        }
+    }
+
+    #[test]
+    fn max_depth_zero_gives_majority_classifier() {
+        let q = quantized(
+            vec![(vec![0.1], 1), (vec![0.2], 1), (vec![0.9], 0)],
+            1,
+        );
+        let tree = train(&q, &CartConfig::with_max_depth(0));
+        assert_eq!(tree.split_count(), 0);
+        assert_eq!(tree.predict(&[0]), 1);
+    }
+
+    #[test]
+    fn pure_nodes_stop_early() {
+        let q = quantized(vec![(vec![0.1], 0), (vec![0.9], 0)], 1);
+        let tree = train(&q, &CartConfig::with_max_depth(8));
+        assert_eq!(tree.split_count(), 0, "pure data needs no splits");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (train_data, _) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        let a = train(&train_data, &CartConfig::with_max_depth(4));
+        let b = train(&train_data, &CartConfig::with_max_depth(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strides_restrict_thresholds() {
+        let q = quantized(
+            vec![
+                (vec![0.05], 0),
+                (vec![0.15], 0),
+                (vec![0.35], 1),
+                (vec![0.45], 0),
+                (vec![0.75], 1),
+                (vec![0.95], 1),
+            ],
+            1,
+        );
+        let mut config = CartConfig::with_max_depth(8);
+        config.threshold_strides = vec![4]; // feature 0 at 2 effective bits
+        let tree = train(&q, &config);
+        for (_, th) in tree.distinct_pairs() {
+            assert_eq!(th % 4, 0, "threshold {th} must sit on the stride grid");
+        }
+    }
+
+    #[test]
+    fn depth_selection_prefers_smallest_at_max_accuracy() {
+        let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let model = train_depth_selected(&train_data, &test_data, 8);
+        // No shallower depth may reach the same accuracy.
+        for depth in 1..model.depth {
+            let tree = train(&train_data, &CartConfig::with_max_depth(depth));
+            assert!(
+                tree.accuracy(&test_data) < model.test_accuracy - 1e-12,
+                "depth {depth} already achieves the maximum"
+            );
+        }
+        assert!(model.test_accuracy > 0.5);
+    }
+
+    #[test]
+    fn benchmark_accuracy_sanity() {
+        // Not the full calibration test (that lives in the integration
+        // suite) — just that training beats the majority floor on an easy
+        // benchmark.
+        let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let model = train_depth_selected(&train_data, &test_data, 8);
+        assert!(model.test_accuracy > 0.75, "got {}", model.test_accuracy);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn split_candidates_reject_empty_node() {
+        let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
+        split_candidates(&train_data, &[], &CartConfig::default());
+    }
+}

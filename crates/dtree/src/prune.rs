@@ -1,0 +1,295 @@
+//! Cost-complexity pruning (CART's classic post-training simplification).
+//!
+//! The co-design framework shrinks hardware *during* training (Algorithm 1
+//! in `printed-codesign`); pruning shrinks it *after*: collapse subtrees
+//! whose per-node contribution to training accuracy falls below a
+//! complexity price `α`. The two compose — pruning a trained tree removes
+//! comparators and unary literals exactly like a smaller tree would — and
+//! pruning provides the α-sweep that classical ML uses for
+//! accuracy/complexity trade-offs.
+//!
+//! Implementation: weakest-link pruning. For every internal node compute
+//! `g(t) = (R(t) − R(T_t)) / (|leaves(T_t)| − 1)` where `R` counts training
+//! misclassifications; repeatedly collapse the node with the smallest
+//! `g(t)` while `g(t) ≤ α`.
+//!
+//! ```
+//! use printed_datasets::{Dataset, QuantizedDataset};
+//! use printed_dtree::cart::{train, CartConfig};
+//! use printed_dtree::prune::prune;
+//!
+//! let ds = Dataset::from_rows("t", 1, vec![
+//!     (vec![0.1], 0), (vec![0.3], 0), (vec![0.7], 1), (vec![0.9], 1),
+//! ])?;
+//! let q = QuantizedDataset::from_dataset(&ds, 4);
+//! let tree = train(&q, &CartConfig::with_max_depth(4));
+//! // An infinite complexity price collapses everything to the majority.
+//! let stump = prune(&tree, &q, f64::INFINITY);
+//! assert_eq!(stump.split_count(), 0);
+//! # Ok::<(), printed_datasets::DatasetError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use printed_datasets::QuantizedDataset;
+
+use crate::tree::{DecisionTree, Node};
+
+/// Per-node training statistics used by weakest-link pruning.
+#[derive(Debug, Clone)]
+struct NodeStats {
+    /// Majority class among training samples reaching the node.
+    majority: usize,
+    /// Misclassifications if the node were a leaf predicting `majority`.
+    leaf_errors: usize,
+    /// Misclassifications of the subtree as trained.
+    subtree_errors: usize,
+    /// Leaves in the subtree.
+    leaves: usize,
+}
+
+fn collect_stats(
+    tree: &DecisionTree,
+    data: &QuantizedDataset,
+) -> BTreeMap<usize, NodeStats> {
+    // Route every training sample; accumulate class histograms per node.
+    let mut histograms: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (sample, label) in data.iter() {
+        let mut i = 0;
+        loop {
+            histograms
+                .entry(i)
+                .or_insert_with(|| vec![0; data.n_classes()])
+                [label] += 1;
+            match tree.nodes()[i] {
+                Node::Leaf { .. } => break,
+                Node::Split { feature, threshold, lo, hi } => {
+                    i = if sample[feature] >= threshold { hi } else { lo };
+                }
+            }
+        }
+    }
+
+    // Bottom-up accumulation (children have larger indices than parents).
+    let mut stats: BTreeMap<usize, NodeStats> = BTreeMap::new();
+    for i in (0..tree.nodes().len()).rev() {
+        let Some(hist) = histograms.get(&i) else {
+            // Unreached node (no training sample routed here): treat as a
+            // zero-sample leaf.
+            stats.insert(
+                i,
+                NodeStats { majority: 0, leaf_errors: 0, subtree_errors: 0, leaves: 1 },
+            );
+            continue;
+        };
+        let total: usize = hist.iter().sum();
+        let (majority, &majority_count) =
+            hist.iter().enumerate().max_by_key(|&(c, &n)| (n, std::cmp::Reverse(c))).expect("classes");
+        let leaf_errors = total - majority_count;
+        let (subtree_errors, leaves) = match tree.nodes()[i] {
+            Node::Leaf { class } => {
+                let errors = total - hist[class];
+                (errors, 1)
+            }
+            Node::Split { lo, hi, .. } => {
+                let l = &stats[&lo];
+                let h = &stats[&hi];
+                (l.subtree_errors + h.subtree_errors, l.leaves + h.leaves)
+            }
+        };
+        stats.insert(i, NodeStats { majority, leaf_errors, subtree_errors, leaves });
+    }
+    stats
+}
+
+/// Prunes `tree` with complexity price `alpha` (per saved leaf, in units of
+/// training-error *fraction*): a subtree is collapsed when the training
+/// accuracy it buys per extra leaf is at most `alpha`.
+///
+/// `alpha = 0` removes only subtrees that buy nothing at all; larger values
+/// trade accuracy for hardware. Returns a new tree (the input is not
+/// modified).
+///
+/// # Panics
+///
+/// Panics if `data` is empty, narrower than the tree, or `alpha` is NaN.
+pub fn prune(tree: &DecisionTree, data: &QuantizedDataset, alpha: f64) -> DecisionTree {
+    assert!(!alpha.is_nan(), "alpha must not be NaN");
+    assert!(!data.is_empty(), "cannot prune against an empty dataset");
+    assert!(data.n_features() >= tree.n_features(), "dataset narrower than the tree");
+    let n = data.len() as f64;
+
+    // Iteratively collapse weakest links until none qualifies. Collapsing
+    // can change ancestors' g(t), so recompute per round (trees are tiny).
+    let mut current = tree.clone();
+    loop {
+        let stats = collect_stats(&current, data);
+        let mut weakest: Option<(usize, f64)> = None;
+        for (i, node) in current.nodes().iter().enumerate() {
+            if matches!(node, Node::Leaf { .. }) {
+                continue;
+            }
+            let s = &stats[&i];
+            if s.leaves <= 1 {
+                continue;
+            }
+            let g = (s.leaf_errors as f64 - s.subtree_errors as f64)
+                / (n * (s.leaves - 1) as f64);
+            let better = match weakest {
+                None => true,
+                Some((_, best)) => g < best,
+            };
+            if g <= alpha && better {
+                weakest = Some((i, g));
+            }
+        }
+        let Some((target, _)) = weakest else {
+            return current;
+        };
+        current = collapse(&current, target, stats[&target].majority);
+    }
+}
+
+/// Returns `tree` with the subtree at `target` replaced by a leaf.
+fn collapse(tree: &DecisionTree, target: usize, class: usize) -> DecisionTree {
+    // Rebuild reachable nodes with the target turned into a leaf.
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut remap: BTreeMap<usize, usize> = BTreeMap::new();
+
+    fn copy(
+        tree: &DecisionTree,
+        i: usize,
+        target: usize,
+        class: usize,
+        nodes: &mut Vec<Node>,
+        remap: &mut BTreeMap<usize, usize>,
+    ) -> usize {
+        let slot = nodes.len();
+        remap.insert(i, slot);
+        if i == target {
+            nodes.push(Node::Leaf { class });
+            return slot;
+        }
+        match tree.nodes()[i] {
+            Node::Leaf { class } => {
+                nodes.push(Node::Leaf { class });
+            }
+            Node::Split { feature, threshold, lo, hi } => {
+                nodes.push(Node::Leaf { class: 0 }); // placeholder
+                let new_lo = copy(tree, lo, target, class, nodes, remap);
+                let new_hi = copy(tree, hi, target, class, nodes, remap);
+                nodes[slot] = Node::Split { feature, threshold, lo: new_lo, hi: new_hi };
+            }
+        }
+        slot
+    }
+
+    copy(tree, 0, target, class, &mut nodes, &mut remap);
+    DecisionTree::from_nodes(tree.bits(), tree.n_features(), tree.n_classes(), nodes)
+        .expect("collapse preserves validity")
+}
+
+/// The increasing sequence of `alpha` values at which the pruned tree
+/// changes, paired with the tree at each step — the standard
+/// cost-complexity path, useful for sweeping hardware/accuracy trade-offs.
+///
+/// # Panics
+///
+/// As for [`prune`].
+pub fn pruning_path(tree: &DecisionTree, data: &QuantizedDataset) -> Vec<(f64, DecisionTree)> {
+    let mut path = vec![(0.0, prune(tree, data, 0.0))];
+    // Exponential alpha sweep up to "collapse everything".
+    let mut alpha = 1.0 / (data.len() as f64 * 4.0);
+    while path.last().expect("non-empty").1.split_count() > 0 {
+        let pruned = prune(tree, data, alpha);
+        if pruned.split_count() < path.last().expect("non-empty").1.split_count() {
+            path.push((alpha, pruned));
+        }
+        alpha *= 2.0;
+        if alpha > 1.0 {
+            path.push((1.0, prune(tree, data, 1.0)));
+            break;
+        }
+    }
+    path.dedup_by(|a, b| a.1 == b.1);
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cart::{train, CartConfig};
+    use printed_datasets::Benchmark;
+
+    fn setup() -> (DecisionTree, QuantizedDataset) {
+        let (train_data, _) = Benchmark::BalanceScale.load_quantized(4).unwrap();
+        let tree = train(&train_data, &CartConfig::with_max_depth(8));
+        (tree, train_data)
+    }
+
+    #[test]
+    fn alpha_zero_preserves_training_accuracy() {
+        let (tree, data) = setup();
+        let pruned = prune(&tree, &data, 0.0);
+        assert!((pruned.accuracy(&data) - tree.accuracy(&data)).abs() < 1e-12);
+        assert!(pruned.split_count() <= tree.split_count());
+    }
+
+    #[test]
+    fn larger_alpha_means_smaller_trees() {
+        let (tree, data) = setup();
+        let mut last = usize::MAX;
+        for alpha in [0.0, 0.005, 0.02, 0.1, 1.0] {
+            let pruned = prune(&tree, &data, alpha);
+            assert!(pruned.split_count() <= last, "alpha {alpha}");
+            last = pruned.split_count();
+        }
+        assert_eq!(prune(&tree, &data, f64::INFINITY).split_count(), 0);
+    }
+
+    #[test]
+    fn pruned_trees_predict_majority_in_collapsed_regions() {
+        let (tree, data) = setup();
+        let stump = prune(&tree, &data, f64::INFINITY);
+        let mut counts = vec![0usize; data.n_classes()];
+        for (_, label) in data.iter() {
+            counts[label] += 1;
+        }
+        let majority =
+            counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(c, _)| c).unwrap();
+        assert_eq!(stump.predict(data.sample(0)), majority);
+    }
+
+    #[test]
+    fn pruning_path_is_monotone() {
+        let (tree, data) = setup();
+        let path = pruning_path(&tree, &data);
+        assert!(!path.is_empty());
+        for pair in path.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "alphas ascend");
+            assert!(
+                pair[0].1.split_count() > pair[1].1.split_count(),
+                "trees strictly shrink along the path"
+            );
+            assert!(
+                pair[0].1.accuracy(&data) >= pair[1].1.accuracy(&data) - 1e-12,
+                "training accuracy decays monotonically"
+            );
+        }
+        assert_eq!(path.last().unwrap().1.split_count(), 0);
+    }
+
+    #[test]
+    fn pruning_reduces_hardware_pairs() {
+        let (tree, data) = setup();
+        let pruned = prune(&tree, &data, 0.01);
+        assert!(pruned.distinct_pairs().len() <= tree.distinct_pairs().len());
+    }
+
+    #[test]
+    fn pruning_leaf_tree_is_identity() {
+        let (_, data) = setup();
+        let leaf = DecisionTree::constant(4, data.n_features(), data.n_classes(), 1);
+        assert_eq!(prune(&leaf, &data, 0.5), leaf);
+    }
+}

@@ -1,0 +1,239 @@
+//! Combinational equivalence checking between netlists.
+//!
+//! Synthesis transformations in this workspace (two-level vs prefix-shared
+//! vs NAND–NAND forms, QM minimization, pruning) must preserve function;
+//! this module provides the checker the test-suites and users call:
+//! exhaustive for up to [`EXHAUSTIVE_INPUT_LIMIT`] inputs, seeded-random
+//! sampling beyond that (with the counterexample returned either way).
+//!
+//! ```
+//! use printed_logic::equiv::{check_equivalence, Equivalence};
+//! use printed_logic::netlist::Netlist;
+//! use printed_pdk::CellKind;
+//!
+//! let mut a = Netlist::new("a");
+//! let x = a.input("x");
+//! let y = a.input("y");
+//! let o = a.gate(CellKind::Nand2, &[x, y]);
+//! a.output("o", o);
+//!
+//! let mut b = Netlist::new("b");
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let and = b.gate(CellKind::And2, &[x, y]);
+//! let o = b.gate(CellKind::Inv, &[and]);
+//! b.output("o", o);
+//!
+//! assert_eq!(check_equivalence(&a, &b, 0), Equivalence::Equivalent { exhaustive: true });
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::netlist::Netlist;
+
+/// Inputs up to this count are checked exhaustively (2^20 ≈ 1M patterns).
+pub const EXHAUSTIVE_INPUT_LIMIT: usize = 20;
+
+/// Number of random patterns used above the exhaustive limit.
+pub const RANDOM_PATTERNS: usize = 4096;
+
+/// Outcome of [`check_equivalence`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Equivalence {
+    /// No differing pattern found.
+    Equivalent {
+        /// True when the whole input space was enumerated (a proof); false
+        /// when only random patterns were tried (strong evidence).
+        exhaustive: bool,
+    },
+    /// The netlists differ on this input assignment.
+    Counterexample {
+        /// The differing input pattern.
+        inputs: Vec<bool>,
+        /// First netlist's outputs on it.
+        left: Vec<bool>,
+        /// Second netlist's outputs on it.
+        right: Vec<bool>,
+    },
+    /// The netlists are structurally incomparable.
+    Mismatched {
+        /// Human-readable reason (input/output count difference).
+        reason: String,
+    },
+}
+
+impl Equivalence {
+    /// True for either `Equivalent` verdict.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Equivalence::Equivalent { .. })
+    }
+}
+
+/// Checks whether two netlists compute the same outputs on all inputs
+/// (matched positionally: input `i` of `left` pairs with input `i` of
+/// `right`, same for outputs).
+///
+/// `seed` drives the random patterns used beyond the exhaustive limit;
+/// exhaustive runs ignore it.
+pub fn check_equivalence(left: &Netlist, right: &Netlist, seed: u64) -> Equivalence {
+    if left.input_count() != right.input_count() {
+        return Equivalence::Mismatched {
+            reason: format!(
+                "input counts differ: {} vs {}",
+                left.input_count(),
+                right.input_count()
+            ),
+        };
+    }
+    if left.outputs().len() != right.outputs().len() {
+        return Equivalence::Mismatched {
+            reason: format!(
+                "output counts differ: {} vs {}",
+                left.outputs().len(),
+                right.outputs().len()
+            ),
+        };
+    }
+    let n = left.input_count();
+    if n <= EXHAUSTIVE_INPUT_LIMIT {
+        for pattern in 0..(1u64 << n) {
+            let inputs: Vec<bool> = (0..n).map(|k| pattern & (1 << k) != 0).collect();
+            if let Some(cex) = compare_on(left, right, inputs) {
+                return cex;
+            }
+        }
+        Equivalence::Equivalent { exhaustive: true }
+    } else {
+        // xorshift64* — deterministic, dependency-free pattern source.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..RANDOM_PATTERNS {
+            let inputs: Vec<bool> = (0..n).map(|_| next() & 1 != 0).collect();
+            if let Some(cex) = compare_on(left, right, inputs) {
+                return cex;
+            }
+        }
+        Equivalence::Equivalent { exhaustive: false }
+    }
+}
+
+fn compare_on(left: &Netlist, right: &Netlist, inputs: Vec<bool>) -> Option<Equivalence> {
+    let l = left.eval(&inputs);
+    let r = right.eval(&inputs);
+    if l != r {
+        Some(Equivalence::Counterexample { inputs, left: l, right: r })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks;
+    use printed_pdk::CellKind;
+
+    fn xor_two_ways() -> (Netlist, Netlist) {
+        let mut a = Netlist::new("xor-direct");
+        let x = a.input("x");
+        let y = a.input("y");
+        let o = a.gate(CellKind::Xor2, &[x, y]);
+        a.output("o", o);
+
+        let mut b = Netlist::new("xor-sop");
+        let x = b.input("x");
+        let y = b.input("y");
+        let nx = b.gate(CellKind::Inv, &[x]);
+        let ny = b.gate(CellKind::Inv, &[y]);
+        let t1 = b.gate(CellKind::And2, &[x, ny]);
+        let t2 = b.gate(CellKind::And2, &[nx, y]);
+        let o = b.gate(CellKind::Or2, &[t1, t2]);
+        b.output("o", o);
+        (a, b)
+    }
+
+    #[test]
+    fn equivalent_implementations_verify() {
+        let (a, b) = xor_two_ways();
+        assert_eq!(check_equivalence(&a, &b, 0), Equivalence::Equivalent { exhaustive: true });
+        assert!(check_equivalence(&a, &b, 0).is_equivalent());
+    }
+
+    #[test]
+    fn counterexample_is_concrete() {
+        let mut a = Netlist::new("and");
+        let x = a.input("x");
+        let y = a.input("y");
+        let o = a.gate(CellKind::And2, &[x, y]);
+        a.output("o", o);
+        let mut b = Netlist::new("or");
+        let x = b.input("x");
+        let y = b.input("y");
+        let o = b.gate(CellKind::Or2, &[x, y]);
+        b.output("o", o);
+        match check_equivalence(&a, &b, 0) {
+            Equivalence::Counterexample { inputs, left, right } => {
+                // The counterexample must actually differ.
+                assert_eq!(a.eval(&inputs), left);
+                assert_eq!(b.eval(&inputs), right);
+                assert_ne!(left, right);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_shapes_are_reported() {
+        let mut a = Netlist::new("one-in");
+        let x = a.input("x");
+        a.output("o", x);
+        let mut b = Netlist::new("two-in");
+        let x = b.input("x");
+        let _y = b.input("y");
+        b.output("o", x);
+        assert!(matches!(
+            check_equivalence(&a, &b, 0),
+            Equivalence::Mismatched { .. }
+        ));
+    }
+
+    #[test]
+    fn comparator_synthesis_variants_are_equivalent() {
+        // gte_const vs "not (gt_const of c-1 inverted)" style alternative:
+        // I ≥ C ⇔ I > C−1 for C ≥ 1.
+        for c in 1..16u32 {
+            let mut a = Netlist::new("ge");
+            let bus = a.input_bus("i", 4);
+            let o = blocks::gte_const(&mut a, &bus, c);
+            a.output("o", o);
+            let mut b = Netlist::new("gt");
+            let bus = b.input_bus("i", 4);
+            let o = blocks::gt_const(&mut b, &bus, c - 1);
+            b.output("o", o);
+            assert!(
+                check_equivalence(&a, &b, 0).is_equivalent(),
+                "c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_netlists_use_random_sampling() {
+        // 24 inputs: beyond the exhaustive limit; identical netlists verify
+        // non-exhaustively.
+        let build = || {
+            let mut nl = Netlist::new("wide");
+            let bus = nl.input_bus("i", 24);
+            let o = blocks::and_tree(&mut nl, &bus);
+            nl.output("o", o);
+            nl
+        };
+        let verdict = check_equivalence(&build(), &build(), 42);
+        assert_eq!(verdict, Equivalence::Equivalent { exhaustive: false });
+    }
+}

@@ -1,0 +1,379 @@
+//! Exact two-level minimization (Quine–McCluskey).
+//!
+//! Used for small blocks (bespoke comparators, encoders, compact label
+//! functions) where the variable count permits enumerating minterms. For
+//! larger covers use the fixpoint rules in [`crate::sop`], which never
+//! enumerate the domain.
+//!
+//! The cover selection is essential-prime extraction followed by a greedy
+//! set cover (largest coverage first, ties by fewer literals) — the standard
+//! practical compromise; the result is a valid cover of all required
+//! minterms and is exact-minimal in the common small cases exercised by the
+//! tests.
+//!
+//! ```
+//! use printed_logic::qm::minimize;
+//!
+//! // f(x1,x0) with onset {1, 3} = x0 (x0 is variable 0 = LSB of the minterm index)
+//! let sop = minimize(2, &[1, 3], &[]);
+//! assert_eq!(sop.cubes().len(), 1);
+//! assert_eq!(sop.literal_count(), 1);
+//! ```
+
+use std::collections::HashSet;
+
+use crate::sop::{Cube, Sop};
+
+/// An implicant during QM combining: `values` holds the fixed bits, `mask`
+/// marks don't-care positions (1 = dashed out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Implicant {
+    values: u32,
+    mask: u32,
+}
+
+impl Implicant {
+    fn covers(self, minterm: u32) -> bool {
+        (minterm & !self.mask) == (self.values & !self.mask)
+    }
+
+    fn try_combine(self, other: Implicant) -> Option<Implicant> {
+        if self.mask != other.mask {
+            return None;
+        }
+        let diff = (self.values ^ other.values) & !self.mask;
+        if diff.count_ones() == 1 {
+            Some(Implicant { values: self.values & !diff, mask: self.mask | diff })
+        } else {
+            None
+        }
+    }
+
+    fn to_cube(self, num_vars: usize) -> Cube {
+        let literals: Vec<(usize, bool)> = (0..num_vars)
+            .filter(|&v| self.mask & (1 << v) == 0)
+            .map(|v| (v, self.values & (1 << v) != 0))
+            .collect();
+        Cube::from_literals(&literals)
+    }
+}
+
+/// Minimizes the function over `num_vars` variables whose onset is `onset`
+/// and whose don't-care set is `dc` (both as minterm indices, bit `v` of an
+/// index giving variable `v`'s value).
+///
+/// Returns a minimal-cost sum-of-products covering every onset minterm,
+/// possibly using don't-cares.
+///
+/// # Panics
+///
+/// Panics if `num_vars` is 0 or exceeds 20 (the dense enumeration bound),
+/// or if any minterm index is out of range. Duplicate or overlapping
+/// onset/dc minterms are tolerated (dc loses).
+pub fn minimize(num_vars: usize, onset: &[u32], dc: &[u32]) -> Sop {
+    assert!((1..=20).contains(&num_vars), "num_vars must be 1..=20, got {num_vars}");
+    let limit = 1u64 << num_vars;
+    for &m in onset.iter().chain(dc) {
+        assert!((m as u64) < limit, "minterm {m} out of range for {num_vars} variables");
+    }
+    let onset: HashSet<u32> = onset.iter().copied().collect();
+    if onset.is_empty() {
+        return Sop::constant_false(num_vars);
+    }
+    let dc: HashSet<u32> = dc.iter().copied().filter(|m| !onset.contains(m)).collect();
+
+    // --- Prime implicant generation -------------------------------------
+    let mut current: HashSet<Implicant> = onset
+        .iter()
+        .chain(dc.iter())
+        .map(|&m| Implicant { values: m, mask: 0 })
+        .collect();
+    let mut primes: HashSet<Implicant> = HashSet::new();
+
+    while !current.is_empty() {
+        let items: Vec<Implicant> = current.iter().copied().collect();
+        let mut combined: HashSet<Implicant> = HashSet::new();
+        let mut was_combined: HashSet<Implicant> = HashSet::new();
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                if let Some(c) = items[i].try_combine(items[j]) {
+                    combined.insert(c);
+                    was_combined.insert(items[i]);
+                    was_combined.insert(items[j]);
+                }
+            }
+        }
+        for item in items {
+            if !was_combined.contains(&item) {
+                primes.insert(item);
+            }
+        }
+        current = combined;
+    }
+
+    // --- Cover selection --------------------------------------------------
+    let mut primes: Vec<Implicant> = primes.into_iter().collect();
+    primes.sort_by_key(|p| (p.values, p.mask)); // determinism
+    let mut uncovered: HashSet<u32> = onset.clone();
+    let mut chosen: Vec<Implicant> = Vec::new();
+
+    // Essential primes: minterms covered by exactly one prime.
+    loop {
+        let mut essential = None;
+        'search: for &m in &uncovered {
+            let mut covering = None;
+            for (k, p) in primes.iter().enumerate() {
+                if p.covers(m) {
+                    if covering.is_some() {
+                        continue 'search; // covered by ≥2 primes: not essential
+                    }
+                    covering = Some(k);
+                }
+            }
+            if let Some(k) = covering {
+                essential = Some(k);
+                break;
+            }
+        }
+        match essential {
+            Some(k) => {
+                chosen.push(primes[k]);
+                uncovered.retain(|&m| !primes[k].covers(m));
+            }
+            None => break,
+        }
+        if uncovered.is_empty() {
+            break;
+        }
+    }
+
+    // Cover the cyclic remainder. Restrict to primes that still cover
+    // something; use exact branch-and-bound when the instance is small,
+    // greedy otherwise.
+    if !uncovered.is_empty() {
+        let mut remaining: Vec<u32> = uncovered.iter().copied().collect();
+        remaining.sort_unstable();
+        let candidates: Vec<Implicant> = primes
+            .iter()
+            .copied()
+            .filter(|p| remaining.iter().any(|&m| p.covers(m)))
+            .collect();
+        let picked = if candidates.len() <= 26 && remaining.len() <= 26 {
+            exact_cover(&candidates, &remaining)
+        } else {
+            greedy_cover(&candidates, &remaining)
+        };
+        chosen.extend(picked);
+    }
+
+    let mut cubes: Vec<Cube> = chosen.into_iter().map(|p| p.to_cube(num_vars)).collect();
+    cubes.sort();
+    cubes.dedup();
+    Sop::from_cubes(num_vars, cubes)
+}
+
+/// Greedy set cover: most newly-covered minterms first, ties broken by
+/// fewer literals (larger mask), then by value for determinism.
+fn greedy_cover(candidates: &[Implicant], minterms: &[u32]) -> Vec<Implicant> {
+    let mut uncovered: HashSet<u32> = minterms.iter().copied().collect();
+    let mut picked = Vec::new();
+    while !uncovered.is_empty() {
+        let best = candidates
+            .iter()
+            .max_by_key(|p| {
+                let coverage = uncovered.iter().filter(|&&m| p.covers(m)).count();
+                (coverage, p.mask.count_ones(), std::cmp::Reverse(p.values))
+            })
+            .copied()
+            .expect("candidates cover the remainder by construction");
+        assert!(
+            uncovered.iter().any(|&m| best.covers(m)),
+            "greedy cover stalled — prime generation bug"
+        );
+        uncovered.retain(|&m| !best.covers(m));
+        picked.push(best);
+    }
+    picked
+}
+
+/// Exact minimum cover by branch-and-bound over bitmask-encoded coverage.
+/// Cost is lexicographic `(cube count, total fixed literals)`.
+fn exact_cover(candidates: &[Implicant], minterms: &[u32]) -> Vec<Implicant> {
+    assert!(minterms.len() <= 32 && candidates.len() <= 32, "exact cover size bound");
+    let full: u32 = if minterms.len() == 32 { u32::MAX } else { (1u32 << minterms.len()) - 1 };
+    let masks: Vec<u32> = candidates
+        .iter()
+        .map(|p| {
+            minterms
+                .iter()
+                .enumerate()
+                .filter(|&(_, &m)| p.covers(m))
+                .fold(0u32, |acc, (i, _)| acc | (1 << i))
+        })
+        .collect();
+    let greedy = greedy_cover(candidates, minterms);
+    let mut best: Vec<usize> = Vec::new();
+    let mut best_cost = (greedy.len(), usize::MAX);
+
+    fn literals(p: &Implicant, var_bound: u32) -> usize {
+        ((!p.mask) & ((1u64 << 20) - 1) as u32 & var_bound).count_ones() as usize
+    }
+
+    // Depth-first: at each step, pick the lowest uncovered minterm and try
+    // every candidate covering it (standard exact-cover branching).
+    fn dfs(
+        covered: u32,
+        full: u32,
+        chosen: &mut Vec<usize>,
+        masks: &[u32],
+        candidates: &[Implicant],
+        best: &mut Vec<usize>,
+        best_cost: &mut (usize, usize),
+    ) {
+        if covered == full {
+            let lits: usize =
+                chosen.iter().map(|&i| literals(&candidates[i], u32::MAX)).sum();
+            let cost = (chosen.len(), lits);
+            if cost < *best_cost {
+                *best_cost = cost;
+                *best = chosen.clone();
+            }
+            return;
+        }
+        if chosen.len() + 1 > best_cost.0 {
+            return; // cannot beat the incumbent
+        }
+        let next = (!covered & full).trailing_zeros();
+        for (i, &mask) in masks.iter().enumerate() {
+            if mask & (1 << next) != 0 {
+                chosen.push(i);
+                dfs(covered | mask, full, chosen, masks, candidates, best, best_cost);
+                chosen.pop();
+            }
+        }
+    }
+
+    let mut chosen = Vec::new();
+    dfs(0, full, &mut chosen, &masks, candidates, &mut best, &mut best_cost);
+    if best.is_empty() && full != 0 {
+        return greedy;
+    }
+    best.into_iter().map(|i| candidates[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(num_vars: usize, sop: &Sop) -> Vec<bool> {
+        (0..(1u32 << num_vars))
+            .map(|m| {
+                let assignment: Vec<bool> = (0..num_vars).map(|v| m & (1 << v) != 0).collect();
+                sop.eval(&assignment)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_variable_functions() {
+        let x = minimize(1, &[1], &[]);
+        assert_eq!(truth(1, &x), vec![false, true]);
+        assert_eq!(x.literal_count(), 1);
+        let notx = minimize(1, &[0], &[]);
+        assert_eq!(truth(1, &notx), vec![true, false]);
+    }
+
+    #[test]
+    fn classic_textbook_example() {
+        // f = Σm(0,1,2,5,6,7) over 3 vars → minimal: x0'x2' + x0x2 … known
+        // 2-cube solutions of cost 4 literals exist (e.g. a'c' + ac? check)
+        let sop = minimize(3, &[0, 1, 2, 5, 6, 7], &[]);
+        let t = truth(3, &sop);
+        let expect: Vec<bool> =
+            (0..8).map(|m| [0, 1, 2, 5, 6, 7].contains(&m)).collect();
+        assert_eq!(t, expect);
+        assert!(sop.cubes().len() <= 3, "got {:?}", sop.cubes());
+    }
+
+    #[test]
+    fn dont_cares_shrink_cover() {
+        // Onset {1}, dc {3}: x0 alone suffices (covers 1 and 3).
+        let with_dc = minimize(2, &[1], &[3]);
+        assert_eq!(with_dc.literal_count(), 1);
+        // Without dc we need two literals (x0 · x1').
+        let without = minimize(2, &[1], &[]);
+        assert_eq!(without.literal_count(), 2);
+    }
+
+    #[test]
+    fn tautology_collapses_to_universe() {
+        let all: Vec<u32> = (0..8).collect();
+        let sop = minimize(3, &all, &[]);
+        assert_eq!(sop.cubes().len(), 1);
+        assert_eq!(sop.cubes()[0].len(), 0);
+    }
+
+    #[test]
+    fn empty_onset_is_constant_false() {
+        let sop = minimize(4, &[], &[5, 6]);
+        assert!(sop.cubes().is_empty());
+    }
+
+    #[test]
+    fn xor_needs_full_minterms() {
+        // XOR has no combinable adjacent minterms.
+        let sop = minimize(2, &[1, 2], &[]);
+        assert_eq!(sop.cubes().len(), 2);
+        assert_eq!(sop.literal_count(), 4);
+        assert_eq!(truth(2, &sop), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn gte_threshold_functions_are_compact() {
+        // I ≥ C over 4-bit codes: QM must find the alternating-chain
+        // structure; cover stays small for every C.
+        for c in 0..16u32 {
+            let onset: Vec<u32> = (c..16).collect();
+            let sop = minimize(4, &onset, &[]);
+            let t = truth(4, &sop);
+            for v in 0..16u32 {
+                assert_eq!(t[v as usize], v >= c, "v={v}, c={c}");
+            }
+            assert!(sop.cubes().len() <= 4, "c={c}: {:?}", sop.cubes());
+        }
+    }
+
+    #[test]
+    fn random_functions_roundtrip() {
+        // Deterministic pseudo-random onsets: equivalence is the invariant.
+        let mut state = 0x1234_5678u32;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        for trial in 0..25 {
+            let num_vars = 3 + (trial % 4) as usize; // 3..=6
+            let onset: Vec<u32> =
+                (0..(1u32 << num_vars)).filter(|_| next() % 3 == 0).collect();
+            let sop = minimize(num_vars.max(1), &onset, &[]);
+            let t = truth(num_vars, &sop);
+            for m in 0..(1u32 << num_vars) {
+                assert_eq!(t[m as usize], onset.contains(&m), "trial {trial}, m={m}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_minterm() {
+        minimize(2, &[4], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_vars")]
+    fn rejects_zero_vars() {
+        minimize(0, &[], &[]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Design-space exploration walkthrough: what the τ × depth sweep actually
+//! looks like for one benchmark, and how the accuracy-loss constraint moves
+//! the chosen design along the accuracy/power trade-off.
+//!
+//! ```sh
+//! cargo run --release --example design_space [benchmark]
+//! ```
+//!
+//! `benchmark` is any Table I dataset name (default: `cardio`).
+
+use printed_ml::codesign::explore::{explore, ExplorationConfig};
+use printed_ml::datasets::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark: Benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cardio".to_owned())
+        .parse()?;
+    let (train, test) = benchmark.load_quantized(4)?;
+    let config = ExplorationConfig::paper();
+    let sweep = explore(&train, &test, &config);
+
+    println!(
+        "Design space of {benchmark}: accuracy% (power mW) per τ × depth grid point"
+    );
+    println!("reference (ADC-unaware) accuracy: {:.1}%\n", sweep.reference_accuracy * 100.0);
+
+    print!("{:>7}", "depth");
+    for tau in &config.taus {
+        print!(" | τ={tau:<11.3}");
+    }
+    println!();
+    for &depth in &config.depths {
+        print!("{depth:>7}");
+        for &tau in &config.taus {
+            let point = sweep
+                .candidates
+                .iter()
+                .find(|c| c.depth == depth && (c.tau - tau).abs() < 1e-12)
+                .expect("grid point exists");
+            print!(
+                " | {:>5.1} ({:>5.2})",
+                point.test_accuracy * 100.0,
+                point.system.total_power().mw()
+            );
+        }
+        println!();
+    }
+
+    println!("\nConstrained selection:");
+    for loss in [0.0, 0.01, 0.02, 0.05, 0.10] {
+        match sweep.select(loss) {
+            Some(c) => println!(
+                "  ≤{:>4.1}% loss → τ={:<5} depth {}: {:>5.1}% accuracy, {:>6.2} mm², {:>5.2} mW, {} comparators",
+                loss * 100.0,
+                c.tau,
+                c.depth,
+                c.test_accuracy * 100.0,
+                c.system.total_area().mm2(),
+                c.system.total_power().mw(),
+                c.system.comparator_count()
+            ),
+            None => println!("  ≤{:>4.1}% loss → no design meets the constraint", loss * 100.0),
+        }
+    }
+
+    // The Pareto frontier over (accuracy, power).
+    println!("\nPareto-optimal designs (accuracy vs power):");
+    for c in sweep.pareto() {
+        println!(
+            "  {:>5.1}% at {:>5.2} mW (τ={}, depth {})",
+            c.test_accuracy * 100.0,
+            c.system.total_power().mw(),
+            c.tau,
+            c.depth
+        );
+    }
+    Ok(())
+}

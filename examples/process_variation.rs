@@ -1,0 +1,63 @@
+//! Process-variation study: how robust is a co-designed printed classifier
+//! to resistor mismatch and comparator offset, and does the ADC-aware
+//! trainer's preference for low-order taps help?
+//!
+//! Extends the paper (which reports nominal numbers only) using the
+//! Monte-Carlo mismatch engine: each trial perturbs the shared reference
+//! ladder and every retained comparator, then re-scores the classifier on
+//! analog test inputs.
+//!
+//! ```sh
+//! cargo run --release --example process_variation
+//! ```
+
+use printed_ml::analog::MismatchModel;
+use printed_ml::codesign::mismatch::mismatch_accuracy;
+use printed_ml::codesign::train::{train_adc_aware, AdcAwareConfig};
+use printed_ml::datasets::Benchmark;
+use printed_ml::dtree::cart::train_depth_selected;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = Benchmark::Vertebral3C;
+    let (train, test) = benchmark.load_quantized(4)?;
+    let (_, test_analog) = benchmark.load_split()?;
+
+    // Two models of the same depth: ADC-unaware vs ADC-aware (τ = 0.02).
+    let unaware = train_depth_selected(&train, &test, 6);
+    let aware = train_adc_aware(
+        &train,
+        &AdcAwareConfig { max_depth: unaware.depth, tau: 0.02, ..Default::default() },
+    );
+    println!(
+        "{benchmark}: unaware {:.1}% vs aware {:.1}% nominal test accuracy",
+        unaware.test_accuracy * 100.0,
+        aware.accuracy(&test) * 100.0
+    );
+
+    for (label, model) in [("typical", MismatchModel::typical_printed()),
+        ("pessimistic", MismatchModel::pessimistic_printed())]
+    {
+        println!(
+            "\n{label} printing variation ({}% resistor σ, {} mV offset σ), 200 trials:",
+            model.resistor_sigma_rel * 100.0,
+            model.comparator_offset_sigma_v * 1000.0
+        );
+        for (name, tree) in [("unaware", &unaware.tree), ("aware", &aware)] {
+            let report = mismatch_accuracy(tree, &test_analog, &model, 200, 0x1234);
+            println!(
+                "  {name:<8} nominal {:>5.1}% → mean {:>5.1}%  (min {:>5.1}%, max {:>5.1}%)",
+                report.nominal * 100.0,
+                report.mean * 100.0,
+                report.min * 100.0,
+                report.max * 100.0
+            );
+        }
+    }
+
+    println!(
+        "\nThe mismatch engine solves the perturbed reference ladder with the MNA\n\
+         DC solver each trial, so ladder-pruning and tap-position choices are\n\
+         reflected physically, not just statistically."
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: train a printed decision-tree classifier, co-design its
+//! hardware, and check whether it can run from a printed energy harvester.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use printed_ml::codesign::explore::{explore, ExplorationConfig};
+use printed_ml::codesign::synthesize_unary;
+use printed_ml::datasets::Benchmark;
+use printed_ml::dtree::cart::train_depth_selected;
+use printed_ml::dtree::synthesize_baseline;
+use printed_ml::pdk::HARVESTER_BUDGET;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Load a benchmark with the paper's preprocessing: normalize to
+    //    [0, 1], split 70/30, quantize to 4 bits.
+    let (train, test) = Benchmark::Seeds.load_quantized(4)?;
+    println!("Seeds: {} train / {} test samples, {} features", train.len(), test.len(), train.n_features());
+
+    // 2. Train the conventional (ADC-unaware) model: minimum depth ≤ 8
+    //    achieving maximum test accuracy.
+    let model = train_depth_selected(&train, &test, 8);
+    println!(
+        "\nBaseline model: depth {}, {} splits, {:.1}% test accuracy",
+        model.depth,
+        model.tree.split_count(),
+        model.test_accuracy * 100.0
+    );
+
+    // 3. Price the state-of-the-art baseline: bespoke comparator tree +
+    //    one conventional 4-bit flash ADC per used input.
+    let baseline = synthesize_baseline(&model.tree);
+    println!(
+        "Baseline hardware: {:.1} total, {:.2} total ({:.0}% of power in the ADCs)",
+        baseline.total_area(),
+        baseline.total_power(),
+        100.0 * baseline.adc.power / baseline.total_power()
+    );
+
+    // 4. Same model, co-designed hardware: parallel unary logic + bespoke
+    //    ADCs (only the comparators the tree actually reads).
+    let unary = synthesize_unary(&model.tree);
+    let r = unary.reduction_vs(&baseline);
+    println!(
+        "\nUnary + bespoke ADCs: {:.1}, {:.2}  ({:.1}x area, {:.1}x power better)",
+        unary.total_area(),
+        unary.total_power(),
+        r.area_factor,
+        r.power_factor
+    );
+
+    // 5. Full co-design: ADC-aware training sweep, best design within 1%
+    //    accuracy loss.
+    let sweep = explore(&train, &test, &ExplorationConfig::paper());
+    let chosen = sweep.select(0.01).expect("a 1%-loss design exists");
+    println!(
+        "\nADC-aware co-design (τ = {}, depth {}): {:.1}% accuracy,",
+        chosen.tau,
+        chosen.depth,
+        chosen.test_accuracy * 100.0
+    );
+    println!(
+        "{} retained comparators over {} inputs → {:.1}, {:.2}",
+        chosen.system.comparator_count(),
+        chosen.system.input_count(),
+        chosen.system.total_area(),
+        chosen.system.total_power()
+    );
+    println!(
+        "\nSelf-powered from a printed harvester (< {HARVESTER_BUDGET})? {}",
+        if chosen.system.is_self_powered() { "YES" } else { "no" }
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Technology what-if: does the co-design survive a move from inorganic
+//! EGFET to a cheaper-but-leakier organic printed process?
+//!
+//! Re-synthesizes the same trained classifiers under both standard-cell
+//! libraries and compares totals and timing slack. The analog front-end is
+//! kept on the EGFET model in both runs, isolating the digital technology
+//! variable.
+//!
+//! ```sh
+//! cargo run --release --example technology_study
+//! ```
+
+use printed_ml::codesign::system::synthesize_unary_with;
+use printed_ml::datasets::Benchmark;
+use printed_ml::dtree::cart::train_depth_selected;
+use printed_ml::logic::report::AnalysisConfig;
+use printed_ml::pdk::{AnalogModel, CellLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analog = AnalogModel::egfet();
+    let analysis = AnalysisConfig::printed_20hz();
+    let egfet = CellLibrary::egfet();
+    let organic = CellLibrary::organic();
+
+    println!("Digital technology study: EGFET vs organic printed logic");
+    println!("(same trained models and analog front-end; 20 Hz, 50 ms cycle budget)\n");
+    println!(
+        "{:<14} | {:>22} | {:>22} | {:>14}",
+        "Dataset", "EGFET mm² / µW / ms", "organic mm² / µW / ms", "organic timing"
+    );
+    println!("{}", "-".repeat(84));
+
+    for benchmark in [
+        Benchmark::Seeds,
+        Benchmark::Vertebral2C,
+        Benchmark::Vertebral3C,
+        Benchmark::BalanceScale,
+        Benchmark::Cardio,
+    ] {
+        let (train, test) = benchmark.load_quantized(4)?;
+        let model = train_depth_selected(&train, &test, 8);
+        let a = synthesize_unary_with(&model.tree, &egfet, &analog, &analysis);
+        let b = synthesize_unary_with(&model.tree, &organic, &analog, &analysis);
+        println!(
+            "{:<14} | {:>6.2} {:>7.0} {:>6.1} | {:>6.2} {:>7.0} {:>6.1} | {:>14}",
+            benchmark.to_string(),
+            a.total_area().mm2(),
+            a.total_power().uw(),
+            a.digital.critical_path.ms(),
+            b.total_area().mm2(),
+            b.total_power().uw(),
+            b.digital.critical_path.ms(),
+            if b.digital.meets_timing(50.0) { "meets 20 Hz" } else { "FAILS 20 Hz" },
+        );
+    }
+
+    println!(
+        "\nTakeaway: the co-design's area/power conclusions carry over (the ADC bank\n\
+         dominates either way), but at ~6x the gate delay most classifiers blow the\n\
+         50 ms cycle — an organic deployment must either cap the tree depth harder\n\
+         or run below 20 Hz (the target applications tolerate a few hertz)."
+    );
+    Ok(())
+}

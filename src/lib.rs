@@ -1,0 +1,22 @@
+//! # printed-ml
+//!
+//! Umbrella crate for the reproduction of *On-Sensor Printed Machine
+//! Learning Classification via Bespoke ADC and Decision Tree Co-Design*
+//! (DATE 2024). Re-exports every workspace crate under one roof so examples
+//! and integration tests can `use printed_ml::…` a single dependency.
+//!
+//! ```
+//! use printed_ml::pdk::HARVESTER_BUDGET;
+//! assert_eq!(HARVESTER_BUDGET.mw(), 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use printed_adc as adc;
+pub use printed_analog as analog;
+pub use printed_codesign as codesign;
+pub use printed_datasets as datasets;
+pub use printed_dtree as dtree;
+pub use printed_logic as logic;
+pub use printed_pdk as pdk;

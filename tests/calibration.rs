@@ -1,0 +1,113 @@
+//! Calibration tests: the synthetic benchmarks and the PDK cost model must
+//! stay anchored to the paper's published Table I, or every downstream
+//! experiment silently drifts. These tests are the tripwire.
+
+use printed_ml::adc::ConventionalAdc;
+use printed_ml::datasets::Benchmark;
+use printed_ml::dtree::cart::train_depth_selected;
+use printed_ml::dtree::synthesize_baseline;
+use printed_ml::pdk::{AnalogModel, HARVESTER_BUDGET};
+
+/// Accuracy of every synthetic stand-in lands within a few points of the
+/// paper's Table I accuracy.
+#[test]
+fn benchmark_accuracies_match_table1() {
+    for benchmark in Benchmark::ALL {
+        let target = benchmark.spec().target_accuracy;
+        let (train, test) = benchmark.load_quantized(4).expect("built-ins load");
+        let model = train_depth_selected(&train, &test, 8);
+        let acc = model.test_accuracy * 100.0;
+        assert!(
+            (acc - target).abs() < 4.0,
+            "{benchmark}: measured {acc:.1}% vs paper {target:.1}%"
+        );
+    }
+}
+
+/// The paper's central motivation: every baseline classifier draws more
+/// power than a printed energy harvester can supply.
+#[test]
+fn no_baseline_is_self_powered() {
+    for benchmark in Benchmark::ALL {
+        let (train, test) = benchmark.load_quantized(4).expect("built-ins load");
+        let model = train_depth_selected(&train, &test, 8);
+        let design = synthesize_baseline(&model.tree);
+        assert!(
+            design.total_power() > HARVESTER_BUDGET,
+            "{benchmark}: baseline at {} should exceed {}",
+            design.total_power(),
+            HARVESTER_BUDGET
+        );
+    }
+}
+
+/// ADCs dominate the baseline systems (paper: ~40% of area, ~74% of power
+/// on average; our more aggressively shared digital logic pushes the ADC
+/// share even higher).
+#[test]
+fn adcs_dominate_baseline_cost() {
+    let mut area_share = 0.0;
+    let mut power_share = 0.0;
+    for benchmark in Benchmark::ALL {
+        let (train, test) = benchmark.load_quantized(4).expect("built-ins load");
+        let model = train_depth_selected(&train, &test, 8);
+        let design = synthesize_baseline(&model.tree);
+        area_share += design.adc.area / design.total_area() / 8.0;
+        power_share += design.adc.power / design.total_power() / 8.0;
+    }
+    assert!(area_share > 0.40, "ADC area share {area_share:.2}");
+    assert!(power_share > 0.70, "ADC power share {power_share:.2}");
+}
+
+/// Table I's ADC-bank anchors: the affine shared-ladder model reproduces
+/// the published per-benchmark ADC area and power within a tight band.
+#[test]
+fn adc_bank_costs_match_table1_anchors() {
+    let anchors = [
+        (11usize, 17.3, 5.4),
+        (19, 22.3, 9.1),
+        (21, 23.5, 10.0),
+        (4, 12.9, 2.2),
+        (5, 13.6, 2.5),
+        (16, 20.4, 7.7),
+    ];
+    let adc = ConventionalAdc::new(4);
+    let model = AnalogModel::egfet();
+    for (inputs, paper_area, paper_power) in anchors {
+        let cost = adc.bank_cost(inputs, &model);
+        assert!(
+            (cost.area.mm2() - paper_area).abs() / paper_area < 0.05,
+            "{inputs} inputs: area {} vs {paper_area}",
+            cost.area
+        );
+        assert!(
+            (cost.power.mw() - paper_power).abs() / paper_power < 0.12,
+            "{inputs} inputs: power {} vs {paper_power}",
+            cost.power
+        );
+    }
+}
+
+/// Fig. 3's bespoke-ADC power span: 4-U_D ADCs range 47–205 µW with a
+/// 4.4× ratio between the lowest and highest tap windows.
+#[test]
+fn bespoke_adc_power_span_matches_fig3() {
+    let model = AnalogModel::egfet();
+    let low = model.comparator_bank_power(&[1, 2, 3, 4]);
+    let high = model.comparator_bank_power(&[12, 13, 14, 15]);
+    assert!((low.uw() - 47.0).abs() < 1.0);
+    assert!((high.uw() - 205.0).abs() < 1.0);
+    assert!((high / low - 4.4).abs() < 0.1);
+}
+
+/// Dataset shapes are exactly the UCI originals'.
+#[test]
+fn benchmark_shapes_match_uci() {
+    for benchmark in Benchmark::ALL {
+        let spec = benchmark.spec();
+        let ds = benchmark.load();
+        assert_eq!(ds.len(), spec.n_samples, "{benchmark}");
+        assert_eq!(ds.n_features(), spec.n_features, "{benchmark}");
+        assert_eq!(ds.n_classes(), spec.n_classes, "{benchmark}");
+    }
+}

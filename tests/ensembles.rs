@@ -1,0 +1,103 @@
+//! Cross-crate integration tests for tree ensembles: training, the
+//! hardware voter, the shared ADC bank, and the ADC-aware ensemble trainer.
+
+use printed_ml::codesign::ensemble::{
+    encode_ensemble_sample, ensemble_adc_bank, ensemble_netlist, synthesize_ensemble,
+};
+use printed_ml::codesign::train::{train_adc_aware_forest, AdcAwareConfig};
+use printed_ml::datasets::Benchmark;
+use printed_ml::dtree::forest::{train_forest, ForestConfig};
+use printed_ml::dtree::metrics::evaluate;
+use printed_ml::pdk::AnalogModel;
+
+/// The synthesized voter implements exactly the model's vote-then-fallback
+/// rule, across benchmarks and ensemble sizes.
+#[test]
+fn voter_circuit_matches_model_on_benchmarks() {
+    for benchmark in [Benchmark::Vertebral3C, Benchmark::BalanceScale] {
+        let (train, test) = benchmark.load_quantized(4).expect("built-ins load");
+        for trees in [3, 5] {
+            let forest = train_forest(
+                &train,
+                &ForestConfig { trees, max_depth: 3, feature_fraction: 0.9, seed: 17 },
+            );
+            let netlist = ensemble_netlist(&forest);
+            for (sample, _) in test.iter() {
+                let outs = netlist.eval(&encode_ensemble_sample(&forest, sample));
+                let hot: Vec<usize> =
+                    outs.iter().enumerate().filter(|(_, &o)| o).map(|(c, _)| c).collect();
+                assert_eq!(
+                    hot,
+                    vec![forest.predict(sample)],
+                    "{benchmark}, {trees} trees, {sample:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The ensemble's shared ADC bank never exceeds the sum of per-tree banks
+/// and prices exactly the union of literals.
+#[test]
+fn shared_bank_amortizes_comparators() {
+    let analog = AnalogModel::egfet();
+    let (train, _) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+    let forest = train_forest(
+        &train,
+        &ForestConfig { trees: 5, max_depth: 3, feature_fraction: 1.0, seed: 4 },
+    );
+    let shared = ensemble_adc_bank(&forest).cost(&analog);
+    let sum_power: f64 = forest
+        .trees()
+        .iter()
+        .map(|t| {
+            printed_ml::codesign::UnaryClassifier::from_tree(t)
+                .adc_bank()
+                .cost(&analog)
+                .power
+                .uw()
+        })
+        .sum();
+    assert!(shared.power.uw() < sum_power, "{} vs {}", shared.power.uw(), sum_power);
+    assert_eq!(shared.comparators, forest.distinct_pairs().len());
+}
+
+/// The ADC-aware ensemble trainer produces smaller comparator pools than
+/// the hardware-blind forest at comparable accuracy, and the resulting
+/// system is valid hardware.
+#[test]
+fn aware_forest_synthesizes_and_scores() {
+    let (train, test) = Benchmark::Vertebral3C.load_quantized(4).expect("built-ins load");
+    let aware = train_adc_aware_forest(
+        &train,
+        &AdcAwareConfig { max_depth: 3, tau: 0.01, ..Default::default() },
+        3,
+    );
+    let system = synthesize_ensemble(&aware);
+    assert!(system.digital.meets_timing(50.0));
+    assert_eq!(system.tree_count, 3);
+    let m = evaluate(&aware, &test);
+    assert!(m.accuracy > 0.6, "accuracy {}", m.accuracy);
+    assert!(m.balanced_accuracy > 0.4);
+    // Voter equivalence for the aware ensemble too.
+    let netlist = ensemble_netlist(&aware);
+    for (sample, _) in test.iter().take(40) {
+        let outs = netlist.eval(&encode_ensemble_sample(&aware, sample));
+        let hot: Vec<usize> =
+            outs.iter().enumerate().filter(|(_, &o)| o).map(|(c, _)| c).collect();
+        assert_eq!(hot, vec![aware.predict(sample)]);
+    }
+}
+
+/// Ensembles of one tree degenerate gracefully to the single-tree system.
+#[test]
+fn single_tree_ensemble_equals_tree() {
+    let (train, test) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+    let forest = train_forest(
+        &train,
+        &ForestConfig { trees: 1, max_depth: 4, feature_fraction: 1.0, seed: 0 },
+    );
+    for (sample, _) in test.iter() {
+        assert_eq!(forest.predict(sample), forest.trees()[0].predict(sample));
+    }
+}

@@ -1,0 +1,126 @@
+//! Serde round-trip tests: every data-bearing public type serializes to
+//! JSON and back without loss, so experiment results, trained models, and
+//! synthesized designs can be archived and exchanged.
+
+use printed_ml::adc::{AdcCost, BespokeAdcBank, UnaryCode};
+use printed_ml::analog::{Comparator, MismatchModel};
+use printed_ml::codesign::explore::{explore, ExplorationConfig};
+use printed_ml::codesign::UnaryClassifier;
+use printed_ml::datasets::{Benchmark, GaussianSpec, QuantizedDataset};
+use printed_ml::dtree::cart::{train, CartConfig};
+use printed_ml::dtree::DecisionTree;
+use printed_ml::logic::report::DesignReport;
+use printed_ml::pdk::{AnalogModel, Area, CellLibrary, Power};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn units_roundtrip() {
+    let a = Area::from_mm2(11.02);
+    let p = Power::from_uw(830.5);
+    assert_eq!(roundtrip(&a), a);
+    assert_eq!(roundtrip(&p), p);
+}
+
+#[test]
+fn pdk_models_roundtrip() {
+    let analog = AnalogModel::egfet();
+    assert_eq!(roundtrip(&analog), analog);
+    let lib = CellLibrary::egfet();
+    let back = roundtrip(&lib);
+    // The structural-hash cache is skipped in serde; compare content.
+    for (kind, params) in lib.iter() {
+        assert_eq!(back.cell(kind), params, "{kind}");
+    }
+}
+
+#[test]
+fn dataset_pipeline_roundtrips() {
+    let ds = GaussianSpec {
+        name: "rt".into(),
+        n_samples: 40,
+        n_features: 3,
+        n_informative: 2,
+        n_classes: 2,
+        class_weights: vec![],
+        separation: 0.5,
+        sigma: 0.1,
+        label_noise: 0.0,
+        axis_balanced: false,
+        seed: 5,
+    };
+    assert_eq!(roundtrip(&ds), ds);
+    let data = QuantizedDataset::from_dataset(&ds.generate().normalized(), 4);
+    assert_eq!(roundtrip(&data), data);
+    assert_eq!(roundtrip(&Benchmark::Seeds), Benchmark::Seeds);
+}
+
+#[test]
+fn trained_tree_roundtrips_and_predicts_identically() {
+    let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+    let tree = train(&train_data, &CartConfig::with_max_depth(5));
+    let back: DecisionTree = roundtrip(&tree);
+    assert_eq!(back, tree);
+    for (sample, _) in test_data.iter() {
+        assert_eq!(back.predict(sample), tree.predict(sample));
+    }
+}
+
+#[test]
+fn unary_classifier_roundtrips_functionally() {
+    let (train_data, test_data) = Benchmark::Vertebral2C.load_quantized(4).expect("built-ins load");
+    let tree = train(&train_data, &CartConfig::with_max_depth(4));
+    let unary = UnaryClassifier::from_tree(&tree);
+    let back: UnaryClassifier = roundtrip(&unary);
+    assert_eq!(back, unary);
+    for (sample, _) in test_data.iter() {
+        assert_eq!(back.predict(sample), unary.predict(sample));
+    }
+}
+
+#[test]
+fn adc_and_analog_types_roundtrip() {
+    let mut bank = BespokeAdcBank::new(4);
+    bank.require(0, 3).expect("valid");
+    bank.require(2, 11).expect("valid");
+    assert_eq!(roundtrip(&bank), bank);
+    let cost: AdcCost = bank.cost(&AnalogModel::egfet());
+    assert_eq!(roundtrip(&cost), cost);
+    let code = UnaryCode::from_level(11, 4);
+    assert_eq!(roundtrip(&code), code);
+    let cmp = Comparator::with_offset(0.015);
+    assert_eq!(roundtrip(&cmp), cmp);
+    let mm = MismatchModel::pessimistic_printed();
+    assert_eq!(roundtrip(&mm), mm);
+}
+
+#[test]
+fn exploration_results_export_as_json() {
+    let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+    let sweep = explore(&train_data, &test_data, &ExplorationConfig::quick());
+    let json = serde_json::to_string_pretty(&sweep).expect("serializes");
+    assert!(json.contains("reference_accuracy"));
+    let back: printed_ml::codesign::Exploration = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.candidates.len(), sweep.candidates.len());
+    for (a, b) in back.candidates.iter().zip(&sweep.candidates) {
+        assert_eq!(a.test_accuracy, b.test_accuracy);
+        assert_eq!(a.system.adc, b.system.adc);
+    }
+}
+
+#[test]
+fn design_report_roundtrips() {
+    let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+    let tree = train(&train_data, &CartConfig::with_max_depth(4));
+    let _ = test_data;
+    let design = printed_ml::dtree::synthesize_baseline(&tree);
+    let report: DesignReport = design.digital.clone();
+    assert_eq!(roundtrip(&report), report);
+    assert_eq!(roundtrip(&design), design);
+}
