@@ -50,7 +50,10 @@ impl BespokeAdcBank {
     /// Panics if `bits` is outside `1..=8`.
     pub fn new(bits: u32) -> Self {
         assert!((1..=8).contains(&bits), "bits must be 1..=8, got {bits}");
-        Self { bits, taps: BTreeMap::new() }
+        Self {
+            bits,
+            taps: BTreeMap::new(),
+        }
     }
 
     /// Resolution in bits.
@@ -99,12 +102,17 @@ impl BespokeAdcBank {
     /// The retained taps of `feature`, ascending (empty if the feature
     /// needs no ADC).
     pub fn taps_of(&self, feature: usize) -> Vec<usize> {
-        self.taps.get(&feature).map(|t| t.iter().copied().collect()).unwrap_or_default()
+        self.taps
+            .get(&feature)
+            .map(|t| t.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Iterates `(feature, taps)` pairs, ascending by feature.
     pub fn iter(&self) -> impl Iterator<Item = (usize, Vec<usize>)> + '_ {
-        self.taps.iter().map(|(&f, taps)| (f, taps.iter().copied().collect()))
+        self.taps
+            .iter()
+            .map(|(&f, taps)| (f, taps.iter().copied().collect()))
     }
 
     /// Prices the bank: shared pruned ladder (sized by distinct taps) plus
@@ -146,7 +154,10 @@ impl BespokeAdcBank {
     pub fn convert(&self, feature: usize, vin: f64, model: &AnalogModel) -> Vec<(usize, bool)> {
         assert!(!vin.is_nan(), "cannot convert NaN");
         let taps = self.taps_of(feature);
-        assert!(!taps.is_empty(), "feature {feature} has no retained comparators");
+        assert!(
+            !taps.is_empty(),
+            "feature {feature} has no retained comparators"
+        );
         let ladder = Ladder::pruned(
             self.bits,
             &taps,
@@ -157,7 +168,9 @@ impl BespokeAdcBank {
         let voltages = ladder.tap_voltages().expect("pruned ladder solves");
         // At-or-above boundary convention (see `ConventionalAdc::convert`),
         // with an epsilon absorbing MNA rounding at exact tap voltages.
-        taps.iter().map(|&t| (t, vin >= voltages[&t] - 1e-12)).collect()
+        taps.iter()
+            .map(|&t| (t, vin >= voltages[&t] - 1e-12))
+            .collect()
     }
 }
 
@@ -238,7 +251,11 @@ mod tests {
         for t in [13, 14, 15] {
             b.require(0, t).unwrap();
         }
-        assert_eq!(a.cost(&m).area, b.cost(&m).area, "paper: area is position-independent");
+        assert_eq!(
+            a.cost(&m).area,
+            b.cost(&m).area,
+            "paper: area is position-independent"
+        );
         assert!(a.cost(&m).power < b.cost(&m).power, "…but power is not");
     }
 

@@ -81,8 +81,7 @@ impl ConventionalAdc {
     /// Panics if the ladder solve fails (impossible for the ladders built
     /// here).
     pub fn convert_electrical(&self, vin: f64, model: &AnalogModel) -> u8 {
-        let ladder =
-            Ladder::full(self.bits, model.supply.volts(), model.unit_resistor.ohms());
+        let ladder = Ladder::full(self.bits, model.supply.volts(), model.unit_resistor.ohms());
         let taps = ladder.tap_voltages().expect("full ladder solves");
         // Same at-or-above boundary convention as `convert`, with a small
         // epsilon absorbing MNA rounding at exact tap voltages.
@@ -188,7 +187,11 @@ mod tests {
         let m = model();
         for i in 0..=100 {
             let vin = i as f64 / 100.0;
-            assert_eq!(adc.convert(vin), adc.convert_electrical(vin, &m), "vin={vin}");
+            assert_eq!(
+                adc.convert(vin),
+                adc.convert_electrical(vin, &m),
+                "vin={vin}"
+            );
         }
     }
 
@@ -269,7 +272,10 @@ mod tests {
 
     #[test]
     fn zero_inputs_cost_nothing() {
-        assert_eq!(ConventionalAdc::new(4).bank_cost(0, &model()), AdcCost::zero());
+        assert_eq!(
+            ConventionalAdc::new(4).bank_cost(0, &model()),
+            AdcCost::zero()
+        );
     }
 
     #[test]

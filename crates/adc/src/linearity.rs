@@ -66,7 +66,13 @@ pub fn linearity_of_thresholds(thresholds: &[f64], bits: u32) -> LinearityReport
     let max_abs_dnl = dnl.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
     let max_abs_inl = inl.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
     let monotonic = thresholds.windows(2).all(|w| w[1] > w[0]);
-    LinearityReport { dnl, inl, max_abs_dnl, max_abs_inl, monotonic }
+    LinearityReport {
+        dnl,
+        inl,
+        max_abs_dnl,
+        max_abs_inl,
+        monotonic,
+    }
 }
 
 /// Aggregated Monte-Carlo linearity of a full `bits`-bit printed flash
@@ -110,9 +116,14 @@ pub fn mc_linearity<R: Rng + ?Sized>(
     let mut worst_inl = 0.0_f64;
     let mut monotonic = 0usize;
     for _ in 0..trials {
-        let sample = mismatch.sample(&ladder, rng).expect("perturbed ladder solves");
-        let thresholds: Vec<f64> =
-            sample.taps().iter().map(|t| t.effective_threshold()).collect();
+        let sample = mismatch
+            .sample(&ladder, rng)
+            .expect("perturbed ladder solves");
+        let thresholds: Vec<f64> = sample
+            .taps()
+            .iter()
+            .map(|t| t.effective_threshold())
+            .collect();
         let report = linearity_of_thresholds(&thresholds, analog.resolution_bits);
         sum_dnl += report.max_abs_dnl;
         sum_inl += report.max_abs_inl;

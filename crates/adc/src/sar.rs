@@ -102,19 +102,15 @@ impl SarAdc {
     }
 
     /// [`SarAdc::standalone_cost`] with explicit sequential-cell costs.
-    pub fn standalone_cost_with(
-        &self,
-        model: &AnalogModel,
-        seq: &SequentialParams,
-    ) -> AdcCost {
+    pub fn standalone_cost_with(&self, model: &AnalogModel, seq: &SequentialParams) -> AdcCost {
         let bits = self.bits as usize;
         // Comparator at mid-scale reference.
         let mid_tap = (1usize << (self.bits - 1)).min(model.tap_count());
         let comparator_power = model.comparator_power(mid_tap);
         let comparator_area = model.comparator_area;
         // DAC: binary-weighted array totals 2^bits units, one switch per bit.
-        let dac_area = model.cap_unit_area * (1usize << self.bits) as f64
-            + model.switch_area * bits as f64;
+        let dac_area =
+            model.cap_unit_area * (1usize << self.bits) as f64 + model.switch_area * bits as f64;
         let dac_power = model.switch_power * bits as f64;
         // SAR register + sequencer + ~4 gates of control per bit, priced as
         // flip-flop-equivalents for the gates' two pull-up stages.

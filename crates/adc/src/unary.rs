@@ -76,7 +76,10 @@ impl UnaryCode {
             let position = digits.iter().position(|&d| !d).expect("a zero exists") + 1;
             return Err(InvalidUnaryError::Bubble { position });
         }
-        Ok(Self { bits, level: level as u8 })
+        Ok(Self {
+            bits,
+            level: level as u8,
+        })
     }
 
     /// The resolution in bits.

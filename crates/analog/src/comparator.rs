@@ -36,12 +36,19 @@ impl Comparator {
     /// An offset-free comparator with a typical printed gain of 200 V/V and
     /// 1 V swing.
     pub fn ideal() -> Self {
-        Self { offset_volts: 0.0, gain: 200.0, swing_volts: 1.0 }
+        Self {
+            offset_volts: 0.0,
+            gain: 200.0,
+            swing_volts: 1.0,
+        }
     }
 
     /// An otherwise-ideal comparator with the given input offset.
     pub fn with_offset(offset_volts: f64) -> Self {
-        Self { offset_volts, ..Self::ideal() }
+        Self {
+            offset_volts,
+            ..Self::ideal()
+        }
     }
 
     /// The digital decision: is the (offset-corrupted) input above the
@@ -108,8 +115,14 @@ mod tests {
 
     #[test]
     fn metastable_band_scales_inversely_with_gain() {
-        let lo_gain = Comparator { gain: 10.0, ..Comparator::ideal() };
-        let hi_gain = Comparator { gain: 1000.0, ..Comparator::ideal() };
+        let lo_gain = Comparator {
+            gain: 10.0,
+            ..Comparator::ideal()
+        };
+        let hi_gain = Comparator {
+            gain: 1000.0,
+            ..Comparator::ideal()
+        };
         // 20 mV from threshold: metastable at gain 10 (band 50 mV), clean at
         // gain 1000 (band 0.5 mV).
         assert!(lo_gain.is_metastable(0.52, 0.5));

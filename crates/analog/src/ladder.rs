@@ -53,7 +53,12 @@ impl Ladder {
     pub fn full(bits: u32, supply_volts: f64, unit_ohms: f64) -> Self {
         Self::validate_electrical(bits, supply_volts, unit_ohms);
         let taps = (1..(1usize << bits)).collect();
-        Self { bits, taps, supply_volts, unit_ohms }
+        Self {
+            bits,
+            taps,
+            supply_volts,
+            unit_ohms,
+        }
     }
 
     /// A bespoke ladder retaining only `taps` (each in `1..2^bits`).
@@ -86,11 +91,19 @@ impl Ladder {
         if let Some(&bad) = sorted.iter().find(|&&t| t == 0 || t > max) {
             return Err(LadderError::TapOutOfRange { tap: bad, max });
         }
-        Ok(Self { bits, taps: sorted, supply_volts, unit_ohms })
+        Ok(Self {
+            bits,
+            taps: sorted,
+            supply_volts,
+            unit_ohms,
+        })
     }
 
     fn validate_electrical(bits: u32, supply_volts: f64, unit_ohms: f64) {
-        assert!((1..=16).contains(&bits), "bits must be in 1..=16, got {bits}");
+        assert!(
+            (1..=16).contains(&bits),
+            "bits must be in 1..=16, got {bits}"
+        );
         assert!(
             supply_volts.is_finite() && supply_volts > 0.0,
             "supply must be positive, got {supply_volts}"
@@ -161,7 +174,11 @@ impl Ladder {
             below_order = tap;
         }
         let top_units = ((1usize << self.bits) - below_order) as f64;
-        ckt.resistor(below, vdd, perturb(self.taps.len(), top_units * self.unit_ohms));
+        ckt.resistor(
+            below,
+            vdd,
+            perturb(self.taps.len(), top_units * self.unit_ohms),
+        );
         (ckt, tap_nodes)
     }
 
@@ -179,7 +196,10 @@ impl Ladder {
     pub fn tap_voltages(&self) -> Result<BTreeMap<usize, f64>, LadderError> {
         let (ckt, tap_nodes) = self.build_circuit();
         let op = ckt.dc_operating_point()?;
-        Ok(tap_nodes.into_iter().map(|(tap, node)| (tap, op.voltage(node))).collect())
+        Ok(tap_nodes
+            .into_iter()
+            .map(|(tap, node)| (tap, op.voltage(node)))
+            .collect())
     }
 
     /// Ideal (analytic) voltage of `tap`: `tap / 2^bits · supply`.
@@ -258,7 +278,13 @@ mod tests {
     #[test]
     fn pruned_ladder_preserves_retained_voltages() {
         let full = Ladder::full(4, 1.0, 2500.0).tap_voltages().unwrap();
-        for taps in [vec![1], vec![7], vec![15], vec![2, 9], vec![1, 2, 4, 7, 11, 15]] {
+        for taps in [
+            vec![1],
+            vec![7],
+            vec![15],
+            vec![2, 9],
+            vec![1, 2, 4, 7, 11, 15],
+        ] {
             let pruned = Ladder::pruned(4, &taps, 1.0, 2500.0).unwrap();
             let v = pruned.tap_voltages().unwrap();
             for &t in &taps {
@@ -280,8 +306,7 @@ mod tests {
     fn ladder_power_matches_pdk_constant() {
         // pdk calibration: 16 × 2.5 kΩ at 1 V → 25 µW.
         let m = printed_pdk::AnalogModel::egfet();
-        let ladder =
-            Ladder::full(m.resolution_bits, m.supply.volts(), m.unit_resistor.ohms());
+        let ladder = Ladder::full(m.resolution_bits, m.supply.volts(), m.unit_resistor.ohms());
         let watts = ladder.static_power_watts();
         assert!(
             (watts * 1e6 - m.full_ladder_power.uw()).abs() < 0.5,
@@ -307,20 +332,25 @@ mod tests {
             Ladder::pruned(4, &[16], 1.0, 2500.0).unwrap_err(),
             LadderError::TapOutOfRange { tap: 16, max: 15 }
         );
-        assert_eq!(Ladder::pruned(4, &[], 1.0, 2500.0).unwrap_err(), LadderError::NoTaps);
+        assert_eq!(
+            Ladder::pruned(4, &[], 1.0, 2500.0).unwrap_err(),
+            LadderError::NoTaps
+        );
     }
 
     #[test]
     fn perturbed_segments_shift_tap_voltages() {
         let l = Ladder::pruned(4, &[8], 1.0, 2500.0).unwrap();
         // Double the bottom segment: the tap must rise above 0.5 V.
-        let (ckt, taps) = l.build_circuit_with(|seg, nominal| {
-            if seg == 0 {
-                nominal * 2.0
-            } else {
-                nominal
-            }
-        });
+        let (ckt, taps) = l.build_circuit_with(
+            |seg, nominal| {
+                if seg == 0 {
+                    nominal * 2.0
+                } else {
+                    nominal
+                }
+            },
+        );
         let op = ckt.dc_operating_point().unwrap();
         let v = op.voltage(taps[&8]);
         assert!(v > 0.5 + 1e-6, "perturbed tap voltage {v}");

@@ -28,6 +28,7 @@
 //! # Ok::<(), printed_analog::ladder::LadderError>(())
 //! ```
 
+use printed_telemetry::{keys, Recorder};
 use rand::Rng;
 use rand_distr_normal::Normal;
 use serde::{Deserialize, Serialize};
@@ -92,17 +93,26 @@ pub struct MismatchModel {
 impl MismatchModel {
     /// Typical inkjet-printed numbers: 5% resistor σ, 15 mV offset σ.
     pub fn typical_printed() -> Self {
-        Self { resistor_sigma_rel: 0.05, comparator_offset_sigma_v: 0.015 }
+        Self {
+            resistor_sigma_rel: 0.05,
+            comparator_offset_sigma_v: 0.015,
+        }
     }
 
     /// A pessimistic corner: 10% resistor σ, 40 mV offset σ.
     pub fn pessimistic_printed() -> Self {
-        Self { resistor_sigma_rel: 0.10, comparator_offset_sigma_v: 0.040 }
+        Self {
+            resistor_sigma_rel: 0.10,
+            comparator_offset_sigma_v: 0.040,
+        }
     }
 
     /// The no-variation model (useful as an MC sanity anchor).
     pub fn none() -> Self {
-        Self { resistor_sigma_rel: 0.0, comparator_offset_sigma_v: 0.0 }
+        Self {
+            resistor_sigma_rel: 0.0,
+            comparator_offset_sigma_v: 0.0,
+        }
     }
 
     /// Draws one mismatch sample for `ladder`: perturbs every merged segment
@@ -115,6 +125,36 @@ impl MismatchModel {
     /// Propagates [`LadderError::Circuit`] if the perturbed solve fails
     /// (cannot happen for physical perturbations, but never unwrapped).
     pub fn sample<R: Rng + ?Sized>(
+        &self,
+        ladder: &Ladder,
+        rng: &mut R,
+    ) -> Result<MismatchSample, LadderError> {
+        self.sample_recorded(ladder, rng, &Recorder::disabled())
+    }
+
+    /// [`MismatchModel::sample`] with instrumentation: bumps
+    /// [`keys::MC_TRIALS`] per call and [`keys::MC_FAILURES`] when the
+    /// perturbed solve fails. The RNG consumption is identical to
+    /// [`MismatchModel::sample`], so samples are reproducible either way.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MismatchModel::sample`].
+    pub fn sample_recorded<R: Rng + ?Sized>(
+        &self,
+        ladder: &Ladder,
+        rng: &mut R,
+        recorder: &Recorder,
+    ) -> Result<MismatchSample, LadderError> {
+        recorder.add(keys::MC_TRIALS, 1);
+        let result = self.sample_inner(ladder, rng);
+        if result.is_err() {
+            recorder.add(keys::MC_FAILURES, 1);
+        }
+        result
+    }
+
+    fn sample_inner<R: Rng + ?Sized>(
         &self,
         ladder: &Ladder,
         rng: &mut R,
@@ -141,7 +181,11 @@ impl MismatchModel {
             .map(|&tap| {
                 let vref = op.voltage(tap_nodes[&tap]);
                 let comparator = Comparator::with_offset(off_dist.sample(rng));
-                PerturbedTap { tap, vref_volts: vref, comparator }
+                PerturbedTap {
+                    tap,
+                    vref_volts: vref,
+                    comparator,
+                }
             })
             .collect();
         Ok(MismatchSample { taps })
@@ -181,7 +225,10 @@ impl MismatchSample {
 
     /// Effective threshold of `tap`, if retained.
     pub fn effective_threshold(&self, tap: usize) -> Option<f64> {
-        self.taps.iter().find(|t| t.tap == tap).map(PerturbedTap::effective_threshold)
+        self.taps
+            .iter()
+            .find(|t| t.tap == tap)
+            .map(PerturbedTap::effective_threshold)
     }
 
     /// Converts an analog input (volts) into the perturbed thermometer
@@ -191,7 +238,10 @@ impl MismatchSample {
     /// thermometer code (a *bubble*); callers measuring robustness should
     /// treat bubbles as part of the error they quantify.
     pub fn decide(&self, vin: f64) -> Vec<bool> {
-        self.taps.iter().map(|t| t.comparator.decide(vin, t.vref_volts)).collect()
+        self.taps
+            .iter()
+            .map(|t| t.comparator.decide(vin, t.vref_volts))
+            .collect()
     }
 }
 
@@ -211,7 +261,11 @@ mod tests {
         let s = MismatchModel::none().sample(&ladder(), &mut rng).unwrap();
         for t in s.taps() {
             let ideal = t.tap as f64 / 16.0;
-            assert!((t.effective_threshold() - ideal).abs() < 1e-12, "tap {}", t.tap);
+            assert!(
+                (t.effective_threshold() - ideal).abs() < 1e-12,
+                "tap {}",
+                t.tap
+            );
         }
     }
 
@@ -257,6 +311,23 @@ mod tests {
             assert!(s.decide(th + 1e-6)[i]);
             assert!(!s.decide(th - 1e-6)[i]);
         }
+    }
+
+    #[test]
+    fn recorded_sampling_counts_trials_without_changing_samples() {
+        let m = MismatchModel::typical_printed();
+        let l = ladder();
+        let plain = m.sample(&l, &mut StdRng::seed_from_u64(42)).unwrap();
+        let (recorder, sink) = Recorder::collecting();
+        let mut rng = StdRng::seed_from_u64(42);
+        let recorded = m.sample_recorded(&l, &mut rng, &recorder).unwrap();
+        assert_eq!(plain, recorded, "instrumentation must not perturb sampling");
+        for _ in 0..9 {
+            m.sample_recorded(&l, &mut rng, &recorder).unwrap();
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(keys::MC_TRIALS), 10);
+        assert_eq!(snap.counter(keys::MC_FAILURES), 0);
     }
 
     #[test]

@@ -96,7 +96,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit containing only the ground node.
     pub fn new() -> Self {
-        Self { node_names: vec!["gnd".to_owned()], ..Self::default() }
+        Self {
+            node_names: vec!["gnd".to_owned()],
+            ..Self::default()
+        }
     }
 
     /// Creates (and names) a new node.
@@ -120,7 +123,10 @@ impl Circuit {
     }
 
     fn check_node(&self, node: Node) {
-        assert!(node.0 < self.node_names.len(), "node does not belong to this circuit");
+        assert!(
+            node.0 < self.node_names.len(),
+            "node does not belong to this circuit"
+        );
     }
 
     /// Adds a resistor of `ohms` between `a` and `b`.
@@ -131,7 +137,10 @@ impl Circuit {
     pub fn resistor(&mut self, a: Node, b: Node, ohms: f64) -> &mut Self {
         self.check_node(a);
         self.check_node(b);
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive, got {ohms}");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive, got {ohms}"
+        );
         assert_ne!(a, b, "resistor endpoints must differ");
         self.resistors.push(Resistor { a, b, ohms });
         self
@@ -382,7 +391,10 @@ mod tests {
 
     #[test]
     fn empty_circuit_is_an_error() {
-        assert_eq!(Circuit::new().dc_operating_point().unwrap_err(), MnaError::Empty);
+        assert_eq!(
+            Circuit::new().dc_operating_point().unwrap_err(),
+            MnaError::Empty
+        );
     }
 
     #[test]

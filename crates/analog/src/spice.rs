@@ -56,8 +56,11 @@ pub fn ladder_deck(ladder: &Ladder, title: &str) -> String {
         for &tap in ladder.taps() {
             let node = node_name(tap_nodes[&tap]);
             let units = (tap - below_order) as f64;
-            resistors.push((below.clone(), node.clone(), units * ladder.total_resistance_ohms()
-                / (1u64 << ladder.bits()) as f64));
+            resistors.push((
+                below.clone(),
+                node.clone(),
+                units * ladder.total_resistance_ohms() / (1u64 << ladder.bits()) as f64,
+            ));
             below = node;
             below_order = tap;
         }
@@ -118,7 +121,13 @@ mod tests {
             let total: f64 = deck
                 .lines()
                 .filter(|l| l.starts_with('R'))
-                .map(|l| l.split_whitespace().last().expect("value").parse::<f64>().expect("ohms"))
+                .map(|l| {
+                    l.split_whitespace()
+                        .last()
+                        .expect("value")
+                        .parse::<f64>()
+                        .expect("ohms")
+                })
                 .sum();
             assert!((total - 40_000.0).abs() < 1e-9, "taps {taps:?}: {total}");
         }

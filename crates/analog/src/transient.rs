@@ -48,7 +48,10 @@ impl RcNode {
             capacitance_farads.is_finite() && capacitance_farads > 0.0,
             "capacitance must be positive"
         );
-        Self { resistance_ohms, capacitance_farads }
+        Self {
+            resistance_ohms,
+            capacitance_farads,
+        }
     }
 
     /// The time constant `τ = RC`, in seconds.
@@ -111,7 +114,10 @@ impl RcNode {
 /// of `unit_ohms` resistors (the two sides of the string in parallel) —
 /// what a flash comparator's input actually sees.
 pub fn ladder_tap_thevenin_ohms(tap: usize, n_segments: usize, unit_ohms: f64) -> f64 {
-    assert!(tap >= 1 && tap < n_segments, "tap {tap} out of range 1..{n_segments}");
+    assert!(
+        tap >= 1 && tap < n_segments,
+        "tap {tap} out of range 1..{n_segments}"
+    );
     let below = tap as f64 * unit_ohms;
     let above = (n_segments - tap) as f64 * unit_ohms;
     below * above / (below + above)

@@ -47,7 +47,13 @@ fn bench_netlist(c: &mut Criterion) {
     });
     let library = CellLibrary::egfet();
     c.bench_function("netlist-analyze/Cardio-baseline", |b| {
-        b.iter(|| analyze(black_box(&netlist), &library, &AnalysisConfig::printed_20hz()))
+        b.iter(|| {
+            analyze(
+                black_box(&netlist),
+                &library,
+                &AnalysisConfig::printed_20hz(),
+            )
+        })
     });
 }
 

@@ -38,7 +38,11 @@ fn bench_adc_aware(c: &mut Criterion) {
                 b.iter(|| {
                     train_adc_aware(
                         black_box(data),
-                        &AdcAwareConfig { max_depth: 6, tau: 0.01, ..Default::default() },
+                        &AdcAwareConfig {
+                            max_depth: 6,
+                            tau: 0.01,
+                            ..Default::default()
+                        },
                     )
                 })
             },
@@ -86,7 +90,9 @@ fn bench_synthesis(c: &mut Criterion) {
 }
 
 fn bench_inference(c: &mut Criterion) {
-    let (train_data, test_data) = Benchmark::Pendigits.load_quantized(4).expect("built-ins load");
+    let (train_data, test_data) = Benchmark::Pendigits
+        .load_quantized(4)
+        .expect("built-ins load");
     let model = train_depth_selected(&train_data, &test_data, 6);
     let unary = UnaryClassifier::from_tree(&model.tree);
     let samples: Vec<&[u8]> = (0..test_data.len()).map(|i| test_data.sample(i)).collect();

@@ -14,22 +14,37 @@
 //! Run with `cargo run --release -p printed-bench --bin ablations`.
 
 use printed_analog::MismatchModel;
-use printed_bench::{baseline_model, hrule, row_label, BITS};
-use printed_codesign::mismatch::mismatch_accuracy;
-use printed_codesign::train::{train_adc_aware, AdcAwareConfig};
+use printed_bench::{baseline_model, hrule, row_label, TraceHook, BITS};
+use printed_codesign::mismatch::mismatch_accuracy_recorded;
+use printed_codesign::train::{train_adc_aware_recorded, AdcAwareConfig};
 use printed_codesign::UnaryClassifier;
 use printed_datasets::Benchmark;
 use printed_logic::report::{analyze, AnalysisConfig};
 use printed_pdk::{AnalogModel, CellLibrary};
+use printed_telemetry::Recorder;
+
+type Ablation<'a> = (&'static str, &'a dyn Fn(&Recorder));
 
 fn main() {
-    ablation_tau();
-    ablation_netlist_style();
-    ablation_serial_strawman();
-    ablation_adc_architectures();
-    ablation_fault_robustness();
-    ablation_ensembles();
-    ablation_mismatch();
+    let hook = TraceHook::from_env("ablations");
+    let recorder = hook.recorder();
+    // Each ablation runs under a `stage:` span so the PRINTED_TRACE
+    // summary shows where the wall time goes.
+    let staged: [Ablation; 7] = [
+        ("stage:tau_sensitivity", &|r| ablation_tau(r)),
+        ("stage:netlist_style", &|_| ablation_netlist_style()),
+        ("stage:serial_strawman", &|_| ablation_serial_strawman()),
+        ("stage:adc_architectures", &|_| ablation_adc_architectures()),
+        ("stage:fault_robustness", &|_| ablation_fault_robustness()),
+        ("stage:ensembles", &|_| ablation_ensembles()),
+        ("stage:mismatch", &|r| ablation_mismatch(r)),
+    ];
+    for (stage, run) in staged {
+        let span = recorder.span(stage);
+        run(recorder);
+        span.finish();
+    }
+    hook.finish();
 }
 
 /// Tree ensembles with a shared bespoke ADC bank vs the single
@@ -50,7 +65,12 @@ fn ablation_ensembles() {
         let single_sys = synthesize_unary(&single.tree);
         let forest = train_forest(
             &train,
-            &ForestConfig { trees: 3, max_depth: 3, feature_fraction: 0.8, seed: 7 },
+            &ForestConfig {
+                trees: 3,
+                max_depth: 3,
+                feature_fraction: 0.8,
+                seed: 7,
+            },
         );
         let forest_sys = synthesize_ensemble(&forest);
         println!(
@@ -79,7 +99,11 @@ fn ablation_fault_robustness() {
         "Dataset", "fault-free", "mean", "worst", "faults", "benign"
     );
     hrule(76);
-    for benchmark in [Benchmark::Seeds, Benchmark::Vertebral2C, Benchmark::Vertebral3C] {
+    for benchmark in [
+        Benchmark::Seeds,
+        Benchmark::Vertebral2C,
+        Benchmark::Vertebral3C,
+    ] {
         let model = baseline_model(benchmark);
         let (_, test) = benchmark.load_quantized(BITS).expect("built-ins load");
         let report = fault_robustness(&model.tree, &test);
@@ -120,7 +144,9 @@ fn ablation_adc_architectures() {
         let flash = ConventionalAdc::new(4).bank_cost(inputs, &analog);
         let sar = SarAdc::new(4);
         let sar_bank = sar.bank_cost(inputs, &analog);
-        let bespoke = UnaryClassifier::from_tree(&model.tree).adc_bank().cost(&analog);
+        let bespoke = UnaryClassifier::from_tree(&model.tree)
+            .adc_bank()
+            .cost(&analog);
         println!(
             "{} | {:>5} | {:>12.0} | {:>12.0} | {:>12.0} | {:>10.1}",
             row_label(benchmark),
@@ -149,7 +175,12 @@ fn ablation_serial_strawman() {
         "Dataset", "ser mm²", "par mm²", "ser µW", "par µW", "sCmp", "pCmp", "ser ms", "20Hz?"
     );
     hrule(96);
-    for benchmark in [Benchmark::Seeds, Benchmark::Vertebral3C, Benchmark::Cardio, Benchmark::BalanceScale] {
+    for benchmark in [
+        Benchmark::Seeds,
+        Benchmark::Vertebral3C,
+        Benchmark::Cardio,
+        Benchmark::BalanceScale,
+    ] {
         let model = baseline_model(benchmark);
         let serial = estimate_serial_unary(&model.tree);
         let parallel = synthesize_unary(&model.tree);
@@ -174,24 +205,40 @@ fn ablation_serial_strawman() {
 }
 
 /// τ sensitivity of Algorithm 1: comparators and ADC power vs τ.
-fn ablation_tau() {
+fn ablation_tau(recorder: &Recorder) {
     println!("Ablation 1 — Algorithm 1 hardware-awareness vs τ (depth 6)");
-    println!("{:<14} | τ = 0.000 … 0.030: retained comparators (ADC µW)", "Dataset");
+    println!(
+        "{:<14} | τ = 0.000 … 0.030: retained comparators (ADC µW)",
+        "Dataset"
+    );
     hrule(100);
     let analog = AnalogModel::egfet();
-    for benchmark in [Benchmark::Cardio, Benchmark::Seeds, Benchmark::Vertebral3C, Benchmark::BalanceScale]
-    {
+    for benchmark in [
+        Benchmark::Cardio,
+        Benchmark::Seeds,
+        Benchmark::Vertebral3C,
+        Benchmark::BalanceScale,
+    ] {
         let (train, _) = benchmark.load_quantized(BITS).expect("built-ins load");
         let mut cells = Vec::new();
         for i in 0..=6 {
             let tau = i as f64 * 0.005;
-            let tree = train_adc_aware(
+            let tree = train_adc_aware_recorded(
                 &train,
-                &AdcAwareConfig { max_depth: 6, tau, ..Default::default() },
+                &AdcAwareConfig {
+                    max_depth: 6,
+                    tau,
+                    ..Default::default()
+                },
+                recorder,
             );
             let bank = UnaryClassifier::from_tree(&tree).adc_bank();
             let cost = bank.cost(&analog);
-            cells.push(format!("{}({:.0})", bank.comparator_count(), cost.power.uw()));
+            cells.push(format!(
+                "{}({:.0})",
+                bank.comparator_count(),
+                cost.power.uw()
+            ));
         }
         println!("{} | {}", row_label(benchmark), cells.join("  "));
     }
@@ -244,7 +291,7 @@ fn ablation_netlist_style() {
 }
 
 /// Accuracy under printing mismatch for the co-designed classifiers.
-fn ablation_mismatch() {
+fn ablation_mismatch(recorder: &Recorder) {
     println!("Ablation 3 — Accuracy under printing variation (100 Monte-Carlo trials)");
     println!(
         "{:<14} | {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
@@ -260,19 +307,23 @@ fn ablation_mismatch() {
     ] {
         let model = baseline_model(benchmark);
         let (_, test_analog) = benchmark.load_split().expect("built-ins split");
-        let typical = mismatch_accuracy(
+        let typical = mismatch_accuracy_recorded(
             &model.tree,
             &test_analog,
             &MismatchModel::typical_printed(),
             100,
             0xbeef,
+            &AnalogModel::egfet(),
+            recorder,
         );
-        let pessimistic = mismatch_accuracy(
+        let pessimistic = mismatch_accuracy_recorded(
             &model.tree,
             &test_analog,
             &MismatchModel::pessimistic_printed(),
             100,
             0xbeef,
+            &AnalogModel::egfet(),
+            recorder,
         );
         println!(
             "{} | {:>7.1}% | {:>7.1}% {:>7.1}% {:>7.1}% | {:>7.1}% {:>7.1}% {:>7.1}%",

@@ -18,8 +18,8 @@ use std::process::ExitCode;
 
 use printed_analog::ladder::Ladder;
 use printed_analog::spice::ladder_deck;
-use printed_bench::BITS;
-use printed_codesign::explore::{explore, ExplorationConfig};
+use printed_bench::{choose, explore_traced, stderr_progress, TraceHook, BITS};
+use printed_codesign::explore::ExplorationConfig;
 use printed_datasets::Benchmark;
 use printed_dtree::cart::train_depth_selected;
 use printed_dtree::synthesize_baseline;
@@ -41,7 +41,13 @@ fn parse_args() -> Result<Args, String> {
         .ok_or("usage: codesign <benchmark> [--loss F] [--quick] [--verilog P] [--spice P]")?
         .parse()
         .map_err(|e| format!("{e}"))?;
-    let mut args = Args { benchmark, loss: 0.01, quick: false, verilog: None, spice: None };
+    let mut args = Args {
+        benchmark,
+        loss: 0.01,
+        quick: false,
+        verilog: None,
+        spice: None,
+    };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--loss" => {
@@ -60,9 +66,11 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run(args: &Args) -> Result<(), String> {
-    let (train, test) =
-        args.benchmark.load_quantized(BITS).map_err(|e| format!("load: {e}"))?;
+fn run(args: &Args, hook: &TraceHook) -> Result<(), String> {
+    let (train, test) = args
+        .benchmark
+        .load_quantized(BITS)
+        .map_err(|e| format!("load: {e}"))?;
     println!(
         "{}: {} train / {} test samples, {} features, {} classes",
         args.benchmark,
@@ -81,12 +89,14 @@ fn run(args: &Args) -> Result<(), String> {
         baseline.total_power()
     );
 
-    let grid = if args.quick { ExplorationConfig::quick() } else { ExplorationConfig::paper() };
-    let sweep = explore(&train, &test, &grid);
-    let chosen = sweep
-        .select(args.loss)
-        .or_else(|| sweep.most_accurate())
-        .ok_or("empty exploration grid")?;
+    let grid = if args.quick {
+        ExplorationConfig::quick()
+    } else {
+        ExplorationConfig::paper()
+    };
+    let progress = stderr_progress();
+    let sweep = explore_traced(&train, &test, &grid, hook.recorder(), Some(&progress));
+    let chosen = choose(&sweep, args.loss);
     let r = chosen.system.reduction_vs(&baseline);
     println!(
         "co-design (τ={}, depth {}): {:.1}% accuracy, {:.2}, {:.2} — {:.1}x area, {:.1}x power vs baseline",
@@ -131,7 +141,10 @@ fn run(args: &Args) -> Result<(), String> {
             analog.unit_resistor.ohms(),
         )
         .map_err(|e| format!("ladder: {e}"))?;
-        let deck = ladder_deck(&ladder, &format!("{} bespoke reference ladder", args.benchmark));
+        let deck = ladder_deck(
+            &ladder,
+            &format!("{} bespoke reference ladder", args.benchmark),
+        );
         std::fs::write(path, deck).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote bespoke ladder SPICE deck to {path}");
     }
@@ -139,7 +152,10 @@ fn run(args: &Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match parse_args().and_then(|args| run(&args)) {
+    let hook = TraceHook::from_env("codesign");
+    let outcome = parse_args().and_then(|args| run(&args, &hook));
+    hook.finish();
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");

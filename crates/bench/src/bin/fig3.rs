@@ -10,7 +10,7 @@
 //! Run with `cargo run --release -p printed-bench --bin fig3`.
 
 use printed_adc::{BespokeAdcBank, ConventionalAdc};
-use printed_bench::hrule;
+use printed_bench::{hrule, TraceHook};
 use printed_pdk::AnalogModel;
 
 fn bespoke_cost(taps: &[usize], model: &AnalogModel) -> (f64, f64) {
@@ -23,6 +23,7 @@ fn bespoke_cost(taps: &[usize], model: &AnalogModel) -> (f64, f64) {
 }
 
 fn main() {
+    let hook = TraceHook::from_env("fig3");
     let model = AnalogModel::egfet();
     let conventional = ConventionalAdc::new(4).standalone_cost(&model);
 
@@ -38,12 +39,12 @@ fn main() {
     );
     hrule(110);
 
+    let stage = hook.recorder().span("stage:digit_sweep");
     for k in 1..=15usize {
+        let span = hook.recorder().span("digit_count").field("k", k);
         // All sequential windows of k taps: [1..=k], [2..=k+1], …
-        let windows: Vec<Vec<usize>> =
-            (1..=(16 - k)).map(|lo| (lo..lo + k).collect()).collect();
-        let costs: Vec<(f64, f64)> =
-            windows.iter().map(|w| bespoke_cost(w, &model)).collect();
+        let windows: Vec<Vec<usize>> = (1..=(16 - k)).map(|lo| (lo..lo + k).collect()).collect();
+        let costs: Vec<(f64, f64)> = windows.iter().map(|w| bespoke_cost(w, &model)).collect();
         let area = costs[0].0; // position-independent
         debug_assert!(costs.iter().all(|c| (c.0 - area).abs() < 1e-9));
         let min = costs.iter().map(|c| c.1).fold(f64::INFINITY, f64::min);
@@ -58,7 +59,11 @@ fn main() {
             max / min,
             detail.join(" ")
         );
+        span.field("windows", windows.len())
+            .field("max_uw", max)
+            .finish();
     }
+    stage.finish();
     hrule(110);
 
     // The paper's headline anchors for this figure.
@@ -76,4 +81,5 @@ fn main() {
          power grows with tap order because higher reference voltages draw more static\n\
          current in the comparator input stages."
     );
+    hook.finish();
 }

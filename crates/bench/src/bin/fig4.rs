@@ -5,11 +5,12 @@
 //!
 //! Run with `cargo run --release -p printed-bench --bin fig4`.
 
-use printed_bench::{baseline_design, hrule, row_label};
+use printed_bench::{baseline_design, hrule, row_label, TraceHook, BENCHMARK_SPAN};
 use printed_codesign::synthesize_unary;
 use printed_datasets::Benchmark;
 
 fn main() {
+    let hook = TraceHook::from_env("fig4");
     println!("Fig. 4 — Area/power reduction vs baseline [2] (same models, bespoke ADCs");
     println!("+ parallel unary architecture only; paper averages: 3.0x area, 6.6x power)\n");
     println!(
@@ -22,10 +23,16 @@ fn main() {
     let mut geo_power = 1.0f64;
     let mut sum_area = 0.0f64;
     let mut sum_power = 0.0f64;
+    let stage = hook.recorder().span("stage:benchmarks");
     for benchmark in Benchmark::ALL {
+        let span = hook
+            .recorder()
+            .span(BENCHMARK_SPAN)
+            .field("dataset", benchmark.to_string());
         let (model, baseline) = baseline_design(benchmark);
         let ours = synthesize_unary(&model.tree);
         let r = ours.reduction_vs(&baseline);
+        span.field("power_factor", r.power_factor).finish();
         geo_area *= r.area_factor;
         geo_power *= r.power_factor;
         sum_area += r.area_factor;
@@ -41,6 +48,7 @@ fn main() {
             r.power_factor,
         );
     }
+    stage.finish();
     hrule(88);
     println!(
         "Average: {:.1}x area, {:.1}x power (arithmetic) | {:.1}x / {:.1}x (geometric)",
@@ -50,4 +58,5 @@ fn main() {
         geo_power.powf(1.0 / 8.0),
     );
     println!("(paper: 3.0x area, 6.6x power on its testbed)");
+    hook.finish();
 }

@@ -10,12 +10,17 @@
 //!
 //! Run with `cargo run --release -p printed-bench --bin fig5`.
 
-use printed_bench::{baseline_model, hrule, row_label, BITS};
-use printed_codesign::explore::{explore, ExplorationConfig};
+use printed_bench::{
+    baseline_model, choose, explore_traced, hrule, load, row_label, stderr_progress, TraceHook,
+    BENCHMARK_SPAN,
+};
+use printed_codesign::explore::ExplorationConfig;
 use printed_codesign::synthesize_unary;
 use printed_datasets::Benchmark;
 
 fn main() {
+    let hook = TraceHook::from_env("fig5");
+    let progress = stderr_progress();
     println!("Fig. 5 — Additional gains from ADC-aware training (vs the Fig. 4 designs)");
     println!("(paper averages: 0% loss → 11% area / 15% power; 5% loss → 45% / 57%)\n");
     println!(
@@ -27,19 +32,27 @@ fn main() {
     let losses = [0.0, 0.01, 0.05];
     let mut avg = [[0.0f64; 2]; 3];
     for benchmark in Benchmark::ALL {
-        let (train, test) = benchmark.load_quantized(BITS).expect("built-in benchmarks load");
+        let span = hook
+            .recorder()
+            .span(BENCHMARK_SPAN)
+            .field("dataset", benchmark.to_string());
+        let (train, test) = load(benchmark);
         let unaware = baseline_model(benchmark);
         let unaware_system = synthesize_unary(&unaware.tree);
-        let sweep = explore(&train, &test, &ExplorationConfig::paper());
+        let sweep = explore_traced(
+            &train,
+            &test,
+            &ExplorationConfig::paper(),
+            hook.recorder(),
+            Some(&progress),
+        );
+        span.finish();
 
         let mut cells = Vec::new();
         for (k, &loss) in losses.iter().enumerate() {
             // Fall back to the most accurate candidate when the reference
             // accuracy is unreachable at 0% (can happen on noisy data).
-            let chosen = sweep
-                .select(loss)
-                .or_else(|| sweep.most_accurate())
-                .expect("non-empty sweep");
+            let chosen = choose(&sweep, loss);
             let a0 = unaware_system.total_area().mm2();
             let p0 = unaware_system.total_power().uw();
             let area_gain = 100.0 * (1.0 - chosen.system.total_area().mm2() / a0);
@@ -48,7 +61,13 @@ fn main() {
             avg[k][1] += power_gain / 8.0;
             cells.push(format!("{:>6.1}% /{:>6.1}%", area_gain, power_gain));
         }
-        println!("{} | {} | {} | {}", row_label(benchmark), cells[0], cells[1], cells[2]);
+        println!(
+            "{} | {} | {} | {}",
+            row_label(benchmark),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
     }
     hrule(72);
     println!(
@@ -59,4 +78,5 @@ fn main() {
         "\nPositive percentages are area/power *savings* of the ADC-aware model over the\n\
          unaware model, both synthesized with bespoke ADCs + unary logic."
     );
+    hook.finish();
 }

@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --release -p printed-bench --bin precision`.
 
-use printed_bench::{hrule, row_label, DEPTH_CAP};
+use printed_bench::{hrule, row_label, TraceHook, BENCHMARK_SPAN, DEPTH_CAP};
 use printed_codesign::system::synthesize_unary_with;
 use printed_datasets::Benchmark;
 use printed_dtree::cart::train_depth_selected;
@@ -14,6 +14,7 @@ use printed_logic::report::AnalysisConfig;
 use printed_pdk::{AnalogModel, CellLibrary};
 
 fn main() {
+    let hook = TraceHook::from_env("precision");
     println!("Input-precision sweep: accuracy (and co-designed power µW) per bit width");
     println!("(the paper's 4-bit choice should sit at the accuracy knee)\n");
     print!("{:<14}", "Dataset");
@@ -23,6 +24,7 @@ fn main() {
     println!();
     hrule(14 + 5 * 22);
 
+    let stage = hook.recorder().span("stage:benchmarks");
     for benchmark in [
         Benchmark::Seeds,
         Benchmark::Vertebral2C,
@@ -32,9 +34,15 @@ fn main() {
         Benchmark::WhiteWine,
     ] {
         print!("{}", row_label(benchmark));
+        let bench_span = hook
+            .recorder()
+            .span(BENCHMARK_SPAN)
+            .field("dataset", benchmark.to_string());
         for bits in 2..=6u32 {
-            let (train, test) =
-                benchmark.load_quantized(bits).expect("built-ins load at any precision");
+            let span = hook.recorder().span("precision_point").field("bits", bits);
+            let (train, test) = benchmark
+                .load_quantized(bits)
+                .expect("built-ins load at any precision");
             let model = train_depth_selected(&train, &test, DEPTH_CAP);
             // Price the classifier with the analog model rescaled to this
             // resolution (comparator power tracks reference voltage).
@@ -49,11 +57,17 @@ fn main() {
                 model.test_accuracy * 100.0,
                 system.total_power().uw()
             );
+            span.field("accuracy", model.test_accuracy)
+                .field("power_uw", system.total_power().uw())
+                .finish();
         }
+        bench_span.finish();
         println!();
     }
+    stage.finish();
     println!(
         "\nReading: accuracy typically saturates by 4 bits while ADC power keeps\n\
          growing with precision — the knee that justifies the paper's choice."
     );
+    hook.finish();
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p printed-bench --bin table1`.
 
-use printed_bench::{baseline_design, hrule, row_label};
+use printed_bench::{baseline_design, hrule, row_label, TraceHook, BENCHMARK_SPAN};
 use printed_datasets::Benchmark;
 
 /// Paper's Table I rows: (accuracy %, #comp, #inputs, ADC area, total area,
@@ -21,6 +21,7 @@ const PAPER: [(f64, usize, usize, f64, f64, f64, f64); 8] = [
 ];
 
 fn main() {
+    let hook = TraceHook::from_env("table1");
     println!("Table I — Evaluation of the baseline bespoke decision trees [2]");
     println!("(measured by this reproduction vs the paper's published values)\n");
     println!(
@@ -32,8 +33,14 @@ fn main() {
 
     let mut avg_area = 0.0;
     let mut avg_power = 0.0;
+    let stage = hook.recorder().span("stage:benchmarks");
     for (benchmark, paper) in Benchmark::ALL.into_iter().zip(PAPER) {
+        let span = hook
+            .recorder()
+            .span(BENCHMARK_SPAN)
+            .field("dataset", benchmark.to_string());
         let (model, design) = baseline_design(benchmark);
+        span.field("accuracy", model.test_accuracy).finish();
         let acc = model.test_accuracy * 100.0;
         let comps = model.tree.split_count();
         let inputs = design.input_count;
@@ -55,10 +62,9 @@ fn main() {
             tot_power, paper.6,
         );
     }
+    stage.finish();
     hrule(140);
-    println!(
-        "Average total: {avg_area:.1} mm², {avg_power:.2} mW  (paper: 102 mm², 8.5 mW)"
-    );
+    println!("Average total: {avg_area:.1} mm², {avg_power:.2} mW  (paper: 102 mm², 8.5 mW)");
     println!(
         "\nKey claims to check: every baseline exceeds the 2 mW harvester budget;\n\
          ADCs account for a large share of area (~40%) and power (~74%)."
@@ -84,4 +90,5 @@ fn main() {
         adc_area_share * 100.0,
         adc_power_share * 100.0
     );
+    hook.finish();
 }

@@ -5,8 +5,11 @@
 //!
 //! Run with `cargo run --release -p printed-bench --bin table2`.
 
-use printed_bench::{baseline_design, hrule, row_label, BITS, DEPTH_CAP};
-use printed_codesign::explore::{explore, ExplorationConfig};
+use printed_bench::{
+    baseline_design, choose, explore_traced, hrule, load, row_label, stderr_progress, TraceHook,
+    BENCHMARK_SPAN, DEPTH_CAP,
+};
+use printed_codesign::explore::{Exploration, ExplorationConfig};
 use printed_datasets::Benchmark;
 use printed_dtree::approx::{synthesize_approx, ApproxConfig};
 use printed_pdk::HARVESTER_BUDGET;
@@ -28,30 +31,55 @@ const PAPER: [PaperRow; 8] = [
 ];
 
 fn main() {
+    let hook = TraceHook::from_env("table2");
+    let progress = stderr_progress();
     println!("Table II — Our co-designed decision trees (≤1% accuracy loss) vs [2] and [7]");
     println!("(measured | paper in parentheses)\n");
     println!(
         "{:<14} | {:>8} {:>8} | {:>7} {:>7} | {:>13} {:>13} | {:>13} {:>13} | {:>5}",
-        "Dataset", "mm²", "(paper)", "mW", "(paper)", "vs[2] area", "vs[2] power", "vs[7] area",
-        "vs[7] power", "<2mW"
+        "Dataset",
+        "mm²",
+        "(paper)",
+        "mW",
+        "(paper)",
+        "vs[2] area",
+        "vs[2] power",
+        "vs[7] area",
+        "vs[7] power",
+        "<2mW"
     );
     hrule(132);
 
     let mut avg = [0.0f64; 6];
     let mut approx_counted = 0usize;
+    // The Pendigits sweep is reused by the budget footnotes below — no
+    // need to brute-force the paper grid on it three times.
+    let mut pendigits_sweep: Option<Exploration> = None;
     for (benchmark, paper) in Benchmark::ALL.into_iter().zip(PAPER) {
-        let (train, test) = benchmark.load_quantized(BITS).expect("built-in benchmarks load");
+        let span = hook
+            .recorder()
+            .span(BENCHMARK_SPAN)
+            .field("dataset", benchmark.to_string());
+        let (train, test) = load(benchmark);
         let (_, baseline2) = baseline_design(benchmark);
         let baseline7 = synthesize_approx(
             &train,
             &test,
-            &ApproxConfig { accuracy_loss_budget: 0.01, max_depth: DEPTH_CAP, min_bits: 1 },
+            &ApproxConfig {
+                accuracy_loss_budget: 0.01,
+                max_depth: DEPTH_CAP,
+                min_bits: 1,
+            },
         );
-        let sweep = explore(&train, &test, &ExplorationConfig::paper());
-        let chosen = sweep
-            .select(0.01)
-            .or_else(|| sweep.most_accurate())
-            .expect("non-empty sweep");
+        let sweep = explore_traced(
+            &train,
+            &test,
+            &ExplorationConfig::paper(),
+            hook.recorder(),
+            Some(&progress),
+        );
+        let chosen = choose(&sweep, 0.01).clone();
+        span.field("accuracy", chosen.test_accuracy).finish();
 
         let area = chosen.system.total_area().mm2();
         let power = chosen.system.total_power().mw();
@@ -87,6 +115,9 @@ fn main() {
             fmt7(p7, paper.5),
             if chosen.system.total_power() < HARVESTER_BUDGET { "yes" } else { "NO" },
         );
+        if benchmark == Benchmark::Pendigits {
+            pendigits_sweep = Some(sweep);
+        }
     }
     hrule(132);
     println!(
@@ -105,14 +136,13 @@ fn main() {
         HARVESTER_BUDGET
     );
 
+    let sweep = pendigits_sweep.expect("Pendigits is in Benchmark::ALL");
+
     // Energy view (beyond the paper's static check): an over-budget design
     // still works duty-cycled.
     {
         use printed_pdk::Harvester;
         let h = Harvester::printed_default();
-        let (train, test) =
-            Benchmark::Pendigits.load_quantized(BITS).expect("built-in benchmarks load");
-        let sweep = explore(&train, &test, &ExplorationConfig::paper());
         if let Some(tight) = sweep.select(0.01) {
             let load = tight.system.total_power();
             let rate = h.max_decision_rate_hz(load, printed_pdk::Delay::from_ms(50.0));
@@ -125,9 +155,6 @@ fn main() {
     }
 
     // The paper's footnote: Pendigits does fit the budget at a 10% loss.
-    let (train, test) =
-        Benchmark::Pendigits.load_quantized(BITS).expect("built-in benchmarks load");
-    let sweep = explore(&train, &test, &ExplorationConfig::paper());
     if let Some(relaxed) = sweep.select(0.10) {
         println!(
             "Pendigits at ≤10% accuracy loss: {:.2} mm², {:.2} mW → {} \
@@ -141,4 +168,5 @@ fn main() {
             }
         );
     }
+    hook.finish();
 }

@@ -41,8 +41,16 @@ pub struct Datasheet<'a> {
 impl<'a> Datasheet<'a> {
     /// Builds a datasheet for `system`; `test_accuracy` (0..1) is printed
     /// when known.
-    pub fn new(title: impl Into<String>, system: &'a UnarySystem, test_accuracy: Option<f64>) -> Self {
-        Self { title: title.into(), system, test_accuracy }
+    pub fn new(
+        title: impl Into<String>,
+        system: &'a UnarySystem,
+        test_accuracy: Option<f64>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            system,
+            test_accuracy,
+        }
     }
 }
 
@@ -58,7 +66,11 @@ impl fmt::Display for Datasheet<'_> {
         writeln!(
             f,
             "self-powering        : {} (budget {})",
-            if s.is_self_powered() { "self-powered" } else { "OVER BUDGET" },
+            if s.is_self_powered() {
+                "self-powered"
+            } else {
+                "OVER BUDGET"
+            },
             HARVESTER_BUDGET
         )?;
         writeln!(
@@ -104,8 +116,7 @@ mod tests {
         let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
         let model = train_depth_selected(&train, &test, 5);
         let system = synthesize_unary(&model.tree);
-        let sheet =
-            Datasheet::new("Seeds", &system, Some(model.test_accuracy)).to_string();
+        let sheet = Datasheet::new("Seeds", &system, Some(model.test_accuracy)).to_string();
         for feature in model.tree.used_features() {
             assert!(sheet.contains(&format!("input {feature}")), "{sheet}");
         }

@@ -81,7 +81,11 @@ pub fn ensemble_netlist(forest: &Forest) -> Netlist {
             let mut acc = Signal::Const(true);
             for &(feature, threshold, polarity) in &path.conditions {
                 let lit = var_signals[&(feature, threshold)];
-                let lit = if polarity { lit } else { nl.gate(CellKind::Inv, &[lit]) };
+                let lit = if polarity {
+                    lit
+                } else {
+                    nl.gate(CellKind::Inv, &[lit])
+                };
                 acc = nl.gate(CellKind::And2, &[acc, lit]);
             }
             class_terms[path.class].push(acc);
@@ -128,7 +132,13 @@ pub fn ensemble_netlist(forest: &Forest) -> Netlist {
 fn k_subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(k);
-    fn recurse(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn recurse(
+        start: usize,
+        n: usize,
+        k: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;
@@ -183,7 +193,11 @@ pub fn synthesize_ensemble_with(
     let netlist = ensemble_netlist(forest);
     let digital = analyze(&netlist, library, config);
     let adc = ensemble_adc_bank(forest).cost(analog);
-    EnsembleSystem { digital, adc, tree_count: forest.trees().len() }
+    EnsembleSystem {
+        digital,
+        adc,
+        tree_count: forest.trees().len(),
+    }
 }
 
 #[cfg(test)]
@@ -193,8 +207,12 @@ mod tests {
     use printed_dtree::forest::{train_forest, ForestConfig};
 
     fn one_hot(outs: &[bool]) -> Option<usize> {
-        let hot: Vec<usize> =
-            outs.iter().enumerate().filter(|(_, &o)| o).map(|(c, _)| c).collect();
+        let hot: Vec<usize> = outs
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o)
+            .map(|(c, _)| c)
+            .collect();
         (hot.len() == 1).then(|| hot[0])
     }
 
@@ -204,7 +222,12 @@ mod tests {
         for trees in [1, 3, 5] {
             let forest = train_forest(
                 &train,
-                &ForestConfig { trees, max_depth: 3, feature_fraction: 0.8, seed: 2 },
+                &ForestConfig {
+                    trees,
+                    max_depth: 3,
+                    feature_fraction: 0.8,
+                    seed: 2,
+                },
             );
             let nl = ensemble_netlist(&forest);
             for (sample, _) in test.iter() {
@@ -229,7 +252,12 @@ mod tests {
             2,
             3,
             vec![
-                Node::Split { feature: 0, threshold: 8, lo: 1, hi: 2 },
+                Node::Split {
+                    feature: 0,
+                    threshold: 8,
+                    lo: 1,
+                    hi: 2,
+                },
                 Node::Leaf { class: 0 },
                 Node::Leaf { class: 1 },
             ],
@@ -240,7 +268,11 @@ mod tests {
         for level in 0..16u8 {
             let sample = [level, 0];
             let outs = nl.eval(&encode_ensemble_sample(&forest, &sample));
-            assert_eq!(one_hot(&outs), Some(forest.predict(&sample)), "level {level}");
+            assert_eq!(
+                one_hot(&outs),
+                Some(forest.predict(&sample)),
+                "level {level}"
+            );
         }
     }
 

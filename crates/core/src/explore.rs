@@ -18,15 +18,22 @@
 //! # Ok::<(), printed_datasets::DatasetError>(())
 //! ```
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 use printed_datasets::QuantizedDataset;
 use printed_dtree::cart::train_depth_selected;
 use printed_logic::report::AnalysisConfig;
 use printed_pdk::{AnalogModel, CellLibrary};
+use printed_telemetry::{keys, Progress, Recorder};
 
 use crate::system::{synthesize_unary_with, UnarySystem};
-use crate::train::{train_adc_aware, AdcAwareConfig};
+use crate::train::{train_adc_aware_recorded, AdcAwareConfig};
+
+/// Live progress callback for [`explore_instrumented`]: invoked from the
+/// sweep's worker threads, once per finished grid point.
+pub type ProgressFn<'p> = &'p (dyn Fn(Progress) + Send + Sync);
 
 /// The sweep grid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +62,42 @@ impl ExplorationConfig {
             taus: vec![0.0, 0.01, 0.03],
             depths: vec![2, 4, 6],
             seed: 0x0ADC,
+        }
+    }
+
+    /// Number of grid points the sweep will train.
+    pub fn grid_size(&self) -> usize {
+        self.taus.len() * self.depths.len()
+    }
+
+    /// Checks the grid is usable, panicking with an actionable message
+    /// otherwise. Called at every sweep entry point so a malformed config
+    /// fails fast instead of surfacing as a confusing deep `expect`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taus` or `depths` is empty, any `tau` is negative or not
+    /// finite, or any depth is zero.
+    pub fn validate(&self) {
+        assert!(
+            !self.taus.is_empty(),
+            "exploration grid has no taus: ExplorationConfig::taus must list at least one Gini-slack value (the paper sweeps 0..=0.03 step 0.005)"
+        );
+        assert!(
+            !self.depths.is_empty(),
+            "exploration grid has no depths: ExplorationConfig::depths must list at least one depth cap (the paper sweeps 2..=8)"
+        );
+        for &tau in &self.taus {
+            assert!(
+                tau.is_finite() && tau >= 0.0,
+                "exploration grid contains invalid tau {tau}: every tau must be a non-negative finite number"
+            );
+        }
+        for &depth in &self.depths {
+            assert!(
+                depth >= 1,
+                "exploration grid contains depth 0: every depth cap must be at least 1"
+            );
         }
     }
 }
@@ -101,15 +144,13 @@ impl Exploration {
             .min_by(|a, b| {
                 let pa = a.system.total_power().uw();
                 let pb = b.system.total_power().uw();
-                pa.partial_cmp(&pb)
-                    .expect("finite powers")
-                    .then_with(|| {
-                        a.system
-                            .total_area()
-                            .mm2()
-                            .partial_cmp(&b.system.total_area().mm2())
-                            .expect("finite areas")
-                    })
+                pa.partial_cmp(&pb).expect("finite powers").then_with(|| {
+                    a.system
+                        .total_area()
+                        .mm2()
+                        .partial_cmp(&b.system.total_area().mm2())
+                        .expect("finite areas")
+                })
             })
     }
 
@@ -136,8 +177,7 @@ impl Exploration {
                 .expect("finite accuracies")
         });
         frontier.dedup_by(|a, b| {
-            a.test_accuracy == b.test_accuracy
-                && a.system.total_power() == b.system.total_power()
+            a.test_accuracy == b.test_accuracy && a.system.total_power() == b.system.total_power()
         });
         frontier
     }
@@ -190,29 +230,73 @@ pub fn explore_with(
     analog: &AnalogModel,
     analysis: &AnalysisConfig,
 ) -> Exploration {
-    assert!(
-        !config.taus.is_empty() && !config.depths.is_empty(),
-        "exploration grid must be non-empty"
+    explore_instrumented(
+        train_data,
+        test_data,
+        config,
+        library,
+        analog,
+        analysis,
+        &Recorder::disabled(),
+        None,
+    )
+}
+
+/// [`explore_with`] plus observability: one [`keys::CANDIDATE_SPAN`] per
+/// grid point (fields `tau`, `depth`, `accuracy`, `comparators`), a
+/// [`keys::CANDIDATE_US`] wall-time histogram, and — independent of the
+/// recorder — an optional live `progress` callback fired from the worker
+/// threads as each candidate completes.
+///
+/// The instrumentation never touches the per-point RNG seeds, so the
+/// returned [`Exploration`] is bit-identical to [`explore_with`]'s.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_instrumented(
+    train_data: &QuantizedDataset,
+    test_data: &QuantizedDataset,
+    config: &ExplorationConfig,
+    library: &CellLibrary,
+    analog: &AnalogModel,
+    analysis: &AnalysisConfig,
+    recorder: &Recorder,
+    progress: Option<ProgressFn<'_>>,
+) -> Exploration {
+    config.validate();
+    let reference = train_depth_selected(
+        train_data,
+        test_data,
+        *config.depths.iter().max().expect("non-empty"),
     );
-    let reference = train_depth_selected(train_data, test_data, *config.depths.iter().max().expect("non-empty"));
 
     let grid: Vec<(usize, f64)> = config
         .depths
         .iter()
         .flat_map(|&d| config.taus.iter().map(move |&t| (d, t)))
         .collect();
+    let total = grid.len();
+    let done = AtomicUsize::new(0);
 
     // Independent trainings — fan out across threads (scoped, no deps).
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let chunk = grid.len().div_ceil(threads);
     let mut candidates: Vec<CandidateDesign> = std::thread::scope(|scope| {
         let handles: Vec<_> = grid
             .chunks(chunk.max(1))
             .map(|points| {
+                let done = &done;
                 scope.spawn(move || {
+                    // One histogram handle per worker: registration takes a
+                    // lock, observations after that are atomic.
+                    let candidate_us = recorder.histogram(keys::CANDIDATE_US);
                     points
                         .iter()
                         .map(|&(depth, tau)| {
+                            let span = recorder
+                                .span(keys::CANDIDATE_SPAN)
+                                .field("depth", depth)
+                                .field("tau", tau);
                             let cfg = AdcAwareConfig {
                                 max_depth: depth,
                                 tau,
@@ -224,17 +308,36 @@ pub fn explore_with(
                                     .wrapping_add((depth as u64) << 32)
                                     .wrapping_add((tau * 1e6) as u64),
                             };
-                            let tree = train_adc_aware(train_data, &cfg);
+                            let tree = train_adc_aware_recorded(train_data, &cfg, recorder);
                             let test_accuracy = tree.accuracy(test_data);
-                            let system =
-                                synthesize_unary_with(&tree, library, analog, analysis);
-                            CandidateDesign { tau, depth, test_accuracy, system }
+                            let system = synthesize_unary_with(&tree, library, analog, analysis);
+                            candidate_us.observe(
+                                span.field("accuracy", test_accuracy)
+                                    .field("comparators", system.comparator_count())
+                                    .finish(),
+                            );
+                            if let Some(callback) = progress {
+                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                callback(Progress {
+                                    done: finished,
+                                    total,
+                                });
+                            }
+                            CandidateDesign {
+                                tau,
+                                depth,
+                                test_accuracy,
+                                system,
+                            }
                         })
                         .collect::<Vec<_>>()
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("sweep worker panicked")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     });
     candidates.sort_by(|a, b| {
         a.depth
@@ -242,7 +345,10 @@ pub fn explore_with(
             .then(a.tau.partial_cmp(&b.tau).expect("finite taus"))
     });
 
-    Exploration { candidates, reference_accuracy: reference.test_accuracy }
+    Exploration {
+        candidates,
+        reference_accuracy: reference.test_accuracy,
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +430,83 @@ mod tests {
         assert!(frontier
             .iter()
             .any(|f| f.test_accuracy >= top.test_accuracy - 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "exploration grid has no taus")]
+    fn empty_taus_fail_fast() {
+        let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let config = ExplorationConfig {
+            taus: vec![],
+            ..ExplorationConfig::quick()
+        };
+        explore(&train_data, &test_data, &config);
+    }
+
+    #[test]
+    #[should_panic(expected = "exploration grid has no depths")]
+    fn empty_depths_fail_fast() {
+        let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let config = ExplorationConfig {
+            depths: vec![],
+            ..ExplorationConfig::quick()
+        };
+        explore(&train_data, &test_data, &config);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tau")]
+    fn negative_tau_fails_fast() {
+        let config = ExplorationConfig {
+            taus: vec![0.0, -0.01],
+            ..ExplorationConfig::quick()
+        };
+        config.validate();
+    }
+
+    #[test]
+    fn instrumented_sweep_traces_every_grid_point() {
+        use printed_telemetry::FieldValue;
+        let (train_data, test_data) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        let config = ExplorationConfig::quick();
+        let plain = explore(&train_data, &test_data, &config);
+        let (recorder, sink) = Recorder::collecting();
+        let progressed = AtomicUsize::new(0);
+        let traced = explore_instrumented(
+            &train_data,
+            &test_data,
+            &config,
+            &CellLibrary::egfet(),
+            &AnalogModel::egfet(),
+            &AnalysisConfig::printed_20hz(),
+            &recorder,
+            Some(&|p: Progress| {
+                progressed.fetch_max(p.done, Ordering::Relaxed);
+                assert_eq!(p.total, 9);
+            }),
+        );
+        assert_eq!(plain, traced, "instrumentation must not perturb the sweep");
+        assert_eq!(progressed.load(Ordering::Relaxed), 9);
+        let snap = sink.snapshot();
+        assert_eq!(
+            snap.spans_named(keys::CANDIDATE_SPAN).count(),
+            config.grid_size()
+        );
+        assert_eq!(snap.counter(keys::TREES_TRAINED), 9);
+        assert_eq!(snap.histogram(keys::CANDIDATE_US).unwrap().count, 9);
+        // Every candidate span carries the grid coordinates and outcome.
+        for span in snap.spans_named(keys::CANDIDATE_SPAN) {
+            assert!(span.field("depth").and_then(FieldValue::as_u64).is_some());
+            assert!(span.field("tau").and_then(FieldValue::as_f64).is_some());
+            assert!(span
+                .field("accuracy")
+                .and_then(FieldValue::as_f64)
+                .is_some());
+            assert!(span
+                .field("comparators")
+                .and_then(FieldValue::as_u64)
+                .is_some());
+        }
     }
 
     #[test]

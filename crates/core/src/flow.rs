@@ -25,13 +25,16 @@ use printed_dtree::cart::train_depth_selected;
 use printed_dtree::{synthesize_baseline_with, BaselineDesign};
 use printed_logic::report::AnalysisConfig;
 use printed_pdk::{AnalogModel, CellLibrary};
+use printed_telemetry::{keys, FieldValue, FlowTrace, Recorder};
 
 use crate::datasheet::Datasheet;
-use crate::explore::{explore_with, CandidateDesign, Exploration, ExplorationConfig};
+use crate::explore::{
+    explore_instrumented, CandidateDesign, Exploration, ExplorationConfig, ProgressFn,
+};
 use crate::system::Reduction;
 
 /// Builder for the full co-design flow.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CodesignFlow<'a> {
     train: &'a QuantizedDataset,
     test: &'a QuantizedDataset,
@@ -41,6 +44,20 @@ pub struct CodesignFlow<'a> {
     analog: AnalogModel,
     analysis: AnalysisConfig,
     title: String,
+    recorder: Recorder,
+    progress: Option<ProgressFn<'a>>,
+}
+
+impl std::fmt::Debug for CodesignFlow<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodesignFlow")
+            .field("title", &self.title)
+            .field("accuracy_loss", &self.accuracy_loss)
+            .field("grid", &self.grid)
+            .field("traced", &self.recorder.is_enabled())
+            .field("progress", &self.progress.map(|_| "<callback>"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> CodesignFlow<'a> {
@@ -56,6 +73,8 @@ impl<'a> CodesignFlow<'a> {
             analog: AnalogModel::egfet(),
             analysis: AnalysisConfig::printed_20hz(),
             title: train.name().to_owned(),
+            recorder: Recorder::disabled(),
+            progress: None,
         }
     }
 
@@ -65,7 +84,10 @@ impl<'a> CodesignFlow<'a> {
     ///
     /// Panics unless `loss ∈ [0, 1)`.
     pub fn accuracy_loss(mut self, loss: f64) -> Self {
-        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1), got {loss}");
+        assert!(
+            (0.0..1.0).contains(&loss),
+            "loss must be in [0, 1), got {loss}"
+        );
         self.accuracy_loss = loss;
         self
     }
@@ -100,34 +122,88 @@ impl<'a> CodesignFlow<'a> {
         self
     }
 
+    /// Installs a telemetry [`Recorder`]. Stage spans, per-candidate sweep
+    /// spans, and Algorithm 1 counters flow into its sink; if the sink
+    /// supports snapshots, [`FlowOutcome::trace`] is populated too.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Shorthand for [`CodesignFlow::recorder`] with a fresh in-memory
+    /// collecting sink, so [`FlowOutcome::trace`] comes back `Some`.
+    pub fn traced(self) -> Self {
+        let (recorder, _sink) = Recorder::collecting();
+        self.recorder(recorder)
+    }
+
+    /// Installs a live progress callback, invoked from the sweep's worker
+    /// threads once per finished grid point (`k/N candidates done`). Works
+    /// with or without a recorder.
+    pub fn progress(mut self, callback: ProgressFn<'a>) -> Self {
+        self.progress = Some(callback);
+        self
+    }
+
     /// Runs the flow.
     ///
     /// # Panics
     ///
-    /// Panics if either dataset is empty or the grid is empty (propagated
-    /// from the underlying stages).
+    /// Panics if either dataset is empty or the grid is malformed (see
+    /// [`ExplorationConfig::validate`]) — the grid is checked here, before
+    /// any training starts.
     pub fn run(self) -> FlowOutcome {
-        let max_depth = self.grid.depths.iter().copied().max().unwrap_or(8);
+        self.grid.validate();
+        let max_depth = self
+            .grid
+            .depths
+            .iter()
+            .copied()
+            .max()
+            .expect("validated non-empty depths");
+
+        let stage = self.recorder.span(keys::STAGE_REFERENCE);
         let reference = train_depth_selected(self.train, self.test, max_depth);
-        let baseline = synthesize_baseline_with(
-            &reference.tree,
-            &self.library,
-            &self.analog,
-            &self.analysis,
-        );
-        let sweep = explore_with(
+        stage.finish();
+
+        let stage = self.recorder.span(keys::STAGE_BASELINE);
+        let baseline =
+            synthesize_baseline_with(&reference.tree, &self.library, &self.analog, &self.analysis);
+        stage.finish();
+
+        let stage = self.recorder.span(keys::STAGE_SWEEP);
+        let sweep = explore_instrumented(
             self.train,
             self.test,
             &self.grid,
             &self.library,
             &self.analog,
             &self.analysis,
+            &self.recorder,
+            self.progress,
         );
+        stage.finish();
+
+        let stage = self.recorder.span(keys::STAGE_SELECTION);
         let chosen = sweep
             .select(self.accuracy_loss)
             .or_else(|| sweep.most_accurate())
             .expect("non-empty grid yields candidates")
             .clone();
+        self.recorder.event(
+            keys::SELECTED_EVENT,
+            vec![
+                ("tau".to_owned(), FieldValue::F64(chosen.tau)),
+                ("depth".to_owned(), FieldValue::U64(chosen.depth as u64)),
+                ("accuracy".to_owned(), FieldValue::F64(chosen.test_accuracy)),
+            ],
+        );
+        stage.finish();
+
+        let trace = self
+            .recorder
+            .snapshot()
+            .map(|snapshot| FlowTrace::from_snapshot(&self.title, &snapshot));
         FlowOutcome {
             title: self.title,
             accuracy_loss: self.accuracy_loss,
@@ -135,6 +211,7 @@ impl<'a> CodesignFlow<'a> {
             baseline,
             sweep,
             chosen,
+            trace,
         }
     }
 }
@@ -154,6 +231,11 @@ pub struct FlowOutcome {
     pub sweep: Exploration,
     /// The selected co-design.
     pub chosen: CandidateDesign,
+    /// Telemetry summary of this run — `Some` iff a snapshot-capable
+    /// recorder was installed ([`CodesignFlow::traced`] or
+    /// [`CodesignFlow::recorder`] with a collecting sink).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<FlowTrace>,
 }
 
 impl FlowOutcome {
@@ -162,10 +244,19 @@ impl FlowOutcome {
         self.chosen.system.reduction_vs(&self.baseline)
     }
 
+    /// The run's telemetry summary, if the flow was traced.
+    pub fn trace(&self) -> Option<&FlowTrace> {
+        self.trace.as_ref()
+    }
+
     /// Renders the chosen design's datasheet.
     pub fn datasheet(&self) -> String {
-        Datasheet::new(&self.title, &self.chosen.system, Some(self.chosen.test_accuracy))
-            .to_string()
+        Datasheet::new(
+            &self.title,
+            &self.chosen.system,
+            Some(self.chosen.test_accuracy),
+        )
+        .to_string()
     }
 }
 
@@ -193,7 +284,11 @@ mod tests {
     #[test]
     fn flow_respects_custom_grid_and_loss() {
         let (train, test) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
-        let grid = ExplorationConfig { taus: vec![0.0], depths: vec![2, 3], seed: 1 };
+        let grid = ExplorationConfig {
+            taus: vec![0.0],
+            depths: vec![2, 3],
+            seed: 1,
+        };
         let outcome = CodesignFlow::new(&train, &test)
             .accuracy_loss(0.05)
             .grid(grid)
@@ -207,5 +302,77 @@ mod tests {
     fn flow_rejects_invalid_loss() {
         let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
         let _ = CodesignFlow::new(&train, &test).accuracy_loss(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exploration grid has no depths")]
+    fn flow_rejects_empty_grid_before_training() {
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let grid = ExplorationConfig {
+            taus: vec![0.0],
+            depths: vec![],
+            seed: 1,
+        };
+        let _ = CodesignFlow::new(&train, &test).grid(grid).run();
+    }
+
+    #[test]
+    fn traced_flow_records_stages_and_candidates() {
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let grid = ExplorationConfig::quick();
+        let expected_candidates = grid.grid_size();
+        let outcome = CodesignFlow::new(&train, &test)
+            .accuracy_loss(0.01)
+            .grid(grid)
+            .traced()
+            .run();
+        let trace = outcome.trace().expect("traced flow must carry a trace");
+        for stage in [
+            keys::STAGE_REFERENCE,
+            keys::STAGE_BASELINE,
+            keys::STAGE_SWEEP,
+            keys::STAGE_SELECTION,
+        ] {
+            assert!(trace.stage(stage).is_some(), "missing {stage}");
+        }
+        assert_eq!(trace.sweep.total_candidates, expected_candidates);
+        assert_eq!(
+            trace.counter(keys::TREES_TRAINED) as usize,
+            expected_candidates
+        );
+        let (s_z, s_m, s_h) = trace.split_selections();
+        assert!(s_z + s_m + s_h > 0, "Algorithm 1 tallies must be populated");
+        // The selection event mirrors the chosen design.
+        let selected: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == keys::SELECTED_EVENT)
+            .collect();
+        assert_eq!(selected.len(), 1);
+        assert_eq!(
+            selected[0].field("depth").and_then(FieldValue::as_u64),
+            Some(outcome.chosen.depth as u64)
+        );
+        // Renderers stay usable from the outcome.
+        assert!(trace.to_ndjson().contains(r#""kind":"flow""#));
+        assert!(trace.render_text().contains("candidates"));
+    }
+
+    #[test]
+    fn untraced_flow_carries_no_trace_and_matches_traced_results() {
+        let (train, test) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        let grid = ExplorationConfig {
+            taus: vec![0.0, 0.01],
+            depths: vec![2, 3],
+            seed: 7,
+        };
+        let plain = CodesignFlow::new(&train, &test).grid(grid.clone()).run();
+        let traced = CodesignFlow::new(&train, &test).grid(grid).traced().run();
+        assert!(plain.trace().is_none());
+        assert!(traced.trace().is_some());
+        // Instrumentation must not perturb the numbers.
+        assert_eq!(plain.chosen, traced.chosen);
+        assert_eq!(plain.sweep, traced.sweep);
+        assert_eq!(plain.reference_accuracy, traced.reference_accuracy);
     }
 }

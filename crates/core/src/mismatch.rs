@@ -28,6 +28,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use printed_telemetry::Recorder;
+
 use printed_analog::ladder::Ladder;
 use printed_analog::mc::sample_normal;
 use printed_analog::MismatchModel;
@@ -63,7 +65,12 @@ fn predict_analog(
     loop {
         match tree.nodes()[i] {
             Node::Leaf { class } => return class,
-            Node::Split { feature, threshold, lo, hi } => {
+            Node::Split {
+                feature,
+                threshold,
+                lo,
+                hi,
+            } => {
                 let t = thresholds[&(feature, threshold)];
                 i = if sample[feature] >= t { hi } else { lo };
             }
@@ -113,10 +120,41 @@ pub fn mismatch_accuracy_with(
     seed: u64,
     analog: &AnalogModel,
 ) -> MismatchReport {
+    mismatch_accuracy_recorded(
+        tree,
+        test,
+        mismatch,
+        trials,
+        seed,
+        analog,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`mismatch_accuracy_with`] plus instrumentation: every trial bumps
+/// [`printed_telemetry::keys::MC_TRIALS`] (and `MC_FAILURES` on solve
+/// failures) through the shared Monte-Carlo counters in `printed-analog`.
+/// The report is bit-identical to the unrecorded variants.
+#[allow(clippy::too_many_arguments)]
+pub fn mismatch_accuracy_recorded(
+    tree: &DecisionTree,
+    test: &Dataset,
+    mismatch: &MismatchModel,
+    trials: usize,
+    seed: u64,
+    analog: &AnalogModel,
+    recorder: &Recorder,
+) -> MismatchReport {
     assert!(trials > 0, "need at least one trial");
-    assert!(tree.split_count() > 0, "a constant tree has no thresholds to perturb");
+    assert!(
+        tree.split_count() > 0,
+        "a constant tree has no thresholds to perturb"
+    );
     assert!(!test.is_empty(), "cannot score an empty dataset");
-    assert!(test.n_features() >= tree.n_features(), "dataset narrower than the tree");
+    assert!(
+        test.n_features() >= tree.n_features(),
+        "dataset narrower than the tree"
+    );
 
     let bank = UnaryClassifier::from_tree(tree).adc_bank();
     let distinct = bank.distinct_taps();
@@ -141,9 +179,14 @@ pub fn mismatch_accuracy_with(
     let mut accs = Vec::with_capacity(trials);
     for _ in 0..trials {
         // Shared perturbed ladder: one vref per distinct tap.
-        let sample = mismatch.sample(&ladder, &mut rng).expect("perturbed ladder solves");
-        let vref: BTreeMap<usize, f64> =
-            sample.taps().iter().map(|t| (t.tap, t.vref_volts)).collect();
+        let sample = mismatch
+            .sample_recorded(&ladder, &mut rng, recorder)
+            .expect("perturbed ladder solves");
+        let vref: BTreeMap<usize, f64> = sample
+            .taps()
+            .iter()
+            .map(|t| (t.tap, t.vref_volts))
+            .collect();
         // Per-comparator offsets on top.
         let thresholds: BTreeMap<(usize, u8), f64> = tree
             .distinct_pairs()
@@ -159,7 +202,13 @@ pub fn mismatch_accuracy_with(
     let mean = accs.iter().sum::<f64>() / accs.len() as f64;
     let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
     let max = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    MismatchReport { nominal, mean, min, max, trials }
+    MismatchReport {
+        nominal,
+        mean,
+        min,
+        max,
+        trials,
+    }
 }
 
 #[cfg(test)]
@@ -186,8 +235,7 @@ mod tests {
     #[test]
     fn typical_variation_degrades_gracefully() {
         let (tree, test) = setup();
-        let report =
-            mismatch_accuracy(&tree, &test, &MismatchModel::typical_printed(), 25, 2);
+        let report = mismatch_accuracy(&tree, &test, &MismatchModel::typical_printed(), 25, 2);
         assert!(report.min <= report.mean && report.mean <= report.max);
         assert!(
             report.mean > report.nominal - 0.25,
@@ -201,8 +249,7 @@ mod tests {
     #[test]
     fn pessimistic_variation_hurts_more() {
         let (tree, test) = setup();
-        let typical =
-            mismatch_accuracy(&tree, &test, &MismatchModel::typical_printed(), 25, 3);
+        let typical = mismatch_accuracy(&tree, &test, &MismatchModel::typical_printed(), 25, 3);
         let pessimistic =
             mismatch_accuracy(&tree, &test, &MismatchModel::pessimistic_printed(), 25, 3);
         assert!(pessimistic.mean <= typical.mean + 0.02);
@@ -214,6 +261,31 @@ mod tests {
         let a = mismatch_accuracy(&tree, &test, &MismatchModel::typical_printed(), 10, 42);
         let b = mismatch_accuracy(&tree, &test, &MismatchModel::typical_printed(), 10, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorded_report_counts_trials_and_matches_plain() {
+        use printed_telemetry::keys;
+        let (tree, test) = setup();
+        let model = MismatchModel::typical_printed();
+        let plain = mismatch_accuracy(&tree, &test, &model, 10, 42);
+        let (recorder, sink) = Recorder::collecting();
+        let recorded = mismatch_accuracy_recorded(
+            &tree,
+            &test,
+            &model,
+            10,
+            42,
+            &AnalogModel::egfet(),
+            &recorder,
+        );
+        assert_eq!(
+            plain, recorded,
+            "instrumentation must not perturb the report"
+        );
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(keys::MC_TRIALS), 10);
+        assert_eq!(snap.counter(keys::MC_FAILURES), 0);
     }
 
     #[test]

@@ -69,7 +69,10 @@ fn decode_one_hot(outputs: &[bool]) -> Option<usize> {
 /// Panics if `test` is empty or narrower than the tree's feature space.
 pub fn fault_robustness(tree: &DecisionTree, test: &QuantizedDataset) -> FaultRobustness {
     assert!(!test.is_empty(), "cannot score an empty dataset");
-    assert!(test.n_features() >= tree.n_features(), "dataset narrower than the tree");
+    assert!(
+        test.n_features() >= tree.n_features(),
+        "dataset narrower than the tree"
+    );
     let classifier = UnaryClassifier::from_tree(tree);
     let netlist = classifier.to_netlist();
 

@@ -38,9 +38,7 @@ use serde::{Deserialize, Serialize};
 
 use printed_dtree::DecisionTree;
 use printed_logic::report::{analyze, AnalysisConfig};
-use printed_pdk::{
-    AnalogModel, Area, CellKind, CellLibrary, Delay, Power, SequentialParams,
-};
+use printed_pdk::{AnalogModel, Area, CellKind, CellLibrary, Delay, Power, SequentialParams};
 
 use crate::unary::UnaryClassifier;
 

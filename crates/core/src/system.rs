@@ -108,7 +108,11 @@ pub fn synthesize_unary_with(
     let netlist = classifier.to_netlist();
     let digital = analyze(&netlist, library, config);
     let adc = classifier.adc_bank().cost(analog);
-    UnarySystem { classifier, digital, adc }
+    UnarySystem {
+        classifier,
+        digital,
+        adc,
+    }
 }
 
 #[cfg(test)]
@@ -120,14 +124,26 @@ mod tests {
 
     #[test]
     fn unary_system_beats_baseline_on_both_axes() {
-        for benchmark in [Benchmark::Vertebral3C, Benchmark::Seeds, Benchmark::BalanceScale] {
+        for benchmark in [
+            Benchmark::Vertebral3C,
+            Benchmark::Seeds,
+            Benchmark::BalanceScale,
+        ] {
             let (train, test) = benchmark.load_quantized(4).unwrap();
             let model = train_depth_selected(&train, &test, 8);
             let baseline = synthesize_baseline(&model.tree);
             let ours = synthesize_unary(&model.tree);
             let r = ours.reduction_vs(&baseline);
-            assert!(r.area_factor > 1.5, "{benchmark}: area ×{:.2}", r.area_factor);
-            assert!(r.power_factor > 2.0, "{benchmark}: power ×{:.2}", r.power_factor);
+            assert!(
+                r.area_factor > 1.5,
+                "{benchmark}: area ×{:.2}",
+                r.area_factor
+            );
+            assert!(
+                r.power_factor > 2.0,
+                "{benchmark}: power ×{:.2}",
+                r.power_factor
+            );
         }
     }
 

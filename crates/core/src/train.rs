@@ -38,6 +38,7 @@ use serde::{Deserialize, Serialize};
 use printed_datasets::QuantizedDataset;
 use printed_dtree::cart::{split_candidates, CartConfig, SplitCandidate};
 use printed_dtree::{DecisionTree, Node};
+use printed_telemetry::{keys, Recorder};
 
 /// Configuration for [`train_adc_aware`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,7 +56,12 @@ pub struct AdcAwareConfig {
 
 impl Default for AdcAwareConfig {
     fn default() -> Self {
-        Self { max_depth: 8, tau: 0.0, min_samples_split: 2, seed: 0x0ADC }
+        Self {
+            max_depth: 8,
+            tau: 0.0,
+            min_samples_split: 2,
+            seed: 0x0ADC,
+        }
     }
 }
 
@@ -91,9 +97,30 @@ fn classify(
 ///
 /// Panics if `data` is empty or `tau` is negative/not finite.
 pub fn train_adc_aware(data: &QuantizedDataset, config: &AdcAwareConfig) -> DecisionTree {
+    train_adc_aware_recorded(data, config, &Recorder::disabled())
+}
+
+/// [`train_adc_aware`] with instrumentation: emits one
+/// [`keys::TRAIN_SPAN`] per tree (fields `gini_evals`, `s_z`, `s_m`,
+/// `s_h`, `nodes`) and bumps the global `train.*` counters. With a
+/// disabled recorder this is exactly [`train_adc_aware`] — the tallies are
+/// plain local integers, so the trained tree (and the RNG stream) is
+/// bit-identical either way.
+pub fn train_adc_aware_recorded(
+    data: &QuantizedDataset,
+    config: &AdcAwareConfig,
+    recorder: &Recorder,
+) -> DecisionTree {
     let mut selected = BTreeSet::new();
     let mut used_features = BTreeSet::new();
-    train_adc_aware_seeded(data, config, &mut selected, &mut used_features, &(0..data.len()).collect::<Vec<_>>())
+    train_adc_aware_seeded(
+        data,
+        config,
+        &mut selected,
+        &mut used_features,
+        &(0..data.len()).collect::<Vec<_>>(),
+        recorder,
+    )
 }
 
 /// Trains an *ensemble* with Algorithm 1 where the `S_Z`/`S_M` hardware
@@ -111,16 +138,39 @@ pub fn train_adc_aware_forest(
     config: &AdcAwareConfig,
     trees: usize,
 ) -> printed_dtree::Forest {
+    train_adc_aware_forest_recorded(data, config, trees, &Recorder::disabled())
+}
+
+/// [`train_adc_aware_forest`] with instrumentation: one
+/// [`keys::TRAIN_SPAN`] per ensemble member plus the global `train.*`
+/// counters, exactly as [`train_adc_aware_recorded`].
+pub fn train_adc_aware_forest_recorded(
+    data: &QuantizedDataset,
+    config: &AdcAwareConfig,
+    trees: usize,
+    recorder: &Recorder,
+) -> printed_dtree::Forest {
     assert!(trees >= 1, "need at least one tree");
     let mut selected: BTreeSet<(usize, u8)> = BTreeSet::new();
     let mut used_features: BTreeSet<usize> = BTreeSet::new();
     let mut boot_rng = StdRng::seed_from_u64(config.seed ^ 0xB007);
     let members: Vec<DecisionTree> = (0..trees)
         .map(|t| {
-            let indices: Vec<usize> =
-                (0..data.len()).map(|_| boot_rng.gen_range(0..data.len())).collect();
-            let cfg = AdcAwareConfig { seed: config.seed.wrapping_add(t as u64), ..*config };
-            train_adc_aware_seeded(data, &cfg, &mut selected, &mut used_features, &indices)
+            let indices: Vec<usize> = (0..data.len())
+                .map(|_| boot_rng.gen_range(0..data.len()))
+                .collect();
+            let cfg = AdcAwareConfig {
+                seed: config.seed.wrapping_add(t as u64),
+                ..*config
+            };
+            train_adc_aware_seeded(
+                data,
+                &cfg,
+                &mut selected,
+                &mut used_features,
+                &indices,
+                recorder,
+            )
         })
         .collect();
     printed_dtree::Forest::from_trees(members)
@@ -134,6 +184,7 @@ fn train_adc_aware_seeded(
     selected: &mut BTreeSet<(usize, u8)>,
     used_features: &mut BTreeSet<usize>,
     root_indices: &[usize],
+    recorder: &Recorder,
 ) -> DecisionTree {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     assert!(!root_indices.is_empty(), "cannot train on an empty subset");
@@ -142,6 +193,11 @@ fn train_adc_aware_seeded(
         "tau must be a non-negative finite number, got {}",
         config.tau
     );
+    // Per-tree tallies are plain integers, counted unconditionally: the
+    // cost is negligible and keeping them outside the Recorder guarantees
+    // instrumentation cannot perturb the RNG stream or the grown tree.
+    let mut span = recorder.span(keys::TRAIN_SPAN);
+    let (mut gini_evals, mut s_z, mut s_m, mut s_h) = (0u64, 0u64, 0u64, 0u64);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let cart_cfg = CartConfig {
         max_depth: config.max_depth,
@@ -166,11 +222,19 @@ fn train_adc_aware_seeded(
             continue;
         }
         let candidates = split_candidates(data, &indices, &cart_cfg);
+        gini_evals += candidates.len() as u64;
         if candidates.is_empty() {
             nodes[slot] = Node::Leaf { class: majority };
             continue;
         }
         let split = select_split(&candidates, selected, used_features, config.tau, &mut rng);
+        // Classify against the hardware state *before* committing the
+        // split — afterwards every pick would look zero-cost.
+        match classify(&split, selected, used_features) {
+            CostClass::Zero => s_z += 1,
+            CostClass::Medium => s_m += 1,
+            CostClass::High => s_h += 1,
+        }
         selected.insert((split.feature, split.threshold));
         used_features.insert(split.feature);
 
@@ -192,6 +256,20 @@ fn train_adc_aware_seeded(
         queue.push_back((lo_slot, lo_idx, depth + 1));
         queue.push_back((hi_slot, hi_idx, depth + 1));
     }
+
+    if recorder.is_enabled() {
+        recorder.add(keys::GINI_EVALS, gini_evals);
+        recorder.add(keys::SPLIT_ZERO, s_z);
+        recorder.add(keys::SPLIT_MEDIUM, s_m);
+        recorder.add(keys::SPLIT_HIGH, s_h);
+        recorder.add(keys::TREES_TRAINED, 1);
+        span.record("gini_evals", gini_evals);
+        span.record("s_z", s_z);
+        span.record("s_m", s_m);
+        span.record("s_h", s_h);
+        span.record("nodes", nodes.len());
+    }
+    span.finish();
 
     DecisionTree::from_nodes(data.bits(), data.n_features(), data.n_classes(), nodes)
         .expect("trainer builds valid trees")
@@ -229,15 +307,21 @@ fn select_split(
         zero
     } else {
         let medium = of_class(CostClass::Medium);
-        let z = if !medium.is_empty() { medium } else { of_class(CostClass::High) };
+        let z = if !medium.is_empty() {
+            medium
+        } else {
+            of_class(CostClass::High)
+        };
         // Lowest threshold first (cheapest comparator), then best Gini.
         let c_min = z.iter().map(|c| c.threshold).min().expect("non-empty");
         z.into_iter().filter(|c| c.threshold == c_min).collect()
     };
 
     let g_min = pool.iter().map(|c| c.gini).fold(f64::INFINITY, f64::min);
-    let finalists: Vec<&SplitCandidate> =
-        pool.into_iter().filter(|c| (c.gini - g_min).abs() <= 1e-12).collect();
+    let finalists: Vec<&SplitCandidate> = pool
+        .into_iter()
+        .filter(|c| (c.gini - g_min).abs() <= 1e-12)
+        .collect();
     *finalists[rng.gen_range(0..finalists.len())]
 }
 
@@ -269,13 +353,21 @@ mod tests {
     fn tau_zero_matches_cart_accuracy() {
         // With τ = 0 only Gini-optimal splits are eligible, so training
         // accuracy equals plain CART's (tie-breaking may differ).
-        for benchmark in [Benchmark::Seeds, Benchmark::Vertebral2C, Benchmark::BalanceScale] {
+        for benchmark in [
+            Benchmark::Seeds,
+            Benchmark::Vertebral2C,
+            Benchmark::BalanceScale,
+        ] {
             let (train_data, _) = benchmark.load_quantized(4).unwrap();
             for depth in [2, 4] {
                 let cart = train(&train_data, &CartConfig::with_max_depth(depth));
                 let aware = train_adc_aware(
                     &train_data,
-                    &AdcAwareConfig { max_depth: depth, tau: 0.0, ..Default::default() },
+                    &AdcAwareConfig {
+                        max_depth: depth,
+                        tau: 0.0,
+                        ..Default::default()
+                    },
                 );
                 let ca = cart.accuracy(&train_data);
                 let aa = aware.accuracy(&train_data);
@@ -292,11 +384,19 @@ mod tests {
         let (train_data, _) = Benchmark::Cardio.load_quantized(4).unwrap();
         let strict = train_adc_aware(
             &train_data,
-            &AdcAwareConfig { max_depth: 6, tau: 0.0, ..Default::default() },
+            &AdcAwareConfig {
+                max_depth: 6,
+                tau: 0.0,
+                ..Default::default()
+            },
         );
         let relaxed = train_adc_aware(
             &train_data,
-            &AdcAwareConfig { max_depth: 6, tau: 0.02, ..Default::default() },
+            &AdcAwareConfig {
+                max_depth: 6,
+                tau: 0.02,
+                ..Default::default()
+            },
         );
         // Hardware proxy: distinct (feature, threshold) pairs = retained
         // comparators.
@@ -316,7 +416,11 @@ mod tests {
         let cart = train(&train_data, &CartConfig::with_max_depth(5));
         let aware = train_adc_aware(
             &train_data,
-            &AdcAwareConfig { max_depth: 5, tau: 0.02, ..Default::default() },
+            &AdcAwareConfig {
+                max_depth: 5,
+                tau: 0.02,
+                ..Default::default()
+            },
         );
         let mean_threshold = |t: &printed_dtree::DecisionTree| {
             let pairs = t.distinct_pairs();
@@ -333,8 +437,15 @@ mod tests {
     #[test]
     fn training_is_seed_deterministic() {
         let (train_data, _) = Benchmark::Vertebral3C.load_quantized(4).unwrap();
-        let cfg = AdcAwareConfig { max_depth: 5, tau: 0.01, ..Default::default() };
-        assert_eq!(train_adc_aware(&train_data, &cfg), train_adc_aware(&train_data, &cfg));
+        let cfg = AdcAwareConfig {
+            max_depth: 5,
+            tau: 0.01,
+            ..Default::default()
+        };
+        assert_eq!(
+            train_adc_aware(&train_data, &cfg),
+            train_adc_aware(&train_data, &cfg)
+        );
         let other = AdcAwareConfig { seed: 999, ..cfg };
         // Different seeds may or may not differ; just ensure it runs.
         let _ = train_adc_aware(&train_data, &other);
@@ -344,11 +455,20 @@ mod tests {
     fn aware_forest_shares_comparators_across_trees() {
         use printed_dtree::forest::{train_forest, ForestConfig};
         let (train_data, test_data) = Benchmark::Vertebral3C.load_quantized(4).unwrap();
-        let cfg = AdcAwareConfig { max_depth: 3, tau: 0.015, ..Default::default() };
+        let cfg = AdcAwareConfig {
+            max_depth: 3,
+            tau: 0.015,
+            ..Default::default()
+        };
         let aware = train_adc_aware_forest(&train_data, &cfg, 3);
         let unaware = train_forest(
             &train_data,
-            &ForestConfig { trees: 3, max_depth: 3, feature_fraction: 1.0, seed: cfg.seed },
+            &ForestConfig {
+                trees: 3,
+                max_depth: 3,
+                feature_fraction: 1.0,
+                seed: cfg.seed,
+            },
         );
         // The shared S_Z/S_M state must keep the union comparator pool at
         // or below the hardware-blind forest's.
@@ -366,7 +486,11 @@ mod tests {
     #[test]
     fn aware_forest_is_deterministic() {
         let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
-        let cfg = AdcAwareConfig { max_depth: 3, tau: 0.01, ..Default::default() };
+        let cfg = AdcAwareConfig {
+            max_depth: 3,
+            tau: 0.01,
+            ..Default::default()
+        };
         assert_eq!(
             train_adc_aware_forest(&train_data, &cfg, 3),
             train_adc_aware_forest(&train_data, &cfg, 3)
@@ -378,9 +502,56 @@ mod tests {
         let (train_data, _) = Benchmark::Pendigits.load_quantized(4).unwrap();
         let tree = train_adc_aware(
             &train_data,
-            &AdcAwareConfig { max_depth: 3, tau: 0.005, ..Default::default() },
+            &AdcAwareConfig {
+                max_depth: 3,
+                tau: 0.005,
+                ..Default::default()
+            },
         );
         assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn recorded_training_tallies_without_changing_the_tree() {
+        use printed_telemetry::FieldValue;
+        let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let cfg = AdcAwareConfig {
+            max_depth: 4,
+            tau: 0.01,
+            ..Default::default()
+        };
+        let plain = train_adc_aware(&train_data, &cfg);
+        let (recorder, sink) = Recorder::collecting();
+        let recorded = train_adc_aware_recorded(&train_data, &cfg, &recorder);
+        assert_eq!(plain, recorded, "instrumentation must not perturb training");
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(keys::TREES_TRAINED), 1);
+        assert!(snap.counter(keys::GINI_EVALS) > 0);
+        // The very first split faces an empty hardware state, so at least
+        // one selection lands in S_H.
+        assert!(snap.counter(keys::SPLIT_HIGH) >= 1);
+        let spans: Vec<_> = snap.spans_named(keys::TRAIN_SPAN).collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].field("gini_evals").and_then(FieldValue::as_u64),
+            Some(snap.counter(keys::GINI_EVALS))
+        );
+    }
+
+    #[test]
+    fn recorded_forest_emits_one_span_per_tree() {
+        let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let cfg = AdcAwareConfig {
+            max_depth: 3,
+            tau: 0.01,
+            ..Default::default()
+        };
+        let (recorder, sink) = Recorder::collecting();
+        let forest = train_adc_aware_forest_recorded(&train_data, &cfg, 3, &recorder);
+        assert_eq!(forest, train_adc_aware_forest(&train_data, &cfg, 3));
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(keys::TREES_TRAINED), 3);
+        assert_eq!(snap.spans_named(keys::TRAIN_SPAN).count(), 3);
     }
 
     #[test]
@@ -389,7 +560,10 @@ mod tests {
         let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
         train_adc_aware(
             &train_data,
-            &AdcAwareConfig { tau: -0.01, ..Default::default() },
+            &AdcAwareConfig {
+                tau: -0.01,
+                ..Default::default()
+            },
         );
     }
 }

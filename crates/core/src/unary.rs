@@ -29,9 +29,9 @@ use std::collections::BTreeSet;
 use serde::{Deserialize, Serialize};
 
 use printed_adc::BespokeAdcBank;
+use printed_dtree::DecisionTree;
 use printed_logic::netlist::Netlist;
 use printed_logic::sop::{Cube, Sop};
-use printed_dtree::DecisionTree;
 
 /// A decision tree re-expressed as per-class two-level logic over unary
 /// literals.
@@ -137,7 +137,10 @@ impl UnaryClassifier {
 
     /// Evaluates the unary literals for a quantized sample.
     fn assignment(&self, sample: &[u8]) -> Vec<bool> {
-        self.literals.iter().map(|&(f, tap)| sample[f] >= tap).collect()
+        self.literals
+            .iter()
+            .map(|&(f, tap)| sample[f] >= tap)
+            .collect()
     }
 
     /// Predicts by evaluating the per-class covers. Returns `None` if the
@@ -173,7 +176,8 @@ impl UnaryClassifier {
     pub fn adc_bank(&self) -> BespokeAdcBank {
         let mut bank = BespokeAdcBank::new(self.bits);
         for &(feature, tap) in &self.literals {
-            bank.require(feature, tap as usize).expect("tree thresholds are valid taps");
+            bank.require(feature, tap as usize)
+                .expect("tree thresholds are valid taps");
         }
         bank
     }
@@ -265,7 +269,11 @@ impl UnaryClassifier {
     /// the ADC outputs, so they are structural don't-cares for logic
     /// minimization.
     pub fn is_feasible_assignment(&self, assignment: &[bool]) -> bool {
-        assert_eq!(assignment.len(), self.literals.len(), "one value per literal");
+        assert_eq!(
+            assignment.len(),
+            self.literals.len(),
+            "one value per literal"
+        );
         for i in 1..self.literals.len() {
             let (f_prev, _) = self.literals[i - 1];
             let (f, _) = self.literals[i];
@@ -355,11 +363,26 @@ mod tests {
             5,
             3,
             vec![
-                Node::Split { feature: 1, threshold: 3, lo: 1, hi: 4 },
-                Node::Split { feature: 4, threshold: 2, lo: 2, hi: 3 },
+                Node::Split {
+                    feature: 1,
+                    threshold: 3,
+                    lo: 1,
+                    hi: 4,
+                },
+                Node::Split {
+                    feature: 4,
+                    threshold: 2,
+                    lo: 2,
+                    hi: 3,
+                },
                 Node::Leaf { class: 0 },
                 Node::Leaf { class: 1 },
-                Node::Split { feature: 2, threshold: 6, lo: 5, hi: 6 },
+                Node::Split {
+                    feature: 2,
+                    threshold: 6,
+                    lo: 5,
+                    hi: 6,
+                },
                 Node::Leaf { class: 2 },
                 Node::Leaf { class: 0 },
             ],
@@ -397,8 +420,12 @@ mod tests {
         let nl = u.to_netlist();
         for (sample, _) in test_data.iter() {
             let outs = nl.eval(&u.encode_sample(sample));
-            let hot: Vec<usize> =
-                outs.iter().enumerate().filter(|(_, &o)| o).map(|(c, _)| c).collect();
+            let hot: Vec<usize> = outs
+                .iter()
+                .enumerate()
+                .filter(|(_, &o)| o)
+                .map(|(c, _)| c)
+                .collect();
             assert_eq!(hot.len(), 1, "one-hot violated for {sample:?}");
             assert_eq!(hot[0], model.tree.predict(sample));
         }
@@ -415,8 +442,9 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 17;
             state ^= state << 5;
-            let sample: Vec<u8> =
-                (0..train_data.n_features()).map(|f| ((state >> (f % 4)) & 15) as u8).collect();
+            let sample: Vec<u8> = (0..train_data.n_features())
+                .map(|f| ((state >> (f % 4)) & 15) as u8)
+                .collect();
             assert!(u.predict(&sample).is_some());
         }
     }
@@ -430,9 +458,19 @@ mod tests {
             2,
             2,
             vec![
-                Node::Split { feature: 0, threshold: 8, lo: 1, hi: 2 },
+                Node::Split {
+                    feature: 0,
+                    threshold: 8,
+                    lo: 1,
+                    hi: 2,
+                },
                 Node::Leaf { class: 1 },
-                Node::Split { feature: 1, threshold: 4, lo: 3, hi: 4 },
+                Node::Split {
+                    feature: 1,
+                    threshold: 4,
+                    lo: 3,
+                    hi: 4,
+                },
                 Node::Leaf { class: 0 },
                 Node::Leaf { class: 0 },
             ],
@@ -449,11 +487,19 @@ mod tests {
         let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
         let model = train_depth_selected(&train_data, &test_data, 5);
         let u = UnaryClassifier::from_tree(&model.tree);
-        for netlist in [u.to_netlist(), u.to_two_level_netlist(), u.to_nand_nand_netlist()] {
+        for netlist in [
+            u.to_netlist(),
+            u.to_two_level_netlist(),
+            u.to_nand_nand_netlist(),
+        ] {
             for (sample, _) in test_data.iter() {
                 let outs = netlist.eval(&u.encode_sample(sample));
-                let hot: Vec<usize> =
-                    outs.iter().enumerate().filter(|(_, &o)| o).map(|(c, _)| c).collect();
+                let hot: Vec<usize> = outs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &o)| o)
+                    .map(|(c, _)| c)
+                    .collect();
                 assert_eq!(hot, vec![model.tree.predict(sample)], "{}", netlist.name());
             }
         }
@@ -507,11 +553,26 @@ mod tests {
             3,
             2,
             vec![
-                Node::Split { feature: 1, threshold: 3, lo: 1, hi: 2 },
+                Node::Split {
+                    feature: 1,
+                    threshold: 3,
+                    lo: 1,
+                    hi: 2,
+                },
                 Node::Leaf { class: 0 },
-                Node::Split { feature: 1, threshold: 9, lo: 3, hi: 4 },
+                Node::Split {
+                    feature: 1,
+                    threshold: 9,
+                    lo: 3,
+                    hi: 4,
+                },
                 Node::Leaf { class: 0 },
-                Node::Split { feature: 2, threshold: 5, lo: 5, hi: 6 },
+                Node::Split {
+                    feature: 2,
+                    threshold: 5,
+                    lo: 5,
+                    hi: 6,
+                },
                 Node::Leaf { class: 0 },
                 Node::Leaf { class: 1 },
             ],
@@ -537,8 +598,12 @@ mod tests {
         };
         for (sample, _) in test_data.iter() {
             let outs = nl.eval(&u.encode_sample(sample));
-            let hot: Vec<usize> =
-                outs.iter().enumerate().filter(|(_, &o)| o).map(|(c, _)| c).collect();
+            let hot: Vec<usize> = outs
+                .iter()
+                .enumerate()
+                .filter(|(_, &o)| o)
+                .map(|(c, _)| c)
+                .collect();
             assert_eq!(hot, vec![model.tree.predict(sample)], "{sample:?}");
         }
     }

@@ -65,7 +65,11 @@ impl Dataset {
         let mut n_classes = 0;
         for (i, (features, label)) in rows.into_iter().enumerate() {
             if features.len() != n_features {
-                return Err(DatasetError::RaggedRow { row: i, expected: n_features, got: features.len() });
+                return Err(DatasetError::RaggedRow {
+                    row: i,
+                    expected: n_features,
+                    got: features.len(),
+                });
             }
             if let Some(j) = features.iter().position(|v| !v.is_finite()) {
                 return Err(DatasetError::NonFinite { row: i, feature: j });
@@ -74,7 +78,13 @@ impl Dataset {
             samples.push(features);
             labels.push(label);
         }
-        Ok(Self { name: name.into(), n_features, n_classes, samples, labels })
+        Ok(Self {
+            name: name.into(),
+            n_features,
+            n_classes,
+            samples,
+            labels,
+        })
     }
 
     /// The dataset's name.
@@ -128,7 +138,10 @@ impl Dataset {
 
     /// Iterates `(features, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], usize)> + '_ {
-        self.samples.iter().map(Vec::as_slice).zip(self.labels.iter().copied())
+        self.samples
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
     }
 
     /// Per-class sample counts.
@@ -168,7 +181,10 @@ impl Dataset {
                     .collect()
             })
             .collect();
-        Dataset { samples, ..self.clone() }
+        Dataset {
+            samples,
+            ..self.clone()
+        }
     }
 
     /// Splits into `(train, test)` with a seeded shuffle; `train_fraction`
@@ -200,7 +216,10 @@ impl Dataset {
             samples: idx.iter().map(|&i| self.samples[i].clone()).collect(),
             labels: idx.iter().map(|&i| self.labels[i]).collect(),
         };
-        Ok((pick(&indices[..n_train], "train"), pick(&indices[n_train..], "test")))
+        Ok((
+            pick(&indices[..n_train], "train"),
+            pick(&indices[n_train..], "test"),
+        ))
     }
 
     /// Stratified variant of [`Dataset::train_test_split`]: the split is
@@ -225,14 +244,16 @@ impl Dataset {
         let mut train_idx = Vec::new();
         let mut test_idx = Vec::new();
         for class in 0..self.n_classes {
-            let mut members: Vec<usize> =
-                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            let mut members: Vec<usize> = (0..self.len())
+                .filter(|&i| self.labels[i] == class)
+                .collect();
             if members.is_empty() {
                 continue;
             }
             members.shuffle(&mut rng);
-            let n_train =
-                (((members.len() as f64) * train_fraction) as usize).max(1).min(members.len());
+            let n_train = (((members.len() as f64) * train_fraction) as usize)
+                .max(1)
+                .min(members.len());
             train_idx.extend_from_slice(&members[..n_train]);
             test_idx.extend_from_slice(&members[n_train..]);
         }
@@ -265,7 +286,9 @@ impl Dataset {
     /// with `train_fraction = 0.0` since no fraction applies).
     pub fn k_folds(&self, k: usize, seed: u64) -> Result<Vec<(Dataset, Dataset)>, DatasetError> {
         if k < 2 || k > self.len() {
-            return Err(DatasetError::BadSplit { train_fraction: 0.0 });
+            return Err(DatasetError::BadSplit {
+                train_fraction: 0.0,
+            });
         }
         let mut indices: Vec<usize> = (0..self.len()).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -288,7 +311,10 @@ impl Dataset {
                     .chain(&indices[end..])
                     .copied()
                     .collect();
-                (pick(&train, format!("fold{f}-train")), pick(&val, format!("fold{f}-val")))
+                (
+                    pick(&train, format!("fold{f}-train")),
+                    pick(&val, format!("fold{f}-val")),
+                )
             })
             .collect())
     }
@@ -297,8 +323,11 @@ impl Dataset {
     /// classifier must beat.
     pub fn majority_class(&self) -> (usize, f64) {
         let counts = self.class_counts();
-        let (cls, &count) =
-            counts.iter().enumerate().max_by_key(|&(_, c)| *c).expect("non-empty");
+        let (cls, &count) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .expect("non-empty");
         (cls, count as f64 / self.len() as f64)
     }
 }
@@ -395,12 +424,7 @@ mod tests {
 
     #[test]
     fn constant_feature_normalizes_to_zero() {
-        let ds = Dataset::from_rows(
-            "const",
-            1,
-            vec![(vec![7.0], 0), (vec![7.0], 1)],
-        )
-        .unwrap();
+        let ds = Dataset::from_rows("const", 1, vec![(vec![7.0], 0), (vec![7.0], 1)]).unwrap();
         let norm = ds.normalized();
         assert_eq!(norm.sample(0), &[0.0]);
         assert_eq!(norm.sample(1), &[0.0]);
@@ -431,17 +455,33 @@ mod tests {
     #[test]
     fn bad_splits_error() {
         let ds = toy();
-        assert!(matches!(ds.train_test_split(0.0, 0), Err(DatasetError::BadSplit { .. })));
-        assert!(matches!(ds.train_test_split(1.0, 0), Err(DatasetError::BadSplit { .. })));
-        assert!(matches!(ds.train_test_split(0.05, 0), Err(DatasetError::BadSplit { .. })));
+        assert!(matches!(
+            ds.train_test_split(0.0, 0),
+            Err(DatasetError::BadSplit { .. })
+        ));
+        assert!(matches!(
+            ds.train_test_split(1.0, 0),
+            Err(DatasetError::BadSplit { .. })
+        ));
+        assert!(matches!(
+            ds.train_test_split(0.05, 0),
+            Err(DatasetError::BadSplit { .. })
+        ));
     }
 
     #[test]
     fn construction_errors() {
-        assert_eq!(Dataset::from_rows("e", 2, vec![]).unwrap_err(), DatasetError::Empty);
+        assert_eq!(
+            Dataset::from_rows("e", 2, vec![]).unwrap_err(),
+            DatasetError::Empty
+        );
         assert!(matches!(
             Dataset::from_rows("r", 2, vec![(vec![1.0], 0)]).unwrap_err(),
-            DatasetError::RaggedRow { row: 0, expected: 2, got: 1 }
+            DatasetError::RaggedRow {
+                row: 0,
+                expected: 2,
+                got: 1
+            }
         ));
         assert!(matches!(
             Dataset::from_rows("n", 1, vec![(vec![f64::NAN], 0)]).unwrap_err(),
@@ -454,7 +494,13 @@ mod tests {
         // 80/16/4 class mix over 100 samples.
         let mut rows = Vec::new();
         for i in 0..100 {
-            let label = if i < 80 { 0 } else if i < 96 { 1 } else { 2 };
+            let label = if i < 80 {
+                0
+            } else if i < 96 {
+                1
+            } else {
+                2
+            };
             rows.push((vec![i as f64], label));
         }
         let ds = Dataset::from_rows("imbalanced", 1, rows).unwrap();
@@ -481,7 +527,10 @@ mod tests {
         )
         .unwrap();
         let (train, _) = ds.train_test_split_stratified(0.5, 1).unwrap();
-        assert!(train.class_counts()[1] >= 1, "rare class must reach training");
+        assert!(
+            train.class_counts()[1] >= 1,
+            "rare class must reach training"
+        );
     }
 
     #[test]
@@ -489,7 +538,9 @@ mod tests {
         let ds = Dataset::from_rows(
             "det",
             1,
-            (0..40).map(|i| (vec![i as f64], (i % 2) as usize)).collect(),
+            (0..40)
+                .map(|i| (vec![i as f64], (i % 2) as usize))
+                .collect(),
         )
         .unwrap();
         let a = ds.train_test_split_stratified(0.7, 9).unwrap();
@@ -505,7 +556,9 @@ mod tests {
         let ds = Dataset::from_rows(
             "kf",
             1,
-            (0..23).map(|i| (vec![i as f64], (i % 3) as usize)).collect(),
+            (0..23)
+                .map(|i| (vec![i as f64], (i % 3) as usize))
+                .collect(),
         )
         .unwrap();
         let folds = ds.k_folds(4, 7).unwrap();
@@ -516,7 +569,10 @@ mod tests {
             for i in 0..val.len() {
                 // Identify validation rows by their unique feature value.
                 let key = val.sample(i)[0] as i64;
-                assert!(seen.insert(key), "row {key} appears in two validation folds");
+                assert!(
+                    seen.insert(key),
+                    "row {key} appears in two validation folds"
+                );
             }
         }
         assert_eq!(seen.len(), 23, "validation folds cover everything");
@@ -537,7 +593,12 @@ mod tests {
         let ds = Dataset::from_rows(
             "maj",
             1,
-            vec![(vec![0.0], 1), (vec![1.0], 1), (vec![2.0], 1), (vec![3.0], 0)],
+            vec![
+                (vec![0.0], 1),
+                (vec![1.0], 1),
+                (vec![2.0], 1),
+                (vec![3.0], 0),
+            ],
         )
         .unwrap();
         let (cls, freq) = ds.majority_class();
@@ -548,8 +609,10 @@ mod tests {
     #[test]
     fn error_display_messages() {
         assert!(DatasetError::Empty.to_string().contains("no rows"));
-        assert!(DatasetError::BadSplit { train_fraction: 0.0 }
-            .to_string()
-            .contains("empty split"));
+        assert!(DatasetError::BadSplit {
+            train_fraction: 0.0
+        }
+        .to_string()
+        .contains("empty split"));
     }
 }

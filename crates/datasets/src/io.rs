@@ -55,8 +55,7 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
         let feature_fields = &fields[..fields.len() - 1];
         let label_field = fields[fields.len() - 1];
 
-        let parsed: Result<Vec<f64>, _> =
-            feature_fields.iter().map(|f| f.parse::<f64>()).collect();
+        let parsed: Result<Vec<f64>, _> = feature_fields.iter().map(|f| f.parse::<f64>()).collect();
         let features = match parsed {
             Ok(v) if v.iter().all(|x| x.is_finite()) => v,
             _ => {
@@ -70,7 +69,11 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
         match n_features {
             None => n_features = Some(features.len()),
             Some(expected) if expected != features.len() => {
-                return Err(CsvError::Ragged { line: line_no + 1, expected, got: features.len() })
+                return Err(CsvError::Ragged {
+                    line: line_no + 1,
+                    expected,
+                    got: features.len(),
+                })
             }
             Some(_) => {}
         }
@@ -94,9 +97,13 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
 /// Returns [`CsvError::Io`] on read failure, plus any [`parse_csv`] error.
 pub fn read_csv(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
     let path = path.as_ref();
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CsvError::Io { message: format!("{}: {e}", path.display()) })?;
-    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("dataset");
+    let text = std::fs::read_to_string(path).map_err(|e| CsvError::Io {
+        message: format!("{}: {e}", path.display()),
+    })?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset");
     parse_csv(name, &text)
 }
 
@@ -120,8 +127,9 @@ pub fn to_csv(dataset: &Dataset) -> String {
 /// Returns [`CsvError::Io`] on write failure.
 pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), CsvError> {
     let path = path.as_ref();
-    std::fs::write(path, to_csv(dataset))
-        .map_err(|e| CsvError::Io { message: format!("{}: {e}", path.display()) })
+    std::fs::write(path, to_csv(dataset)).map_err(|e| CsvError::Io {
+        message: format!("{}: {e}", path.display()),
+    })
 }
 
 /// Errors for CSV parsing and file I/O.
@@ -162,12 +170,19 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::Empty => write!(f, "no data rows in CSV"),
             CsvError::TooFewColumns { line } => {
-                write!(f, "line {line}: need at least one feature column and a label")
+                write!(
+                    f,
+                    "line {line}: need at least one feature column and a label"
+                )
             }
             CsvError::BadFeature { line } => {
                 write!(f, "line {line}: feature field is not a finite number")
             }
-            CsvError::Ragged { line, expected, got } => {
+            CsvError::Ragged {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: {got} features, expected {expected}")
             }
             CsvError::Dataset(e) => write!(f, "invalid dataset: {e}"),
@@ -238,13 +253,22 @@ mod tests {
         ));
         assert!(matches!(
             parse_csv("t", "1,2,0\n3,1\n"),
-            Err(CsvError::Ragged { line: 2, expected: 2, got: 1 })
+            Err(CsvError::Ragged {
+                line: 2,
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             parse_csv("t", "1,2,0\nxyz,2,1\n"),
             Err(CsvError::BadFeature { line: 2 })
         ));
-        let msg = CsvError::Ragged { line: 2, expected: 3, got: 1 }.to_string();
+        let msg = CsvError::Ragged {
+            line: 2,
+            expected: 3,
+            got: 1,
+        }
+        .to_string();
         assert!(msg.contains("line 2"));
     }
 

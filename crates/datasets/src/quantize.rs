@@ -41,7 +41,10 @@ pub fn quantize_level(value: f64, bits: u32) -> u8 {
 /// Panics if `bits` is 0 or greater than 8, or `level ≥ 2^bits`.
 pub fn dequantize_level(level: u8, bits: u32) -> f64 {
     assert!((1..=8).contains(&bits), "bits must be 1..=8, got {bits}");
-    assert!((level as u16) < (1u16 << bits), "level {level} out of range for {bits} bits");
+    assert!(
+        (level as u16) < (1u16 << bits),
+        "level {level} out of range for {bits} bits"
+    );
     f64::from(level) / f64::from(1u16 << bits)
 }
 
@@ -137,7 +140,10 @@ impl QuantizedDataset {
 
     /// Iterates `(levels, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], usize)> + '_ {
-        self.levels.iter().map(Vec::as_slice).zip(self.labels.iter().copied())
+        self.levels
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
     }
 
     /// The distinct levels feature `f` takes in this dataset, ascending —
@@ -153,7 +159,10 @@ impl QuantizedDataset {
         for s in &self.levels {
             seen[s[f] as usize] = true;
         }
-        (0u16..256).filter(|&l| seen[l as usize]).map(|l| l as u8).collect()
+        (0u16..256)
+            .filter(|&l| seen[l as usize])
+            .map(|l| l as u8)
+            .collect()
     }
 
     /// Per-class sample counts.

@@ -179,7 +179,9 @@ impl Benchmark {
     pub fn load(self) -> Dataset {
         let s = self.spec();
         match self {
-            Benchmark::BalanceScale => balance_scale(s.display, s.n_samples, 0.08, 0.0, self.seed()),
+            Benchmark::BalanceScale => {
+                balance_scale(s.display, s.n_samples, 0.08, 0.0, self.seed())
+            }
             Benchmark::WhiteWine => GaussianSpec {
                 name: s.display.into(),
                 n_samples: s.n_samples,
@@ -296,7 +298,9 @@ impl Benchmark {
     /// Propagates [`DatasetError`] from the split (cannot occur for the
     /// built-in benchmark sizes).
     pub fn load_split(self) -> Result<(Dataset, Dataset), DatasetError> {
-        self.load().normalized().train_test_split(TRAIN_FRACTION, self.seed() ^ 0xabcd)
+        self.load()
+            .normalized()
+            .train_test_split(TRAIN_FRACTION, self.seed() ^ 0xabcd)
     }
 
     /// Loads, normalizes, splits 70/30, and quantizes to `bits` bits — the
@@ -396,15 +400,24 @@ mod tests {
         let counts = Benchmark::WhiteWine.load().class_counts();
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max > 5 * min, "wine quality classes are imbalanced: {counts:?}");
+        assert!(
+            max > 5 * min,
+            "wine quality classes are imbalanced: {counts:?}"
+        );
         assert_eq!(counts.iter().sum::<usize>(), 4898);
     }
 
     #[test]
     fn parse_accepts_canonical_and_display_names() {
         assert_eq!("seeds".parse::<Benchmark>().unwrap(), Benchmark::Seeds);
-        assert_eq!("Balance-Scale".parse::<Benchmark>().unwrap(), Benchmark::BalanceScale);
-        assert_eq!("vertebral-3c".parse::<Benchmark>().unwrap(), Benchmark::Vertebral3C);
+        assert_eq!(
+            "Balance-Scale".parse::<Benchmark>().unwrap(),
+            Benchmark::BalanceScale
+        );
+        assert_eq!(
+            "vertebral-3c".parse::<Benchmark>().unwrap(),
+            Benchmark::Vertebral3C
+        );
         assert!("nonsense".parse::<Benchmark>().is_err());
         let msg = "nonsense".parse::<Benchmark>().unwrap_err().to_string();
         assert!(msg.contains("pendigits"));

@@ -72,7 +72,10 @@ impl GaussianSpec {
     /// informative features than features, weights length mismatch, or
     /// non-finite parameters).
     pub fn generate(&self) -> Dataset {
-        assert!(self.n_samples >= self.n_classes, "need at least one sample per class");
+        assert!(
+            self.n_samples >= self.n_classes,
+            "need at least one sample per class"
+        );
         assert!(self.n_classes >= 2, "need at least two classes");
         assert!(self.n_informative >= 1 && self.n_informative <= self.n_features);
         assert!(
@@ -129,8 +132,9 @@ impl GaussianSpec {
         let mut signs_seen: Vec<Vec<f64>> = Vec::new();
         let mut centers = Vec::with_capacity(self.n_classes);
         while centers.len() < self.n_classes {
-            let signs: Vec<f64> =
-                (0..d).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let signs: Vec<f64> = (0..d)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             if signs_seen.contains(&signs) {
                 continue;
             }
@@ -155,11 +159,15 @@ impl GaussianSpec {
         let mut sep = self.separation;
         let mut attempts = 0usize;
         while centers.len() < self.n_classes {
-            let candidate: Vec<f64> =
-                (0..self.n_informative).map(|_| rng.gen_range(0.1..0.9)).collect();
+            let candidate: Vec<f64> = (0..self.n_informative)
+                .map(|_| rng.gen_range(0.1..0.9))
+                .collect();
             let ok = centers.iter().all(|c| {
-                let d2: f64 =
-                    c.iter().zip(&candidate).map(|(a, b)| (a - b) * (a - b)).sum();
+                let d2: f64 = c
+                    .iter()
+                    .zip(&candidate)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
                 d2.sqrt() >= sep
             });
             if ok {
@@ -183,8 +191,10 @@ impl GaussianSpec {
             self.class_weights.clone()
         };
         let total: f64 = weights.iter().sum();
-        let exact: Vec<f64> =
-            weights.iter().map(|w| w / total * self.n_samples as f64).collect();
+        let exact: Vec<f64> = weights
+            .iter()
+            .map(|w| w / total * self.n_samples as f64)
+            .collect();
         let mut counts: Vec<usize> = exact.iter().map(|&e| e as usize).collect();
         // Guarantee at least one sample per class.
         for c in counts.iter_mut() {
@@ -244,7 +254,10 @@ pub fn balance_scale(
     seed: u64,
 ) -> Dataset {
     assert!(n_samples > 0, "need at least one sample");
-    assert!((0.0..1.0).contains(&label_noise), "label_noise must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&label_noise),
+        "label_noise must be in [0, 1)"
+    );
     assert!(jitter >= 0.0, "jitter must be non-negative");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rows = Vec::with_capacity(n_samples);

@@ -54,7 +54,11 @@ pub struct ApproxConfig {
 impl ApproxConfig {
     /// The paper's Table II setting: up to 1% accuracy loss, depth ≤ 8.
     pub fn one_percent() -> Self {
-        Self { accuracy_loss_budget: 0.01, max_depth: 8, min_bits: 1 }
+        Self {
+            accuracy_loss_budget: 0.01,
+            max_depth: 8,
+            min_bits: 1,
+        }
     }
 }
 
@@ -87,7 +91,11 @@ impl ApproxDesign {
     }
 }
 
-fn strides_from_bits(bits_per_feature: &BTreeMap<usize, u32>, n_features: usize, full_bits: u32) -> Vec<u8> {
+fn strides_from_bits(
+    bits_per_feature: &BTreeMap<usize, u32>,
+    n_features: usize,
+    full_bits: u32,
+) -> Vec<u8> {
     (0..n_features)
         .map(|f| {
             let b = bits_per_feature.get(&f).copied().unwrap_or(full_bits);
@@ -133,8 +141,12 @@ pub fn synthesize_approx_with(
     // [7] compensates approximation with deeper trees; retrain at the cap.
     let retrain_depth = config.max_depth;
 
-    let mut bits: BTreeMap<usize, u32> =
-        reference.tree.used_features().into_iter().map(|f| (f, full_bits)).collect();
+    let mut bits: BTreeMap<usize, u32> = reference
+        .tree
+        .used_features()
+        .into_iter()
+        .map(|f| (f, full_bits))
+        .collect();
 
     let train_at = |bits: &BTreeMap<usize, u32>| -> (DecisionTree, f64) {
         let mut cfg = CartConfig::with_max_depth(retrain_depth);
@@ -237,7 +249,11 @@ mod tests {
     #[test]
     fn accuracy_floor_is_respected() {
         let (train_data, test_data) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
-        let cfg = ApproxConfig { accuracy_loss_budget: 0.01, max_depth: 6, min_bits: 1 };
+        let cfg = ApproxConfig {
+            accuracy_loss_budget: 0.01,
+            max_depth: 6,
+            min_bits: 1,
+        };
         let design = synthesize_approx(&train_data, &test_data, &cfg);
         assert!(
             design.test_accuracy >= design.reference_accuracy - cfg.accuracy_loss_budget - 1e-12,
@@ -250,23 +266,34 @@ mod tests {
     #[test]
     fn scaling_reduces_adc_cost_vs_full_precision() {
         let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
-        let cfg = ApproxConfig { accuracy_loss_budget: 0.02, max_depth: 6, min_bits: 1 };
+        let cfg = ApproxConfig {
+            accuracy_loss_budget: 0.02,
+            max_depth: 6,
+            min_bits: 1,
+        };
         let design = synthesize_approx(&train_data, &test_data, &cfg);
-        let full = ConventionalAdc::new(4)
-            .bank_cost(design.bits_per_feature.len(), &AnalogModel::egfet());
+        let full =
+            ConventionalAdc::new(4).bank_cost(design.bits_per_feature.len(), &AnalogModel::egfet());
         assert!(
             design.adc.power <= full.power,
             "scaled bank {} vs full bank {}",
             design.adc.power,
             full.power
         );
-        assert!(design.bits_per_feature.values().all(|&b| (1..=4).contains(&b)));
+        assert!(design
+            .bits_per_feature
+            .values()
+            .all(|&b| (1..=4).contains(&b)));
     }
 
     #[test]
     fn thresholds_sit_on_the_chosen_grids() {
         let (train_data, test_data) = Benchmark::Vertebral3C.load_quantized(4).unwrap();
-        let cfg = ApproxConfig { accuracy_loss_budget: 0.05, max_depth: 5, min_bits: 1 };
+        let cfg = ApproxConfig {
+            accuracy_loss_budget: 0.05,
+            max_depth: 5,
+            min_bits: 1,
+        };
         let design = synthesize_approx(&train_data, &test_data, &cfg);
         for (f, th) in design.tree.distinct_pairs() {
             let b = design.bits_per_feature[&f];

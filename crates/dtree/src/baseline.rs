@@ -91,7 +91,12 @@ pub fn baseline_netlist(tree: &DecisionTree) -> Netlist {
     ) -> Vec<Signal> {
         match tree.nodes()[node] {
             Node::Leaf { class } => blocks::const_bus(class as u32, width),
-            Node::Split { feature, threshold, lo, hi } => {
+            Node::Split {
+                feature,
+                threshold,
+                lo,
+                hi,
+            } => {
                 let cond = blocks::gte_const(nl, &buses[feature], threshold as u32);
                 let lo_label = lower(tree, lo, nl, buses, width);
                 let hi_label = lower(tree, hi, nl, buses, width);
@@ -147,7 +152,12 @@ pub fn synthesize_baseline_with(
     let digital = analyze(&netlist, library, config);
     let input_count = tree.used_features().len();
     let adc = ConventionalAdc::new(tree.bits()).bank_cost(input_count, analog);
-    BaselineDesign { tree: tree.clone(), digital, adc, input_count }
+    BaselineDesign {
+        tree: tree.clone(),
+        digital,
+        adc,
+        input_count,
+    }
 }
 
 #[cfg(test)]
@@ -174,9 +184,19 @@ mod tests {
             2,
             3,
             vec![
-                Node::Split { feature: 0, threshold: 6, lo: 1, hi: 2 },
+                Node::Split {
+                    feature: 0,
+                    threshold: 6,
+                    lo: 1,
+                    hi: 2,
+                },
                 Node::Leaf { class: 0 },
-                Node::Split { feature: 1, threshold: 11, lo: 3, hi: 4 },
+                Node::Split {
+                    feature: 1,
+                    threshold: 11,
+                    lo: 3,
+                    hi: 4,
+                },
                 Node::Leaf { class: 1 },
                 Node::Leaf { class: 2 },
             ],
@@ -235,7 +255,12 @@ mod tests {
             2,
             2,
             vec![
-                Node::Split { feature: 1, threshold: 5, lo: 1, hi: 2 },
+                Node::Split {
+                    feature: 1,
+                    threshold: 5,
+                    lo: 1,
+                    hi: 2,
+                },
                 Node::Leaf { class: 0 },
                 Node::Leaf { class: 1 },
             ],

@@ -44,11 +44,19 @@ pub struct CartConfig {
 impl CartConfig {
     /// Full-precision config with the given depth cap.
     pub fn with_max_depth(max_depth: usize) -> Self {
-        Self { max_depth, min_samples_split: 2, threshold_strides: Vec::new() }
+        Self {
+            max_depth,
+            min_samples_split: 2,
+            threshold_strides: Vec::new(),
+        }
     }
 
     fn stride(&self, feature: usize) -> u8 {
-        self.threshold_strides.get(feature).copied().unwrap_or(1).max(1)
+        self.threshold_strides
+            .get(feature)
+            .copied()
+            .unwrap_or(1)
+            .max(1)
     }
 }
 
@@ -98,7 +106,10 @@ pub fn split_candidates(
     indices: &[usize],
     config: &CartConfig,
 ) -> Vec<SplitCandidate> {
-    assert!(!indices.is_empty(), "cannot enumerate splits of an empty node");
+    assert!(
+        !indices.is_empty(),
+        "cannot enumerate splits of an empty node"
+    );
     let levels = 1usize << data.bits();
     let n_classes = data.n_classes();
     let n = indices.len();
@@ -121,8 +132,7 @@ pub fn split_candidates(
         let occupied: Vec<usize> = (0..levels)
             .step_by(stride)
             .filter(|&t| {
-                (t..(t + stride).min(levels))
-                    .any(|lvl| counts[lvl].iter().any(|&c| c > 0))
+                (t..(t + stride).min(levels)).any(|lvl| counts[lvl].iter().any(|&c| c > 0))
             })
             .collect();
         let total: Vec<usize> = (0..n_classes)
@@ -139,12 +149,19 @@ pub fn split_candidates(
                 cell_cursor += 1;
             }
             let lo_n: usize = lo.iter().sum();
-            debug_assert!(lo_n > 0 && lo_n < n, "occupied-cell thresholds split non-trivially");
+            debug_assert!(
+                lo_n > 0 && lo_n < n,
+                "occupied-cell thresholds split non-trivially"
+            );
             let hi: Vec<usize> = (0..n_classes).map(|c| total[c] - lo[c]).collect();
             let hi_n = n - lo_n;
-            let g = (lo_n as f64 * gini_impurity(&lo) + hi_n as f64 * gini_impurity(&hi))
-                / n as f64;
-            out.push(SplitCandidate { feature, threshold: t as u8, gini: g });
+            let g =
+                (lo_n as f64 * gini_impurity(&lo) + hi_n as f64 * gini_impurity(&hi)) / n as f64;
+            out.push(SplitCandidate {
+                feature,
+                threshold: t as u8,
+                gini: g,
+            });
         }
     }
     out
@@ -194,7 +211,9 @@ fn grow(
     nodes: &mut Vec<Node>,
 ) -> usize {
     let make_leaf = |nodes: &mut Vec<Node>| {
-        nodes.push(Node::Leaf { class: majority_class(data, indices) });
+        nodes.push(Node::Leaf {
+            class: majority_class(data, indices),
+        });
         nodes.len() - 1
     };
     if depth >= config.max_depth
@@ -228,7 +247,12 @@ fn grow(
     });
     let lo = grow(data, config, &lo_idx, depth + 1, nodes);
     let hi = grow(data, config, &hi_idx, depth + 1, nodes);
-    nodes[me] = Node::Split { feature: best.feature, threshold: best.threshold, lo, hi };
+    nodes[me] = Node::Split {
+        feature: best.feature,
+        threshold: best.threshold,
+        lo,
+        hi,
+    };
     me
 }
 
@@ -314,7 +338,10 @@ mod tests {
         assert!(!cands.is_empty());
         for c in &cands {
             assert!(c.threshold > 0);
-            let lo = all.iter().filter(|&&i| q.sample(i)[c.feature] < c.threshold).count();
+            let lo = all
+                .iter()
+                .filter(|&&i| q.sample(i)[c.feature] < c.threshold)
+                .count();
             assert!(lo > 0 && lo < 4, "both sides non-empty for {c:?}");
             assert!((0.0..=0.5 + 1e-9).contains(&c.gini));
         }
@@ -359,10 +386,7 @@ mod tests {
 
     #[test]
     fn max_depth_zero_gives_majority_classifier() {
-        let q = quantized(
-            vec![(vec![0.1], 1), (vec![0.2], 1), (vec![0.9], 0)],
-            1,
-        );
+        let q = quantized(vec![(vec![0.1], 1), (vec![0.2], 1), (vec![0.9], 0)], 1);
         let tree = train(&q, &CartConfig::with_max_depth(0));
         assert_eq!(tree.split_count(), 0);
         assert_eq!(tree.predict(&[0]), 1);

@@ -45,7 +45,12 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        Self { trees: 3, max_depth: 3, feature_fraction: 0.8, seed: 0xF0 }
+        Self {
+            trees: 3,
+            max_depth: 3,
+            feature_fraction: 0.8,
+            seed: 0xF0,
+        }
     }
 }
 
@@ -140,14 +145,14 @@ pub fn train_forest(data: &QuantizedDataset, config: &ForestConfig) -> Forest {
         "feature_fraction must be in (0, 1]"
     );
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let n_keep =
-        ((data.n_features() as f64 * config.feature_fraction).ceil() as usize).max(1);
+    let n_keep = ((data.n_features() as f64 * config.feature_fraction).ceil() as usize).max(1);
 
     let trees = (0..config.trees)
         .map(|_| {
             // Bootstrap indices.
-            let indices: Vec<usize> =
-                (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect();
+            let indices: Vec<usize> = (0..data.len())
+                .map(|_| rng.gen_range(0..data.len()))
+                .collect();
             // Random feature subset.
             let mut features: Vec<usize> = (0..data.n_features()).collect();
             for i in (1..features.len()).rev() {
@@ -198,7 +203,9 @@ fn grow(
     nodes: &mut Vec<Node>,
 ) -> usize {
     let leaf = |nodes: &mut Vec<Node>| {
-        nodes.push(Node::Leaf { class: majority(data, indices) });
+        nodes.push(Node::Leaf {
+            class: majority(data, indices),
+        });
         nodes.len() - 1
     };
     let first = data.label(indices[0]);
@@ -235,7 +242,12 @@ fn grow(
     });
     let lo = grow(data, &lo_idx, keep, config, depth + 1, nodes);
     let hi = grow(data, &hi_idx, keep, config, depth + 1, nodes);
-    nodes[me] = Node::Split { feature: best.feature, threshold: best.threshold, lo, hi };
+    nodes[me] = Node::Split {
+        feature: best.feature,
+        threshold: best.threshold,
+        lo,
+        hi,
+    };
     me
 }
 
@@ -247,7 +259,12 @@ mod tests {
     #[test]
     fn forest_shapes_and_determinism() {
         let (train, _) = Benchmark::Seeds.load_quantized(4).unwrap();
-        let cfg = ForestConfig { trees: 5, max_depth: 3, feature_fraction: 0.7, seed: 9 };
+        let cfg = ForestConfig {
+            trees: 5,
+            max_depth: 3,
+            feature_fraction: 0.7,
+            seed: 9,
+        };
         let a = train_forest(&train, &cfg);
         let b = train_forest(&train, &cfg);
         assert_eq!(a, b);
@@ -287,7 +304,12 @@ mod tests {
             1,
             3,
             vec![
-                Node::Split { feature: 0, threshold: 8, lo: 1, hi: 2 },
+                Node::Split {
+                    feature: 0,
+                    threshold: 8,
+                    lo: 1,
+                    hi: 2,
+                },
                 Node::Leaf { class: 0 },
                 Node::Leaf { class: 2 },
             ],
@@ -300,7 +322,12 @@ mod tests {
     #[test]
     fn feature_subsampling_restricts_splits() {
         let (train, _) = Benchmark::Cardio.load_quantized(4).unwrap();
-        let cfg = ForestConfig { trees: 4, max_depth: 3, feature_fraction: 0.25, seed: 3 };
+        let cfg = ForestConfig {
+            trees: 4,
+            max_depth: 3,
+            feature_fraction: 0.25,
+            seed: 3,
+        };
         let forest = train_forest(&train, &cfg);
         let n_keep = (train.n_features() as f64 * 0.25).ceil() as usize;
         for tree in forest.trees() {
@@ -313,11 +340,23 @@ mod tests {
         let (train, _) = Benchmark::Seeds.load_quantized(4).unwrap();
         let forest = train_forest(
             &train,
-            &ForestConfig { trees: 5, max_depth: 3, feature_fraction: 1.0, seed: 1 },
+            &ForestConfig {
+                trees: 5,
+                max_depth: 3,
+                feature_fraction: 1.0,
+                seed: 1,
+            },
         );
         let union = forest.distinct_pairs().len();
-        let sum: usize = forest.trees().iter().map(|t| t.distinct_pairs().len()).sum();
-        assert!(union <= sum, "the shared ADC bank never needs more than the sum");
+        let sum: usize = forest
+            .trees()
+            .iter()
+            .map(|t| t.distinct_pairs().len())
+            .sum();
+        assert!(
+            union <= sum,
+            "the shared ADC bank never needs more than the sum"
+        );
         assert!(union < sum, "bootstrap trees overlap on at least one pair");
     }
 

@@ -41,6 +41,6 @@ pub use approx::{synthesize_approx, ApproxConfig, ApproxDesign};
 pub use baseline::{synthesize_baseline, synthesize_baseline_with, BaselineDesign};
 pub use cart::{train, train_depth_selected, CartConfig, SplitCandidate, TrainedModel};
 pub use forest::{train_forest, Forest, ForestConfig};
-pub use metrics::{evaluate, Classifier, ClassMetrics, Evaluation};
+pub use metrics::{evaluate, ClassMetrics, Classifier, Evaluation};
 pub use prune::{prune, pruning_path};
 pub use tree::{DecisionTree, Node, Path, TreeError};

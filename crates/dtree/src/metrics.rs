@@ -27,8 +27,8 @@ use serde::{Deserialize, Serialize};
 
 use printed_datasets::QuantizedDataset;
 
-use crate::tree::DecisionTree;
 use crate::forest::Forest;
+use crate::tree::DecisionTree;
 
 /// Anything that maps a quantized sample to a class.
 pub trait Classifier {
@@ -93,7 +93,10 @@ pub fn evaluate<C: Classifier + ?Sized>(classifier: &C, data: &QuantizedDataset)
     let mut confusion = vec![vec![0usize; k]; k];
     for (sample, label) in data.iter() {
         let predicted = classifier.classify(sample);
-        assert!(predicted < k, "classifier predicted out-of-range class {predicted}");
+        assert!(
+            predicted < k,
+            "classifier predicted out-of-range class {predicted}"
+        );
         confusion[label][predicted] += 1;
     }
 
@@ -106,23 +109,40 @@ pub fn evaluate<C: Classifier + ?Sized>(classifier: &C, data: &QuantizedDataset)
         let tp = row[c];
         let actual: usize = row.iter().sum();
         let predicted: usize = (0..k).map(|a| confusion[a][c]).sum();
-        let precision = if predicted == 0 { 1.0 } else { tp as f64 / predicted as f64 };
-        let recall = if actual == 0 { 1.0 } else { tp as f64 / actual as f64 };
+        let precision = if predicted == 0 {
+            1.0
+        } else {
+            tp as f64 / predicted as f64
+        };
+        let recall = if actual == 0 {
+            1.0
+        } else {
+            tp as f64 / actual as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        per_class.push(ClassMetrics { precision, recall, f1, support: actual });
+        per_class.push(ClassMetrics {
+            precision,
+            recall,
+            f1,
+            support: actual,
+        });
     }
 
-    let present: Vec<&ClassMetrics> =
-        per_class.iter().filter(|m| m.support > 0).collect();
-    let balanced_accuracy =
-        present.iter().map(|m| m.recall).sum::<f64>() / present.len() as f64;
+    let present: Vec<&ClassMetrics> = per_class.iter().filter(|m| m.support > 0).collect();
+    let balanced_accuracy = present.iter().map(|m| m.recall).sum::<f64>() / present.len() as f64;
     let macro_f1 = present.iter().map(|m| m.f1).sum::<f64>() / present.len() as f64;
 
-    Evaluation { confusion, accuracy, balanced_accuracy, per_class, macro_f1 }
+    Evaluation {
+        confusion,
+        accuracy,
+        balanced_accuracy,
+        per_class,
+        macro_f1,
+    }
 }
 
 #[cfg(test)]

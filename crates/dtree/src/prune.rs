@@ -48,10 +48,7 @@ struct NodeStats {
     leaves: usize,
 }
 
-fn collect_stats(
-    tree: &DecisionTree,
-    data: &QuantizedDataset,
-) -> BTreeMap<usize, NodeStats> {
+fn collect_stats(tree: &DecisionTree, data: &QuantizedDataset) -> BTreeMap<usize, NodeStats> {
     // Route every training sample; accumulate class histograms per node.
     let mut histograms: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (sample, label) in data.iter() {
@@ -59,11 +56,15 @@ fn collect_stats(
         loop {
             histograms
                 .entry(i)
-                .or_insert_with(|| vec![0; data.n_classes()])
-                [label] += 1;
+                .or_insert_with(|| vec![0; data.n_classes()])[label] += 1;
             match tree.nodes()[i] {
                 Node::Leaf { .. } => break,
-                Node::Split { feature, threshold, lo, hi } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    lo,
+                    hi,
+                } => {
                     i = if sample[feature] >= threshold { hi } else { lo };
                 }
             }
@@ -78,13 +79,21 @@ fn collect_stats(
             // zero-sample leaf.
             stats.insert(
                 i,
-                NodeStats { majority: 0, leaf_errors: 0, subtree_errors: 0, leaves: 1 },
+                NodeStats {
+                    majority: 0,
+                    leaf_errors: 0,
+                    subtree_errors: 0,
+                    leaves: 1,
+                },
             );
             continue;
         };
         let total: usize = hist.iter().sum();
-        let (majority, &majority_count) =
-            hist.iter().enumerate().max_by_key(|&(c, &n)| (n, std::cmp::Reverse(c))).expect("classes");
+        let (majority, &majority_count) = hist
+            .iter()
+            .enumerate()
+            .max_by_key(|&(c, &n)| (n, std::cmp::Reverse(c)))
+            .expect("classes");
         let leaf_errors = total - majority_count;
         let (subtree_errors, leaves) = match tree.nodes()[i] {
             Node::Leaf { class } => {
@@ -97,7 +106,15 @@ fn collect_stats(
                 (l.subtree_errors + h.subtree_errors, l.leaves + h.leaves)
             }
         };
-        stats.insert(i, NodeStats { majority, leaf_errors, subtree_errors, leaves });
+        stats.insert(
+            i,
+            NodeStats {
+                majority,
+                leaf_errors,
+                subtree_errors,
+                leaves,
+            },
+        );
     }
     stats
 }
@@ -116,7 +133,10 @@ fn collect_stats(
 pub fn prune(tree: &DecisionTree, data: &QuantizedDataset, alpha: f64) -> DecisionTree {
     assert!(!alpha.is_nan(), "alpha must not be NaN");
     assert!(!data.is_empty(), "cannot prune against an empty dataset");
-    assert!(data.n_features() >= tree.n_features(), "dataset narrower than the tree");
+    assert!(
+        data.n_features() >= tree.n_features(),
+        "dataset narrower than the tree"
+    );
     let n = data.len() as f64;
 
     // Iteratively collapse weakest links until none qualifies. Collapsing
@@ -133,8 +153,7 @@ pub fn prune(tree: &DecisionTree, data: &QuantizedDataset, alpha: f64) -> Decisi
             if s.leaves <= 1 {
                 continue;
             }
-            let g = (s.leaf_errors as f64 - s.subtree_errors as f64)
-                / (n * (s.leaves - 1) as f64);
+            let g = (s.leaf_errors as f64 - s.subtree_errors as f64) / (n * (s.leaves - 1) as f64);
             let better = match weakest {
                 None => true,
                 Some((_, best)) => g < best,
@@ -174,11 +193,21 @@ fn collapse(tree: &DecisionTree, target: usize, class: usize) -> DecisionTree {
             Node::Leaf { class } => {
                 nodes.push(Node::Leaf { class });
             }
-            Node::Split { feature, threshold, lo, hi } => {
+            Node::Split {
+                feature,
+                threshold,
+                lo,
+                hi,
+            } => {
                 nodes.push(Node::Leaf { class: 0 }); // placeholder
                 let new_lo = copy(tree, lo, target, class, nodes, remap);
                 let new_hi = copy(tree, hi, target, class, nodes, remap);
-                nodes[slot] = Node::Split { feature, threshold, lo: new_lo, hi: new_hi };
+                nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    lo: new_lo,
+                    hi: new_hi,
+                };
             }
         }
         slot
@@ -255,8 +284,12 @@ mod tests {
         for (_, label) in data.iter() {
             counts[label] += 1;
         }
-        let majority =
-            counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(c, _)| c).unwrap();
+        let majority = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(c, _)| c)
+            .unwrap();
         assert_eq!(stump.predict(data.sample(0)), majority);
     }
 

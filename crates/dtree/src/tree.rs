@@ -102,7 +102,12 @@ impl DecisionTree {
         let mut referenced = vec![false; nodes.len()];
         for (i, node) in nodes.iter().enumerate() {
             match *node {
-                Node::Split { feature, threshold, lo, hi } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    lo,
+                    hi,
+                } => {
                     if feature >= n_features {
                         return Err(TreeError::BadFeature { node: i, feature });
                     }
@@ -135,7 +140,12 @@ impl DecisionTree {
         if let Some(orphan) = (1..nodes.len()).find(|&i| !referenced[i]) {
             return Err(TreeError::Unreachable { node: orphan });
         }
-        Ok(Self { bits, n_features, n_classes, nodes })
+        Ok(Self {
+            bits,
+            n_features,
+            n_classes,
+            nodes,
+        })
     }
 
     /// A single-leaf tree that always predicts `class`.
@@ -183,7 +193,12 @@ impl DecisionTree {
         let mut i = 0;
         loop {
             match self.nodes[i] {
-                Node::Split { feature, threshold, lo, hi } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    lo,
+                    hi,
+                } => {
                     i = if sample[feature] >= threshold { hi } else { lo };
                 }
                 Node::Leaf { class } => return class,
@@ -208,7 +223,10 @@ impl DecisionTree {
     /// Number of split (internal) nodes — the paper's "#Comp." column
     /// counts these for the baseline architecture.
     pub fn split_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Split { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Split { .. }))
+            .count()
     }
 
     /// Number of leaves.
@@ -233,7 +251,9 @@ impl DecisionTree {
         self.nodes
             .iter()
             .filter_map(|n| match *n {
-                Node::Split { feature, threshold, .. } => Some((feature, threshold)),
+                Node::Split {
+                    feature, threshold, ..
+                } => Some((feature, threshold)),
                 Node::Leaf { .. } => None,
             })
             .collect()
@@ -262,7 +282,12 @@ impl DecisionTree {
         while let Some((i, conditions)) = stack.pop() {
             match self.nodes[i] {
                 Node::Leaf { class } => out.push(Path { conditions, class }),
-                Node::Split { feature, threshold, lo, hi } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    lo,
+                    hi,
+                } => {
                     let mut lo_conditions = conditions.clone();
                     lo_conditions.push((feature, threshold, false));
                     let mut hi_conditions = conditions;
@@ -287,7 +312,12 @@ impl fmt::Display for DecisionTree {
             let pad = "  ".repeat(indent);
             match nodes[i] {
                 Node::Leaf { class } => writeln!(f, "{pad}=> class {class}"),
-                Node::Split { feature, threshold, lo, hi } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    lo,
+                    hi,
+                } => {
                     writeln!(f, "{pad}if I{feature} >= {threshold}:")?;
                     walk(nodes, hi, indent + 1, f)?;
                     writeln!(f, "{pad}else:")?;
@@ -398,7 +428,12 @@ mod tests {
             2,
             2,
             vec![
-                Node::Split { feature: 1, threshold: 8, lo: 1, hi: 2 },
+                Node::Split {
+                    feature: 1,
+                    threshold: 8,
+                    lo: 1,
+                    hi: 2,
+                },
                 Node::Leaf { class: 0 },
                 Node::Leaf { class: 1 },
             ],
@@ -413,9 +448,19 @@ mod tests {
             3,
             3,
             vec![
-                Node::Split { feature: 0, threshold: 4, lo: 1, hi: 2 },
+                Node::Split {
+                    feature: 0,
+                    threshold: 4,
+                    lo: 1,
+                    hi: 2,
+                },
                 Node::Leaf { class: 0 },
-                Node::Split { feature: 2, threshold: 7, lo: 3, hi: 4 },
+                Node::Split {
+                    feature: 2,
+                    threshold: 7,
+                    lo: 3,
+                    hi: 4,
+                },
                 Node::Leaf { class: 1 },
                 Node::Leaf { class: 2 },
             ],
@@ -457,7 +502,9 @@ mod tests {
                 let matching: Vec<&Path> = paths
                     .iter()
                     .filter(|p| {
-                        p.conditions.iter().all(|&(f, th, pol)| (sample[f] >= th) == pol)
+                        p.conditions
+                            .iter()
+                            .all(|&(f, th, pol)| (sample[f] >= th) == pol)
                     })
                     .collect();
                 assert_eq!(matching.len(), 1, "sample {sample:?}");
@@ -509,28 +556,76 @@ mod tests {
             TreeError::BadClass { node: 0, class: 5 }
         );
         assert_eq!(
-            mk(vec![Split { feature: 9, threshold: 1, lo: 1, hi: 2 }, Leaf { class: 0 }, Leaf { class: 0 }])
-                .unwrap_err(),
-            TreeError::BadFeature { node: 0, feature: 9 }
+            mk(vec![
+                Split {
+                    feature: 9,
+                    threshold: 1,
+                    lo: 1,
+                    hi: 2
+                },
+                Leaf { class: 0 },
+                Leaf { class: 0 }
+            ])
+            .unwrap_err(),
+            TreeError::BadFeature {
+                node: 0,
+                feature: 9
+            }
         );
         assert_eq!(
-            mk(vec![Split { feature: 0, threshold: 0, lo: 1, hi: 2 }, Leaf { class: 0 }, Leaf { class: 0 }])
-                .unwrap_err(),
-            TreeError::BadThreshold { node: 0, threshold: 0 }
+            mk(vec![
+                Split {
+                    feature: 0,
+                    threshold: 0,
+                    lo: 1,
+                    hi: 2
+                },
+                Leaf { class: 0 },
+                Leaf { class: 0 }
+            ])
+            .unwrap_err(),
+            TreeError::BadThreshold {
+                node: 0,
+                threshold: 0
+            }
         );
         assert_eq!(
-            mk(vec![Split { feature: 0, threshold: 3, lo: 1, hi: 9 }, Leaf { class: 0 }])
-                .unwrap_err(),
+            mk(vec![
+                Split {
+                    feature: 0,
+                    threshold: 3,
+                    lo: 1,
+                    hi: 9
+                },
+                Leaf { class: 0 }
+            ])
+            .unwrap_err(),
             TreeError::BadChild { node: 0, child: 9 }
         );
         assert_eq!(
-            mk(vec![Split { feature: 0, threshold: 3, lo: 0, hi: 1 }, Leaf { class: 0 }])
-                .unwrap_err(),
+            mk(vec![
+                Split {
+                    feature: 0,
+                    threshold: 3,
+                    lo: 0,
+                    hi: 1
+                },
+                Leaf { class: 0 }
+            ])
+            .unwrap_err(),
             TreeError::NotTopological { node: 0, child: 0 }
         );
         assert_eq!(
-            mk(vec![Split { feature: 0, threshold: 3, lo: 1, hi: 1 }, Leaf { class: 0 }])
-                .unwrap_err(),
+            mk(vec![
+                Split {
+                    feature: 0,
+                    threshold: 3,
+                    lo: 1,
+                    hi: 1
+                },
+                Leaf { class: 0 }
+            ])
+            .unwrap_err(),
             TreeError::SharedChild { child: 1 }
         );
         assert_eq!(

@@ -155,7 +155,9 @@ pub fn mux2_bus(
 /// Hardwires an unsigned constant onto a bus of `width` bits (LSB first).
 pub fn const_bus(value: u32, width: usize) -> Vec<Signal> {
     assert!(width <= 32, "width must be ≤ 32");
-    (0..width).map(|k| Signal::Const((value >> k) & 1 == 1)).collect()
+    (0..width)
+        .map(|k| Signal::Const((value >> k) & 1 == 1))
+        .collect()
 }
 
 /// Thermometer-to-binary priority encoder.
@@ -173,7 +175,10 @@ pub fn const_bus(value: u32, width: usize) -> Vec<Signal> {
 /// Panics if `thermo.len() + 1` is not a power of two or is less than 2.
 pub fn priority_encoder(nl: &mut Netlist, thermo: &[Signal]) -> Vec<Signal> {
     let m = thermo.len();
-    assert!(m >= 1 && (m + 1).is_power_of_two(), "need 2^n − 1 thermometer inputs, got {m}");
+    assert!(
+        m >= 1 && (m + 1).is_power_of_two(),
+        "need 2^n − 1 thermometer inputs, got {m}"
+    );
     let n = (m + 1).trailing_zeros() as usize;
     let u = |i: usize| -> Signal {
         if i <= m {

@@ -126,7 +126,11 @@ fn compare_on(left: &Netlist, right: &Netlist, inputs: Vec<bool>) -> Option<Equi
     let l = left.eval(&inputs);
     let r = right.eval(&inputs);
     if l != r {
-        Some(Equivalence::Counterexample { inputs, left: l, right: r })
+        Some(Equivalence::Counterexample {
+            inputs,
+            left: l,
+            right: r,
+        })
     } else {
         None
     }
@@ -160,7 +164,10 @@ mod tests {
     #[test]
     fn equivalent_implementations_verify() {
         let (a, b) = xor_two_ways();
-        assert_eq!(check_equivalence(&a, &b, 0), Equivalence::Equivalent { exhaustive: true });
+        assert_eq!(
+            check_equivalence(&a, &b, 0),
+            Equivalence::Equivalent { exhaustive: true }
+        );
         assert!(check_equivalence(&a, &b, 0).is_equivalent());
     }
 
@@ -177,7 +184,11 @@ mod tests {
         let o = b.gate(CellKind::Or2, &[x, y]);
         b.output("o", o);
         match check_equivalence(&a, &b, 0) {
-            Equivalence::Counterexample { inputs, left, right } => {
+            Equivalence::Counterexample {
+                inputs,
+                left,
+                right,
+            } => {
                 // The counterexample must actually differ.
                 assert_eq!(a.eval(&inputs), left);
                 assert_eq!(b.eval(&inputs), right);
@@ -215,10 +226,7 @@ mod tests {
             let bus = b.input_bus("i", 4);
             let o = blocks::gt_const(&mut b, &bus, c - 1);
             b.output("o", o);
-            assert!(
-                check_equivalence(&a, &b, 0).is_equivalent(),
-                "c={c}"
-            );
+            assert!(check_equivalence(&a, &b, 0).is_equivalent(), "c={c}");
         }
     }
 

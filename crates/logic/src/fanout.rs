@@ -69,8 +69,11 @@ pub fn legalize_fanout(netlist: &Netlist, max: usize) -> Netlist {
     let mut out = Netlist::new(format!("{}-fo{max}", netlist.name()));
 
     // Recreate inputs.
-    let input_signals: Vec<Signal> =
-        netlist.input_names().iter().map(|n| out.input(n.clone())).collect();
+    let input_signals: Vec<Signal> = netlist
+        .input_names()
+        .iter()
+        .map(|n| out.input(n.clone()))
+        .collect();
 
     // Pre-count consumers of every original signal.
     let (input_counts, gate_counts) = fanout_counts(netlist);
@@ -124,7 +127,10 @@ impl DriverPool {
     /// buffers that each serves ≤ `max` consumers, recursively legal.
     fn build(nl: &mut Netlist, signal: Signal, consumers: usize, max: usize) -> DriverPool {
         if consumers <= max || matches!(signal, Signal::Const(_)) {
-            return DriverPool { leaves: vec![signal], served: 0 };
+            return DriverPool {
+                leaves: vec![signal],
+                served: 0,
+            };
         }
         // Leaves needed so each serves ≤ max consumers.
         let n_leaves = consumers.div_ceil(max);
@@ -132,11 +138,12 @@ impl DriverPool {
         // themselves `n_leaves` consumers of `signal`).
         let feeders = DriverPool::build(nl, signal, n_leaves, max);
         let mut feeders = feeders;
-        let leaves: Vec<Signal> =
-            (0..n_leaves).map(|_| {
+        let leaves: Vec<Signal> = (0..n_leaves)
+            .map(|_| {
                 let src = feeders.take(max);
                 nl.buffer(src)
-            }).collect();
+            })
+            .collect();
         DriverPool { leaves, served: 0 }
     }
 
@@ -175,7 +182,11 @@ mod tests {
         // Gate 0 (xor) drives: 2 inverters (i=0,2)… wait: structural
         // hashing dedupes identical inverters, so one INV cell remains,
         // consumed once per distinct pin + the direct output binding.
-        assert_eq!(gates[0], 1 + 1, "one inverter pin + one direct output binding? {gates:?}");
+        assert_eq!(
+            gates[0],
+            1 + 1,
+            "one inverter pin + one direct output binding? {gates:?}"
+        );
     }
 
     #[test]
@@ -194,12 +205,19 @@ mod tests {
             }
             assert!(max_fanout(&nl) >= loads);
             let legal = legalize_fanout(&nl, 4);
-            assert!(max_fanout(&legal) <= 4, "loads={loads}: {}", max_fanout(&legal));
+            assert!(
+                max_fanout(&legal) <= 4,
+                "loads={loads}: {}",
+                max_fanout(&legal)
+            );
             assert!(
                 check_equivalence(&nl, &legal, 7).is_equivalent(),
                 "loads={loads}"
             );
-            assert!(legal.gate_count() > nl.gate_count(), "buffers were inserted");
+            assert!(
+                legal.gate_count() > nl.gate_count(),
+                "buffers were inserted"
+            );
         }
     }
 

@@ -40,7 +40,12 @@ pub struct StuckAt {
 /// (two per gate), in ascending gate order.
 pub fn enumerate_faults(netlist: &Netlist) -> Vec<StuckAt> {
     (0..netlist.gate_count())
-        .flat_map(|gate| [StuckAt { gate, value: false }, StuckAt { gate, value: true }])
+        .flat_map(|gate| {
+            [
+                StuckAt { gate, value: false },
+                StuckAt { gate, value: true },
+            ]
+        })
         .collect()
 }
 
@@ -58,7 +63,11 @@ impl<'a> FaultyNetlist<'a> {
     ///
     /// Panics if the fault references a gate outside the netlist.
     pub fn new(netlist: &'a Netlist, fault: StuckAt) -> Self {
-        assert!(fault.gate < netlist.gate_count(), "fault on missing gate {}", fault.gate);
+        assert!(
+            fault.gate < netlist.gate_count(),
+            "fault on missing gate {}",
+            fault.gate
+        );
         Self { netlist, fault }
     }
 
@@ -157,7 +166,11 @@ pub fn fault_campaign(netlist: &Netlist, patterns: &[Vec<bool>]) -> FaultCampaig
         }
         mismatch_counts.push(mismatches);
     }
-    FaultCampaign { total_faults: faults.len(), detected, mismatch_counts }
+    FaultCampaign {
+        total_faults: faults.len(),
+        detected,
+        mismatch_counts,
+    }
 }
 
 #[cfg(test)]
@@ -181,14 +194,29 @@ mod tests {
     fn fault_free_matches_good_circuit() {
         let nl = and_or();
         // A fault on a gate that doesn't change the value for this input.
-        let faulty = FaultyNetlist::new(&nl, StuckAt { gate: 0, value: true });
-        assert_eq!(faulty.eval(&[true, true, false]), nl.eval(&[true, true, false]));
+        let faulty = FaultyNetlist::new(
+            &nl,
+            StuckAt {
+                gate: 0,
+                value: true,
+            },
+        );
+        assert_eq!(
+            faulty.eval(&[true, true, false]),
+            nl.eval(&[true, true, false])
+        );
     }
 
     #[test]
     fn stuck_output_overrides_logic() {
         let nl = and_or();
-        let sa0 = FaultyNetlist::new(&nl, StuckAt { gate: 1, value: false });
+        let sa0 = FaultyNetlist::new(
+            &nl,
+            StuckAt {
+                gate: 1,
+                value: false,
+            },
+        );
         // Output gate stuck at 0: always 0.
         for p in 0..8u32 {
             let inputs = [(p & 1) != 0, (p & 2) != 0, (p & 4) != 0];
@@ -256,6 +284,12 @@ mod tests {
     #[should_panic(expected = "missing gate")]
     fn rejects_out_of_range_fault() {
         let nl = and_or();
-        FaultyNetlist::new(&nl, StuckAt { gate: 99, value: false });
+        FaultyNetlist::new(
+            &nl,
+            StuckAt {
+                gate: 99,
+                value: false,
+            },
+        );
     }
 }

@@ -91,7 +91,9 @@ impl Netlist {
     /// Declares `width` inputs named `prefix[0]`, `prefix[1]`, … (LSB
     /// first) and returns their signals.
     pub fn input_bus(&mut self, prefix: &str, width: usize) -> Vec<Signal> {
-        (0..width).map(|i| self.input(format!("{prefix}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{prefix}[{i}]")))
+            .collect()
     }
 
     /// Instantiates a cell (or reuses a structurally identical one) and
@@ -121,7 +123,10 @@ impl Netlist {
             return folded;
         }
 
-        let gate = Gate { kind, inputs: inputs.to_vec() };
+        let gate = Gate {
+            kind,
+            inputs: inputs.to_vec(),
+        };
         if let Some(&idx) = self.structural.get(&gate) {
             return Signal::Gate(idx);
         }
@@ -157,16 +162,22 @@ impl Netlist {
                 if inputs.contains(&Signal::Const(false)) {
                     return Some(Signal::Const(false));
                 }
-                let live: Vec<Signal> =
-                    inputs.iter().copied().filter(|s| *s != Signal::Const(true)).collect();
+                let live: Vec<Signal> = inputs
+                    .iter()
+                    .copied()
+                    .filter(|s| *s != Signal::Const(true))
+                    .collect();
                 self.fold_variadic(true, &live, inputs.len())
             }
             Or2 | Or3 | Or4 => {
                 if inputs.contains(&Signal::Const(true)) {
                     return Some(Signal::Const(true));
                 }
-                let live: Vec<Signal> =
-                    inputs.iter().copied().filter(|s| *s != Signal::Const(false)).collect();
+                let live: Vec<Signal> = inputs
+                    .iter()
+                    .copied()
+                    .filter(|s| *s != Signal::Const(false))
+                    .collect();
                 self.fold_variadic(false, &live, inputs.len())
             }
             _ => None,
@@ -203,14 +214,20 @@ impl Netlist {
     /// Panics if `s` does not belong to this netlist.
     pub fn buffer(&mut self, s: Signal) -> Signal {
         self.check_signal(s);
-        self.gates.push(Gate { kind: CellKind::Buf, inputs: vec![s] });
+        self.gates.push(Gate {
+            kind: CellKind::Buf,
+            inputs: vec![s],
+        });
         Signal::Gate(self.gates.len() - 1)
     }
 
     fn check_signal(&self, s: Signal) {
         match s {
             Signal::Input(i) => {
-                assert!(i < self.input_names.len(), "input signal {i} does not exist")
+                assert!(
+                    i < self.input_names.len(),
+                    "input signal {i} does not exist"
+                )
             }
             Signal::Gate(g) => assert!(g < self.gates.len(), "gate signal {g} does not exist"),
             Signal::Const(_) => {}
@@ -261,7 +278,10 @@ impl Netlist {
     /// Panics if `inputs.len() != self.input_count()`.
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
         let values = self.eval_all(inputs);
-        self.outputs.iter().map(|&(_, s)| Self::value_of(s, inputs, &values)).collect()
+        self.outputs
+            .iter()
+            .map(|&(_, s)| Self::value_of(s, inputs, &values))
+            .collect()
     }
 
     /// Evaluates every gate; returns the per-gate output values. Useful for
@@ -271,11 +291,18 @@ impl Netlist {
     ///
     /// Panics if `inputs.len() != self.input_count()`.
     pub fn eval_all(&self, inputs: &[bool]) -> Vec<bool> {
-        assert_eq!(inputs.len(), self.input_names.len(), "wrong number of input values");
+        assert_eq!(
+            inputs.len(),
+            self.input_names.len(),
+            "wrong number of input values"
+        );
         let mut values = Vec::with_capacity(self.gates.len());
         for gate in &self.gates {
-            let args: Vec<bool> =
-                gate.inputs.iter().map(|&s| Self::value_of(s, inputs, &values)).collect();
+            let args: Vec<bool> = gate
+                .inputs
+                .iter()
+                .map(|&s| Self::value_of(s, inputs, &values))
+                .collect();
             values.push(gate.kind.eval(&args));
         }
         values
@@ -388,9 +415,15 @@ mod tests {
     fn constant_folding_and_identities() {
         let mut nl = Netlist::new("fold");
         let a = nl.input("a");
-        assert_eq!(nl.gate(CellKind::And2, &[a, Signal::Const(false)]), Signal::Const(false));
+        assert_eq!(
+            nl.gate(CellKind::And2, &[a, Signal::Const(false)]),
+            Signal::Const(false)
+        );
         assert_eq!(nl.gate(CellKind::And2, &[a, Signal::Const(true)]), a);
-        assert_eq!(nl.gate(CellKind::Or2, &[a, Signal::Const(true)]), Signal::Const(true));
+        assert_eq!(
+            nl.gate(CellKind::Or2, &[a, Signal::Const(true)]),
+            Signal::Const(true)
+        );
         assert_eq!(nl.gate(CellKind::Or2, &[a, Signal::Const(false)]), a);
         assert_eq!(nl.gate(CellKind::Buf, &[a]), a);
         let na = nl.gate(CellKind::Inv, &[a]);
@@ -407,7 +440,10 @@ mod tests {
         let mut nl = Netlist::new("shrink");
         let a = nl.input("a");
         let b = nl.input("b");
-        let x = nl.gate(CellKind::And4, &[a, Signal::Const(true), b, Signal::Const(true)]);
+        let x = nl.gate(
+            CellKind::And4,
+            &[a, Signal::Const(true), b, Signal::Const(true)],
+        );
         nl.output("x", x);
         assert_eq!(nl.gate_count(), 1);
         assert_eq!(nl.gates()[0].kind, CellKind::And2);

@@ -43,7 +43,10 @@ impl Implicant {
         }
         let diff = (self.values ^ other.values) & !self.mask;
         if diff.count_ones() == 1 {
-            Some(Implicant { values: self.values & !diff, mask: self.mask | diff })
+            Some(Implicant {
+                values: self.values & !diff,
+                mask: self.mask | diff,
+            })
         } else {
             None
         }
@@ -71,10 +74,16 @@ impl Implicant {
 /// or if any minterm index is out of range. Duplicate or overlapping
 /// onset/dc minterms are tolerated (dc loses).
 pub fn minimize(num_vars: usize, onset: &[u32], dc: &[u32]) -> Sop {
-    assert!((1..=20).contains(&num_vars), "num_vars must be 1..=20, got {num_vars}");
+    assert!(
+        (1..=20).contains(&num_vars),
+        "num_vars must be 1..=20, got {num_vars}"
+    );
     let limit = 1u64 << num_vars;
     for &m in onset.iter().chain(dc) {
-        assert!((m as u64) < limit, "minterm {m} out of range for {num_vars} variables");
+        assert!(
+            (m as u64) < limit,
+            "minterm {m} out of range for {num_vars} variables"
+        );
     }
     let onset: HashSet<u32> = onset.iter().copied().collect();
     if onset.is_empty() {
@@ -199,8 +208,15 @@ fn greedy_cover(candidates: &[Implicant], minterms: &[u32]) -> Vec<Implicant> {
 /// Exact minimum cover by branch-and-bound over bitmask-encoded coverage.
 /// Cost is lexicographic `(cube count, total fixed literals)`.
 fn exact_cover(candidates: &[Implicant], minterms: &[u32]) -> Vec<Implicant> {
-    assert!(minterms.len() <= 32 && candidates.len() <= 32, "exact cover size bound");
-    let full: u32 = if minterms.len() == 32 { u32::MAX } else { (1u32 << minterms.len()) - 1 };
+    assert!(
+        minterms.len() <= 32 && candidates.len() <= 32,
+        "exact cover size bound"
+    );
+    let full: u32 = if minterms.len() == 32 {
+        u32::MAX
+    } else {
+        (1u32 << minterms.len()) - 1
+    };
     let masks: Vec<u32> = candidates
         .iter()
         .map(|p| {
@@ -231,8 +247,10 @@ fn exact_cover(candidates: &[Implicant], minterms: &[u32]) -> Vec<Implicant> {
         best_cost: &mut (usize, usize),
     ) {
         if covered == full {
-            let lits: usize =
-                chosen.iter().map(|&i| literals(&candidates[i], u32::MAX)).sum();
+            let lits: usize = chosen
+                .iter()
+                .map(|&i| literals(&candidates[i], u32::MAX))
+                .sum();
             let cost = (chosen.len(), lits);
             if cost < *best_cost {
                 *best_cost = cost;
@@ -247,14 +265,30 @@ fn exact_cover(candidates: &[Implicant], minterms: &[u32]) -> Vec<Implicant> {
         for (i, &mask) in masks.iter().enumerate() {
             if mask & (1 << next) != 0 {
                 chosen.push(i);
-                dfs(covered | mask, full, chosen, masks, candidates, best, best_cost);
+                dfs(
+                    covered | mask,
+                    full,
+                    chosen,
+                    masks,
+                    candidates,
+                    best,
+                    best_cost,
+                );
                 chosen.pop();
             }
         }
     }
 
     let mut chosen = Vec::new();
-    dfs(0, full, &mut chosen, &masks, candidates, &mut best, &mut best_cost);
+    dfs(
+        0,
+        full,
+        &mut chosen,
+        &masks,
+        candidates,
+        &mut best,
+        &mut best_cost,
+    );
     if best.is_empty() && full != 0 {
         return greedy;
     }
@@ -289,8 +323,7 @@ mod tests {
         // 2-cube solutions of cost 4 literals exist (e.g. a'c' + ac? check)
         let sop = minimize(3, &[0, 1, 2, 5, 6, 7], &[]);
         let t = truth(3, &sop);
-        let expect: Vec<bool> =
-            (0..8).map(|m| [0, 1, 2, 5, 6, 7].contains(&m)).collect();
+        let expect: Vec<bool> = (0..8).map(|m| [0, 1, 2, 5, 6, 7].contains(&m)).collect();
         assert_eq!(t, expect);
         assert!(sop.cubes().len() <= 3, "got {:?}", sop.cubes());
     }
@@ -355,8 +388,9 @@ mod tests {
         };
         for trial in 0..25 {
             let num_vars = 3 + (trial % 4) as usize; // 3..=6
-            let onset: Vec<u32> =
-                (0..(1u32 << num_vars)).filter(|_| next() % 3 == 0).collect();
+            let onset: Vec<u32> = (0..(1u32 << num_vars))
+                .filter(|_| next() % 3 == 0)
+                .collect();
             let sop = minimize(num_vars.max(1), &onset, &[]);
             let t = truth(num_vars, &sop);
             for m in 0..(1u32 << num_vars) {

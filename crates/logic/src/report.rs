@@ -50,7 +50,11 @@ pub struct AnalysisConfig {
 impl AnalysisConfig {
     /// The paper's evaluation conditions: 20 Hz, 1 V, 20% toggle activity.
     pub fn printed_20hz() -> Self {
-        Self { frequency_hz: 20.0, supply_volts: 1.0, activity: 0.2 }
+        Self {
+            frequency_hz: 20.0,
+            supply_volts: 1.0,
+            activity: 0.2,
+        }
     }
 }
 
@@ -278,8 +282,18 @@ mod tests {
         assert_eq!(c12.cell_count, 3);
         assert!((c12.area.mm2() - (r1.area + r2.area).mm2()).abs() < 1e-12);
         assert_eq!(c12.critical_path, r1.critical_path.max(r2.critical_path));
-        let and2 = c12.histogram.iter().find(|(k, _)| *k == CellKind::And2).unwrap().1;
-        let or2 = c12.histogram.iter().find(|(k, _)| *k == CellKind::Or2).unwrap().1;
+        let and2 = c12
+            .histogram
+            .iter()
+            .find(|(k, _)| *k == CellKind::And2)
+            .unwrap()
+            .1;
+        let or2 = c12
+            .histogram
+            .iter()
+            .find(|(k, _)| *k == CellKind::Or2)
+            .unwrap()
+            .1;
         assert_eq!((and2, or2), (1, 2));
     }
 

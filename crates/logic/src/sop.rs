@@ -46,7 +46,9 @@ pub struct Cube {
 impl Cube {
     /// The universal cube (empty conjunction: always true).
     pub fn universe() -> Self {
-        Self { literals: BTreeMap::new() }
+        Self {
+            literals: BTreeMap::new(),
+        }
     }
 
     /// Builds a cube from `(variable, polarity)` pairs.
@@ -149,12 +151,18 @@ pub struct Sop {
 impl Sop {
     /// The constant-false cover over `num_vars` variables.
     pub fn constant_false(num_vars: usize) -> Self {
-        Self { num_vars, cubes: Vec::new() }
+        Self {
+            num_vars,
+            cubes: Vec::new(),
+        }
     }
 
     /// The constant-true cover.
     pub fn constant_true(num_vars: usize) -> Self {
-        Self { num_vars, cubes: vec![Cube::universe()] }
+        Self {
+            num_vars,
+            cubes: vec![Cube::universe()],
+        }
     }
 
     /// Builds a cover from cubes.
@@ -165,7 +173,10 @@ impl Sop {
     pub fn from_cubes(num_vars: usize, cubes: Vec<Cube>) -> Self {
         for cube in &cubes {
             for (v, _) in cube.literals() {
-                assert!(v < num_vars, "cube references variable {v} ≥ num_vars {num_vars}");
+                assert!(
+                    v < num_vars,
+                    "cube references variable {v} ≥ num_vars {num_vars}"
+                );
             }
         }
         Self { num_vars, cubes }
@@ -250,7 +261,10 @@ impl Sop {
                 break;
             }
         }
-        Sop { num_vars: self.num_vars, cubes }
+        Sop {
+            num_vars: self.num_vars,
+            cubes,
+        }
     }
 
     /// Lowers the cover to gates: one AND tree per cube, one OR tree across
@@ -261,7 +275,10 @@ impl Sop {
     ///
     /// Panics if `vars.len() < self.num_vars()`.
     pub fn lower(&self, nl: &mut Netlist, vars: &[Signal]) -> Signal {
-        assert!(vars.len() >= self.num_vars, "need a signal for every variable");
+        assert!(
+            vars.len() >= self.num_vars,
+            "need a signal for every variable"
+        );
         let terms: Vec<Signal> = self
             .cubes
             .iter()
@@ -291,7 +308,10 @@ impl Sop {
     /// Panics if `vars.len() < self.num_vars()`.
     pub fn lower_nand_nand(&self, nl: &mut Netlist, vars: &[Signal]) -> Signal {
         use printed_pdk::CellKind;
-        assert!(vars.len() >= self.num_vars, "need a signal for every variable");
+        assert!(
+            vars.len() >= self.num_vars,
+            "need a signal for every variable"
+        );
         if self.cubes.is_empty() {
             return Signal::Const(false);
         }
@@ -356,7 +376,10 @@ mod tests {
     fn merge_requires_same_support_one_flip() {
         let x = Cube::from_literals(&[(0, true), (1, true)]);
         let y = Cube::from_literals(&[(0, true), (1, false)]);
-        assert_eq!(x.merge_adjacent(&y), Some(Cube::from_literals(&[(0, true)])));
+        assert_eq!(
+            x.merge_adjacent(&y),
+            Some(Cube::from_literals(&[(0, true)]))
+        );
         let z = Cube::from_literals(&[(0, false), (1, false)]);
         assert_eq!(x.merge_adjacent(&z), None, "two flips");
         let w = Cube::from_literals(&[(0, true), (2, true)]);
@@ -420,8 +443,14 @@ mod tests {
     fn lower_constant_covers() {
         let mut nl = Netlist::new("consts");
         let vars = nl.input_bus("x", 2);
-        assert_eq!(Sop::constant_false(2).lower(&mut nl, &vars), Signal::Const(false));
-        assert_eq!(Sop::constant_true(2).lower(&mut nl, &vars), Signal::Const(true));
+        assert_eq!(
+            Sop::constant_false(2).lower(&mut nl, &vars),
+            Signal::Const(false)
+        );
+        assert_eq!(
+            Sop::constant_true(2).lower(&mut nl, &vars),
+            Signal::Const(true)
+        );
         assert_eq!(nl.gate_count(), 0);
     }
 

@@ -53,10 +53,10 @@ pub const PAPER_BASELINE_NODE_POWER: Power = Power::from_uw(44.0);
 /// model; the discrepancy is recorded in EXPERIMENTS.md).
 pub fn model_adc4_cost(model: &AnalogModel) -> (Area, Power) {
     let taps: Vec<usize> = (1..=model.tap_count()).collect();
-    let area =
-        model.full_ladder_area() + model.comparator_bank_area(model.tap_count()) + model.encoder_area;
-    let power =
-        model.full_ladder_power + model.comparator_bank_power(&taps) + model.encoder_power;
+    let area = model.full_ladder_area()
+        + model.comparator_bank_area(model.tap_count())
+        + model.encoder_area;
+    let power = model.full_ladder_power + model.comparator_bank_power(&taps) + model.encoder_power;
     (area, power)
 }
 
@@ -77,7 +77,10 @@ mod tests {
     fn adc4_area_anchor_holds() {
         let (area, _) = model_adc4_cost(&AnalogModel::egfet());
         let err = (area.mm2() - PAPER_ADC4_AREA.mm2()).abs() / PAPER_ADC4_AREA.mm2();
-        assert!(err < 0.02, "conventional ADC area {area} vs anchor {PAPER_ADC4_AREA}");
+        assert!(
+            err < 0.02,
+            "conventional ADC area {area} vs anchor {PAPER_ADC4_AREA}"
+        );
     }
 
     #[test]
@@ -94,7 +97,10 @@ mod tests {
         // module docs); assert we are in the documented band rather than
         // silently drifting.
         let (_, power) = model_adc4_cost(&AnalogModel::egfet());
-        assert!(power.uw() > 450.0 && power.uw() < PAPER_ADC4_POWER.uw(), "{power}");
+        assert!(
+            power.uw() > 450.0 && power.uw() < PAPER_ADC4_POWER.uw(),
+            "{power}"
+        );
     }
 
     #[test]

@@ -340,7 +340,10 @@ impl CellLibrary {
             })
             .collect();
 
-        Self { name: "egfet-1v".to_owned(), rows }
+        Self {
+            name: "egfet-1v".to_owned(),
+            rows,
+        }
     }
 
     /// An organic (e.g. carbon-based) printed technology preset for
@@ -368,7 +371,10 @@ impl CellLibrary {
                 )
             })
             .collect();
-        Self { name: "organic-2v".to_owned(), rows }
+        Self {
+            name: "organic-2v".to_owned(),
+            rows,
+        }
     }
 
     /// Builds a library from explicit characterization rows.
@@ -386,7 +392,10 @@ impl CellLibrary {
                 return Err(MissingCellError { kind });
             }
         }
-        Ok(Self { name: name.into(), rows })
+        Ok(Self {
+            name: name.into(),
+            rows,
+        })
     }
 
     /// The library's name.
@@ -429,7 +438,11 @@ pub struct MissingCellError {
 
 impl fmt::Display for MissingCellError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cell library is missing a characterization row for {}", self.kind)
+        write!(
+            f,
+            "cell library is missing a characterization row for {}",
+            self.kind
+        )
     }
 }
 

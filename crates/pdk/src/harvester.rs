@@ -149,7 +149,10 @@ mod tests {
     fn burst_count_from_storage() {
         let h = Harvester::printed_default();
         // 3.2 mJ storage / (4 mW × 50 ms = 0.2 mJ) = 16 decisions.
-        assert_eq!(h.burst_decisions(Power::from_mw(4.0), Delay::from_ms(50.0)), 16);
+        assert_eq!(
+            h.burst_decisions(Power::from_mw(4.0), Delay::from_ms(50.0)),
+            16
+        );
     }
 
     #[test]

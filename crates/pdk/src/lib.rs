@@ -49,8 +49,8 @@ pub mod units;
 
 pub use analog::AnalogModel;
 pub use calibration::HARVESTER_BUDGET;
-pub use harvester::Harvester;
 pub use cells::{CellKind, CellLibrary, CellParams, MissingCellError, SequentialParams};
+pub use harvester::Harvester;
 pub use units::{Area, Capacitance, Delay, Power, Resistance, Voltage};
 
 /// Nominal operating frequency of the target printed applications, in hertz.

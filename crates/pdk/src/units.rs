@@ -362,7 +362,11 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let parts = [Power::from_uw(10.0), Power::from_uw(20.0), Power::from_uw(12.5)];
+        let parts = [
+            Power::from_uw(10.0),
+            Power::from_uw(20.0),
+            Power::from_uw(12.5),
+        ];
         let total: Power = parts.iter().sum();
         assert_eq!(total.uw(), 42.5);
     }

@@ -1,0 +1,60 @@
+//! The span, counter, and histogram names used across the workspace.
+//!
+//! Centralizing the names keeps producers (`printed-codesign`,
+//! `printed-analog`, `printed-bench`) and consumers (trace renderers,
+//! tests, downstream tooling) from drifting apart on stringly-typed keys.
+
+/// Prefix shared by all flow-stage span names.
+pub const STAGE_PREFIX: &str = "stage:";
+
+/// Stage span: ADC-unaware reference training.
+pub const STAGE_REFERENCE: &str = "stage:reference_training";
+
+/// Stage span: baseline \[2\] synthesis.
+pub const STAGE_BASELINE: &str = "stage:baseline_synthesis";
+
+/// Stage span: the τ×depth exploration sweep.
+pub const STAGE_SWEEP: &str = "stage:sweep";
+
+/// Stage span: accuracy-loss constrained selection.
+pub const STAGE_SELECTION: &str = "stage:selection";
+
+/// Per-grid-point span emitted by the explorer (fields: `tau`, `depth`,
+/// `accuracy`, `comparators`).
+pub const CANDIDATE_SPAN: &str = "candidate";
+
+/// Per-tree span emitted by the Algorithm 1 trainer (fields: `gini_evals`,
+/// `s_z`, `s_m`, `s_h`, `nodes`).
+pub const TRAIN_SPAN: &str = "train";
+
+/// Counter: Gini evaluations performed by Algorithm 1 (one per scored
+/// split candidate).
+pub const GINI_EVALS: &str = "train.gini_evals";
+
+/// Counter: splits resolved in the zero-cost class `S_Z` (exact
+/// `(feature, C)` reuse — wiring only).
+pub const SPLIT_ZERO: &str = "train.split_s_z";
+
+/// Counter: splits resolved in the medium-cost class `S_M` (existing ADC,
+/// new output digit — one extra comparator).
+pub const SPLIT_MEDIUM: &str = "train.split_s_m";
+
+/// Counter: splits resolved in the high-cost class `S_H` (brand-new input
+/// — a new ADC).
+pub const SPLIT_HIGH: &str = "train.split_s_h";
+
+/// Counter: trees trained by Algorithm 1.
+pub const TREES_TRAINED: &str = "train.trees";
+
+/// Counter: Monte-Carlo mismatch trials sampled.
+pub const MC_TRIALS: &str = "mc.trials";
+
+/// Counter: Monte-Carlo trials whose perturbed ladder failed to solve.
+pub const MC_FAILURES: &str = "mc.failures";
+
+/// Histogram: wall time per sweep candidate (train + synthesize), in µs.
+pub const CANDIDATE_US: &str = "sweep.candidate_us";
+
+/// Event: the explorer/flow selected a design (fields: `tau`, `depth`,
+/// `accuracy`).
+pub const SELECTED_EVENT: &str = "selected";

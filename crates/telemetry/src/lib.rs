@@ -1,0 +1,58 @@
+//! # printed-telemetry
+//!
+//! Zero-dependency (std + serde) instrumentation for the co-design flow:
+//! the τ×depth sweep behind the paper's Fig. 5 / Table II fans out across
+//! every core and used to run blind. This crate gives the stack
+//!
+//! * [`Span`]s and [`Timer`]s over a shared monotonic epoch,
+//! * lock-free atomic [`Counter`]s and log-bucketed duration
+//!   [`Histogram`]s,
+//! * a thread-safe [`Recorder`] behind a pluggable [`Sink`] trait whose
+//!   default ([`NullSink`]) makes every instrumentation call a no-op, so
+//!   instrumented hot paths cost ~nothing when tracing is off,
+//! * serde-serializable [`FlowTrace`]/[`SweepTrace`] summaries with NDJSON
+//!   and human-readable text renderers, and
+//! * a [`Progress`] type for live `k/N candidates done` callbacks from the
+//!   sweep's scoped worker threads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use printed_telemetry::{Recorder, keys};
+//!
+//! let (recorder, sink) = Recorder::collecting();
+//! {
+//!     let span = recorder.span(keys::CANDIDATE_SPAN).field("depth", 4u64);
+//!     recorder.add(keys::GINI_EVALS, 128);
+//!     span.finish();
+//! }
+//! let snapshot = sink.snapshot();
+//! assert_eq!(snapshot.counter(keys::GINI_EVALS), 128);
+//! assert_eq!(snapshot.spans_named(keys::CANDIDATE_SPAN).count(), 1);
+//! println!("{}", snapshot.to_ndjson()); // one JSON object per line
+//! ```
+//!
+//! When tracing is off, hand the same code [`Recorder::disabled`] (also
+//! [`Recorder::default`]): spans skip even the clock reads, and counter
+//! handles resolve to no-ops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod metric;
+mod ndjson;
+mod recorder;
+mod sink;
+mod span;
+mod trace;
+
+pub mod keys;
+
+pub use clock::{fmt_duration, Timer};
+pub use metric::{Counter, Histogram, HistogramCore, HistogramSnapshot};
+pub use ndjson::JsonLine;
+pub use recorder::{Progress, Recorder};
+pub use sink::{CollectingSink, NullSink, Sink, TraceSnapshot};
+pub use span::{EventRecord, FieldValue, Span, SpanRecord};
+pub use trace::{FlowTrace, SweepTrace};

@@ -1,0 +1,219 @@
+//! Atomic counters and log-bucketed duration histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A handle to a named atomic counter.
+///
+/// Handles resolved from a disabled [`crate::Recorder`] are inert: every
+/// operation is a no-op and reads return zero. Enabled handles share one
+/// `AtomicU64` per name, so increments from any thread are lock-free and
+/// never lost.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// An inert counter (what disabled recorders hand out).
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (zero for inert handles).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of power-of-two buckets tracked per histogram: bucket `i` counts
+/// observations with `value_us < 2^(i+1)`, so the top bucket covers
+/// everything beyond ~2.2 years in microseconds.
+const BUCKETS: usize = 40;
+
+/// Shared lock-free state behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub struct HistogramCore {
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    min_us: AtomicU64,
+    max_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            min_us: AtomicU64::new(u64::MAX),
+            max_us: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl HistogramCore {
+    fn observe_us(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.min_us.fetch_min(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+        // floor(log2(us)) for us ≥ 1, clamped into range; zero lands in
+        // bucket 0 (upper bound 2 µs).
+        let bucket = (64 - us.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            min_us: if count == 0 {
+                0
+            } else {
+                self.min_us.load(Ordering::Relaxed)
+            },
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, cell)| {
+                    let n = cell.load(Ordering::Relaxed);
+                    (n > 0).then(|| (upper_bound_us(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Exclusive upper bound (µs) of bucket `i`.
+fn upper_bound_us(i: usize) -> u64 {
+    1u64 << (i + 1).min(63)
+}
+
+/// A handle to a named duration histogram (µs resolution, power-of-two
+/// buckets). Inert when resolved from a disabled recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// An inert histogram.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, d: Duration) {
+        self.observe_us(d.as_micros() as u64);
+    }
+
+    /// Records one observation given in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        if let Some(core) = &self.0 {
+            core.observe_us(us);
+        }
+    }
+
+    /// A point-in-time copy (empty for inert handles).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map(|core| core.snapshot())
+            .unwrap_or_default()
+    }
+}
+
+/// A serializable point-in-time copy of a duration histogram.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub sum_us: u64,
+    /// Smallest observation, µs (zero when empty).
+    pub min_us: u64,
+    /// Largest observation, µs.
+    pub max_us: u64,
+    /// `(exclusive upper bound µs, count)` for every non-empty
+    /// power-of-two bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations, µs (zero when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_counter_stays_zero() {
+        let c = Counter::noop();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn live_counter_accumulates() {
+        let c = Counter(Some(Arc::new(AtomicU64::new(0))));
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_buckets() {
+        let h = Histogram(Some(Arc::new(HistogramCore::default())));
+        for us in [4, 5, 100, 1_000_000] {
+            h.observe_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_us, 1_000_109);
+        assert_eq!(s.min_us, 4);
+        assert_eq!(s.max_us, 1_000_000);
+        assert_eq!(s.mean_us(), 1_000_109.0 / 4.0);
+        // 4 and 5 share the `< 8` bucket.
+        assert_eq!(s.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 4);
+        assert!(s.buckets.iter().any(|&(hi, n)| hi == 8 && n == 2));
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_sane() {
+        let s = Histogram::noop().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_us, 0);
+        assert_eq!(s.mean_us(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+}

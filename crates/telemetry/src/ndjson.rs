@@ -1,0 +1,174 @@
+//! Minimal hand-rolled NDJSON (one JSON object per line) writer.
+//!
+//! Trace rendering must not pull `serde_json` into the runtime dependency
+//! graph of the hardware crates, so this module emits the small subset of
+//! JSON the traces need: flat-ish objects with string/number/bool/null
+//! values and nested raw fragments.
+
+use crate::span::FieldValue;
+
+/// Builder for a single JSON object, rendered as one NDJSON line.
+///
+/// ```
+/// use printed_telemetry::JsonLine;
+/// let line = JsonLine::new()
+///     .str("kind", "candidate")
+///     .u64("depth", 4)
+///     .f64("tau", 0.005)
+///     .finish();
+/// assert_eq!(line, r#"{"kind":"candidate","depth":4,"tau":0.005}"#);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JsonLine {
+    buf: String,
+    empty: bool,
+}
+
+impl Default for JsonLine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonLine {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            empty: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field (non-finite values render as `null`, which JSON
+    /// requires).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        push_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field from a trace [`FieldValue`].
+    pub fn field(self, key: &str, value: &FieldValue) -> Self {
+        match value {
+            FieldValue::U64(v) => self.u64(key, *v),
+            FieldValue::F64(v) => self.f64(key, *v),
+            FieldValue::Bool(v) => self.bool(key, *v),
+            FieldValue::Str(v) => self.str(key, v),
+        }
+    }
+
+    /// Adds an already-serialized JSON fragment verbatim (caller guarantees
+    /// validity — used for nested arrays/objects).
+    pub fn raw(mut self, key: &str, fragment: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(fragment);
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Renders `value` as a JSON number, or `null` for NaN/±inf.
+fn push_f64(buf: &mut String, value: f64) {
+    if value.is_finite() {
+        buf.push_str(&value.to_string());
+    } else {
+        buf.push_str("null");
+    }
+}
+
+/// Escapes `s` into `buf` per RFC 8259 (quotes, backslash, control chars).
+fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Renders a `[a,b,...]` JSON array from pre-serialized fragments.
+pub(crate) fn array(fragments: impl IntoIterator<Item = String>) -> String {
+    let mut buf = String::from("[");
+    for (i, frag) in fragments.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&frag);
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let line = JsonLine::new().str("msg", "a\"b\\c\nd\te\u{1}").finish();
+        assert_eq!(line, r#"{"msg":"a\"b\\c\nd\te\u0001"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let line = JsonLine::new()
+            .f64("x", f64::NAN)
+            .f64("y", f64::INFINITY)
+            .finish();
+        assert_eq!(line, r#"{"x":null,"y":null}"#);
+    }
+
+    #[test]
+    fn empty_object_and_raw_fragments() {
+        assert_eq!(JsonLine::new().finish(), "{}");
+        let line = JsonLine::new()
+            .raw("xs", &array(["1".into(), "2".into()]))
+            .finish();
+        assert_eq!(line, r#"{"xs":[1,2]}"#);
+    }
+}

@@ -1,0 +1,361 @@
+//! Structured summaries of a co-design run: [`FlowTrace`] and
+//! [`SweepTrace`], with NDJSON and human-readable renderers.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::fmt_duration;
+use crate::keys;
+use crate::metric::HistogramSnapshot;
+use crate::ndjson::JsonLine;
+use crate::sink::TraceSnapshot;
+use crate::span::{EventRecord, FieldValue, SpanRecord};
+
+/// The sweep portion of a trace: one span per τ×depth grid point.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SweepTrace {
+    /// Grid points explored (`taus.len() × depths.len()`).
+    pub total_candidates: usize,
+    /// One record per grid point, in start order (fields: `tau`, `depth`,
+    /// `accuracy`, `comparators`).
+    pub candidates: Vec<SpanRecord>,
+    /// Distribution of per-candidate wall time, if recorded.
+    pub candidate_us: Option<HistogramSnapshot>,
+}
+
+impl SweepTrace {
+    /// Sum of per-candidate wall time. With the sweep fanned out over N
+    /// cores this exceeds the sweep stage's wall time ~N-fold.
+    pub fn cpu_time(&self) -> Duration {
+        Duration::from_micros(self.candidates.iter().map(|c| c.duration_us).sum())
+    }
+
+    /// The slowest grid point, if any were recorded.
+    pub fn slowest(&self) -> Option<&SpanRecord> {
+        self.candidates.iter().max_by_key(|c| c.duration_us)
+    }
+}
+
+/// A serializable summary of one co-design flow run, built from a
+/// [`TraceSnapshot`] by [`FlowTrace::from_snapshot`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlowTrace {
+    /// What ran (benchmark name, binary name, ...).
+    pub title: String,
+    /// End offset of the last span/event, µs from the recorder epoch.
+    pub wall_us: u64,
+    /// Flow-stage spans (`stage:*`), in start order.
+    pub stages: Vec<SpanRecord>,
+    /// The τ×depth sweep, if one ran.
+    pub sweep: SweepTrace,
+    /// Final counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Instant events (e.g. [`keys::SELECTED_EVENT`]), in submission
+    /// order.
+    pub events: Vec<EventRecord>,
+    /// Spans that are neither stages nor sweep candidates (per-benchmark,
+    /// per-tree, ...), in start order.
+    #[serde(default)]
+    pub spans: Vec<SpanRecord>,
+}
+
+impl FlowTrace {
+    /// Splits a raw snapshot into the flow-shaped summary: `stage:*` spans
+    /// become [`FlowTrace::stages`], `candidate` spans become the
+    /// [`SweepTrace`], every other span lands in [`FlowTrace::spans`], and
+    /// counters/histograms/events ride along unchanged.
+    pub fn from_snapshot(title: impl Into<String>, snapshot: &TraceSnapshot) -> Self {
+        let mut stages = Vec::new();
+        let mut candidates = Vec::new();
+        let mut spans = Vec::new();
+        for span in &snapshot.spans {
+            if span.name.starts_with(keys::STAGE_PREFIX) {
+                stages.push(span.clone());
+            } else if span.name == keys::CANDIDATE_SPAN {
+                candidates.push(span.clone());
+            } else {
+                spans.push(span.clone());
+            }
+        }
+        let wall_us = snapshot
+            .spans
+            .iter()
+            .map(SpanRecord::end_us)
+            .chain(snapshot.events.iter().map(|e| e.at_us))
+            .max()
+            .unwrap_or(0);
+        Self {
+            title: title.into(),
+            wall_us,
+            stages,
+            sweep: SweepTrace {
+                total_candidates: candidates.len(),
+                candidate_us: snapshot.histogram(keys::CANDIDATE_US).cloned(),
+                candidates,
+            },
+            counters: snapshot.counters.clone(),
+            histograms: snapshot.histograms.clone(),
+            events: snapshot.events.clone(),
+            spans,
+        }
+    }
+
+    /// Final value of a named counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Algorithm 1 split selections by cost class: `(S_Z, S_M, S_H)`.
+    pub fn split_selections(&self) -> (u64, u64, u64) {
+        (
+            self.counter(keys::SPLIT_ZERO),
+            self.counter(keys::SPLIT_MEDIUM),
+            self.counter(keys::SPLIT_HIGH),
+        )
+    }
+
+    /// The stage span with the given name, if it ran.
+    pub fn stage(&self, name: &str) -> Option<&SpanRecord> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the trace as NDJSON: a `{"kind":"flow"}` header line, then
+    /// one object per stage, candidate, event, counter, and histogram. No
+    /// trailing newline.
+    pub fn to_ndjson(&self) -> String {
+        let mut lines = vec![JsonLine::new()
+            .str("kind", "flow")
+            .str("title", &self.title)
+            .u64("wall_us", self.wall_us)
+            .u64("candidates", self.sweep.total_candidates as u64)
+            .finish()];
+        for stage in &self.stages {
+            lines.push(span_line("stage", stage));
+        }
+        for candidate in &self.sweep.candidates {
+            lines.push(span_line("candidate", candidate));
+        }
+        for span in &self.spans {
+            lines.push(span_line("span", span));
+        }
+        for event in &self.events {
+            let mut line = JsonLine::new()
+                .str("kind", "event")
+                .str("name", &event.name)
+                .u64("at_us", event.at_us);
+            for (key, value) in &event.fields {
+                line = line.field(key, value);
+            }
+            lines.push(line.finish());
+        }
+        for (name, value) in &self.counters {
+            lines.push(
+                JsonLine::new()
+                    .str("kind", "counter")
+                    .str("name", name)
+                    .u64("value", *value)
+                    .finish(),
+            );
+        }
+        for (name, hist) in &self.histograms {
+            lines.push(
+                JsonLine::new()
+                    .str("kind", "histogram")
+                    .str("name", name)
+                    .u64("count", hist.count)
+                    .u64("sum_us", hist.sum_us)
+                    .u64("min_us", hist.min_us)
+                    .u64("max_us", hist.max_us)
+                    .f64("mean_us", hist.mean_us())
+                    .raw(
+                        "buckets",
+                        &crate::ndjson::array(
+                            hist.buckets.iter().map(|&(hi, n)| format!("[{hi},{n}]")),
+                        ),
+                    )
+                    .finish(),
+            );
+        }
+        lines.join("\n")
+    }
+
+    /// Renders a short human-readable report: wall time, per-stage split,
+    /// sweep shape, and Algorithm 1 tallies.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} ({} wall)\n",
+            self.title,
+            fmt_duration(Duration::from_micros(self.wall_us))
+        ));
+        for stage in &self.stages {
+            let name = stage
+                .name
+                .strip_prefix(keys::STAGE_PREFIX)
+                .unwrap_or(&stage.name);
+            let share = if self.wall_us == 0 {
+                0.0
+            } else {
+                100.0 * stage.duration_us as f64 / self.wall_us as f64
+            };
+            out.push_str(&format!(
+                "  {name:<20} {:>9}  ({share:4.1}%)\n",
+                fmt_duration(stage.duration())
+            ));
+        }
+        if self.sweep.total_candidates > 0 {
+            out.push_str(&format!(
+                "  sweep: {} candidates, {} cpu-time",
+                self.sweep.total_candidates,
+                fmt_duration(self.sweep.cpu_time()),
+            ));
+            if let Some(slowest) = self.sweep.slowest() {
+                out.push_str(&format!(
+                    ", slowest {} (depth={} tau={})",
+                    fmt_duration(slowest.duration()),
+                    slowest
+                        .field("depth")
+                        .and_then(FieldValue::as_u64)
+                        .map_or_else(|| "?".into(), |v| v.to_string()),
+                    slowest
+                        .field("tau")
+                        .and_then(FieldValue::as_f64)
+                        .map_or_else(|| "?".into(), |v| format!("{v:.3}")),
+                ));
+            }
+            out.push('\n');
+        }
+        let (s_z, s_m, s_h) = self.split_selections();
+        if s_z + s_m + s_h > 0 {
+            out.push_str(&format!(
+                "  splits: {s_z} S_Z / {s_m} S_M / {s_h} S_H ({} gini evals, {} trees)\n",
+                self.counter(keys::GINI_EVALS),
+                self.counter(keys::TREES_TRAINED),
+            ));
+        }
+        let trials = self.counter(keys::MC_TRIALS);
+        if trials > 0 {
+            out.push_str(&format!(
+                "  monte-carlo: {trials} trials, {} failures\n",
+                self.counter(keys::MC_FAILURES),
+            ));
+        }
+        for event in &self.events {
+            if event.name == keys::SELECTED_EVENT {
+                out.push_str("  selected:");
+                for (key, value) in &event.fields {
+                    match value {
+                        FieldValue::F64(v) => out.push_str(&format!(" {key}={v:.4}")),
+                        other => out.push_str(&format!(
+                            " {key}={}",
+                            other
+                                .as_str()
+                                .map(str::to_owned)
+                                .or_else(|| other.as_u64().map(|v| v.to_string()))
+                                .unwrap_or_default()
+                        )),
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn span_line(kind: &str, span: &SpanRecord) -> String {
+    let mut line = JsonLine::new()
+        .str("kind", kind)
+        .str(
+            "name",
+            span.name
+                .strip_prefix(keys::STAGE_PREFIX)
+                .unwrap_or(&span.name),
+        )
+        .u64("start_us", span.start_us)
+        .u64("duration_us", span.duration_us);
+    for (key, value) in &span.fields {
+        line = line.field(key, value);
+    }
+    line.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn traced_run() -> FlowTrace {
+        let (recorder, sink) = Recorder::collecting();
+        let stage = recorder.span(keys::STAGE_SWEEP);
+        for depth in [2u64, 4] {
+            recorder
+                .span(keys::CANDIDATE_SPAN)
+                .field("depth", depth)
+                .field("tau", 0.005)
+                .finish();
+        }
+        recorder.add(keys::SPLIT_ZERO, 3);
+        recorder.add(keys::SPLIT_HIGH, 5);
+        recorder.add(keys::GINI_EVALS, 250);
+        recorder.add(keys::TREES_TRAINED, 2);
+        recorder.event(
+            keys::SELECTED_EVENT,
+            vec![
+                ("depth".into(), FieldValue::U64(4)),
+                ("accuracy".into(), FieldValue::F64(0.9)),
+            ],
+        );
+        stage.finish();
+        FlowTrace::from_snapshot("unit", &sink.snapshot())
+    }
+
+    #[test]
+    fn from_snapshot_partitions_spans() {
+        let trace = traced_run();
+        assert_eq!(trace.stages.len(), 1);
+        assert!(trace.stage(keys::STAGE_SWEEP).is_some());
+        assert_eq!(trace.sweep.total_candidates, 2);
+        assert_eq!(trace.sweep.candidates.len(), 2);
+        assert_eq!(trace.split_selections(), (3, 0, 5));
+        assert!(trace.wall_us >= trace.stages[0].end_us());
+    }
+
+    #[test]
+    fn ndjson_has_header_plus_one_line_per_record() {
+        let trace = traced_run();
+        let text = trace.to_ndjson();
+        let lines: Vec<&str> = text.lines().collect();
+        // header + 1 stage + 2 candidates + 1 event + 4 counters
+        assert_eq!(lines.len(), 9);
+        assert!(lines[0].starts_with(r#"{"kind":"flow""#));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(text.contains(r#""kind":"candidate""#));
+        assert!(text.contains(r#""name":"train.gini_evals","value":250"#));
+    }
+
+    #[test]
+    fn text_report_mentions_the_essentials() {
+        let trace = traced_run();
+        let text = trace.render_text();
+        assert!(text.contains("trace: unit"));
+        assert!(text.contains("sweep"));
+        assert!(text.contains("2 candidates"));
+        assert!(text.contains("3 S_Z / 0 S_M / 5 S_H"));
+        assert!(text.contains("selected:"));
+        assert!(text.contains("accuracy=0.9000"));
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panicking() {
+        let trace = FlowTrace::default();
+        assert_eq!(trace.wall_us, 0);
+        assert_eq!(trace.split_selections(), (0, 0, 0));
+        assert!(trace.to_ndjson().starts_with(r#"{"kind":"flow""#));
+        assert!(trace.render_text().starts_with("trace:"));
+    }
+}

@@ -20,10 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ExplorationConfig::paper();
     let sweep = explore(&train, &test, &config);
 
+    println!("Design space of {benchmark}: accuracy% (power mW) per τ × depth grid point");
     println!(
-        "Design space of {benchmark}: accuracy% (power mW) per τ × depth grid point"
+        "reference (ADC-unaware) accuracy: {:.1}%\n",
+        sweep.reference_accuracy * 100.0
     );
-    println!("reference (ADC-unaware) accuracy: {:.1}%\n", sweep.reference_accuracy * 100.0);
 
     print!("{:>7}", "depth");
     for tau in &config.taus {

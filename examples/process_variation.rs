@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unaware = train_depth_selected(&train, &test, 6);
     let aware = train_adc_aware(
         &train,
-        &AdcAwareConfig { max_depth: unaware.depth, tau: 0.02, ..Default::default() },
+        &AdcAwareConfig {
+            max_depth: unaware.depth,
+            tau: 0.02,
+            ..Default::default()
+        },
     );
     println!(
         "{benchmark}: unaware {:.1}% vs aware {:.1}% nominal test accuracy",
@@ -34,9 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         aware.accuracy(&test) * 100.0
     );
 
-    for (label, model) in [("typical", MismatchModel::typical_printed()),
-        ("pessimistic", MismatchModel::pessimistic_printed())]
-    {
+    for (label, model) in [
+        ("typical", MismatchModel::typical_printed()),
+        ("pessimistic", MismatchModel::pessimistic_printed()),
+    ] {
         println!(
             "\n{label} printing variation ({}% resistor σ, {} mV offset σ), 200 trials:",
             model.resistor_sigma_rel * 100.0,

@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Load a benchmark with the paper's preprocessing: normalize to
     //    [0, 1], split 70/30, quantize to 4 bits.
     let (train, test) = Benchmark::Seeds.load_quantized(4)?;
-    println!("Seeds: {} train / {} test samples, {} features", train.len(), test.len(), train.n_features());
+    println!(
+        "Seeds: {} train / {} test samples, {} features",
+        train.len(),
+        test.len(),
+        train.n_features()
+    );
 
     // 2. Train the conventional (ADC-unaware) model: minimum depth ≤ 8
     //    achieving maximum test accuracy.
@@ -69,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "\nSelf-powered from a printed harvester (< {HARVESTER_BUDGET})? {}",
-        if chosen.system.is_self_powered() { "YES" } else { "no" }
+        if chosen.system.is_self_powered() {
+            "YES"
+        } else {
+            "no"
+        }
     );
     Ok(())
 }

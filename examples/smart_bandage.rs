@@ -91,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nBespoke ADC plan (4-bit scale, tap k trips at k/16 of full scale):");
     let bank = chosen.system.classifier.adc_bank();
     for (feature, taps) in bank.iter() {
-        println!("  {:<12} → comparators at taps {:?}", SENSORS[feature], taps);
+        println!(
+            "  {:<12} → comparators at taps {:?}",
+            SENSORS[feature], taps
+        );
     }
     println!(
         "  {} comparators total; shared pruned ladder provides taps {:?}",

@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             b.total_area().mm2(),
             b.total_power().uw(),
             b.digital.critical_path.ms(),
-            if b.digital.meets_timing(50.0) { "meets 20 Hz" } else { "FAILS 20 Hz" },
+            if b.digital.meets_timing(50.0) {
+                "meets 20 Hz"
+            } else {
+                "FAILS 20 Hz"
+            },
         );
     }
 

@@ -4,7 +4,7 @@
 
 use printed_ml::adc::ConventionalAdc;
 use printed_ml::codesign::explore::{explore, ExplorationConfig};
-use printed_ml::codesign::{synthesize_unary, UnaryClassifier};
+use printed_ml::codesign::{synthesize_unary, CodesignFlow, UnaryClassifier};
 use printed_ml::datasets::Benchmark;
 use printed_ml::dtree::baseline::{baseline_netlist, decode_label, encode_sample};
 use printed_ml::dtree::cart::train_depth_selected;
@@ -48,8 +48,12 @@ fn unary_netlists_equal_tree() {
         for netlist in [unary.to_netlist(), unary.to_two_level_netlist()] {
             for (sample, _) in test.iter() {
                 let outs = netlist.eval(&unary.encode_sample(sample));
-                let hot: Vec<usize> =
-                    outs.iter().enumerate().filter(|(_, &o)| o).map(|(c, _)| c).collect();
+                let hot: Vec<usize> = outs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &o)| o)
+                    .map(|(c, _)| c)
+                    .collect();
                 assert_eq!(hot.len(), 1, "{benchmark} {}: one-hot", netlist.name());
                 assert_eq!(hot[0], model.tree.predict(sample), "{benchmark}");
             }
@@ -104,13 +108,21 @@ fn codesign_beats_baseline_and_self_powers() {
         let baseline = synthesize_baseline(&model.tree);
         let unary = synthesize_unary(&model.tree);
         let r = unary.reduction_vs(&baseline);
-        assert!(r.power_factor > 2.0, "{benchmark}: power ×{:.2}", r.power_factor);
-        assert!(r.area_factor > 1.0, "{benchmark}: area ×{:.2}", r.area_factor);
+        assert!(
+            r.power_factor > 2.0,
+            "{benchmark}: power ×{:.2}",
+            r.power_factor
+        );
+        assert!(
+            r.area_factor > 1.0,
+            "{benchmark}: area ×{:.2}",
+            r.area_factor
+        );
 
         let sweep = explore(&train, &test, &ExplorationConfig::quick());
-        let chosen = sweep.select(0.01).unwrap_or_else(|| {
-            sweep.most_accurate().expect("non-empty sweep")
-        });
+        let chosen = sweep
+            .select(0.01)
+            .unwrap_or_else(|| sweep.most_accurate().expect("non-empty sweep"));
         assert!(
             chosen.system.is_self_powered(),
             "{benchmark}: {} over budget",
@@ -142,6 +154,31 @@ fn all_circuits_meet_20hz_timing() {
         // comparator-plus-mux chain of the baseline.
         assert!(unary.digital.critical_path <= baseline.digital.critical_path);
     }
+}
+
+/// A traced quick-grid flow records exactly one candidate span per grid
+/// point, one span per stage, and a selection event — the observability
+/// contract the `PRINTED_TRACE` tooling relies on.
+#[test]
+fn traced_flow_records_one_candidate_span_per_grid_point() {
+    use printed_ml::telemetry::keys;
+    let (train, test) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+    let grid = ExplorationConfig::quick();
+    let expected = grid.taus.len() * grid.depths.len();
+    let outcome = CodesignFlow::new(&train, &test).grid(grid).traced().run();
+    let trace = outcome.trace().expect("traced flow carries a trace");
+    assert_eq!(trace.sweep.total_candidates, expected);
+    assert_eq!(trace.sweep.candidates.len(), expected);
+    for stage in [
+        keys::STAGE_REFERENCE,
+        keys::STAGE_BASELINE,
+        keys::STAGE_SWEEP,
+        keys::STAGE_SELECTION,
+    ] {
+        assert!(trace.stage(stage).is_some(), "missing {stage}");
+    }
+    assert_eq!(trace.counter(keys::TREES_TRAINED), expected as u64);
+    assert_eq!(trace.events.len(), 1, "exactly one selection event");
 }
 
 /// The explorer's selected designs reproduce the Fig. 5 monotonicity on a

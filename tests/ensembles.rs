@@ -19,13 +19,22 @@ fn voter_circuit_matches_model_on_benchmarks() {
         for trees in [3, 5] {
             let forest = train_forest(
                 &train,
-                &ForestConfig { trees, max_depth: 3, feature_fraction: 0.9, seed: 17 },
+                &ForestConfig {
+                    trees,
+                    max_depth: 3,
+                    feature_fraction: 0.9,
+                    seed: 17,
+                },
             );
             let netlist = ensemble_netlist(&forest);
             for (sample, _) in test.iter() {
                 let outs = netlist.eval(&encode_ensemble_sample(&forest, sample));
-                let hot: Vec<usize> =
-                    outs.iter().enumerate().filter(|(_, &o)| o).map(|(c, _)| c).collect();
+                let hot: Vec<usize> = outs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &o)| o)
+                    .map(|(c, _)| c)
+                    .collect();
                 assert_eq!(
                     hot,
                     vec![forest.predict(sample)],
@@ -44,7 +53,12 @@ fn shared_bank_amortizes_comparators() {
     let (train, _) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
     let forest = train_forest(
         &train,
-        &ForestConfig { trees: 5, max_depth: 3, feature_fraction: 1.0, seed: 4 },
+        &ForestConfig {
+            trees: 5,
+            max_depth: 3,
+            feature_fraction: 1.0,
+            seed: 4,
+        },
     );
     let shared = ensemble_adc_bank(&forest).cost(&analog);
     let sum_power: f64 = forest
@@ -58,7 +72,12 @@ fn shared_bank_amortizes_comparators() {
                 .uw()
         })
         .sum();
-    assert!(shared.power.uw() < sum_power, "{} vs {}", shared.power.uw(), sum_power);
+    assert!(
+        shared.power.uw() < sum_power,
+        "{} vs {}",
+        shared.power.uw(),
+        sum_power
+    );
     assert_eq!(shared.comparators, forest.distinct_pairs().len());
 }
 
@@ -67,10 +86,16 @@ fn shared_bank_amortizes_comparators() {
 /// system is valid hardware.
 #[test]
 fn aware_forest_synthesizes_and_scores() {
-    let (train, test) = Benchmark::Vertebral3C.load_quantized(4).expect("built-ins load");
+    let (train, test) = Benchmark::Vertebral3C
+        .load_quantized(4)
+        .expect("built-ins load");
     let aware = train_adc_aware_forest(
         &train,
-        &AdcAwareConfig { max_depth: 3, tau: 0.01, ..Default::default() },
+        &AdcAwareConfig {
+            max_depth: 3,
+            tau: 0.01,
+            ..Default::default()
+        },
         3,
     );
     let system = synthesize_ensemble(&aware);
@@ -83,8 +108,12 @@ fn aware_forest_synthesizes_and_scores() {
     let netlist = ensemble_netlist(&aware);
     for (sample, _) in test.iter().take(40) {
         let outs = netlist.eval(&encode_ensemble_sample(&aware, sample));
-        let hot: Vec<usize> =
-            outs.iter().enumerate().filter(|(_, &o)| o).map(|(c, _)| c).collect();
+        let hot: Vec<usize> = outs
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o)
+            .map(|(c, _)| c)
+            .collect();
         assert_eq!(hot, vec![aware.predict(sample)]);
     }
 }
@@ -95,7 +124,12 @@ fn single_tree_ensemble_equals_tree() {
     let (train, test) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
     let forest = train_forest(
         &train,
-        &ForestConfig { trees: 1, max_depth: 4, feature_fraction: 1.0, seed: 0 },
+        &ForestConfig {
+            trees: 1,
+            max_depth: 4,
+            feature_fraction: 1.0,
+            seed: 0,
+        },
     );
     for (sample, _) in test.iter() {
         assert_eq!(forest.predict(sample), forest.trees()[0].predict(sample));

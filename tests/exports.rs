@@ -50,7 +50,10 @@ fn verilog_export_is_well_formed_for_all_benchmarks() {
         // Sanitization: no `[` may survive outside comments.
         for line in v.lines().filter(|l| !l.trim_start().starts_with("//")) {
             let code = line.split("//").next().expect("split never empty");
-            assert!(!code.contains('['), "{benchmark}: unsanitized name in {line:?}");
+            assert!(
+                !code.contains('['),
+                "{benchmark}: unsanitized name in {line:?}"
+            );
         }
     }
 }

@@ -22,33 +22,35 @@ use printed_ml::pdk::AnalogModel;
 fn arb_tree(n_features: usize, n_classes: usize) -> impl Strategy<Value = DecisionTree> {
     // A vector of (split?, feature, threshold, class) decisions consumed in
     // BFS order; depth capped by consumption.
-    vec((any::<bool>(), 0..n_features, 1u8..16, 0..n_classes), 1..64).prop_map(
-        move |decisions| {
-            let mut nodes: Vec<Node> = Vec::new();
-            let mut queue = std::collections::VecDeque::new();
-            let mut cursor = 0usize;
-            nodes.push(Node::Leaf { class: 0 });
-            queue.push_back((0usize, 0usize)); // (slot, depth)
-            while let Some((slot, depth)) = queue.pop_front() {
-                let (split, feature, threshold, class) =
-                    decisions[cursor % decisions.len()];
-                cursor += 1;
-                if split && depth < 4 && cursor < decisions.len() {
-                    let lo = nodes.len();
-                    nodes.push(Node::Leaf { class: 0 });
-                    let hi = nodes.len();
-                    nodes.push(Node::Leaf { class: 0 });
-                    nodes[slot] = Node::Split { feature, threshold, lo, hi };
-                    queue.push_back((lo, depth + 1));
-                    queue.push_back((hi, depth + 1));
-                } else {
-                    nodes[slot] = Node::Leaf { class };
-                }
+    vec((any::<bool>(), 0..n_features, 1u8..16, 0..n_classes), 1..64).prop_map(move |decisions| {
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        let mut cursor = 0usize;
+        nodes.push(Node::Leaf { class: 0 });
+        queue.push_back((0usize, 0usize)); // (slot, depth)
+        while let Some((slot, depth)) = queue.pop_front() {
+            let (split, feature, threshold, class) = decisions[cursor % decisions.len()];
+            cursor += 1;
+            if split && depth < 4 && cursor < decisions.len() {
+                let lo = nodes.len();
+                nodes.push(Node::Leaf { class: 0 });
+                let hi = nodes.len();
+                nodes.push(Node::Leaf { class: 0 });
+                nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    lo,
+                    hi,
+                };
+                queue.push_back((lo, depth + 1));
+                queue.push_back((hi, depth + 1));
+            } else {
+                nodes[slot] = Node::Leaf { class };
             }
-            DecisionTree::from_nodes(4, n_features, n_classes, nodes)
-                .expect("construction is valid by design")
-        },
-    )
+        }
+        DecisionTree::from_nodes(4, n_features, n_classes, nodes)
+            .expect("construction is valid by design")
+    })
 }
 
 /// Strategy: a random combinational netlist over `n_inputs` inputs with up

@@ -5,7 +5,7 @@
 use printed_ml::adc::{AdcCost, BespokeAdcBank, UnaryCode};
 use printed_ml::analog::{Comparator, MismatchModel};
 use printed_ml::codesign::explore::{explore, ExplorationConfig};
-use printed_ml::codesign::UnaryClassifier;
+use printed_ml::codesign::{CodesignFlow, FlowOutcome, UnaryClassifier};
 use printed_ml::datasets::{Benchmark, GaussianSpec, QuantizedDataset};
 use printed_ml::dtree::cart::{train, CartConfig};
 use printed_ml::dtree::DecisionTree;
@@ -74,7 +74,9 @@ fn trained_tree_roundtrips_and_predicts_identically() {
 
 #[test]
 fn unary_classifier_roundtrips_functionally() {
-    let (train_data, test_data) = Benchmark::Vertebral2C.load_quantized(4).expect("built-ins load");
+    let (train_data, test_data) = Benchmark::Vertebral2C
+        .load_quantized(4)
+        .expect("built-ins load");
     let tree = train(&train_data, &CartConfig::with_max_depth(4));
     let unary = UnaryClassifier::from_tree(&tree);
     let back: UnaryClassifier = roundtrip(&unary);
@@ -112,6 +114,27 @@ fn exploration_results_export_as_json() {
         assert_eq!(a.test_accuracy, b.test_accuracy);
         assert_eq!(a.system.adc, b.system.adc);
     }
+}
+
+#[test]
+fn flow_trace_roundtrips() {
+    let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+    let outcome = CodesignFlow::new(&train_data, &test_data)
+        .grid(ExplorationConfig::quick())
+        .traced()
+        .run();
+    let trace = outcome.trace().expect("traced flow carries a trace");
+    assert_eq!(&roundtrip(trace), trace);
+    // The whole outcome — trace included — survives the round trip too.
+    let back: FlowOutcome = roundtrip(&outcome);
+    assert_eq!(back, outcome);
+    // An archived outcome without the (optional) trace key still parses.
+    let mut stripped = outcome.clone();
+    stripped.trace = None;
+    let json = serde_json::to_string(&stripped).expect("serializes");
+    assert!(!json.contains("\"trace\""));
+    let untraced: FlowOutcome = serde_json::from_str(&json).expect("deserializes");
+    assert!(untraced.trace().is_none());
 }
 
 #[test]
