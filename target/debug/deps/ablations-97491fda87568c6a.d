@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-97491fda87568c6a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-97491fda87568c6a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

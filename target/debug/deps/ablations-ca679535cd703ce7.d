@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ca679535cd703ce7.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-ca679535cd703ce7.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

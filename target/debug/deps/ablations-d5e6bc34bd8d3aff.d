@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d5e6bc34bd8d3aff.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-d5e6bc34bd8d3aff: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ed64f309241c6855.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-ed64f309241c6855.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

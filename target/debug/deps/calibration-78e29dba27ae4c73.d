@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-78e29dba27ae4c73.d: tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-78e29dba27ae4c73.rmeta: tests/calibration.rs Cargo.toml
+
+tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-79eb40a285df1ca4.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-79eb40a285df1ca4: tests/calibration.rs
+
+tests/calibration.rs:

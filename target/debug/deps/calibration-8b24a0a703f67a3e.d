@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-8b24a0a703f67a3e.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-8b24a0a703f67a3e: tests/calibration.rs
+
+tests/calibration.rs:

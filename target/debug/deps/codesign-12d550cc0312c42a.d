@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codesign-12d550cc0312c42a.d: crates/bench/src/bin/codesign.rs
+
+/root/repo/target/debug/deps/codesign-12d550cc0312c42a: crates/bench/src/bin/codesign.rs
+
+crates/bench/src/bin/codesign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codesign-2d188f626b1cb798.d: crates/bench/src/bin/codesign.rs
+
+/root/repo/target/debug/deps/libcodesign-2d188f626b1cb798.rmeta: crates/bench/src/bin/codesign.rs
+
+crates/bench/src/bin/codesign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codesign-8716cb3d3474c581.d: crates/bench/src/bin/codesign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodesign-8716cb3d3474c581.rmeta: crates/bench/src/bin/codesign.rs Cargo.toml
+
+crates/bench/src/bin/codesign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

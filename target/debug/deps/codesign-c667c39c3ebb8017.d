@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codesign-c667c39c3ebb8017.d: crates/bench/src/bin/codesign.rs
+
+/root/repo/target/debug/deps/codesign-c667c39c3ebb8017: crates/bench/src/bin/codesign.rs
+
+crates/bench/src/bin/codesign.rs:

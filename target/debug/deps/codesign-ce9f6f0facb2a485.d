@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codesign-ce9f6f0facb2a485.d: crates/bench/src/bin/codesign.rs
+
+/root/repo/target/debug/deps/libcodesign-ce9f6f0facb2a485.rmeta: crates/bench/src/bin/codesign.rs
+
+crates/bench/src/bin/codesign.rs:

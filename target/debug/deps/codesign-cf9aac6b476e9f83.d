@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codesign-cf9aac6b476e9f83.d: crates/bench/src/bin/codesign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodesign-cf9aac6b476e9f83.rmeta: crates/bench/src/bin/codesign.rs Cargo.toml
+
+crates/bench/src/bin/codesign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

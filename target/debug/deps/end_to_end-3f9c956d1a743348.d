@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3f9c956d1a743348.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3f9c956d1a743348: tests/end_to_end.rs
+
+tests/end_to_end.rs:

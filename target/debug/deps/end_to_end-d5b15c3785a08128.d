@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d5b15c3785a08128.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d5b15c3785a08128: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ensembles-2578aee7d4243128.d: tests/ensembles.rs
+
+/root/repo/target/debug/deps/ensembles-2578aee7d4243128: tests/ensembles.rs
+
+tests/ensembles.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ensembles-2ea2740216eec7b7.d: tests/ensembles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libensembles-2ea2740216eec7b7.rmeta: tests/ensembles.rs Cargo.toml
+
+tests/ensembles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ensembles-f20bf03d48a3467b.d: tests/ensembles.rs
+
+/root/repo/target/debug/deps/ensembles-f20bf03d48a3467b: tests/ensembles.rs
+
+tests/ensembles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exports-0e555c678ca058b4.d: tests/exports.rs
+
+/root/repo/target/debug/deps/exports-0e555c678ca058b4: tests/exports.rs
+
+tests/exports.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exports-6232dcf31d3cb17c.d: tests/exports.rs
+
+/root/repo/target/debug/deps/exports-6232dcf31d3cb17c: tests/exports.rs
+
+tests/exports.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exports-a1a8117115c50dc6.d: tests/exports.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexports-a1a8117115c50dc6.rmeta: tests/exports.rs Cargo.toml
+
+tests/exports.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-350ee558533ab089.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-350ee558533ab089: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

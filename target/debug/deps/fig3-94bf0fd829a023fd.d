@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-94bf0fd829a023fd.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-94bf0fd829a023fd: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

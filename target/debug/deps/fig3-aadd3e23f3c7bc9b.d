@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-aadd3e23f3c7bc9b.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-aadd3e23f3c7bc9b.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-b6b1a930528b3ddf.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-b6b1a930528b3ddf.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

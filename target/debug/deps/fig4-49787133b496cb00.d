@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-49787133b496cb00.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-49787133b496cb00.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-60dcac1b9c1bdc88.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-60dcac1b9c1bdc88.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

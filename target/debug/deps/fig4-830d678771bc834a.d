@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-830d678771bc834a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-830d678771bc834a: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

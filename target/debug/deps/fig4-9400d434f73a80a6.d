@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-9400d434f73a80a6.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-9400d434f73a80a6: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

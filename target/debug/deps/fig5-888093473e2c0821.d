@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-888093473e2c0821.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-888093473e2c0821: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

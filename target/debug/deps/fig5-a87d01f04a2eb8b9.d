@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-a87d01f04a2eb8b9.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-a87d01f04a2eb8b9: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b5d9e9c3a9b68836.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-b5d9e9c3a9b68836.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

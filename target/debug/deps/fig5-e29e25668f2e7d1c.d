@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e29e25668f2e7d1c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-e29e25668f2e7d1c.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/precision-05c6b0dbedbb9d5a.d: crates/bench/src/bin/precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprecision-05c6b0dbedbb9d5a.rmeta: crates/bench/src/bin/precision.rs Cargo.toml
+
+crates/bench/src/bin/precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/precision-4754f639e437e43d.d: crates/bench/src/bin/precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprecision-4754f639e437e43d.rmeta: crates/bench/src/bin/precision.rs Cargo.toml
+
+crates/bench/src/bin/precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

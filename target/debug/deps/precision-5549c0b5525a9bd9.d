@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision-5549c0b5525a9bd9.d: crates/bench/src/bin/precision.rs
+
+/root/repo/target/debug/deps/libprecision-5549c0b5525a9bd9.rmeta: crates/bench/src/bin/precision.rs
+
+crates/bench/src/bin/precision.rs:

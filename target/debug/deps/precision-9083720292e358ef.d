@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision-9083720292e358ef.d: crates/bench/src/bin/precision.rs
+
+/root/repo/target/debug/deps/libprecision-9083720292e358ef.rmeta: crates/bench/src/bin/precision.rs
+
+crates/bench/src/bin/precision.rs:

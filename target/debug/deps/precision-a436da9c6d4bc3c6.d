@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision-a436da9c6d4bc3c6.d: crates/bench/src/bin/precision.rs
+
+/root/repo/target/debug/deps/precision-a436da9c6d4bc3c6: crates/bench/src/bin/precision.rs
+
+crates/bench/src/bin/precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision-fb008a8e9b2c7590.d: crates/bench/src/bin/precision.rs
+
+/root/repo/target/debug/deps/precision-fb008a8e9b2c7590: crates/bench/src/bin/precision.rs
+
+crates/bench/src/bin/precision.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/printed_adc-0e1e14939238fcc8.d: crates/adc/src/lib.rs crates/adc/src/bespoke.rs crates/adc/src/conventional.rs crates/adc/src/cost.rs crates/adc/src/linearity.rs crates/adc/src/sar.rs crates/adc/src/unary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_adc-0e1e14939238fcc8.rmeta: crates/adc/src/lib.rs crates/adc/src/bespoke.rs crates/adc/src/conventional.rs crates/adc/src/cost.rs crates/adc/src/linearity.rs crates/adc/src/sar.rs crates/adc/src/unary.rs Cargo.toml
+
+crates/adc/src/lib.rs:
+crates/adc/src/bespoke.rs:
+crates/adc/src/conventional.rs:
+crates/adc/src/cost.rs:
+crates/adc/src/linearity.rs:
+crates/adc/src/sar.rs:
+crates/adc/src/unary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

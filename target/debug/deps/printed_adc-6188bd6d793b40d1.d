@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/printed_adc-6188bd6d793b40d1.d: crates/adc/src/lib.rs crates/adc/src/bespoke.rs crates/adc/src/conventional.rs crates/adc/src/cost.rs crates/adc/src/linearity.rs crates/adc/src/sar.rs crates/adc/src/unary.rs
+
+/root/repo/target/debug/deps/libprinted_adc-6188bd6d793b40d1.rmeta: crates/adc/src/lib.rs crates/adc/src/bespoke.rs crates/adc/src/conventional.rs crates/adc/src/cost.rs crates/adc/src/linearity.rs crates/adc/src/sar.rs crates/adc/src/unary.rs
+
+crates/adc/src/lib.rs:
+crates/adc/src/bespoke.rs:
+crates/adc/src/conventional.rs:
+crates/adc/src/cost.rs:
+crates/adc/src/linearity.rs:
+crates/adc/src/sar.rs:
+crates/adc/src/unary.rs:

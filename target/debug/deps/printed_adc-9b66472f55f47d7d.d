@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/printed_adc-9b66472f55f47d7d.d: crates/adc/src/lib.rs crates/adc/src/bespoke.rs crates/adc/src/conventional.rs crates/adc/src/cost.rs crates/adc/src/linearity.rs crates/adc/src/sar.rs crates/adc/src/unary.rs
+
+/root/repo/target/debug/deps/libprinted_adc-9b66472f55f47d7d.rlib: crates/adc/src/lib.rs crates/adc/src/bespoke.rs crates/adc/src/conventional.rs crates/adc/src/cost.rs crates/adc/src/linearity.rs crates/adc/src/sar.rs crates/adc/src/unary.rs
+
+/root/repo/target/debug/deps/libprinted_adc-9b66472f55f47d7d.rmeta: crates/adc/src/lib.rs crates/adc/src/bespoke.rs crates/adc/src/conventional.rs crates/adc/src/cost.rs crates/adc/src/linearity.rs crates/adc/src/sar.rs crates/adc/src/unary.rs
+
+crates/adc/src/lib.rs:
+crates/adc/src/bespoke.rs:
+crates/adc/src/conventional.rs:
+crates/adc/src/cost.rs:
+crates/adc/src/linearity.rs:
+crates/adc/src/sar.rs:
+crates/adc/src/unary.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/printed_analog-982b18f0951b13c2.d: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs
+
+/root/repo/target/debug/deps/libprinted_analog-982b18f0951b13c2.rlib: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs
+
+/root/repo/target/debug/deps/libprinted_analog-982b18f0951b13c2.rmeta: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/comparator.rs:
+crates/analog/src/ladder.rs:
+crates/analog/src/linalg.rs:
+crates/analog/src/mc.rs:
+crates/analog/src/mna.rs:
+crates/analog/src/spice.rs:
+crates/analog/src/transient.rs:

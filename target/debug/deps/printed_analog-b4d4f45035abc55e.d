@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/printed_analog-b4d4f45035abc55e.d: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs
+
+/root/repo/target/debug/deps/printed_analog-b4d4f45035abc55e: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/comparator.rs:
+crates/analog/src/ladder.rs:
+crates/analog/src/linalg.rs:
+crates/analog/src/mc.rs:
+crates/analog/src/mna.rs:
+crates/analog/src/spice.rs:
+crates/analog/src/transient.rs:

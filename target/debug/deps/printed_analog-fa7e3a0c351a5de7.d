@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/printed_analog-fa7e3a0c351a5de7.d: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_analog-fa7e3a0c351a5de7.rmeta: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs Cargo.toml
+
+crates/analog/src/lib.rs:
+crates/analog/src/comparator.rs:
+crates/analog/src/ladder.rs:
+crates/analog/src/linalg.rs:
+crates/analog/src/mc.rs:
+crates/analog/src/mna.rs:
+crates/analog/src/spice.rs:
+crates/analog/src/transient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

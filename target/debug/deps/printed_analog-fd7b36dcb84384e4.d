@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/printed_analog-fd7b36dcb84384e4.d: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs
+
+/root/repo/target/debug/deps/libprinted_analog-fd7b36dcb84384e4.rmeta: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/comparator.rs:
+crates/analog/src/ladder.rs:
+crates/analog/src/linalg.rs:
+crates/analog/src/mc.rs:
+crates/analog/src/mna.rs:
+crates/analog/src/spice.rs:
+crates/analog/src/transient.rs:

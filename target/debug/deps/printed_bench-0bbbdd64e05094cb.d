@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/printed_bench-0bbbdd64e05094cb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_bench-0bbbdd64e05094cb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_bench-0bbbdd64e05094cb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

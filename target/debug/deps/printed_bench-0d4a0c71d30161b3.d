@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/printed_bench-0d4a0c71d30161b3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_bench-0d4a0c71d30161b3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/printed_bench-0e35bb5e7a9de9ff.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/printed_bench-0e35bb5e7a9de9ff: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/printed_bench-42be97d9937184a7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_bench-42be97d9937184a7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

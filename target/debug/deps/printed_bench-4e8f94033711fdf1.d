@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/printed_bench-4e8f94033711fdf1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_bench-4e8f94033711fdf1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_bench-4e8f94033711fdf1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/printed_bench-8b2ee814919318ce.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_bench-8b2ee814919318ce.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

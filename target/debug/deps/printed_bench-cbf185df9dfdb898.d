@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/printed_bench-cbf185df9dfdb898.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/printed_bench-cbf185df9dfdb898: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/printed_bench-ce8e419a617fa2fd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_bench-ce8e419a617fa2fd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

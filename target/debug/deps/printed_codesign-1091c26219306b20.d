@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/printed_codesign-1091c26219306b20.d: crates/core/src/lib.rs crates/core/src/datasheet.rs crates/core/src/ensemble.rs crates/core/src/explore.rs crates/core/src/flow.rs crates/core/src/mismatch.rs crates/core/src/robustness.rs crates/core/src/serial.rs crates/core/src/system.rs crates/core/src/train.rs crates/core/src/unary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_codesign-1091c26219306b20.rmeta: crates/core/src/lib.rs crates/core/src/datasheet.rs crates/core/src/ensemble.rs crates/core/src/explore.rs crates/core/src/flow.rs crates/core/src/mismatch.rs crates/core/src/robustness.rs crates/core/src/serial.rs crates/core/src/system.rs crates/core/src/train.rs crates/core/src/unary.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/datasheet.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/explore.rs:
+crates/core/src/flow.rs:
+crates/core/src/mismatch.rs:
+crates/core/src/robustness.rs:
+crates/core/src/serial.rs:
+crates/core/src/system.rs:
+crates/core/src/train.rs:
+crates/core/src/unary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/printed_codesign-26a88800f1a3a080.d: crates/core/src/lib.rs crates/core/src/datasheet.rs crates/core/src/ensemble.rs crates/core/src/explore.rs crates/core/src/flow.rs crates/core/src/mismatch.rs crates/core/src/robustness.rs crates/core/src/serial.rs crates/core/src/system.rs crates/core/src/train.rs crates/core/src/unary.rs
+
+/root/repo/target/debug/deps/libprinted_codesign-26a88800f1a3a080.rlib: crates/core/src/lib.rs crates/core/src/datasheet.rs crates/core/src/ensemble.rs crates/core/src/explore.rs crates/core/src/flow.rs crates/core/src/mismatch.rs crates/core/src/robustness.rs crates/core/src/serial.rs crates/core/src/system.rs crates/core/src/train.rs crates/core/src/unary.rs
+
+/root/repo/target/debug/deps/libprinted_codesign-26a88800f1a3a080.rmeta: crates/core/src/lib.rs crates/core/src/datasheet.rs crates/core/src/ensemble.rs crates/core/src/explore.rs crates/core/src/flow.rs crates/core/src/mismatch.rs crates/core/src/robustness.rs crates/core/src/serial.rs crates/core/src/system.rs crates/core/src/train.rs crates/core/src/unary.rs
+
+crates/core/src/lib.rs:
+crates/core/src/datasheet.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/explore.rs:
+crates/core/src/flow.rs:
+crates/core/src/mismatch.rs:
+crates/core/src/robustness.rs:
+crates/core/src/serial.rs:
+crates/core/src/system.rs:
+crates/core/src/train.rs:
+crates/core/src/unary.rs:

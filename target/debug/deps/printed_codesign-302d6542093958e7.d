@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/printed_codesign-302d6542093958e7.d: crates/core/src/lib.rs crates/core/src/datasheet.rs crates/core/src/ensemble.rs crates/core/src/explore.rs crates/core/src/flow.rs crates/core/src/mismatch.rs crates/core/src/robustness.rs crates/core/src/serial.rs crates/core/src/system.rs crates/core/src/train.rs crates/core/src/unary.rs
+
+/root/repo/target/debug/deps/printed_codesign-302d6542093958e7: crates/core/src/lib.rs crates/core/src/datasheet.rs crates/core/src/ensemble.rs crates/core/src/explore.rs crates/core/src/flow.rs crates/core/src/mismatch.rs crates/core/src/robustness.rs crates/core/src/serial.rs crates/core/src/system.rs crates/core/src/train.rs crates/core/src/unary.rs
+
+crates/core/src/lib.rs:
+crates/core/src/datasheet.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/explore.rs:
+crates/core/src/flow.rs:
+crates/core/src/mismatch.rs:
+crates/core/src/robustness.rs:
+crates/core/src/serial.rs:
+crates/core/src/system.rs:
+crates/core/src/train.rs:
+crates/core/src/unary.rs:

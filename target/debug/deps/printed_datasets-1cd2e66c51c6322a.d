@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/printed_datasets-1cd2e66c51c6322a.d: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/printed_datasets-1cd2e66c51c6322a: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataset.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/quantize.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/synth.rs:

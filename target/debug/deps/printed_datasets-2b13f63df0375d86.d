@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/printed_datasets-2b13f63df0375d86.d: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libprinted_datasets-2b13f63df0375d86.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataset.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/quantize.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/printed_datasets-a7f3c09405dda3bd.d: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libprinted_datasets-a7f3c09405dda3bd.rlib: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libprinted_datasets-a7f3c09405dda3bd.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataset.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/quantize.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/synth.rs:

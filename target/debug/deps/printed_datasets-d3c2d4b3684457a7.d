@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/printed_datasets-d3c2d4b3684457a7.d: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_datasets-d3c2d4b3684457a7.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataset.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/quantize.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

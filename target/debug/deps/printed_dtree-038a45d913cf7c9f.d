@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/printed_dtree-038a45d913cf7c9f.d: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_dtree-038a45d913cf7c9f.rmeta: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs Cargo.toml
+
+crates/dtree/src/lib.rs:
+crates/dtree/src/approx.rs:
+crates/dtree/src/baseline.rs:
+crates/dtree/src/cart.rs:
+crates/dtree/src/forest.rs:
+crates/dtree/src/metrics.rs:
+crates/dtree/src/prune.rs:
+crates/dtree/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/printed_dtree-126756492d8eec9c.d: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs
+
+/root/repo/target/debug/deps/printed_dtree-126756492d8eec9c: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs
+
+crates/dtree/src/lib.rs:
+crates/dtree/src/approx.rs:
+crates/dtree/src/baseline.rs:
+crates/dtree/src/cart.rs:
+crates/dtree/src/forest.rs:
+crates/dtree/src/metrics.rs:
+crates/dtree/src/prune.rs:
+crates/dtree/src/tree.rs:

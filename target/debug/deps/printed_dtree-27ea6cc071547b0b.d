@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/printed_dtree-27ea6cc071547b0b.d: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs
+
+/root/repo/target/debug/deps/libprinted_dtree-27ea6cc071547b0b.rlib: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs
+
+/root/repo/target/debug/deps/libprinted_dtree-27ea6cc071547b0b.rmeta: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs
+
+crates/dtree/src/lib.rs:
+crates/dtree/src/approx.rs:
+crates/dtree/src/baseline.rs:
+crates/dtree/src/cart.rs:
+crates/dtree/src/forest.rs:
+crates/dtree/src/metrics.rs:
+crates/dtree/src/prune.rs:
+crates/dtree/src/tree.rs:

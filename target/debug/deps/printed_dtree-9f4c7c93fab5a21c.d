@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/printed_dtree-9f4c7c93fab5a21c.d: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs
+
+/root/repo/target/debug/deps/libprinted_dtree-9f4c7c93fab5a21c.rmeta: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs
+
+crates/dtree/src/lib.rs:
+crates/dtree/src/approx.rs:
+crates/dtree/src/baseline.rs:
+crates/dtree/src/cart.rs:
+crates/dtree/src/forest.rs:
+crates/dtree/src/metrics.rs:
+crates/dtree/src/prune.rs:
+crates/dtree/src/tree.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/printed_logic-02cc4b6ed221b1a2.d: crates/logic/src/lib.rs crates/logic/src/blocks.rs crates/logic/src/equiv.rs crates/logic/src/fanout.rs crates/logic/src/faults.rs crates/logic/src/netlist.rs crates/logic/src/qm.rs crates/logic/src/report.rs crates/logic/src/sop.rs crates/logic/src/verilog.rs
+
+/root/repo/target/debug/deps/libprinted_logic-02cc4b6ed221b1a2.rmeta: crates/logic/src/lib.rs crates/logic/src/blocks.rs crates/logic/src/equiv.rs crates/logic/src/fanout.rs crates/logic/src/faults.rs crates/logic/src/netlist.rs crates/logic/src/qm.rs crates/logic/src/report.rs crates/logic/src/sop.rs crates/logic/src/verilog.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/blocks.rs:
+crates/logic/src/equiv.rs:
+crates/logic/src/fanout.rs:
+crates/logic/src/faults.rs:
+crates/logic/src/netlist.rs:
+crates/logic/src/qm.rs:
+crates/logic/src/report.rs:
+crates/logic/src/sop.rs:
+crates/logic/src/verilog.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/printed_logic-b743c180518948cd.d: crates/logic/src/lib.rs crates/logic/src/blocks.rs crates/logic/src/equiv.rs crates/logic/src/fanout.rs crates/logic/src/faults.rs crates/logic/src/netlist.rs crates/logic/src/qm.rs crates/logic/src/report.rs crates/logic/src/sop.rs crates/logic/src/verilog.rs
+
+/root/repo/target/debug/deps/libprinted_logic-b743c180518948cd.rlib: crates/logic/src/lib.rs crates/logic/src/blocks.rs crates/logic/src/equiv.rs crates/logic/src/fanout.rs crates/logic/src/faults.rs crates/logic/src/netlist.rs crates/logic/src/qm.rs crates/logic/src/report.rs crates/logic/src/sop.rs crates/logic/src/verilog.rs
+
+/root/repo/target/debug/deps/libprinted_logic-b743c180518948cd.rmeta: crates/logic/src/lib.rs crates/logic/src/blocks.rs crates/logic/src/equiv.rs crates/logic/src/fanout.rs crates/logic/src/faults.rs crates/logic/src/netlist.rs crates/logic/src/qm.rs crates/logic/src/report.rs crates/logic/src/sop.rs crates/logic/src/verilog.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/blocks.rs:
+crates/logic/src/equiv.rs:
+crates/logic/src/fanout.rs:
+crates/logic/src/faults.rs:
+crates/logic/src/netlist.rs:
+crates/logic/src/qm.rs:
+crates/logic/src/report.rs:
+crates/logic/src/sop.rs:
+crates/logic/src/verilog.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/printed_logic-cf063b9c60228672.d: crates/logic/src/lib.rs crates/logic/src/blocks.rs crates/logic/src/equiv.rs crates/logic/src/fanout.rs crates/logic/src/faults.rs crates/logic/src/netlist.rs crates/logic/src/qm.rs crates/logic/src/report.rs crates/logic/src/sop.rs crates/logic/src/verilog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_logic-cf063b9c60228672.rmeta: crates/logic/src/lib.rs crates/logic/src/blocks.rs crates/logic/src/equiv.rs crates/logic/src/fanout.rs crates/logic/src/faults.rs crates/logic/src/netlist.rs crates/logic/src/qm.rs crates/logic/src/report.rs crates/logic/src/sop.rs crates/logic/src/verilog.rs Cargo.toml
+
+crates/logic/src/lib.rs:
+crates/logic/src/blocks.rs:
+crates/logic/src/equiv.rs:
+crates/logic/src/fanout.rs:
+crates/logic/src/faults.rs:
+crates/logic/src/netlist.rs:
+crates/logic/src/qm.rs:
+crates/logic/src/report.rs:
+crates/logic/src/sop.rs:
+crates/logic/src/verilog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/printed_ml-0cbbc2e3bcbe9d44.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_ml-0cbbc2e3bcbe9d44.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

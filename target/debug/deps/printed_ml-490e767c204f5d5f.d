@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/printed_ml-490e767c204f5d5f.d: src/lib.rs
+
+/root/repo/target/debug/deps/printed_ml-490e767c204f5d5f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/printed_ml-514c4372d482397d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_ml-514c4372d482397d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/printed_ml-6763d5b83a193b9e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_ml-6763d5b83a193b9e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_ml-6763d5b83a193b9e.rmeta: src/lib.rs
+
+src/lib.rs:

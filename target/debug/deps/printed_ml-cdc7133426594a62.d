@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/printed_ml-cdc7133426594a62.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_ml-cdc7133426594a62.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/printed_ml-de9fb8c51dcf75a2.d: src/lib.rs
+
+/root/repo/target/debug/deps/printed_ml-de9fb8c51dcf75a2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/printed_ml-def8ff59dfffa9f6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_ml-def8ff59dfffa9f6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_ml-def8ff59dfffa9f6.rmeta: src/lib.rs
+
+src/lib.rs:

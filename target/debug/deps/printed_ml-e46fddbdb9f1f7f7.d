@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/printed_ml-e46fddbdb9f1f7f7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprinted_ml-e46fddbdb9f1f7f7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/printed_pdk-50c7179dc321697f.d: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs
+
+/root/repo/target/debug/deps/libprinted_pdk-50c7179dc321697f.rlib: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs
+
+/root/repo/target/debug/deps/libprinted_pdk-50c7179dc321697f.rmeta: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs
+
+crates/pdk/src/lib.rs:
+crates/pdk/src/analog.rs:
+crates/pdk/src/calibration.rs:
+crates/pdk/src/cells.rs:
+crates/pdk/src/harvester.rs:
+crates/pdk/src/units.rs:

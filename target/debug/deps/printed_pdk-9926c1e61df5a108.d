@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/printed_pdk-9926c1e61df5a108.d: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_pdk-9926c1e61df5a108.rmeta: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs Cargo.toml
+
+crates/pdk/src/lib.rs:
+crates/pdk/src/analog.rs:
+crates/pdk/src/calibration.rs:
+crates/pdk/src/cells.rs:
+crates/pdk/src/harvester.rs:
+crates/pdk/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/printed_pdk-e61953dbc5131f8f.d: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_pdk-e61953dbc5131f8f.rmeta: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs Cargo.toml
+
+crates/pdk/src/lib.rs:
+crates/pdk/src/analog.rs:
+crates/pdk/src/calibration.rs:
+crates/pdk/src/cells.rs:
+crates/pdk/src/harvester.rs:
+crates/pdk/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/printed_pdk-fe6e0026c0ba1eb4.d: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs
+
+/root/repo/target/debug/deps/printed_pdk-fe6e0026c0ba1eb4: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs
+
+crates/pdk/src/lib.rs:
+crates/pdk/src/analog.rs:
+crates/pdk/src/calibration.rs:
+crates/pdk/src/cells.rs:
+crates/pdk/src/harvester.rs:
+crates/pdk/src/units.rs:

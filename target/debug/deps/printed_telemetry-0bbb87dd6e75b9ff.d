@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/printed_telemetry-0bbb87dd6e75b9ff.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/metric.rs crates/telemetry/src/ndjson.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs crates/telemetry/src/keys.rs
+
+/root/repo/target/debug/deps/libprinted_telemetry-0bbb87dd6e75b9ff.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/metric.rs crates/telemetry/src/ndjson.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs crates/telemetry/src/keys.rs
+
+/root/repo/target/debug/deps/libprinted_telemetry-0bbb87dd6e75b9ff.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/metric.rs crates/telemetry/src/ndjson.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs crates/telemetry/src/keys.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/metric.rs:
+crates/telemetry/src/ndjson.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:
+crates/telemetry/src/keys.rs:

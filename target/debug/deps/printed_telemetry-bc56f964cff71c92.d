@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/printed_telemetry-bc56f964cff71c92.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/metric.rs crates/telemetry/src/ndjson.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs crates/telemetry/src/keys.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinted_telemetry-bc56f964cff71c92.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/metric.rs crates/telemetry/src/ndjson.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs crates/telemetry/src/keys.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/metric.rs:
+crates/telemetry/src/ndjson.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:
+crates/telemetry/src/keys.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

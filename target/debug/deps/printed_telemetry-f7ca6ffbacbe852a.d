@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/printed_telemetry-f7ca6ffbacbe852a.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/metric.rs crates/telemetry/src/ndjson.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs crates/telemetry/src/keys.rs
+
+/root/repo/target/debug/deps/libprinted_telemetry-f7ca6ffbacbe852a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/metric.rs crates/telemetry/src/ndjson.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs crates/telemetry/src/keys.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/metric.rs:
+crates/telemetry/src/ndjson.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:
+crates/telemetry/src/keys.rs:

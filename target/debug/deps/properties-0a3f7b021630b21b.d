@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0a3f7b021630b21b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0a3f7b021630b21b: tests/properties.rs
+
+tests/properties.rs:

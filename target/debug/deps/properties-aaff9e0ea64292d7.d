@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-aaff9e0ea64292d7.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-aaff9e0ea64292d7: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c5f6329f844a9a57.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c5f6329f844a9a57.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-3c7ae22b1676e58a.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3c7ae22b1676e58a.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

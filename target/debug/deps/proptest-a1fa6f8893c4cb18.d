@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a1fa6f8893c4cb18.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a1fa6f8893c4cb18.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a1fa6f8893c4cb18.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-a065cb1cf6e9c57f.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a065cb1cf6e9c57f.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a065cb1cf6e9c57f.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

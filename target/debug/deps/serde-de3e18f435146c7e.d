@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-de3e18f435146c7e.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-de3e18f435146c7e.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-98db3421d0756ca5.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-98db3421d0756ca5.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-98db3421d0756ca5.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

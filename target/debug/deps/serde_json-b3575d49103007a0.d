@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-b3575d49103007a0.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b3575d49103007a0.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization-a707cf015ed6bd31.d: tests/serialization.rs
+
+/root/repo/target/debug/deps/serialization-a707cf015ed6bd31: tests/serialization.rs
+
+tests/serialization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization-d3a2b38d34da3748.d: tests/serialization.rs
+
+/root/repo/target/debug/deps/serialization-d3a2b38d34da3748: tests/serialization.rs
+
+tests/serialization.rs:

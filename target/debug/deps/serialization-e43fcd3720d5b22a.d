@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serialization-e43fcd3720d5b22a.d: tests/serialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserialization-e43fcd3720d5b22a.rmeta: tests/serialization.rs Cargo.toml
+
+tests/serialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

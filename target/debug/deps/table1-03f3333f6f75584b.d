@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-03f3333f6f75584b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-03f3333f6f75584b.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-841e37b332cf0ab5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-841e37b332cf0ab5.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

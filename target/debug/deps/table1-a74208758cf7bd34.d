@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a74208758cf7bd34.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a74208758cf7bd34: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

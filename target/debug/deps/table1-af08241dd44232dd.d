@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-af08241dd44232dd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-af08241dd44232dd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1a0eef6f32649d9a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-1a0eef6f32649d9a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-75e257acdad4919b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-75e257acdad4919b.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

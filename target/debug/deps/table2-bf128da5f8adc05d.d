@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-bf128da5f8adc05d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-bf128da5f8adc05d.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

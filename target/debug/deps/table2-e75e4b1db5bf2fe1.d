@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e75e4b1db5bf2fe1.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-e75e4b1db5bf2fe1: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training-d703ea67d38597a9.d: crates/bench/benches/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining-d703ea67d38597a9.rmeta: crates/bench/benches/training.rs Cargo.toml
+
+crates/bench/benches/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

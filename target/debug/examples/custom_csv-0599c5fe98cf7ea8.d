@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_csv-0599c5fe98cf7ea8.d: examples/custom_csv.rs
+
+/root/repo/target/debug/examples/custom_csv-0599c5fe98cf7ea8: examples/custom_csv.rs
+
+examples/custom_csv.rs:

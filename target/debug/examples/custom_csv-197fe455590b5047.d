@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_csv-197fe455590b5047.d: examples/custom_csv.rs
+
+/root/repo/target/debug/examples/custom_csv-197fe455590b5047: examples/custom_csv.rs
+
+examples/custom_csv.rs:

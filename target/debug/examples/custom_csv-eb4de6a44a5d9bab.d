@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_csv-eb4de6a44a5d9bab.d: examples/custom_csv.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_csv-eb4de6a44a5d9bab.rmeta: examples/custom_csv.rs Cargo.toml
+
+examples/custom_csv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-6658367c89e7b65a.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-6658367c89e7b65a: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_space-826a0fd3397bbc4f.d: examples/design_space.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_space-826a0fd3397bbc4f.rmeta: examples/design_space.rs Cargo.toml
+
+examples/design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

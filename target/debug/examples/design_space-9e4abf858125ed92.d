@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-9e4abf858125ed92.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-9e4abf858125ed92: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/process_variation-1b4eb60bf744861f.d: examples/process_variation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprocess_variation-1b4eb60bf744861f.rmeta: examples/process_variation.rs Cargo.toml
+
+examples/process_variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/process_variation-a851852ccc2ceb1a.d: examples/process_variation.rs
+
+/root/repo/target/debug/examples/process_variation-a851852ccc2ceb1a: examples/process_variation.rs
+
+examples/process_variation.rs:

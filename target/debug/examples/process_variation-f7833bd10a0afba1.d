@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/process_variation-f7833bd10a0afba1.d: examples/process_variation.rs
+
+/root/repo/target/debug/examples/process_variation-f7833bd10a0afba1: examples/process_variation.rs
+
+examples/process_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-02fa3ea5a1d735a4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-02fa3ea5a1d735a4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4b6a50d04da68fe3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4b6a50d04da68fe3: examples/quickstart.rs
+
+examples/quickstart.rs:

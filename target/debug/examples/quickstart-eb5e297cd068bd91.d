@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-eb5e297cd068bd91.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-eb5e297cd068bd91.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

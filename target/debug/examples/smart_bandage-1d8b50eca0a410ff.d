@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_bandage-1d8b50eca0a410ff.d: examples/smart_bandage.rs
+
+/root/repo/target/debug/examples/smart_bandage-1d8b50eca0a410ff: examples/smart_bandage.rs
+
+examples/smart_bandage.rs:

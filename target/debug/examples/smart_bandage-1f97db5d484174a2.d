@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_bandage-1f97db5d484174a2.d: examples/smart_bandage.rs
+
+/root/repo/target/debug/examples/smart_bandage-1f97db5d484174a2: examples/smart_bandage.rs
+
+examples/smart_bandage.rs:

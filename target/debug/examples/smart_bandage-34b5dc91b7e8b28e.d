@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_bandage-34b5dc91b7e8b28e.d: examples/smart_bandage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_bandage-34b5dc91b7e8b28e.rmeta: examples/smart_bandage.rs Cargo.toml
+
+examples/smart_bandage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

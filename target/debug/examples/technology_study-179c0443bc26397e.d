@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/technology_study-179c0443bc26397e.d: examples/technology_study.rs
+
+/root/repo/target/debug/examples/technology_study-179c0443bc26397e: examples/technology_study.rs
+
+examples/technology_study.rs:

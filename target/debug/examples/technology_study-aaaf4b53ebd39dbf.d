@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/technology_study-aaaf4b53ebd39dbf.d: examples/technology_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtechnology_study-aaaf4b53ebd39dbf.rmeta: examples/technology_study.rs Cargo.toml
+
+examples/technology_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/technology_study-ae13c7dd4a523d51.d: examples/technology_study.rs
+
+/root/repo/target/debug/examples/technology_study-ae13c7dd4a523d51: examples/technology_study.rs
+
+examples/technology_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traced_flow-41ad77e37e43c497.d: examples/traced_flow.rs
+
+/root/repo/target/debug/examples/libtraced_flow-41ad77e37e43c497.rmeta: examples/traced_flow.rs
+
+examples/traced_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/traced_flow-74bdd9894dc91bac.d: examples/traced_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraced_flow-74bdd9894dc91bac.rmeta: examples/traced_flow.rs Cargo.toml
+
+examples/traced_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

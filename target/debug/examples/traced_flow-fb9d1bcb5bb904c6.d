@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traced_flow-fb9d1bcb5bb904c6.d: examples/traced_flow.rs
+
+/root/repo/target/debug/examples/traced_flow-fb9d1bcb5bb904c6: examples/traced_flow.rs
+
+examples/traced_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-f4a0a0bd95b5e847.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-f4a0a0bd95b5e847: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codesign-e5305c928b92ac68.d: crates/bench/src/bin/codesign.rs
+
+/root/repo/target/release/deps/codesign-e5305c928b92ac68: crates/bench/src/bin/codesign.rs
+
+crates/bench/src/bin/codesign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-f4b42d7309c9e9db.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-f4b42d7309c9e9db: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-e6194133568df54b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-e6194133568df54b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-326b48b1bb2043a8.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-326b48b1bb2043a8: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/precision-2a479c9b71e5985d.d: crates/bench/src/bin/precision.rs
+
+/root/repo/target/release/deps/precision-2a479c9b71e5985d: crates/bench/src/bin/precision.rs
+
+crates/bench/src/bin/precision.rs:

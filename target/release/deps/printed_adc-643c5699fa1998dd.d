@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/printed_adc-643c5699fa1998dd.d: crates/adc/src/lib.rs crates/adc/src/bespoke.rs crates/adc/src/conventional.rs crates/adc/src/cost.rs crates/adc/src/linearity.rs crates/adc/src/sar.rs crates/adc/src/unary.rs
+
+/root/repo/target/release/deps/libprinted_adc-643c5699fa1998dd.rlib: crates/adc/src/lib.rs crates/adc/src/bespoke.rs crates/adc/src/conventional.rs crates/adc/src/cost.rs crates/adc/src/linearity.rs crates/adc/src/sar.rs crates/adc/src/unary.rs
+
+/root/repo/target/release/deps/libprinted_adc-643c5699fa1998dd.rmeta: crates/adc/src/lib.rs crates/adc/src/bespoke.rs crates/adc/src/conventional.rs crates/adc/src/cost.rs crates/adc/src/linearity.rs crates/adc/src/sar.rs crates/adc/src/unary.rs
+
+crates/adc/src/lib.rs:
+crates/adc/src/bespoke.rs:
+crates/adc/src/conventional.rs:
+crates/adc/src/cost.rs:
+crates/adc/src/linearity.rs:
+crates/adc/src/sar.rs:
+crates/adc/src/unary.rs:

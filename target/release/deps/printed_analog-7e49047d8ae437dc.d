@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/printed_analog-7e49047d8ae437dc.d: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs
+
+/root/repo/target/release/deps/libprinted_analog-7e49047d8ae437dc.rlib: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs
+
+/root/repo/target/release/deps/libprinted_analog-7e49047d8ae437dc.rmeta: crates/analog/src/lib.rs crates/analog/src/comparator.rs crates/analog/src/ladder.rs crates/analog/src/linalg.rs crates/analog/src/mc.rs crates/analog/src/mna.rs crates/analog/src/spice.rs crates/analog/src/transient.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/comparator.rs:
+crates/analog/src/ladder.rs:
+crates/analog/src/linalg.rs:
+crates/analog/src/mc.rs:
+crates/analog/src/mna.rs:
+crates/analog/src/spice.rs:
+crates/analog/src/transient.rs:

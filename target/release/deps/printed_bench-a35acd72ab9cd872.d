@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/printed_bench-a35acd72ab9cd872.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libprinted_bench-a35acd72ab9cd872.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libprinted_bench-a35acd72ab9cd872.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

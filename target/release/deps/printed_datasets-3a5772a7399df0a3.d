@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/printed_datasets-3a5772a7399df0a3.d: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs
+
+/root/repo/target/release/deps/libprinted_datasets-3a5772a7399df0a3.rlib: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs
+
+/root/repo/target/release/deps/libprinted_datasets-3a5772a7399df0a3.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dataset.rs crates/datasets/src/io.rs crates/datasets/src/quantize.rs crates/datasets/src/registry.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataset.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/quantize.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/synth.rs:

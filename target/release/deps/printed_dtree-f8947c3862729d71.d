@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/printed_dtree-f8947c3862729d71.d: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs
+
+/root/repo/target/release/deps/libprinted_dtree-f8947c3862729d71.rlib: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs
+
+/root/repo/target/release/deps/libprinted_dtree-f8947c3862729d71.rmeta: crates/dtree/src/lib.rs crates/dtree/src/approx.rs crates/dtree/src/baseline.rs crates/dtree/src/cart.rs crates/dtree/src/forest.rs crates/dtree/src/metrics.rs crates/dtree/src/prune.rs crates/dtree/src/tree.rs
+
+crates/dtree/src/lib.rs:
+crates/dtree/src/approx.rs:
+crates/dtree/src/baseline.rs:
+crates/dtree/src/cart.rs:
+crates/dtree/src/forest.rs:
+crates/dtree/src/metrics.rs:
+crates/dtree/src/prune.rs:
+crates/dtree/src/tree.rs:

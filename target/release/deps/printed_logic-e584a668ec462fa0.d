@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/printed_logic-e584a668ec462fa0.d: crates/logic/src/lib.rs crates/logic/src/blocks.rs crates/logic/src/equiv.rs crates/logic/src/fanout.rs crates/logic/src/faults.rs crates/logic/src/netlist.rs crates/logic/src/qm.rs crates/logic/src/report.rs crates/logic/src/sop.rs crates/logic/src/verilog.rs
+
+/root/repo/target/release/deps/libprinted_logic-e584a668ec462fa0.rlib: crates/logic/src/lib.rs crates/logic/src/blocks.rs crates/logic/src/equiv.rs crates/logic/src/fanout.rs crates/logic/src/faults.rs crates/logic/src/netlist.rs crates/logic/src/qm.rs crates/logic/src/report.rs crates/logic/src/sop.rs crates/logic/src/verilog.rs
+
+/root/repo/target/release/deps/libprinted_logic-e584a668ec462fa0.rmeta: crates/logic/src/lib.rs crates/logic/src/blocks.rs crates/logic/src/equiv.rs crates/logic/src/fanout.rs crates/logic/src/faults.rs crates/logic/src/netlist.rs crates/logic/src/qm.rs crates/logic/src/report.rs crates/logic/src/sop.rs crates/logic/src/verilog.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/blocks.rs:
+crates/logic/src/equiv.rs:
+crates/logic/src/fanout.rs:
+crates/logic/src/faults.rs:
+crates/logic/src/netlist.rs:
+crates/logic/src/qm.rs:
+crates/logic/src/report.rs:
+crates/logic/src/sop.rs:
+crates/logic/src/verilog.rs:

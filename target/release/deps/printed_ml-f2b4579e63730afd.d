@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/printed_ml-f2b4579e63730afd.d: src/lib.rs
+
+/root/repo/target/release/deps/libprinted_ml-f2b4579e63730afd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libprinted_ml-f2b4579e63730afd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/printed_pdk-95c21ce2d320866b.d: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs
+
+/root/repo/target/release/deps/libprinted_pdk-95c21ce2d320866b.rlib: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs
+
+/root/repo/target/release/deps/libprinted_pdk-95c21ce2d320866b.rmeta: crates/pdk/src/lib.rs crates/pdk/src/analog.rs crates/pdk/src/calibration.rs crates/pdk/src/cells.rs crates/pdk/src/harvester.rs crates/pdk/src/units.rs
+
+crates/pdk/src/lib.rs:
+crates/pdk/src/analog.rs:
+crates/pdk/src/calibration.rs:
+crates/pdk/src/cells.rs:
+crates/pdk/src/harvester.rs:
+crates/pdk/src/units.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/printed_telemetry-3939b5ff4c0d9a27.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/metric.rs crates/telemetry/src/ndjson.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs crates/telemetry/src/keys.rs
+
+/root/repo/target/release/deps/libprinted_telemetry-3939b5ff4c0d9a27.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/metric.rs crates/telemetry/src/ndjson.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs crates/telemetry/src/keys.rs
+
+/root/repo/target/release/deps/libprinted_telemetry-3939b5ff4c0d9a27.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/metric.rs crates/telemetry/src/ndjson.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs crates/telemetry/src/keys.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/metric.rs:
+crates/telemetry/src/ndjson.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:
+crates/telemetry/src/keys.rs:

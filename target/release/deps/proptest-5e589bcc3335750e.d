@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-5e589bcc3335750e.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-5e589bcc3335750e.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-5e589bcc3335750e.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-d0d200a28074b154.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d0d200a28074b154.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d0d200a28074b154.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-5a1864707afb7f3a.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5a1864707afb7f3a.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5a1864707afb7f3a.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

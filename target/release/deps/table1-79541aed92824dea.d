@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-79541aed92824dea.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-79541aed92824dea: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

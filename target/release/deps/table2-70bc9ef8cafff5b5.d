@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-70bc9ef8cafff5b5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-70bc9ef8cafff5b5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

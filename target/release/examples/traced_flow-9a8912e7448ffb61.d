@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/traced_flow-9a8912e7448ffb61.d: examples/traced_flow.rs
+
+/root/repo/target/release/examples/traced_flow-9a8912e7448ffb61: examples/traced_flow.rs
+
+examples/traced_flow.rs:
