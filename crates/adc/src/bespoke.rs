@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use printed_analog::ladder::Ladder;
 use printed_pdk::AnalogModel;
+use printed_telemetry::{keys, FieldValue, Recorder};
 
 use crate::cost::AdcCost;
 
@@ -139,6 +140,67 @@ impl BespokeAdcBank {
             comparators,
             ladder_resistors: distinct.len() + 1,
             encoders: 0,
+        }
+    }
+
+    /// Prices one input's ADC in isolation: its retained comparators only.
+    /// The shared pruned ladder is deliberately excluded — it is priced
+    /// once per bank, not per input — so summing `input_cost` over every
+    /// feature plus [`AnalogModel::bespoke_ladder_area`]/`_power` for the
+    /// distinct taps reproduces [`BespokeAdcBank::cost`] exactly.
+    pub fn input_cost(&self, feature: usize, model: &AnalogModel) -> AdcCost {
+        let taps = self.taps_of(feature);
+        if taps.is_empty() {
+            return AdcCost::zero();
+        }
+        let mut power = printed_pdk::Power::ZERO;
+        for &tap in &taps {
+            power += model.comparator_power(tap);
+        }
+        AdcCost {
+            area: model.comparator_bank_area(taps.len()),
+            power,
+            comparators: taps.len(),
+            ladder_resistors: 0,
+            encoders: 0,
+        }
+    }
+
+    /// Records the bank's hardware footprint into `recorder`: the
+    /// comparators-retained/dropped and ladder-resistor counters, plus one
+    /// [`keys::ADC_EVENT`] per input with its share of area and power.
+    /// No-op when the recorder is disabled.
+    ///
+    /// "Dropped" counts the comparators a conventional flash front-end
+    /// would have spent on the same inputs (`2^bits − 1` each) that the
+    /// bespoke pruning eliminated — the paper's headline saving.
+    pub fn record_hardware(&self, recorder: &Recorder, model: &AnalogModel) {
+        if !recorder.is_enabled() {
+            return;
+        }
+        let retained = self.comparator_count();
+        let full = self.input_count() * ((1usize << self.bits) - 1);
+        recorder.add(keys::HW_COMPARATORS_RETAINED, retained as u64);
+        recorder.add(keys::HW_COMPARATORS_DROPPED, (full - retained) as u64);
+        let distinct = self.distinct_taps().len();
+        if distinct > 0 {
+            recorder.add(keys::HW_LADDER_RESISTORS, (distinct + 1) as u64);
+        }
+        for (feature, taps) in self.iter() {
+            let cost = self.input_cost(feature, model);
+            recorder.event(
+                keys::ADC_EVENT,
+                vec![
+                    ("feature".into(), FieldValue::U64(feature as u64)),
+                    ("taps".into(), FieldValue::U64(taps.len() as u64)),
+                    (
+                        "comparators".into(),
+                        FieldValue::U64(cost.comparators as u64),
+                    ),
+                    ("area_mm2".into(), FieldValue::F64(cost.area.mm2())),
+                    ("power_uw".into(), FieldValue::F64(cost.power.uw())),
+                ],
+            );
         }
     }
 
@@ -314,6 +376,61 @@ mod tests {
     #[test]
     fn empty_bank_costs_nothing() {
         assert_eq!(BespokeAdcBank::new(4).cost(&model()), AdcCost::zero());
+    }
+
+    #[test]
+    fn input_costs_plus_shared_ladder_reproduce_bank_cost() {
+        let m = model();
+        let mut bank = BespokeAdcBank::new(4);
+        for t in [1, 5, 9] {
+            bank.require(0, t).unwrap();
+        }
+        for t in [5, 12] {
+            bank.require(3, t).unwrap();
+        }
+        let total = bank.cost(&m);
+        let per_input: Vec<AdcCost> = bank.iter().map(|(f, _)| bank.input_cost(f, &m)).collect();
+        let distinct = bank.distinct_taps().len();
+        let area = per_input.iter().map(|c| c.area.mm2()).sum::<f64>()
+            + m.bespoke_ladder_area(distinct).mm2();
+        let power = per_input.iter().map(|c| c.power.uw()).sum::<f64>()
+            + m.bespoke_ladder_power(distinct).uw();
+        assert!((area - total.area.mm2()).abs() < 1e-9);
+        assert!((power - total.power.uw()).abs() < 1e-9);
+        assert_eq!(
+            per_input.iter().map(|c| c.comparators).sum::<usize>(),
+            total.comparators
+        );
+        assert_eq!(bank.input_cost(99, &m), AdcCost::zero());
+    }
+
+    #[test]
+    fn record_hardware_emits_counters_and_per_input_events() {
+        use printed_telemetry::{keys, Recorder};
+        let m = model();
+        let mut bank = BespokeAdcBank::new(4);
+        for t in [1, 5, 9] {
+            bank.require(0, t).unwrap();
+        }
+        bank.require(3, 5).unwrap();
+        let (recorder, sink) = Recorder::collecting();
+        bank.record_hardware(&recorder, &m);
+        let snapshot = sink.snapshot();
+        assert_eq!(snapshot.counter(keys::HW_COMPARATORS_RETAINED), 4);
+        // Two flash ADCs would have burned 2 × 15 comparators.
+        assert_eq!(snapshot.counter(keys::HW_COMPARATORS_DROPPED), 30 - 4);
+        // Distinct taps {1, 5, 9} → 4 ladder resistors.
+        assert_eq!(snapshot.counter(keys::HW_LADDER_RESISTORS), 4);
+        let adc_events: Vec<_> = snapshot
+            .events
+            .iter()
+            .filter(|e| e.name == keys::ADC_EVENT)
+            .collect();
+        assert_eq!(adc_events.len(), 2, "one event per input");
+        assert!(adc_events[0].field("area_mm2").is_some());
+        assert!(adc_events[0].field("power_uw").is_some());
+        // Disabled recorders stay silent.
+        bank.record_hardware(&Recorder::disabled(), &m);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use printed_dtree::cart::train_depth_selected;
 use printed_dtree::synthesize_baseline;
 use printed_logic::verilog::to_verilog;
 use printed_pdk::AnalogModel;
+use printed_telemetry::RunManifest;
 
 struct Args {
     benchmark: Benchmark,
@@ -66,7 +67,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run(args: &Args, hook: &TraceHook) -> Result<(), String> {
+fn run(args: &Args, hook: &mut TraceHook) -> Result<(), String> {
     let (train, test) = args
         .benchmark
         .load_quantized(BITS)
@@ -94,9 +95,16 @@ fn run(args: &Args, hook: &TraceHook) -> Result<(), String> {
     } else {
         ExplorationConfig::paper()
     };
+    hook.set_manifest(
+        RunManifest::capture(format!("{}", args.benchmark))
+            .with_grid(&grid.taus, grid.depths.iter().copied())
+            .with_seed(grid.seed)
+            .with_accuracy_loss(args.loss),
+    );
     let progress = stderr_progress();
     let sweep = explore_traced(&train, &test, &grid, hook.recorder(), Some(&progress));
     let chosen = choose(&sweep, args.loss);
+    printed_codesign::record_selection(hook.recorder(), chosen, &AnalogModel::egfet());
     let r = chosen.system.reduction_vs(&baseline);
     println!(
         "co-design (τ={}, depth {}): {:.1}% accuracy, {:.2}, {:.2} — {:.1}x area, {:.1}x power vs baseline",
@@ -152,8 +160,8 @@ fn run(args: &Args, hook: &TraceHook) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let hook = TraceHook::from_env("codesign");
-    let outcome = parse_args().and_then(|args| run(&args, &hook));
+    let mut hook = TraceHook::from_env("codesign");
+    let outcome = parse_args().and_then(|args| run(&args, &mut hook));
     hook.finish();
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

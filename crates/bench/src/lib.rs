@@ -43,7 +43,7 @@ use printed_dtree::cart::{train_depth_selected, TrainedModel};
 use printed_dtree::{synthesize_baseline, BaselineDesign};
 use printed_logic::report::AnalysisConfig;
 use printed_pdk::{AnalogModel, CellLibrary};
-use printed_telemetry::{FlowTrace, Progress, Recorder};
+use printed_telemetry::{FlowTrace, Progress, Recorder, RunManifest};
 
 pub use printed_telemetry::fmt_duration;
 
@@ -156,6 +156,7 @@ pub struct TraceHook {
     title: String,
     recorder: Recorder,
     path: Option<PathBuf>,
+    manifest: Option<RunManifest>,
 }
 
 impl TraceHook {
@@ -172,6 +173,7 @@ impl TraceHook {
             title: title.to_owned(),
             recorder,
             path,
+            manifest: None,
         }
     }
 
@@ -181,7 +183,16 @@ impl TraceHook {
             title: title.to_owned(),
             recorder: Recorder::collecting().0,
             path: Some(path.into()),
+            manifest: None,
         }
+    }
+
+    /// Overrides the provenance manifest stamped into the dump. Binaries
+    /// that know their grid call this with a fully-filled manifest;
+    /// without it, [`TraceHook::finish`] captures a default one (git SHA +
+    /// timestamp + the hook's title as dataset).
+    pub fn set_manifest(&mut self, manifest: RunManifest) {
+        self.manifest = Some(manifest);
     }
 
     /// The recorder to thread through the binary's work.
@@ -201,7 +212,10 @@ impl TraceHook {
         let Some(snapshot) = self.recorder.snapshot() else {
             return;
         };
-        let trace = FlowTrace::from_snapshot(&self.title, &snapshot);
+        let manifest = self
+            .manifest
+            .unwrap_or_else(|| RunManifest::capture(&self.title));
+        let trace = FlowTrace::from_snapshot(&self.title, &snapshot).with_manifest(manifest);
         let mut ndjson = trace.to_ndjson();
         ndjson.push('\n');
         match std::fs::write(&path, ndjson) {
@@ -274,6 +288,7 @@ mod tests {
         hook.finish();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with(r#"{"kind":"flow","title":"unit""#));
+        assert!(text.contains(r#""kind":"manifest""#));
         assert!(text.contains(r#""kind":"candidate""#));
         assert!(text.contains("train.gini_evals"));
         std::fs::remove_file(&path).ok();

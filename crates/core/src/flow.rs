@@ -24,8 +24,8 @@ use printed_datasets::QuantizedDataset;
 use printed_dtree::cart::train_depth_selected;
 use printed_dtree::{synthesize_baseline_with, BaselineDesign};
 use printed_logic::report::AnalysisConfig;
-use printed_pdk::{AnalogModel, CellLibrary};
-use printed_telemetry::{keys, FieldValue, FlowTrace, Recorder};
+use printed_pdk::{AnalogModel, CellKind, CellLibrary};
+use printed_telemetry::{keys, FieldValue, FlowTrace, Recorder, RunManifest};
 
 use crate::datasheet::Datasheet;
 use crate::explore::{
@@ -190,20 +190,16 @@ impl<'a> CodesignFlow<'a> {
             .or_else(|| sweep.most_accurate())
             .expect("non-empty grid yields candidates")
             .clone();
-        self.recorder.event(
-            keys::SELECTED_EVENT,
-            vec![
-                ("tau".to_owned(), FieldValue::F64(chosen.tau)),
-                ("depth".to_owned(), FieldValue::U64(chosen.depth as u64)),
-                ("accuracy".to_owned(), FieldValue::F64(chosen.test_accuracy)),
-            ],
-        );
+        record_selection(&self.recorder, &chosen, &self.analog);
         stage.finish();
 
-        let trace = self
-            .recorder
-            .snapshot()
-            .map(|snapshot| FlowTrace::from_snapshot(&self.title, &snapshot));
+        let trace = self.recorder.snapshot().map(|snapshot| {
+            let manifest = RunManifest::capture(self.train.name())
+                .with_grid(&self.grid.taus, self.grid.depths.iter().copied())
+                .with_seed(self.grid.seed)
+                .with_accuracy_loss(self.accuracy_loss);
+            FlowTrace::from_snapshot(&self.title, &snapshot).with_manifest(manifest)
+        });
         FlowOutcome {
             title: self.title,
             accuracy_loss: self.accuracy_loss,
@@ -213,6 +209,84 @@ impl<'a> CodesignFlow<'a> {
             chosen,
             trace,
         }
+    }
+}
+
+/// Records a selected design into `recorder`: the [`keys::SELECTED_EVENT`]
+/// headline, comparator retention and per-input ADC attribution (via
+/// [`printed_adc::BespokeAdcBank::record_hardware`]), AND/OR gate tallies
+/// from the synthesized netlist's cell histogram, and one
+/// [`keys::CLASS_EVENT`] per class label with its two-level cover size.
+/// No-op when the recorder is disabled.
+///
+/// [`CodesignFlow::run`] calls this at selection time; standalone sweeps
+/// (e.g. the bench binaries' `explore` + `choose` path) call it directly
+/// so their traces carry the same hardware-attribution records.
+pub fn record_selection(recorder: &Recorder, chosen: &CandidateDesign, analog: &AnalogModel) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let system = &chosen.system;
+    recorder.event(
+        keys::SELECTED_EVENT,
+        vec![
+            ("tau".to_owned(), FieldValue::F64(chosen.tau)),
+            ("depth".to_owned(), FieldValue::U64(chosen.depth as u64)),
+            ("accuracy".to_owned(), FieldValue::F64(chosen.test_accuracy)),
+            (
+                "area_mm2".to_owned(),
+                FieldValue::F64(system.total_area().mm2()),
+            ),
+            (
+                "power_mw".to_owned(),
+                FieldValue::F64(system.total_power().mw()),
+            ),
+            (
+                "comparators".to_owned(),
+                FieldValue::U64(system.comparator_count() as u64),
+            ),
+        ],
+    );
+    system
+        .classifier
+        .adc_bank()
+        .record_hardware(recorder, analog);
+    let (mut and_gates, mut or_gates) = (0u64, 0u64);
+    for &(kind, n) in &system.digital.histogram {
+        match kind {
+            CellKind::And2
+            | CellKind::And3
+            | CellKind::And4
+            | CellKind::Nand2
+            | CellKind::Nand3
+            | CellKind::Nand4 => and_gates += n as u64,
+            CellKind::Or2
+            | CellKind::Or3
+            | CellKind::Or4
+            | CellKind::Nor2
+            | CellKind::Nor3
+            | CellKind::Nor4 => or_gates += n as u64,
+            _ => {}
+        }
+    }
+    recorder.add(keys::HW_AND_GATES, and_gates);
+    recorder.add(keys::HW_OR_GATES, or_gates);
+    for class in 0..system.classifier.n_classes() {
+        let sop = system.classifier.class_sop(class);
+        recorder.event(
+            keys::CLASS_EVENT,
+            vec![
+                ("class".to_owned(), FieldValue::U64(class as u64)),
+                (
+                    "cubes".to_owned(),
+                    FieldValue::U64(sop.cubes().len() as u64),
+                ),
+                (
+                    "literals".to_owned(),
+                    FieldValue::U64(sop.literal_count() as u64),
+                ),
+            ],
+        );
     }
 }
 
@@ -353,6 +427,45 @@ mod tests {
             selected[0].field("depth").and_then(FieldValue::as_u64),
             Some(outcome.chosen.depth as u64)
         );
+        assert_eq!(
+            selected[0]
+                .field("comparators")
+                .and_then(FieldValue::as_u64),
+            Some(outcome.chosen.system.comparator_count() as u64)
+        );
+        // Hardware attribution: comparator retention matches the chosen
+        // system, and per-ADC/per-class events cover every input/class.
+        assert_eq!(
+            trace.counter(keys::HW_COMPARATORS_RETAINED) as usize,
+            outcome.chosen.system.comparator_count()
+        );
+        assert!(trace.counter(keys::HW_COMPARATORS_DROPPED) > 0);
+        assert!(trace.counter(keys::HW_LADDER_RESISTORS) > 0);
+        assert!(trace.counter(keys::HW_AND_GATES) > 0);
+        assert!(trace.counter(keys::TRAIN_NODES) > 0);
+        assert_eq!(
+            trace
+                .events
+                .iter()
+                .filter(|e| e.name == keys::ADC_EVENT)
+                .count(),
+            outcome.chosen.system.input_count()
+        );
+        assert_eq!(
+            trace
+                .events
+                .iter()
+                .filter(|e| e.name == keys::CLASS_EVENT)
+                .count(),
+            outcome.chosen.system.classifier.n_classes()
+        );
+        // Provenance rides along.
+        let manifest = trace
+            .manifest
+            .as_ref()
+            .expect("traced flow stamps a manifest");
+        assert_eq!(manifest.dataset, train.name());
+        assert_eq!(manifest.grid_size(), expected_candidates);
         // Renderers stay usable from the outcome.
         assert!(trace.to_ndjson().contains(r#""kind":"flow""#));
         assert!(trace.render_text().contains("candidates"));

@@ -45,7 +45,7 @@ pub mod unary;
 pub use datasheet::Datasheet;
 pub use ensemble::{synthesize_ensemble, EnsembleSystem};
 pub use explore::{explore, CandidateDesign, Exploration, ExplorationConfig};
-pub use flow::{CodesignFlow, FlowOutcome};
+pub use flow::{record_selection, CodesignFlow, FlowOutcome};
 pub use mismatch::{mismatch_accuracy, MismatchReport};
 pub use robustness::{fault_robustness, FaultRobustness};
 pub use serial::{estimate_serial_unary, SerialUnaryEstimate};

@@ -258,11 +258,16 @@ fn train_adc_aware_seeded(
     }
 
     if recorder.is_enabled() {
+        let split_nodes = nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Split { .. }))
+            .count() as u64;
         recorder.add(keys::GINI_EVALS, gini_evals);
         recorder.add(keys::SPLIT_ZERO, s_z);
         recorder.add(keys::SPLIT_MEDIUM, s_m);
         recorder.add(keys::SPLIT_HIGH, s_h);
         recorder.add(keys::TREES_TRAINED, 1);
+        recorder.add(keys::TRAIN_NODES, split_nodes);
         span.record("gini_evals", gini_evals);
         span.record("s_z", s_z);
         span.record("s_m", s_m);

@@ -1,0 +1,158 @@
+//! `printed-trace`: analyze NDJSON traces from the co-design flow.
+//!
+//! ```sh
+//! # Record a trace, then profile it and attribute hardware costs:
+//! PRINTED_TRACE=seeds.ndjson cargo run --release -p printed-bench --bin codesign -- seeds --quick
+//! printed-trace report seeds.ndjson
+//!
+//! # Gate a fresh run against a committed baseline (exit 1 on regression):
+//! printed-trace diff BENCH_seeds.json seeds.ndjson --max-regress 5%
+//!
+//! # Condense a trace into a new baseline:
+//! printed-trace snapshot seeds.ndjson -o BENCH_seeds.json
+//! ```
+//!
+//! Exit codes: `0` success / gate passed, `1` regression detected,
+//! `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+use printed_report::{diff, parse_trace, CostReport, DiffConfig, Profile, TraceStats};
+
+const USAGE: &str = "\
+usage: printed-trace <command> [args]
+
+commands:
+  report <trace.ndjson>
+      Flame/self-time profile plus hardware-cost attribution.
+  diff <baseline> <current> [--max-regress PCT] [--max-wall-regress PCT]
+      Gate a run against a baseline; exits 1 on regression.
+      Inputs may be bench_stats JSON (from `snapshot`) or NDJSON traces.
+      PCT accepts `5%`, `5`, or `0.05` (all mean five percent).
+  snapshot <trace.ndjson> [-o out.json]
+      Condense a trace to a one-line bench_stats baseline.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.first().map(String::as_str) {
+        Some("report") => cmd_report(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        None => Err(USAGE.to_owned()),
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("usage: printed-trace report <trace.ndjson>".into());
+    };
+    let parsed = parse_trace(&read(path)?);
+    for warning in &parsed.warnings {
+        eprintln!("warning: {path}: {warning}");
+    }
+    print!("{}", parsed.trace.render_text());
+    println!();
+    print!("{}", Profile::from_trace(&parsed.trace).render_text());
+    println!();
+    print!("{}", CostReport::from_trace(&parsed.trace).render_text());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths = Vec::new();
+    let mut config = DiffConfig::default();
+    let mut wall_override = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                let v = iter.next().ok_or("--max-regress needs a value")?;
+                config = DiffConfig::with_tolerance(parse_pct(v)?);
+            }
+            "--max-wall-regress" => {
+                let v = iter.next().ok_or("--max-wall-regress needs a value")?;
+                wall_override = Some(parse_pct(v)?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if let Some(wall) = wall_override {
+        config.max_wall_regress = wall;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err("usage: printed-trace diff <baseline> <current> [--max-regress PCT]".into());
+    };
+    let (baseline, base_warnings) = TraceStats::from_text(&read(baseline_path)?)
+        .map_err(|e| format!("{baseline_path}: {e}"))?;
+    let (current, cur_warnings) =
+        TraceStats::from_text(&read(current_path)?).map_err(|e| format!("{current_path}: {e}"))?;
+    for warning in base_warnings {
+        eprintln!("warning: {baseline_path}: {warning}");
+    }
+    for warning in cur_warnings {
+        eprintln!("warning: {current_path}: {warning}");
+    }
+    let report = diff::diff(&baseline, &current, config);
+    print!("{}", report.render_text());
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_snapshot(args: &[String]) -> Result<ExitCode, String> {
+    let (path, out) = match args {
+        [path] => (path, None),
+        [path, flag, out] if flag == "-o" || flag == "--out" => (path, Some(out)),
+        _ => return Err("usage: printed-trace snapshot <trace.ndjson> [-o out.json]".into()),
+    };
+    let (stats, warnings) =
+        TraceStats::from_text(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+    for warning in warnings {
+        eprintln!("warning: {path}: {warning}");
+    }
+    let json = stats.to_json();
+    match out {
+        Some(out) => {
+            std::fs::write(out, format!("{json}\n")).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Accepts `5%`, `5`, or `0.05` — all five percent. Values above 1 are
+/// read as percentages, at or below 1 as fractions.
+fn parse_pct(text: &str) -> Result<f64, String> {
+    let trimmed = text.trim().trim_end_matches('%');
+    let value: f64 = trimmed
+        .parse()
+        .map_err(|e| format!("bad percentage {text:?}: {e}"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("bad percentage {text:?}"));
+    }
+    Ok(if text.contains('%') || value > 1.0 {
+        value / 100.0
+    } else {
+        value
+    })
+}

@@ -1,0 +1,406 @@
+//! Hardware-cost attribution: who spends the foil area and the harvested
+//! microwatts.
+//!
+//! A [`CostReport`] breaks the selected design down along the two axes the
+//! paper optimizes — the bespoke ADC bank (per-input comparator share) and
+//! the two-level unary classifier (per-class cover size, AND/OR tallies) —
+//! and renders the verdict against the printed energy harvester's 2 mW
+//! budget ([`printed_pdk::HARVESTER_BUDGET`]).
+//!
+//! Two construction paths produce the same report:
+//!
+//! * [`CostReport::from_trace`] reads a recorded [`FlowTrace`] (e.g. one
+//!   parsed back from NDJSON by [`crate::parse::parse_trace`]) — this is
+//!   what the `printed-trace` CLI uses;
+//! * [`CostReport::from_outcome`] recomputes from a live [`FlowOutcome`]
+//!   via [`printed_adc::BespokeAdcBank::input_cost`] — no tracing needed.
+
+use printed_codesign::FlowOutcome;
+use printed_pdk::{AnalogModel, HARVESTER_BUDGET};
+use printed_telemetry::{keys, EventRecord, FieldValue, FlowTrace};
+
+/// One bespoke ADC (one tree input feature) and its share of the bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdcRow {
+    /// Input feature index.
+    pub feature: u64,
+    /// Distinct thresholds the tree compares this feature against.
+    pub taps: u64,
+    /// Comparators retained for this input.
+    pub comparators: u64,
+    /// This input's area share, mm².
+    pub area_mm2: f64,
+    /// This input's static-power share, µW.
+    pub power_uw: f64,
+}
+
+/// One class output of the unary classifier and its two-level cover size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRow {
+    /// Class label index.
+    pub class: u64,
+    /// Product terms (cubes) in the class's sum-of-products cover.
+    pub cubes: u64,
+    /// Total literals across those cubes — the gate-input cost proxy.
+    pub literals: u64,
+}
+
+/// The selected grid point's headline numbers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectedDesign {
+    /// Gini slack τ.
+    pub tau: f64,
+    /// Depth cap.
+    pub depth: u64,
+    /// Test accuracy.
+    pub accuracy: f64,
+    /// Total system area, mm².
+    pub area_mm2: f64,
+    /// Total system power, mW.
+    pub power_mw: f64,
+    /// Retained comparators.
+    pub comparators: u64,
+}
+
+/// The assembled attribution report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostReport {
+    /// Run title (benchmark or binary name).
+    pub title: String,
+    /// The chosen design's headline numbers, if a selection was recorded.
+    pub selected: Option<SelectedDesign>,
+    /// Per-input ADC breakdown, in feature order.
+    pub adcs: Vec<AdcRow>,
+    /// Per-class logic breakdown, in class order.
+    pub classes: Vec<ClassRow>,
+    /// Comparators the bespoke bank keeps.
+    pub comparators_retained: u64,
+    /// Flash-ADC comparators the pruning eliminated (`inputs × (2^b − 1)`
+    /// minus retained).
+    pub comparators_dropped: u64,
+    /// Printed resistors in the shared pruned reference ladder.
+    pub ladder_resistors: u64,
+    /// AND-family gates (AND/NAND 2–4) in the synthesized classifier.
+    pub and_gates: u64,
+    /// OR-family gates (OR/NOR 2–4) in the synthesized classifier.
+    pub or_gates: u64,
+    /// Algorithm 1 split selections by cost class `(S_Z, S_M, S_H)`.
+    pub splits: (u64, u64, u64),
+    /// Gini evaluations across the whole sweep.
+    pub gini_evals: u64,
+    /// Trees trained across the whole sweep.
+    pub trees: u64,
+}
+
+impl CostReport {
+    /// Builds the report from a recorded trace (counters + `adc` /
+    /// `class_logic` / `selected` events). Fields that were never
+    /// recorded stay at their zero/empty defaults.
+    pub fn from_trace(trace: &FlowTrace) -> Self {
+        let u64_of =
+            |e: &EventRecord, key: &str| e.field(key).and_then(FieldValue::as_u64).unwrap_or(0);
+        let f64_of =
+            |e: &EventRecord, key: &str| e.field(key).and_then(FieldValue::as_f64).unwrap_or(0.0);
+        let adcs = trace
+            .events
+            .iter()
+            .filter(|e| e.name == keys::ADC_EVENT)
+            .map(|e| AdcRow {
+                feature: u64_of(e, "feature"),
+                taps: u64_of(e, "taps"),
+                comparators: u64_of(e, "comparators"),
+                area_mm2: f64_of(e, "area_mm2"),
+                power_uw: f64_of(e, "power_uw"),
+            })
+            .collect();
+        let classes = trace
+            .events
+            .iter()
+            .filter(|e| e.name == keys::CLASS_EVENT)
+            .map(|e| ClassRow {
+                class: u64_of(e, "class"),
+                cubes: u64_of(e, "cubes"),
+                literals: u64_of(e, "literals"),
+            })
+            .collect();
+        let selected = trace
+            .events
+            .iter()
+            .find(|e| e.name == keys::SELECTED_EVENT)
+            .map(|e| SelectedDesign {
+                tau: f64_of(e, "tau"),
+                depth: u64_of(e, "depth"),
+                accuracy: f64_of(e, "accuracy"),
+                area_mm2: f64_of(e, "area_mm2"),
+                power_mw: f64_of(e, "power_mw"),
+                comparators: u64_of(e, "comparators"),
+            });
+        Self {
+            title: trace.title.clone(),
+            selected,
+            adcs,
+            classes,
+            comparators_retained: trace.counter(keys::HW_COMPARATORS_RETAINED),
+            comparators_dropped: trace.counter(keys::HW_COMPARATORS_DROPPED),
+            ladder_resistors: trace.counter(keys::HW_LADDER_RESISTORS),
+            and_gates: trace.counter(keys::HW_AND_GATES),
+            or_gates: trace.counter(keys::HW_OR_GATES),
+            splits: trace.split_selections(),
+            gini_evals: trace.counter(keys::GINI_EVALS),
+            trees: trace.counter(keys::TREES_TRAINED),
+        }
+    }
+
+    /// Recomputes the report directly from a flow outcome — the
+    /// untelemetered path. Sweep-level counters (splits, Gini evals,
+    /// trees) come from the outcome's trace when one rode along, else
+    /// stay zero.
+    pub fn from_outcome(outcome: &FlowOutcome, model: &AnalogModel) -> Self {
+        let system = &outcome.chosen.system;
+        let bank = system.classifier.adc_bank();
+        let adcs = bank
+            .iter()
+            .map(|(feature, taps)| {
+                let cost = bank.input_cost(feature, model);
+                AdcRow {
+                    feature: feature as u64,
+                    taps: taps.len() as u64,
+                    comparators: cost.comparators as u64,
+                    area_mm2: cost.area.mm2(),
+                    power_uw: cost.power.uw(),
+                }
+            })
+            .collect();
+        let classes = (0..system.classifier.n_classes())
+            .map(|class| {
+                let sop = system.classifier.class_sop(class);
+                ClassRow {
+                    class: class as u64,
+                    cubes: sop.cubes().len() as u64,
+                    literals: sop.literal_count() as u64,
+                }
+            })
+            .collect();
+        let (mut and_gates, mut or_gates) = (0u64, 0u64);
+        for &(kind, n) in &system.digital.histogram {
+            use printed_pdk::CellKind::*;
+            match kind {
+                And2 | And3 | And4 | Nand2 | Nand3 | Nand4 => and_gates += n as u64,
+                Or2 | Or3 | Or4 | Nor2 | Nor3 | Nor4 => or_gates += n as u64,
+                _ => {}
+            }
+        }
+        let retained = system.comparator_count() as u64;
+        let full = (bank.input_count() * ((1usize << bank.bits()) - 1)) as u64;
+        let base = Self {
+            title: outcome.title.clone(),
+            selected: Some(SelectedDesign {
+                tau: outcome.chosen.tau,
+                depth: outcome.chosen.depth as u64,
+                accuracy: outcome.chosen.test_accuracy,
+                area_mm2: system.total_area().mm2(),
+                power_mw: system.total_power().mw(),
+                comparators: retained,
+            }),
+            adcs,
+            classes,
+            comparators_retained: retained,
+            comparators_dropped: full.saturating_sub(retained),
+            ladder_resistors: match bank.distinct_taps().len() {
+                0 => 0,
+                distinct => (distinct + 1) as u64,
+            },
+            and_gates,
+            or_gates,
+            ..Self::default()
+        };
+        match outcome.trace() {
+            Some(trace) => Self {
+                splits: trace.split_selections(),
+                gini_evals: trace.counter(keys::GINI_EVALS),
+                trees: trace.counter(keys::TREES_TRAINED),
+                ..base
+            },
+            None => base,
+        }
+    }
+
+    /// Total ADC-bank power across the per-input rows, µW (excludes the
+    /// shared ladder, which is priced once per bank).
+    pub fn adc_power_uw(&self) -> f64 {
+        self.adcs.iter().map(|r| r.power_uw).sum()
+    }
+
+    /// Total ADC-bank area across the per-input rows, mm².
+    pub fn adc_area_mm2(&self) -> f64 {
+        self.adcs.iter().map(|r| r.area_mm2).sum()
+    }
+
+    /// Whether the selected design fits the printed harvester's budget
+    /// (`None` when no selection was recorded).
+    pub fn within_harvester_budget(&self) -> Option<bool> {
+        self.selected
+            .as_ref()
+            .map(|s| s.power_mw <= HARVESTER_BUDGET.mw())
+    }
+
+    /// Renders the report as aligned text tables.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("hardware cost: {}\n", self.title));
+        if let Some(s) = &self.selected {
+            out.push_str(&format!(
+                "  selected: τ={} depth={}  {:.1}% accuracy  {:.2} mm²  {:.3} mW  {} comparators\n",
+                s.tau,
+                s.depth,
+                s.accuracy * 100.0,
+                s.area_mm2,
+                s.power_mw,
+                s.comparators,
+            ));
+        }
+        out.push_str(&format!(
+            "  comparators: {} retained / {} dropped vs flash  ladder: {} resistors\n",
+            self.comparators_retained, self.comparators_dropped, self.ladder_resistors,
+        ));
+        if self.and_gates + self.or_gates > 0 {
+            out.push_str(&format!(
+                "  logic: {} AND-family / {} OR-family gates\n",
+                self.and_gates, self.or_gates,
+            ));
+        }
+        let (s_z, s_m, s_h) = self.splits;
+        if s_z + s_m + s_h > 0 {
+            out.push_str(&format!(
+                "  splits: {s_z} S_Z / {s_m} S_M / {s_h} S_H  ({} gini evals, {} trees)\n",
+                self.gini_evals, self.trees,
+            ));
+        }
+        if !self.adcs.is_empty() {
+            out.push_str(&format!(
+                "  {:<10} {:>5} {:>12} {:>11} {:>11}\n",
+                "adc", "taps", "comparators", "area mm²", "power µW"
+            ));
+            for row in &self.adcs {
+                out.push_str(&format!(
+                    "  x{:<9} {:>5} {:>12} {:>11.4} {:>11.3}\n",
+                    row.feature, row.taps, row.comparators, row.area_mm2, row.power_uw,
+                ));
+            }
+        }
+        if !self.classes.is_empty() {
+            out.push_str(&format!(
+                "  {:<10} {:>5} {:>12}\n",
+                "class", "cubes", "literals"
+            ));
+            for row in &self.classes {
+                out.push_str(&format!(
+                    "  c{:<9} {:>5} {:>12}\n",
+                    row.class, row.cubes, row.literals,
+                ));
+            }
+        }
+        if let Some(fits) = self.within_harvester_budget() {
+            let s = self.selected.as_ref().expect("selected is present");
+            out.push_str(&format!(
+                "  harvester budget: {:.3} mW of {:.1} mW — {}\n",
+                s.power_mw,
+                HARVESTER_BUDGET.mw(),
+                if fits { "SELF-POWERED" } else { "OVER BUDGET" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use printed_codesign::CodesignFlow;
+    use printed_codesign::ExplorationConfig;
+    use printed_datasets::Benchmark;
+
+    fn traced_outcome() -> FlowOutcome {
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        CodesignFlow::new(&train, &test)
+            .grid(ExplorationConfig::quick())
+            .title("Seeds")
+            .traced()
+            .run()
+    }
+
+    #[test]
+    fn trace_and_outcome_paths_agree() {
+        let outcome = traced_outcome();
+        let model = AnalogModel::egfet();
+        let from_trace = CostReport::from_trace(outcome.trace().expect("traced run"));
+        let from_outcome = CostReport::from_outcome(&outcome, &model);
+        assert_eq!(from_trace.adcs, from_outcome.adcs);
+        assert_eq!(from_trace.classes, from_outcome.classes);
+        assert_eq!(
+            from_trace.comparators_retained,
+            from_outcome.comparators_retained
+        );
+        assert_eq!(
+            from_trace.comparators_dropped,
+            from_outcome.comparators_dropped
+        );
+        assert_eq!(from_trace.ladder_resistors, from_outcome.ladder_resistors);
+        assert_eq!(from_trace.and_gates, from_outcome.and_gates);
+        assert_eq!(from_trace.or_gates, from_outcome.or_gates);
+        assert_eq!(from_trace.splits, from_outcome.splits);
+        let (a, b) = (
+            from_trace.selected.expect("selected event"),
+            from_outcome.selected.expect("chosen design"),
+        );
+        assert_eq!(a.depth, b.depth);
+        assert_eq!(a.comparators, b.comparators);
+        assert!((a.area_mm2 - b.area_mm2).abs() < 1e-9);
+        assert!((a.power_mw - b.power_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_input_shares_cover_the_system_adc_cost() {
+        let outcome = traced_outcome();
+        let model = AnalogModel::egfet();
+        let report = CostReport::from_outcome(&outcome, &model);
+        let system = &outcome.chosen.system;
+        let bank = system.classifier.adc_bank();
+        let bank_cost = bank.cost(&model);
+        // Per-input rows plus the shared ladder reproduce the bank cost.
+        let ladder_area = bank_cost.area.mm2() - report.adc_area_mm2();
+        let ladder_power = bank_cost.power.uw() - report.adc_power_uw();
+        assert!(ladder_area > 0.0, "shared ladder has area");
+        assert!(ladder_power >= 0.0);
+        let comparators: u64 = report.adcs.iter().map(|r| r.comparators).sum();
+        assert_eq!(comparators, system.comparator_count() as u64);
+    }
+
+    #[test]
+    fn render_text_includes_tables_and_verdict() {
+        let outcome = traced_outcome();
+        let report = CostReport::from_trace(outcome.trace().expect("traced run"));
+        let text = report.render_text();
+        assert!(text.contains("selected: τ="), "{text}");
+        assert!(text.contains("comparators"), "{text}");
+        assert!(text.contains("harvester budget:"), "{text}");
+        assert!(
+            text.contains("SELF-POWERED") || text.contains("OVER BUDGET"),
+            "{text}"
+        );
+        // One table row per ADC input and per class.
+        let system = &outcome.chosen.system;
+        assert_eq!(report.adcs.len(), system.input_count());
+        assert_eq!(report.classes.len(), system.classifier.n_classes());
+    }
+
+    #[test]
+    fn empty_trace_yields_an_empty_but_renderable_report() {
+        let report = CostReport::from_trace(&FlowTrace::default());
+        assert!(report.selected.is_none());
+        assert!(report.adcs.is_empty());
+        assert!(report.within_harvester_budget().is_none());
+        let text = report.render_text();
+        assert!(text.contains("comparators: 0 retained"), "{text}");
+    }
+}

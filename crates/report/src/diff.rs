@@ -1,0 +1,579 @@
+//! Regression gating: compare two runs and fail loudly when the flow got
+//! slower or the hardware got bigger.
+//!
+//! [`TraceStats`] condenses a trace to the handful of numbers worth
+//! guarding — wall time, Gini-evaluation count, trees trained, and the
+//! selected design's area/power/comparators — and serializes to a single
+//! JSON line, the format of the committed `BENCH_*.json` baselines.
+//! [`diff`] compares a baseline against a current run under a
+//! [`DiffConfig`] tolerance and returns the list of violations; the
+//! `printed-trace diff` subcommand turns a non-empty list into exit
+//! code 1, which is what CI gates on.
+//!
+//! Timing regresses only upward (faster is fine); hardware numbers are
+//! checked for drift in *either* direction — the flow is deterministic,
+//! so an unexplained area change is a behavior change even if it shrinks.
+
+use printed_telemetry::{keys, FieldValue, FlowTrace, JsonLine};
+
+use crate::json::{parse as parse_json, JsonValue};
+use crate::parse::parse_trace;
+
+/// The guarded numbers of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceStats {
+    /// Benchmark/dataset name (from the manifest, else the trace title).
+    pub dataset: String,
+    /// Git revision that produced the run (empty when unknown).
+    pub git_sha: String,
+    /// τ grid of the sweep (empty when no manifest rode along).
+    pub taus: Vec<f64>,
+    /// Depth grid of the sweep.
+    pub depths: Vec<u64>,
+    /// Wall time of the run, µs.
+    pub wall_us: u64,
+    /// Gini evaluations across the sweep (the training-cost proxy).
+    pub gini_evals: u64,
+    /// Trees trained across the sweep.
+    pub trees: u64,
+    /// Selected design's total area, mm².
+    pub area_mm2: f64,
+    /// Selected design's total power, mW.
+    pub power_mw: f64,
+    /// Selected design's retained comparators.
+    pub comparators: u64,
+}
+
+impl TraceStats {
+    /// Condenses a trace to its guarded numbers.
+    pub fn from_trace(trace: &FlowTrace) -> Self {
+        let selected = trace.events.iter().find(|e| e.name == keys::SELECTED_EVENT);
+        let f = |key: &str| {
+            selected
+                .and_then(|e| e.field(key))
+                .and_then(FieldValue::as_f64)
+                .unwrap_or(0.0)
+        };
+        let u = |key: &str| {
+            selected
+                .and_then(|e| e.field(key))
+                .and_then(FieldValue::as_u64)
+                .unwrap_or(0)
+        };
+        Self {
+            dataset: trace
+                .manifest
+                .as_ref()
+                .map(|m| m.dataset.clone())
+                .unwrap_or_else(|| trace.title.clone()),
+            git_sha: trace
+                .manifest
+                .as_ref()
+                .map(|m| m.git_sha.clone())
+                .unwrap_or_default(),
+            taus: trace
+                .manifest
+                .as_ref()
+                .map(|m| m.taus.clone())
+                .unwrap_or_default(),
+            depths: trace
+                .manifest
+                .as_ref()
+                .map(|m| m.depths.clone())
+                .unwrap_or_default(),
+            wall_us: trace.wall_us,
+            gini_evals: trace.counter(keys::GINI_EVALS),
+            trees: trace.counter(keys::TREES_TRAINED),
+            area_mm2: f("area_mm2"),
+            power_mw: f("power_mw"),
+            comparators: u("comparators"),
+        }
+    }
+
+    /// Serializes to one JSON line — the committed-baseline format.
+    pub fn to_json(&self) -> String {
+        JsonLine::new()
+            .str("kind", "bench_stats")
+            .str("dataset", &self.dataset)
+            .str("git_sha", &self.git_sha)
+            .raw(
+                "taus",
+                &format!(
+                    "[{}]",
+                    self.taus
+                        .iter()
+                        .map(|t| {
+                            let s = t.to_string();
+                            if s.contains(['.', 'e', 'E']) {
+                                s
+                            } else {
+                                format!("{s}.0")
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            )
+            .raw(
+                "depths",
+                &format!(
+                    "[{}]",
+                    self.depths
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            )
+            .u64("wall_us", self.wall_us)
+            .u64("gini_evals", self.gini_evals)
+            .u64("trees", self.trees)
+            .f64("area_mm2", self.area_mm2)
+            .f64("power_mw", self.power_mw)
+            .u64("comparators", self.comparators)
+            .finish()
+    }
+
+    /// Parses either format a gate input can be: a `bench_stats` JSON
+    /// line (committed baseline) or a full NDJSON trace dump (fresh run).
+    /// Returns the stats plus any parse warnings.
+    pub fn from_text(text: &str) -> Result<(Self, Vec<String>), String> {
+        let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+        if let Ok(value) = parse_json(first.trim()) {
+            if value.get("kind").and_then(JsonValue::as_str) == Some("bench_stats") {
+                return Ok((Self::from_stats_json(&value)?, Vec::new()));
+            }
+        }
+        let parsed = parse_trace(text);
+        if parsed.trace == FlowTrace::default() && !parsed.warnings.is_empty() {
+            return Err(format!(
+                "not a bench_stats line or a parseable trace ({})",
+                parsed.warnings[0]
+            ));
+        }
+        Ok((Self::from_trace(&parsed.trace), parsed.warnings))
+    }
+
+    fn from_stats_json(value: &JsonValue) -> Result<Self, String> {
+        let s = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_owned()
+        };
+        let u = |key: &str| value.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        let f = |key: &str| value.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let mut taus = Vec::new();
+        if let Some(arr) = value.get("taus").and_then(JsonValue::as_arr) {
+            for v in arr {
+                taus.push(v.as_f64().ok_or("tau is not a number")?);
+            }
+        }
+        let mut depths = Vec::new();
+        if let Some(arr) = value.get("depths").and_then(JsonValue::as_arr) {
+            for v in arr {
+                depths.push(v.as_u64().ok_or("depth is not an integer")?);
+            }
+        }
+        Ok(Self {
+            dataset: s("dataset"),
+            git_sha: s("git_sha"),
+            taus,
+            depths,
+            wall_us: u("wall_us"),
+            gini_evals: u("gini_evals"),
+            trees: u("trees"),
+            area_mm2: f("area_mm2"),
+            power_mw: f("power_mw"),
+            comparators: u("comparators"),
+        })
+    }
+}
+
+/// Tolerances for [`diff`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Allowed relative drift for deterministic metrics (Gini evals,
+    /// trees, area, power, comparators). Default 5%.
+    pub max_regress: f64,
+    /// Allowed relative wall-time regression. Defaults to `max_regress`;
+    /// raise it independently on noisy shared CI runners.
+    pub max_wall_regress: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            max_regress: 0.05,
+            max_wall_regress: 0.05,
+        }
+    }
+}
+
+impl DiffConfig {
+    /// Sets both tolerances to the same fraction.
+    pub fn with_tolerance(fraction: f64) -> Self {
+        Self {
+            max_regress: fraction,
+            max_wall_regress: fraction,
+        }
+    }
+}
+
+/// The outcome of comparing a current run against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// The committed reference numbers.
+    pub baseline: TraceStats,
+    /// The fresh run's numbers.
+    pub current: TraceStats,
+    /// Tolerances used.
+    pub config: DiffConfig,
+    /// One line per gate failure (empty = pass).
+    pub violations: Vec<String>,
+    /// Non-fatal observations (improvements, skipped checks).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes (no violations).
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the comparison as text: metric table, then verdict.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "diff: {} (baseline {}) vs {} (current {})\n",
+            self.baseline.dataset,
+            short(&self.baseline.git_sha),
+            self.current.dataset,
+            short(&self.current.git_sha),
+        ));
+        let rows: &[(&str, f64, f64)] = &[
+            (
+                "wall_us",
+                self.baseline.wall_us as f64,
+                self.current.wall_us as f64,
+            ),
+            (
+                "gini_evals",
+                self.baseline.gini_evals as f64,
+                self.current.gini_evals as f64,
+            ),
+            (
+                "trees",
+                self.baseline.trees as f64,
+                self.current.trees as f64,
+            ),
+            ("area_mm2", self.baseline.area_mm2, self.current.area_mm2),
+            ("power_mw", self.baseline.power_mw, self.current.power_mw),
+            (
+                "comparators",
+                self.baseline.comparators as f64,
+                self.current.comparators as f64,
+            ),
+        ];
+        out.push_str(&format!(
+            "  {:<12} {:>14} {:>14} {:>9}\n",
+            "metric", "baseline", "current", "delta"
+        ));
+        for &(name, base, cur) in rows {
+            let delta = if base == 0.0 {
+                "n/a".to_owned()
+            } else {
+                format!("{:+.1}%", 100.0 * (cur - base) / base)
+            };
+            out.push_str(&format!(
+                "  {name:<12} {base:>14.4} {cur:>14.4} {delta:>9}\n"
+            ));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        for violation in &self.violations {
+            out.push_str(&format!("  FAIL: {violation}\n"));
+        }
+        out.push_str(if self.passed() {
+            "  verdict: PASS\n"
+        } else {
+            "  verdict: REGRESSION\n"
+        });
+        out
+    }
+}
+
+fn short(sha: &str) -> &str {
+    let end = sha
+        .char_indices()
+        .nth(8)
+        .map(|(i, _)| i)
+        .unwrap_or(sha.len());
+    if sha.is_empty() {
+        "unknown"
+    } else {
+        &sha[..end]
+    }
+}
+
+/// Compares `current` against `baseline` under `config`.
+pub fn diff(baseline: &TraceStats, current: &TraceStats, config: DiffConfig) -> DiffReport {
+    let mut violations = Vec::new();
+    let mut notes = Vec::new();
+
+    // Comparing different datasets or grids is apples to oranges: fail
+    // before any number is looked at.
+    if !baseline.dataset.is_empty()
+        && !current.dataset.is_empty()
+        && baseline.dataset != current.dataset
+    {
+        violations.push(format!(
+            "config drift: baseline ran {:?}, current ran {:?}",
+            baseline.dataset, current.dataset
+        ));
+    }
+    if !baseline.taus.is_empty()
+        && !current.taus.is_empty()
+        && (baseline.taus != current.taus || baseline.depths != current.depths)
+    {
+        violations.push(format!(
+            "config drift: grid changed ({}τ×{}d → {}τ×{}d)",
+            baseline.taus.len(),
+            baseline.depths.len(),
+            current.taus.len(),
+            current.depths.len(),
+        ));
+    }
+
+    // Timing: regression-only (upward) gate.
+    check_regress(
+        &mut violations,
+        &mut notes,
+        "wall time (µs)",
+        baseline.wall_us as f64,
+        current.wall_us as f64,
+        config.max_wall_regress,
+    );
+    check_regress(
+        &mut violations,
+        &mut notes,
+        "gini evals",
+        baseline.gini_evals as f64,
+        current.gini_evals as f64,
+        config.max_regress,
+    );
+
+    // Hardware: drift in either direction is a behavior change.
+    check_drift(
+        &mut violations,
+        "area (mm²)",
+        baseline.area_mm2,
+        current.area_mm2,
+        config.max_regress,
+    );
+    check_drift(
+        &mut violations,
+        "power (mW)",
+        baseline.power_mw,
+        current.power_mw,
+        config.max_regress,
+    );
+    check_drift(
+        &mut violations,
+        "comparators",
+        baseline.comparators as f64,
+        current.comparators as f64,
+        config.max_regress,
+    );
+
+    DiffReport {
+        baseline: baseline.clone(),
+        current: current.clone(),
+        config,
+        violations,
+        notes,
+    }
+}
+
+fn check_regress(
+    violations: &mut Vec<String>,
+    notes: &mut Vec<String>,
+    metric: &str,
+    baseline: f64,
+    current: f64,
+    tolerance: f64,
+) {
+    if baseline <= 0.0 {
+        notes.push(format!("{metric}: no baseline value, check skipped"));
+        return;
+    }
+    let ratio = current / baseline - 1.0;
+    if ratio > tolerance {
+        violations.push(format!(
+            "{metric} regressed {:.1}% ({baseline:.0} → {current:.0}, tolerance {:.1}%)",
+            ratio * 100.0,
+            tolerance * 100.0,
+        ));
+    } else if ratio < -tolerance {
+        notes.push(format!("{metric} improved {:.1}%", -ratio * 100.0));
+    }
+}
+
+fn check_drift(
+    violations: &mut Vec<String>,
+    metric: &str,
+    baseline: f64,
+    current: f64,
+    tolerance: f64,
+) {
+    if baseline == 0.0 && current == 0.0 {
+        return;
+    }
+    if baseline == 0.0 {
+        violations.push(format!("{metric} appeared ({current:.4}) with no baseline"));
+        return;
+    }
+    let ratio = (current - baseline).abs() / baseline;
+    if ratio > tolerance {
+        violations.push(format!(
+            "{metric} drifted {:.1}% ({baseline:.4} → {current:.4}, tolerance {:.1}%)",
+            ratio * 100.0,
+            tolerance * 100.0,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> TraceStats {
+        TraceStats {
+            dataset: "Seeds".into(),
+            git_sha: "0123456789abcdef0123456789abcdef01234567".into(),
+            taus: vec![0.0, 0.005],
+            depths: vec![2, 4],
+            wall_us: 100_000,
+            gini_evals: 4_000,
+            trees: 4,
+            area_mm2: 12.5,
+            power_mw: 1.25,
+            comparators: 9,
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let s = stats();
+        let report = diff(&s, &s, DiffConfig::default());
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(report.render_text().contains("verdict: PASS"));
+    }
+
+    #[test]
+    fn wall_regression_past_tolerance_fails() {
+        let base = stats();
+        let mut cur = stats();
+        cur.wall_us = 106_000; // +6% > 5%
+        let report = diff(&base, &cur, DiffConfig::default());
+        assert!(!report.passed());
+        assert!(
+            report.violations[0].contains("wall time"),
+            "{:?}",
+            report.violations
+        );
+        // Within tolerance passes.
+        cur.wall_us = 104_000;
+        assert!(diff(&base, &cur, DiffConfig::default()).passed());
+    }
+
+    #[test]
+    fn faster_is_a_note_not_a_violation() {
+        let base = stats();
+        let mut cur = stats();
+        cur.wall_us = 50_000;
+        let report = diff(&base, &cur, DiffConfig::default());
+        assert!(report.passed());
+        assert!(report.notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn hardware_drift_fails_in_both_directions() {
+        let base = stats();
+        for area in [11.0, 14.0] {
+            let mut cur = stats();
+            cur.area_mm2 = area;
+            let report = diff(&base, &cur, DiffConfig::default());
+            assert!(!report.passed(), "area {area} should violate");
+            assert!(report.violations[0].contains("area"));
+        }
+    }
+
+    #[test]
+    fn dataset_and_grid_drift_are_violations() {
+        let base = stats();
+        let mut cur = stats();
+        cur.dataset = "Vertebral".into();
+        assert!(!diff(&base, &cur, DiffConfig::default()).passed());
+        let mut cur = stats();
+        cur.depths = vec![2, 4, 6];
+        assert!(!diff(&base, &cur, DiffConfig::default()).passed());
+    }
+
+    #[test]
+    fn separate_wall_tolerance_relaxes_only_timing() {
+        let base = stats();
+        let mut cur = stats();
+        cur.wall_us = 140_000; // +40%
+        let config = DiffConfig {
+            max_regress: 0.05,
+            max_wall_regress: 0.50,
+        };
+        assert!(diff(&base, &cur, config).passed());
+        cur.area_mm2 = 14.0; // hardware still gated at 5%
+        assert!(!diff(&base, &cur, config).passed());
+    }
+
+    #[test]
+    fn stats_json_round_trips() {
+        let original = stats();
+        let json = original.to_json();
+        let (parsed, warnings) = TraceStats::from_text(&json).expect("parses");
+        assert!(warnings.is_empty());
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn from_text_accepts_a_trace_dump() {
+        use printed_telemetry::{keys, FieldValue, Recorder, RunManifest};
+        let (recorder, sink) = Recorder::collecting();
+        let span = recorder.span(keys::STAGE_SWEEP);
+        recorder.add(keys::GINI_EVALS, 777);
+        recorder.event(
+            keys::SELECTED_EVENT,
+            vec![
+                ("area_mm2".into(), FieldValue::F64(3.25)),
+                ("power_mw".into(), FieldValue::F64(0.5)),
+                ("comparators".into(), FieldValue::U64(6)),
+            ],
+        );
+        span.finish();
+        let trace =
+            FlowTrace::from_snapshot("Seeds", &sink.snapshot()).with_manifest(RunManifest {
+                dataset: "Seeds".into(),
+                ..RunManifest::default()
+            });
+        let (parsed, _) = TraceStats::from_text(&trace.to_ndjson()).expect("parses");
+        assert_eq!(parsed.dataset, "Seeds");
+        assert_eq!(parsed.gini_evals, 777);
+        assert_eq!(parsed.comparators, 6);
+        assert!((parsed.area_mm2 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn garbage_input_is_a_hard_error() {
+        assert!(TraceStats::from_text("definitely not json").is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! # printed-report
+//!
+//! Trace analysis and hardware-cost reporting for the co-design flow.
+//! `printed-telemetry` records *what happened* (spans, counters, events,
+//! NDJSON dumps); this crate answers *so what* — three questions per run:
+//!
+//! * **Where did the time go?** [`Profile`] reconstructs a span tree by
+//!   interval containment and merges same-named siblings into total/self
+//!   time, call counts, and exact p50/p90/p99 latencies.
+//! * **Where do the area and power go?** [`CostReport`] attributes the
+//!   selected design's footprint per bespoke ADC input and per class
+//!   output, tallies comparators retained vs dropped and AND/OR gates,
+//!   and renders the verdict against the printed harvester's 2 mW budget.
+//! * **Did this change make things worse?** [`TraceStats`] condenses a
+//!   run to its guarded numbers and [`diff`](diff::diff) gates a fresh
+//!   run against a committed `BENCH_*.json` baseline, failing on wall
+//!   time, Gini-eval, or area/power drift past a tolerance.
+//!
+//! The `printed-trace` CLI wraps all three (`report`, `diff`,
+//! `snapshot`); the library API serves programmatic use:
+//!
+//! ```
+//! use printed_codesign::{CodesignFlow, ExplorationConfig};
+//! use printed_datasets::Benchmark;
+//! use printed_report::{parse_trace, CostReport, Profile};
+//!
+//! let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+//! let outcome = CodesignFlow::new(&train, &test)
+//!     .grid(ExplorationConfig::quick())
+//!     .title("Seeds")
+//!     .traced()
+//!     .run();
+//! let ndjson = outcome.trace().unwrap().to_ndjson();
+//!
+//! // Round-trip through NDJSON, then analyze.
+//! let parsed = parse_trace(&ndjson);
+//! assert!(parsed.is_clean());
+//! let profile = Profile::from_trace(&parsed.trace);
+//! let costs = CostReport::from_trace(&parsed.trace);
+//! println!("{}", profile.render_text());
+//! println!("{}", costs.render_text());
+//! ```
+//!
+//! Ingestion is deliberately forgiving: [`parse_trace`] never fails, it
+//! skips damaged lines with warnings so a Ctrl-C'd run's trace is still
+//! analyzable. It has no serde dependency by design — the workspace's
+//! offline `serde_json` stub cannot parse (see `stubs/README.md`), so
+//! [`json`] carries a small hand-rolled RFC 8259 parser.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod diff;
+pub mod json;
+pub mod parse;
+pub mod profile;
+
+pub use cost::{AdcRow, ClassRow, CostReport, SelectedDesign};
+pub use diff::{DiffConfig, DiffReport, TraceStats};
+pub use parse::{parse_trace, ParsedTrace};
+pub use profile::{Profile, ProfileNode};

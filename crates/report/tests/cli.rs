@@ -1,0 +1,192 @@
+//! End-to-end tests of the `printed-trace` CLI against a real traced
+//! Seeds co-design run: `report` must render stage self-times and the
+//! per-ADC cost table, and `diff` must exit 1 when a >5% wall-time
+//! regression is injected.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use printed_codesign::{CodesignFlow, ExplorationConfig};
+use printed_datasets::Benchmark;
+use printed_report::parse_trace;
+use printed_telemetry::FlowTrace;
+
+fn traced_seeds() -> FlowTrace {
+    let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+    CodesignFlow::new(&train, &test)
+        .grid(ExplorationConfig::quick())
+        .title("Seeds")
+        .traced()
+        .run()
+        .trace()
+        .expect("traced run carries a FlowTrace")
+        .clone()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("printed-trace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn printed_trace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_printed-trace"))
+        .args(args)
+        .output()
+        .expect("printed-trace runs")
+}
+
+#[test]
+fn report_renders_profile_and_cost_tables_for_a_real_run() {
+    let trace = traced_seeds();
+    let path = scratch("seeds_report.ndjson");
+    std::fs::write(&path, trace.to_ndjson()).unwrap();
+
+    let output = printed_trace(&["report", path.to_str().unwrap()]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+
+    // Stage self-time profile with share-of-wall percentages.
+    for stage in [
+        "reference_training",
+        "baseline_synthesis",
+        "sweep",
+        "selection",
+    ] {
+        assert!(
+            stdout.contains(stage),
+            "missing stage {stage} in:\n{stdout}"
+        );
+    }
+    assert!(stdout.contains("%wall"), "{stdout}");
+    assert!(stdout.contains('%'), "{stdout}");
+
+    // Per-ADC area/power attribution table and the budget verdict.
+    assert!(stdout.contains("area mm²"), "{stdout}");
+    assert!(stdout.contains("power µW"), "{stdout}");
+    assert!(stdout.contains("harvester budget:"), "{stdout}");
+    let inputs = parse_trace(&trace.to_ndjson())
+        .trace
+        .events
+        .iter()
+        .filter(|e| e.name == printed_telemetry::keys::ADC_EVENT)
+        .count();
+    assert!(inputs > 0, "trace carries per-ADC events");
+    for line in stdout.lines().filter(|l| l.trim_start().starts_with('x')) {
+        assert!(line.split_whitespace().count() >= 5, "adc row: {line}");
+    }
+    // Provenance made it through the round trip.
+    assert!(stdout.contains("manifest: Seeds"), "{stdout}");
+}
+
+#[test]
+fn diff_exits_one_on_injected_wall_time_regression() {
+    let trace = traced_seeds();
+    let baseline_path = scratch("seeds_baseline.ndjson");
+    std::fs::write(&baseline_path, trace.to_ndjson()).unwrap();
+
+    // Same run, wall time inflated 10% — past the 5% gate.
+    let mut slower = trace.clone();
+    slower.wall_us = trace.wall_us + trace.wall_us.div_ceil(10);
+    let current_path = scratch("seeds_slower.ndjson");
+    std::fs::write(&current_path, slower.to_ndjson()).unwrap();
+
+    let output = printed_trace(&[
+        "diff",
+        baseline_path.to_str().unwrap(),
+        current_path.to_str().unwrap(),
+        "--max-regress",
+        "5%",
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "stdout: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("wall time"), "{stdout}");
+    assert!(stdout.contains("verdict: REGRESSION"), "{stdout}");
+
+    // The identical trace passes the same gate.
+    let output = printed_trace(&[
+        "diff",
+        baseline_path.to_str().unwrap(),
+        baseline_path.to_str().unwrap(),
+        "--max-regress",
+        "5%",
+    ]);
+    assert_eq!(output.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&output.stdout).contains("verdict: PASS"));
+
+    // A relaxed wall gate lets the slower run through.
+    let output = printed_trace(&[
+        "diff",
+        baseline_path.to_str().unwrap(),
+        current_path.to_str().unwrap(),
+        "--max-wall-regress",
+        "50%",
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+}
+
+#[test]
+fn snapshot_produces_a_baseline_diff_accepts() {
+    let trace = traced_seeds();
+    let trace_path = scratch("seeds_snap.ndjson");
+    std::fs::write(&trace_path, trace.to_ndjson()).unwrap();
+    let baseline_path = scratch("BENCH_seeds.json");
+
+    let output = printed_trace(&[
+        "snapshot",
+        trace_path.to_str().unwrap(),
+        "-o",
+        baseline_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let baseline = std::fs::read_to_string(&baseline_path).unwrap();
+    assert!(
+        baseline.starts_with("{\"kind\":\"bench_stats\""),
+        "{baseline}"
+    );
+
+    // The condensed baseline gates the trace it came from: clean pass.
+    let output = printed_trace(&[
+        "diff",
+        baseline_path.to_str().unwrap(),
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(printed_trace(&[]).status.code(), Some(2));
+    assert_eq!(printed_trace(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(
+        printed_trace(&["report", "/nonexistent/trace.ndjson"])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(printed_trace(&["--help"]).status.code(), Some(0));
+}

@@ -46,6 +46,27 @@ pub const SPLIT_HIGH: &str = "train.split_s_h";
 /// Counter: trees trained by Algorithm 1.
 pub const TREES_TRAINED: &str = "train.trees";
 
+/// Counter: internal decision nodes placed across all trained trees (one
+/// per committed split).
+pub const TRAIN_NODES: &str = "train.nodes";
+
+/// Counter: comparators retained by the selected design's bespoke ADC
+/// bank (one per distinct `(feature, tap)` pair the trees actually use).
+pub const HW_COMPARATORS_RETAINED: &str = "hw.comparators_retained";
+
+/// Counter: comparators a full flash ADC bank would have needed but the
+/// bespoke pruning dropped (`inputs × (2^bits − 1) −` retained).
+pub const HW_COMPARATORS_DROPPED: &str = "hw.comparators_dropped";
+
+/// Counter: resistors in the selected design's shared pruned ladder.
+pub const HW_LADDER_RESISTORS: &str = "hw.ladder_resistors";
+
+/// Counter: AND cells in the selected design's synthesized netlist.
+pub const HW_AND_GATES: &str = "hw.and_gates";
+
+/// Counter: OR cells in the selected design's synthesized netlist.
+pub const HW_OR_GATES: &str = "hw.or_gates";
+
 /// Counter: Monte-Carlo mismatch trials sampled.
 pub const MC_TRIALS: &str = "mc.trials";
 
@@ -56,5 +77,14 @@ pub const MC_FAILURES: &str = "mc.failures";
 pub const CANDIDATE_US: &str = "sweep.candidate_us";
 
 /// Event: the explorer/flow selected a design (fields: `tau`, `depth`,
-/// `accuracy`).
+/// `accuracy`, and — when the flow records hardware attribution —
+/// `area_mm2`, `power_mw`, `comparators`).
 pub const SELECTED_EVENT: &str = "selected";
+
+/// Event: per-input bespoke ADC cost attribution for the selected design
+/// (fields: `feature`, `taps`, `comparators`, `area_mm2`, `power_uw`).
+pub const ADC_EVENT: &str = "adc";
+
+/// Event: per-class sum-of-products cost attribution for the selected
+/// design (fields: `class`, `cubes`, `literals`).
+pub const CLASS_EVENT: &str = "class_logic";

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod manifest;
 mod metric;
 mod ndjson;
 mod recorder;
@@ -50,6 +51,7 @@ mod trace;
 pub mod keys;
 
 pub use clock::{fmt_duration, Timer};
+pub use manifest::RunManifest;
 pub use metric::{Counter, Histogram, HistogramCore, HistogramSnapshot};
 pub use ndjson::JsonLine;
 pub use recorder::{Progress, Recorder};

@@ -169,6 +169,29 @@ impl HistogramSnapshot {
             self.sum_us as f64 / self.count as f64
         }
     }
+
+    /// Approximate `q`-quantile in µs (`q` in `[0, 1]`), resolved to the
+    /// upper bound of the power-of-two bucket holding the `⌈q·count⌉`-th
+    /// observation and clamped into `[min_us, max_us]`. Zero when empty.
+    ///
+    /// The bucket layout bounds the error: the true quantile is at most 2×
+    /// smaller than the reported value, which is plenty for spotting order-
+    /// of-magnitude latency shifts in a trace report.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(hi, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return hi.clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +237,28 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.min_us, 0);
         assert_eq!(s.mean_us(), 0.0);
+        assert_eq!(s.percentile(0.5), 0);
         assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let h = Histogram(Some(Arc::new(HistogramCore::default())));
+        // 90 fast observations, 10 slow outliers.
+        for _ in 0..90 {
+            h.observe_us(3);
+        }
+        for _ in 0..10 {
+            h.observe_us(5_000);
+        }
+        let s = h.snapshot();
+        // p50/p90 land in the `< 4 µs` bucket, clamped to min 3.
+        assert_eq!(s.percentile(0.50), 4);
+        assert_eq!(s.percentile(0.90), 4);
+        // p99 lands in the outlier bucket, clamped to max 5000.
+        assert_eq!(s.percentile(0.99), 5_000);
+        // Extremes clamp to the observed range.
+        assert_eq!(s.percentile(0.0), 4);
+        assert_eq!(s.percentile(1.0), 5_000);
     }
 }

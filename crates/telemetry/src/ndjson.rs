@@ -106,9 +106,18 @@ impl JsonLine {
 }
 
 /// Renders `value` as a JSON number, or `null` for NaN/±inf.
-fn push_f64(buf: &mut String, value: f64) {
+///
+/// Integral floats keep a `.0` suffix (`2.0` renders as `"2.0"`, not
+/// `"2"`) so NDJSON consumers can distinguish float fields from integer
+/// fields and round-trip [`FieldValue`]s losslessly.
+pub(crate) fn push_f64(buf: &mut String, value: f64) {
     if value.is_finite() {
-        buf.push_str(&value.to_string());
+        let rendered = value.to_string();
+        let integral = !rendered.contains(['.', 'e', 'E']);
+        buf.push_str(&rendered);
+        if integral {
+            buf.push_str(".0");
+        }
     } else {
         buf.push_str("null");
     }
@@ -152,6 +161,16 @@ mod tests {
     fn escapes_specials() {
         let line = JsonLine::new().str("msg", "a\"b\\c\nd\te\u{1}").finish();
         assert_eq!(line, r#"{"msg":"a\"b\\c\nd\te\u0001"}"#);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        let line = JsonLine::new()
+            .f64("a", 2.0)
+            .f64("b", -3.0)
+            .f64("c", 0.005)
+            .finish();
+        assert_eq!(line, r#"{"a":2.0,"b":-3.0,"c":0.005}"#);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::clock::fmt_duration;
 use crate::keys;
+use crate::manifest::RunManifest;
 use crate::metric::HistogramSnapshot;
 use crate::ndjson::JsonLine;
 use crate::sink::TraceSnapshot;
@@ -61,6 +62,9 @@ pub struct FlowTrace {
     /// per-tree, ...), in start order.
     #[serde(default)]
     pub spans: Vec<SpanRecord>,
+    /// Provenance: what revision/dataset/grid produced this trace.
+    #[serde(default)]
+    pub manifest: Option<RunManifest>,
 }
 
 impl FlowTrace {
@@ -101,7 +105,14 @@ impl FlowTrace {
             histograms: snapshot.histograms.clone(),
             events: snapshot.events.clone(),
             spans,
+            manifest: None,
         }
+    }
+
+    /// Attaches a provenance manifest (builder style).
+    pub fn with_manifest(mut self, manifest: RunManifest) -> Self {
+        self.manifest = Some(manifest);
+        self
     }
 
     /// Final value of a named counter (zero if never touched).
@@ -123,9 +134,10 @@ impl FlowTrace {
         self.stages.iter().find(|s| s.name == name)
     }
 
-    /// Renders the trace as NDJSON: a `{"kind":"flow"}` header line, then
-    /// one object per stage, candidate, event, counter, and histogram. No
-    /// trailing newline.
+    /// Renders the trace as NDJSON: a `{"kind":"flow"}` header line, an
+    /// optional `{"kind":"manifest"}` provenance line, then one object per
+    /// stage, candidate, event, counter, and histogram. No trailing
+    /// newline.
     pub fn to_ndjson(&self) -> String {
         let mut lines = vec![JsonLine::new()
             .str("kind", "flow")
@@ -133,6 +145,9 @@ impl FlowTrace {
             .u64("wall_us", self.wall_us)
             .u64("candidates", self.sweep.total_candidates as u64)
             .finish()];
+        if let Some(manifest) = &self.manifest {
+            lines.push(manifest.to_json_line());
+        }
         for stage in &self.stages {
             lines.push(span_line("stage", stage));
         }
@@ -192,6 +207,16 @@ impl FlowTrace {
             self.title,
             fmt_duration(Duration::from_micros(self.wall_us))
         ));
+        if let Some(m) = &self.manifest {
+            out.push_str(&format!(
+                "  manifest: {} @ {}  grid {}τ×{}d seed {}\n",
+                m.dataset,
+                m.short_sha(),
+                m.taus.len(),
+                m.depths.len(),
+                m.seed,
+            ));
+        }
         for stage in &self.stages {
             let name = stage
                 .name
@@ -348,6 +373,25 @@ mod tests {
         assert!(text.contains("3 S_Z / 0 S_M / 5 S_H"));
         assert!(text.contains("selected:"));
         assert!(text.contains("accuracy=0.9000"));
+    }
+
+    #[test]
+    fn manifest_rides_along_in_both_renderers() {
+        let trace = traced_run().with_manifest(RunManifest {
+            git_sha: "0123456789abcdef".into(),
+            dataset: "Seeds".into(),
+            taus: vec![0.0, 0.01],
+            depths: vec![2, 4],
+            seed: 42,
+            accuracy_loss: 0.01,
+            unix_secs: 1_750_000_000,
+        });
+        let ndjson = trace.to_ndjson();
+        let lines: Vec<&str> = ndjson.lines().collect();
+        assert!(lines[1].starts_with(r#"{"kind":"manifest""#));
+        assert!(lines[1].contains(r#""dataset":"Seeds""#));
+        let text = trace.render_text();
+        assert!(text.contains("manifest: Seeds @ 01234567  grid 2τ×2d seed 42"));
     }
 
     #[test]

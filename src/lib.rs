@@ -20,4 +20,5 @@ pub use printed_datasets as datasets;
 pub use printed_dtree as dtree;
 pub use printed_logic as logic;
 pub use printed_pdk as pdk;
+pub use printed_report as report;
 pub use printed_telemetry as telemetry;

@@ -1,0 +1,101 @@
+//! Minimal stand-in for `criterion 0.5`, just enough API for the bench
+//! targets to compile offline. Each benchmark closure is invoked once so
+//! `cargo bench` still exercises the code paths, but nothing is timed,
+//! sampled, or reported.
+
+use std::fmt;
+
+/// Benchmark identifier; only the `Display` side matters here.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Runs each routine exactly once instead of sampling it.
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine();
+    }
+}
+
+/// Top-level driver handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        eprintln!("bench {id}: run once (criterion stub)");
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// Group of related benchmarks; configuration methods are accepted and
+/// ignored.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        eprintln!("bench {}/{id}: run once (criterion stub)", self.name);
+        f(&mut Bencher, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            $(
+                $target(&mut $crate::Criterion::default());
+            )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

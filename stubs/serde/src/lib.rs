@@ -1,0 +1,22 @@
+//! Offline typecheck stand-in for `serde 1`. Serialization is never
+//! executed; the traits are satisfied for every type via blanket impls so
+//! that derives and generic bounds typecheck without the real crate.
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub mod de {
+    pub use crate::Deserialize;
+
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+pub use serde_derive::{Deserialize, Serialize};
