@@ -11,6 +11,10 @@
 //!   lowercase forms);
 //! * `--loss <fraction>` — accuracy-loss constraint (default `0.01`);
 //! * `--quick` — reduced τ×depth grid;
+//! * `--robust` — run the robustness campaign (faults + mismatch + droop)
+//!   over the sweep and report the robustness-aware selection; fails if any
+//!   grid point panicked or no candidate could be profiled;
+//! * `--trials <n>` — Monte-Carlo trials per candidate for `--robust`;
 //! * `--verilog <path>` — write the unary classifier netlist as Verilog;
 //! * `--spice <path>` — write the bespoke reference ladder as a SPICE deck.
 
@@ -20,17 +24,20 @@ use printed_analog::ladder::Ladder;
 use printed_analog::spice::ladder_deck;
 use printed_bench::{choose, explore_traced, stderr_progress, TraceHook, BITS};
 use printed_codesign::explore::ExplorationConfig;
+use printed_codesign::{RobustnessCampaign, RobustnessConstraints};
 use printed_datasets::Benchmark;
 use printed_dtree::cart::train_depth_selected;
 use printed_dtree::synthesize_baseline;
 use printed_logic::verilog::to_verilog;
 use printed_pdk::AnalogModel;
-use printed_telemetry::RunManifest;
+use printed_telemetry::{keys, RunManifest};
 
 struct Args {
     benchmark: Benchmark,
     loss: f64,
     quick: bool,
+    robust: bool,
+    trials: Option<usize>,
     verilog: Option<String>,
     spice: Option<String>,
 }
@@ -39,13 +46,18 @@ fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let benchmark: Benchmark = argv
         .next()
-        .ok_or("usage: codesign <benchmark> [--loss F] [--quick] [--verilog P] [--spice P]")?
+        .ok_or(
+            "usage: codesign <benchmark> [--loss F] [--quick] [--robust] [--trials N] \
+             [--verilog P] [--spice P]",
+        )?
         .parse()
         .map_err(|e| format!("{e}"))?;
     let mut args = Args {
         benchmark,
         loss: 0.01,
         quick: false,
+        robust: false,
+        trials: None,
         verilog: None,
         spice: None,
     };
@@ -59,10 +71,22 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--quick" => args.quick = true,
+            "--robust" => args.robust = true,
+            "--trials" => {
+                let v = argv.next().ok_or("--trials needs a value")?;
+                let n: usize = v.parse().map_err(|e| format!("--trials: {e}"))?;
+                if n == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
+                args.trials = Some(n);
+            }
             "--verilog" => args.verilog = Some(argv.next().ok_or("--verilog needs a path")?),
             "--spice" => args.spice = Some(argv.next().ok_or("--spice needs a path")?),
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.trials.is_some() && !args.robust {
+        return Err("--trials only makes sense with --robust".into());
     }
     Ok(args)
 }
@@ -131,6 +155,10 @@ fn run(args: &Args, hook: &mut TraceHook) -> Result<(), String> {
         )
     );
 
+    if args.robust {
+        run_robustness(args, hook, &sweep, &test, chosen.tau, chosen.depth)?;
+    }
+
     if let Some(path) = &args.verilog {
         let netlist = chosen.system.classifier.to_netlist();
         std::fs::write(path, to_verilog(&netlist)).map_err(|e| format!("{path}: {e}"))?;
@@ -156,6 +184,91 @@ fn run(args: &Args, hook: &mut TraceHook) -> Result<(), String> {
         std::fs::write(path, deck).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote bespoke ladder SPICE deck to {path}");
     }
+    Ok(())
+}
+
+/// The `--robust` leg: profile every sweep candidate under faults,
+/// mismatch, and supply droop, print the profile table, and report the
+/// robustness-aware selection next to the plain one. Errors (→ non-zero
+/// exit, the CI smoke assertion) when any grid point panicked or when the
+/// campaign produced no profiles.
+fn run_robustness(
+    args: &Args,
+    hook: &mut TraceHook,
+    sweep: &printed_codesign::Exploration,
+    test_q: &printed_datasets::QuantizedDataset,
+    plain_tau: f64,
+    plain_depth: usize,
+) -> Result<(), String> {
+    let (_, test_analog) = args
+        .benchmark
+        .load_split()
+        .map_err(|e| format!("load analog split: {e}"))?;
+    let mut campaign = if args.quick {
+        RobustnessCampaign::quick()
+    } else {
+        RobustnessCampaign::typical()
+    };
+    if let Some(trials) = args.trials {
+        campaign.trials = trials;
+    }
+
+    let stage = hook.recorder().span(keys::STAGE_ROBUSTNESS);
+    let outcome = campaign.run(sweep, test_q, &test_analog, hook.recorder());
+    stage.finish();
+
+    if !sweep.failed_candidates.is_empty() {
+        return Err(format!(
+            "{} grid point(s) panicked during the sweep",
+            sweep.failed_candidates.len()
+        ));
+    }
+    if outcome.profiles.is_empty() {
+        return Err("robustness campaign produced no profiles".into());
+    }
+
+    println!(
+        "robustness campaign: {} trials/candidate, {:.0}% yield tolerance",
+        campaign.trials,
+        campaign.yield_loss * 100.0
+    );
+    println!("     τ      depth  nominal  mismatch  worst-fault  droop  yield");
+    for row in &outcome.profiles {
+        println!(
+            "  {:<8} {:>3}    {:>5.1}%    {:>5.1}%      {:>5.1}%   {:>5.2}  {:>4.0}%",
+            row.tau,
+            row.depth,
+            row.profile.nominal * 100.0,
+            row.profile.mean_under_mismatch * 100.0,
+            row.profile.worst_single_fault * 100.0,
+            row.profile.droop_margin,
+            row.profile.yield_estimate * 100.0
+        );
+    }
+
+    match sweep.select_robust(args.loss, &outcome, &RobustnessConstraints::default()) {
+        Some(robust) => {
+            let agrees = robust.depth == plain_depth && robust.tau.to_bits() == plain_tau.to_bits();
+            println!(
+                "robust selection (τ={}, depth {}): {:.1}% nominal — {}",
+                robust.tau,
+                robust.depth,
+                robust.test_accuracy * 100.0,
+                if agrees {
+                    "agrees with the plain selection".to_string()
+                } else {
+                    format!(
+                        "diverges from the plain selection (τ={plain_tau}, depth {plain_depth})"
+                    )
+                }
+            );
+        }
+        None => println!(
+            "no candidate meets the robustness constraints within {:.1}% loss",
+            args.loss * 100.0
+        ),
+    }
+    println!();
     Ok(())
 }
 

@@ -283,6 +283,7 @@ mod tests {
             taus: vec![0.0],
             depths: vec![2],
             seed: 1,
+            ..ExplorationConfig::quick()
         };
         let _ = explore_traced(&train, &test, &grid, hook.recorder(), None);
         hook.finish();

@@ -1,0 +1,581 @@
+//! Unified robustness campaigns: faults + mismatch + supply droop.
+//!
+//! The paper selects designs on nominal accuracy alone; printed
+//! fabrication yield and EGFET drift make that optimistic. This module
+//! composes the three variation analyses the workspace already models —
+//! single stuck-at faults ([`crate::robustness`]), ladder/comparator
+//! mismatch Monte Carlo ([`crate::mismatch`]), and a harvester
+//! supply-droop scan built on [`printed_pdk::harvester::Harvester`] —
+//! into one [`RobustnessProfile`] per sweep candidate, fanned out across
+//! threads, so [`Exploration::select_robust`] can pick the cheapest design
+//! that is *actually expected to work* off the printer.
+//!
+//! ```no_run
+//! use printed_codesign::campaign::{RobustnessCampaign, RobustnessConstraints};
+//! use printed_codesign::explore::{explore, ExplorationConfig};
+//! use printed_datasets::Benchmark;
+//! use printed_telemetry::Recorder;
+//!
+//! let (train_q, test_q) = Benchmark::Seeds.load_quantized(4)?;
+//! let (_, test_analog) = Benchmark::Seeds.load_split()?;
+//! let sweep = explore(&train_q, &test_q, &ExplorationConfig::quick());
+//! let campaign = RobustnessCampaign::quick();
+//! let outcome = campaign.run(&sweep, &test_q, &test_analog, &Recorder::disabled());
+//! let robust = sweep.select_robust(0.05, &outcome, &RobustnessConstraints::default());
+//! # Ok::<(), printed_datasets::DatasetError>(())
+//! ```
+//!
+//! [`Exploration::select_robust`]: crate::explore::Exploration::select_robust
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use printed_analog::MismatchModel;
+use printed_datasets::{Dataset, QuantizedDataset};
+use printed_dtree::DecisionTree;
+use printed_pdk::harvester::Harvester;
+use printed_pdk::AnalogModel;
+use printed_telemetry::{keys, Recorder};
+
+use crate::explore::Exploration;
+use crate::mismatch::{accuracy_analog, mismatch_trials_recorded, nominal_thresholds};
+use crate::robustness::fault_robustness;
+
+/// Comparator-threshold drift as the harvester's storage capacitor sags.
+///
+/// A ratiometric ladder ideally tracks the supply, but printed references
+/// leak a fraction of the sag into the effective thresholds, and EGFET
+/// comparators pick up a systematic input-referred offset as headroom
+/// shrinks. Both effects are modeled in normalized full-scale units: at
+/// relative sag `s` (`0` = full storage voltage, [`max_sag`] = the
+/// harvester's minimum operating voltage), a nominal threshold `t`
+/// becomes `t·(1 − vref_leak·s) − offset_per_sag·s`.
+///
+/// [`max_sag`]: SupplyDroopModel::max_sag
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupplyDroopModel {
+    /// The harvester whose storage swing bounds the sag range.
+    pub harvester: Harvester,
+    /// Fraction of the relative sag that leaks into the reference ladder
+    /// (0 = perfectly ratiometric, 1 = thresholds sag with the supply).
+    pub vref_leak: f64,
+    /// Systematic comparator offset per unit of relative sag, as a
+    /// fraction of full scale.
+    pub offset_per_sag: f64,
+    /// Number of sag steps scanned between 0 and [`max_sag`].
+    ///
+    /// [`max_sag`]: SupplyDroopModel::max_sag
+    pub steps: usize,
+    /// Accuracy loss (vs. the nominal analog accuracy) still counted as
+    /// "operating" when computing the margin.
+    pub tolerance: f64,
+}
+
+impl SupplyDroopModel {
+    /// Printed defaults: the paper's 2 mW harvester (1.0 → 0.6 V swing),
+    /// 10% reference leak, 3%-of-full-scale offset per unit sag, 8 scan
+    /// steps, 2% accuracy tolerance.
+    pub fn printed_default() -> Self {
+        Self {
+            harvester: Harvester::printed_default(),
+            vref_leak: 0.1,
+            offset_per_sag: 0.03,
+            steps: 8,
+            tolerance: 0.02,
+        }
+    }
+
+    /// Largest relative sag the load survives electrically:
+    /// `1 − V_min/V_full`.
+    pub fn max_sag(&self) -> f64 {
+        1.0 - self.harvester.min_voltage.volts() / self.harvester.full_voltage.volts()
+    }
+
+    /// Effective thresholds of `tree`'s bespoke ADC bank at relative sag
+    /// `sag`.
+    fn thresholds_at(&self, tree: &DecisionTree, sag: f64) -> BTreeMap<(usize, u8), f64> {
+        nominal_thresholds(tree)
+            .into_iter()
+            .map(|(key, t)| {
+                (
+                    key,
+                    t * (1.0 - self.vref_leak * sag) - self.offset_per_sag * sag,
+                )
+            })
+            .collect()
+    }
+
+    /// The droop margin: the largest relative sag (scanned in
+    /// [`steps`](Self::steps) increments up to [`max_sag`](Self::max_sag))
+    /// at which `tree`'s accuracy on the analog `test` split stays within
+    /// [`tolerance`](Self::tolerance) of `nominal`. `0.0` means the design
+    /// only works at full storage voltage; the scan stops at the first
+    /// failing step (margins are reported conservatively, not for
+    /// non-monotone recoveries deeper into the sag).
+    pub fn margin(&self, tree: &DecisionTree, test: &Dataset, nominal: f64) -> f64 {
+        let max_sag = self.max_sag();
+        let mut margin = 0.0;
+        for step in 1..=self.steps {
+            let sag = max_sag * step as f64 / self.steps as f64;
+            let accuracy = accuracy_analog(tree, test, &self.thresholds_at(tree, sag));
+            if accuracy >= nominal - self.tolerance - 1e-12 {
+                margin = sag;
+            } else {
+                break;
+            }
+        }
+        margin
+    }
+}
+
+impl Default for SupplyDroopModel {
+    fn default() -> Self {
+        Self::printed_default()
+    }
+}
+
+/// One candidate's composite robustness picture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessProfile {
+    /// Accuracy with ideal thresholds on the analog test split.
+    pub nominal: f64,
+    /// Mean accuracy over the mismatch Monte-Carlo trials.
+    pub mean_under_mismatch: f64,
+    /// Worst mismatch trial.
+    pub min_under_mismatch: f64,
+    /// Accuracy under the most damaging single stuck-at fault (scored on
+    /// the quantized test split).
+    pub worst_single_fault: f64,
+    /// Fraction of single faults that left accuracy unchanged.
+    pub benign_fault_fraction: f64,
+    /// Largest relative supply sag the design tolerates (see
+    /// [`SupplyDroopModel::margin`]).
+    pub droop_margin: f64,
+    /// Fraction of mismatch trials within the campaign's
+    /// [`yield_loss`](RobustnessCampaign::yield_loss) of nominal — the
+    /// parametric-yield estimate.
+    pub yield_estimate: f64,
+}
+
+impl RobustnessProfile {
+    /// The accuracy robust selection constrains: mean under mismatch, the
+    /// expected off-the-printer accuracy.
+    pub fn robust_accuracy(&self) -> f64 {
+        self.mean_under_mismatch
+    }
+}
+
+/// A sweep candidate's robustness profile, keyed by its grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateRobustness {
+    /// Gini slack of the profiled candidate.
+    pub tau: f64,
+    /// Depth cap of the profiled candidate.
+    pub depth: usize,
+    /// The composite profile.
+    pub profile: RobustnessProfile,
+}
+
+/// All profiles of one campaign run, in the sweep's `(depth, tau)` order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// One profile per profiled sweep candidate.
+    pub profiles: Vec<CandidateRobustness>,
+}
+
+impl CampaignOutcome {
+    /// Looks up the profile of grid point `(tau, depth)` (exact τ match).
+    pub fn profile_for(&self, tau: f64, depth: usize) -> Option<&RobustnessProfile> {
+        self.profiles
+            .iter()
+            .find(|p| p.depth == depth && p.tau.to_bits() == tau.to_bits())
+            .map(|p| &p.profile)
+    }
+}
+
+/// Extra admission constraints for robust selection; `None` fields are
+/// unconstrained. The default admits everything (the robust-accuracy
+/// floor in [`Exploration::select_robust`] still applies).
+///
+/// [`Exploration::select_robust`]: crate::explore::Exploration::select_robust
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RobustnessConstraints {
+    /// Minimum parametric-yield estimate.
+    pub min_yield: Option<f64>,
+    /// Minimum accuracy under the worst single fault.
+    pub min_worst_fault: Option<f64>,
+    /// Minimum supply-droop margin (relative sag).
+    pub min_droop_margin: Option<f64>,
+}
+
+impl RobustnessConstraints {
+    /// True when `profile` satisfies every set constraint.
+    pub fn admits(&self, profile: &RobustnessProfile) -> bool {
+        let meets = |bound: Option<f64>, value: f64| match bound {
+            Some(min) => value >= min - 1e-12,
+            None => true,
+        };
+        meets(self.min_yield, profile.yield_estimate)
+            && meets(self.min_worst_fault, profile.worst_single_fault)
+            && meets(self.min_droop_margin, profile.droop_margin)
+    }
+}
+
+/// The campaign runner: per sweep candidate, a full stuck-at fault sweep,
+/// a mismatch Monte Carlo, and a supply-droop scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessCampaign {
+    /// Printing-variation model for the Monte Carlo.
+    pub mismatch: MismatchModel,
+    /// Monte-Carlo trials per candidate.
+    pub trials: usize,
+    /// Base RNG seed (each candidate derives its own, by grid point, so
+    /// the outcome is independent of thread count and sweep order).
+    pub seed: u64,
+    /// The supply-droop model.
+    pub droop: SupplyDroopModel,
+    /// Accuracy loss tolerated when counting a mismatch trial as yielding.
+    pub yield_loss: f64,
+}
+
+impl RobustnessCampaign {
+    /// Typical printed conditions: 5%/15 mV mismatch, 50 trials per
+    /// candidate, printed droop defaults, 5% yield tolerance.
+    pub fn typical() -> Self {
+        Self {
+            mismatch: MismatchModel::typical_printed(),
+            trials: 50,
+            seed: 0xB0B,
+            droop: SupplyDroopModel::printed_default(),
+            yield_loss: 0.05,
+        }
+    }
+
+    /// A reduced Monte-Carlo budget for quick runs, smoke tests, and CI.
+    pub fn quick() -> Self {
+        Self {
+            trials: 8,
+            ..Self::typical()
+        }
+    }
+
+    /// Fails fast on a malformed campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is 0, `yield_loss` is negative or non-finite,
+    /// the droop scan has no steps, or the harvester's voltage swing is
+    /// inverted.
+    pub fn validate(&self) {
+        assert!(
+            self.trials > 0,
+            "robustness campaign needs at least one Monte-Carlo trial"
+        );
+        assert!(
+            self.yield_loss.is_finite() && self.yield_loss >= 0.0,
+            "yield_loss must be a non-negative finite fraction, got {}",
+            self.yield_loss
+        );
+        assert!(self.droop.steps >= 1, "droop scan needs at least one step");
+        assert!(
+            self.droop.harvester.min_voltage.volts() < self.droop.harvester.full_voltage.volts(),
+            "harvester voltage swing is inverted"
+        );
+    }
+
+    /// Profiles a single tree under this campaign (seeded with the
+    /// campaign's base seed — sweep-level runs derive per-candidate
+    /// seeds instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed campaign (see [`validate`](Self::validate))
+    /// or when either test split is empty or narrower than the tree.
+    pub fn profile_tree(
+        &self,
+        tree: &DecisionTree,
+        test_q: &QuantizedDataset,
+        test_analog: &Dataset,
+        analog: &AnalogModel,
+        recorder: &Recorder,
+    ) -> RobustnessProfile {
+        self.validate();
+        self.profile_with_seed(tree, test_q, test_analog, analog, recorder, self.seed)
+    }
+
+    fn profile_with_seed(
+        &self,
+        tree: &DecisionTree,
+        test_q: &QuantizedDataset,
+        test_analog: &Dataset,
+        analog: &AnalogModel,
+        recorder: &Recorder,
+        seed: u64,
+    ) -> RobustnessProfile {
+        let faults = fault_robustness(tree, test_q);
+        recorder.add(keys::FAULTS_INJECTED, faults.fault_count as u64);
+
+        // A constant tree has no thresholds to perturb: it yields by
+        // construction and droops only at the electrical limit.
+        let (nominal, mean, min, yield_estimate) = if tree.split_count() == 0 {
+            let nominal = accuracy_analog(tree, test_analog, &BTreeMap::new());
+            (nominal, nominal, nominal, 1.0)
+        } else {
+            let trials = mismatch_trials_recorded(
+                tree,
+                test_analog,
+                &self.mismatch,
+                self.trials,
+                seed,
+                analog,
+                recorder,
+            );
+            let report = trials.report();
+            (
+                trials.nominal,
+                report.mean,
+                report.min,
+                trials.yield_within(self.yield_loss),
+            )
+        };
+        let droop_margin = self.droop.margin(tree, test_analog, nominal);
+
+        RobustnessProfile {
+            nominal,
+            mean_under_mismatch: mean,
+            min_under_mismatch: min,
+            worst_single_fault: faults.worst_accuracy,
+            benign_fault_fraction: faults.benign_fraction,
+            droop_margin,
+            yield_estimate,
+        }
+    }
+
+    /// Runs the campaign over every candidate of `sweep` with default
+    /// EGFET analog technology.
+    pub fn run(
+        &self,
+        sweep: &Exploration,
+        test_q: &QuantizedDataset,
+        test_analog: &Dataset,
+        recorder: &Recorder,
+    ) -> CampaignOutcome {
+        self.run_with(sweep, test_q, test_analog, &AnalogModel::egfet(), recorder)
+    }
+
+    /// [`run`](Self::run) under an explicit analog model. Candidates are
+    /// profiled in parallel (chunked scoped threads, like the explorer),
+    /// each under a [`keys::ROBUST_SPAN`] carrying its grid point and
+    /// profile; per-candidate derived seeds keep the outcome identical for
+    /// any thread count.
+    pub fn run_with(
+        &self,
+        sweep: &Exploration,
+        test_q: &QuantizedDataset,
+        test_analog: &Dataset,
+        analog: &AnalogModel,
+        recorder: &Recorder,
+    ) -> CampaignOutcome {
+        self.validate();
+        let candidates = &sweep.candidates;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let chunk = candidates.len().div_ceil(threads).max(1);
+        let profiles: Vec<CandidateRobustness> = std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|points| {
+                    scope.spawn(move || {
+                        points
+                            .iter()
+                            .map(|candidate| {
+                                let span = recorder
+                                    .span(keys::ROBUST_SPAN)
+                                    .field("depth", candidate.depth)
+                                    .field("tau", candidate.tau);
+                                // Same per-grid-point derivation as the
+                                // explorer, off the campaign's own base seed.
+                                let seed = self
+                                    .seed
+                                    .wrapping_add((candidate.depth as u64) << 32)
+                                    .wrapping_add((candidate.tau * 1e6) as u64);
+                                let profile = self.profile_with_seed(
+                                    &candidate.tree,
+                                    test_q,
+                                    test_analog,
+                                    analog,
+                                    recorder,
+                                    seed,
+                                );
+                                span.field("nominal", profile.nominal)
+                                    .field("mean_mismatch", profile.mean_under_mismatch)
+                                    .field("worst_fault", profile.worst_single_fault)
+                                    .field("droop_margin", profile.droop_margin)
+                                    .field("yield_est", profile.yield_estimate)
+                                    .finish();
+                                CandidateRobustness {
+                                    tau: candidate.tau,
+                                    depth: candidate.depth,
+                                    profile,
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("robustness campaign worker panicked"))
+                .collect()
+        });
+        CampaignOutcome { profiles }
+    }
+}
+
+impl Default for RobustnessCampaign {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExplorationConfig};
+    use printed_datasets::Benchmark;
+
+    fn small_sweep() -> (Exploration, QuantizedDataset, Dataset) {
+        let (train_q, test_q) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let (_, test_analog) = Benchmark::Seeds.load_split().unwrap();
+        let sweep = explore(
+            &train_q,
+            &test_q,
+            &ExplorationConfig {
+                taus: vec![0.0, 0.01],
+                depths: vec![2, 4],
+                ..ExplorationConfig::quick()
+            },
+        );
+        (sweep, test_q, test_analog)
+    }
+
+    #[test]
+    fn campaign_profiles_every_candidate_with_sane_bounds() {
+        let (sweep, test_q, test_analog) = small_sweep();
+        let campaign = RobustnessCampaign::quick();
+        let (recorder, sink) = Recorder::collecting();
+        let outcome = campaign.run(&sweep, &test_q, &test_analog, &recorder);
+        assert_eq!(outcome.profiles.len(), sweep.candidates.len());
+        let max_sag = campaign.droop.max_sag();
+        for row in &outcome.profiles {
+            let p = &row.profile;
+            assert!((0.0..=1.0).contains(&p.nominal));
+            assert!(p.min_under_mismatch <= p.mean_under_mismatch + 1e-12);
+            assert!((0.0..=1.0).contains(&p.yield_estimate));
+            assert!((0.0..=1.0).contains(&p.benign_fault_fraction));
+            assert!((-1e-12..=max_sag + 1e-12).contains(&p.droop_margin));
+            assert!(p.worst_single_fault <= 1.0);
+            // The sweep's candidate exists and is findable by grid point.
+            assert!(outcome.profile_for(row.tau, row.depth).is_some());
+        }
+        let snap = sink.snapshot();
+        assert_eq!(
+            snap.spans_named(keys::ROBUST_SPAN).count(),
+            sweep.candidates.len()
+        );
+        assert!(snap.counter(keys::FAULTS_INJECTED) > 0);
+        assert!(snap.counter(keys::MC_TRIALS) > 0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_runs() {
+        let (sweep, test_q, test_analog) = small_sweep();
+        let campaign = RobustnessCampaign::quick();
+        let a = campaign.run(&sweep, &test_q, &test_analog, &Recorder::disabled());
+        let b = campaign.run(&sweep, &test_q, &test_analog, &Recorder::disabled());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn select_robust_respects_constraints() {
+        let (sweep, test_q, test_analog) = small_sweep();
+        let campaign = RobustnessCampaign::quick();
+        let outcome = campaign.run(&sweep, &test_q, &test_analog, &Recorder::disabled());
+        // Unconstrained with a loose floor: something qualifies.
+        let loose = sweep.select_robust(0.2, &outcome, &RobustnessConstraints::default());
+        assert!(loose.is_some());
+        let chosen = loose.unwrap();
+        let profile = outcome.profile_for(chosen.tau, chosen.depth).unwrap();
+        assert!(profile.robust_accuracy() >= sweep.reference_accuracy - 0.2 - 1e-9);
+        // An impossible constraint admits nothing.
+        let impossible = RobustnessConstraints {
+            min_yield: Some(1.5),
+            ..RobustnessConstraints::default()
+        };
+        assert!(sweep.select_robust(0.2, &outcome, &impossible).is_none());
+        // An empty campaign profiles nothing, so nothing is admissible.
+        assert!(sweep
+            .select_robust(
+                0.2,
+                &CampaignOutcome::default(),
+                &RobustnessConstraints::default()
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn droop_margin_shrinks_with_leakier_references() {
+        let (sweep, _test_q, test_analog) = small_sweep();
+        let tree = &sweep.most_accurate().unwrap().tree;
+        let nominal = accuracy_analog(tree, &test_analog, &nominal_thresholds(tree));
+        let mild = SupplyDroopModel::printed_default();
+        let harsh = SupplyDroopModel {
+            vref_leak: 0.9,
+            offset_per_sag: 0.25,
+            ..mild
+        };
+        let m_mild = mild.margin(tree, &test_analog, nominal);
+        let m_harsh = harsh.margin(tree, &test_analog, nominal);
+        assert!(
+            m_harsh <= m_mild + 1e-12,
+            "harsh {m_harsh} vs mild {m_mild}"
+        );
+        // Zero drift: the full electrical swing is usable.
+        let ideal = SupplyDroopModel {
+            vref_leak: 0.0,
+            offset_per_sag: 0.0,
+            ..mild
+        };
+        assert!((ideal.margin(tree, &test_analog, nominal) - ideal.max_sag()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_tree_profile_is_trivially_robust() {
+        let (_, test_q) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let (_, test_analog) = Benchmark::Seeds.load_split().unwrap();
+        let tree = DecisionTree::constant(4, test_q.n_features(), test_q.n_classes(), 0);
+        let campaign = RobustnessCampaign::quick();
+        let profile = campaign.profile_tree(
+            &tree,
+            &test_q,
+            &test_analog,
+            &AnalogModel::egfet(),
+            &Recorder::disabled(),
+        );
+        assert_eq!(profile.yield_estimate, 1.0);
+        assert_eq!(profile.mean_under_mismatch, profile.nominal);
+        assert!((profile.droop_margin - campaign.droop.max_sag()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one Monte-Carlo trial")]
+    fn zero_trials_fail_fast() {
+        let campaign = RobustnessCampaign {
+            trials: 0,
+            ..RobustnessCampaign::quick()
+        };
+        campaign.validate();
+    }
+}

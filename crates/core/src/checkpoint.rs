@@ -1,0 +1,247 @@
+//! Sweep checkpointing: NDJSON persistence of completed grid points.
+//!
+//! A long τ×depth sweep that dies (OOM, power loss on a lab machine,
+//! Ctrl-C) should not have to re-train every tree. When
+//! [`ExplorationConfig::checkpoint_path`] is set, the explorer appends one
+//! NDJSON line per completed grid point; on the next run it reads the file
+//! back, skips every `(depth, τ)` it already holds, and re-synthesizes the
+//! hardware from the stored tree (synthesis is deterministic, so only
+//! training cost is saved and the resumed sweep is bit-identical to an
+//! uninterrupted one).
+//!
+//! The format is deliberately independent of `serde_json` (the offline
+//! stub cannot parse), reusing the telemetry [`JsonLine`] writer and a
+//! small hand-rolled scanner for decode. Lines that fail to decode, or
+//! that were written under a different sweep seed, are skipped rather than
+//! trusted.
+//!
+//! [`ExplorationConfig::checkpoint_path`]: crate::explore::ExplorationConfig::checkpoint_path
+
+use printed_dtree::{DecisionTree, Node};
+use printed_telemetry::JsonLine;
+
+/// One completed grid point, as persisted to the checkpoint file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointLine {
+    /// Gini slack of the grid point.
+    pub tau: f64,
+    /// Depth cap of the grid point.
+    pub depth: usize,
+    /// Test accuracy the trained tree reached.
+    pub test_accuracy: f64,
+    /// The trained tree itself (hardware re-synthesizes from this).
+    pub tree: DecisionTree,
+}
+
+impl CheckpointLine {
+    /// Map key identifying the grid point. τ is keyed by its exact bit
+    /// pattern: `f64::to_string`/`parse` round-trip losslessly, so a
+    /// resumed sweep matches the original grid exactly.
+    pub fn key(&self) -> (usize, u64) {
+        (self.depth, self.tau.to_bits())
+    }
+
+    /// Renders the checkpoint as one NDJSON line (no trailing newline).
+    /// `seed` stamps the line so a checkpoint from a different sweep
+    /// configuration is never resumed by accident.
+    pub fn encode(&self, seed: u64) -> String {
+        JsonLine::new()
+            .str("kind", "sweep_ckpt")
+            .u64("v", 1)
+            .u64("seed", seed)
+            .u64("depth", self.depth as u64)
+            .f64("tau", self.tau)
+            .f64("accuracy", self.test_accuracy)
+            .u64("bits", u64::from(self.tree.bits()))
+            .u64("features", self.tree.n_features() as u64)
+            .u64("classes", self.tree.n_classes() as u64)
+            .str("nodes", &encode_nodes(self.tree.nodes()))
+            .finish()
+    }
+
+    /// Parses one line previously produced by [`encode`](Self::encode).
+    /// Returns `None` for anything unusable: other NDJSON kinds, truncated
+    /// lines (a crash mid-append leaves a partial last line), non-finite
+    /// accuracies (rendered as `null`), or trees that fail validation.
+    pub fn decode(line: &str, expected_seed: u64) -> Option<Self> {
+        let line = line.trim();
+        if scan_str(line, "kind")? != "sweep_ckpt" || scan_u64(line, "v")? != 1 {
+            return None;
+        }
+        if scan_u64(line, "seed")? != expected_seed {
+            return None;
+        }
+        let depth = scan_u64(line, "depth")? as usize;
+        let tau = scan_f64(line, "tau")?;
+        let test_accuracy = scan_f64(line, "accuracy")?;
+        let bits = u32::try_from(scan_u64(line, "bits")?).ok()?;
+        let features = scan_u64(line, "features")? as usize;
+        let classes = scan_u64(line, "classes")? as usize;
+        let nodes = decode_nodes(scan_str(line, "nodes")?)?;
+        let tree = DecisionTree::from_nodes(bits, features, classes, nodes).ok()?;
+        Some(Self {
+            tau,
+            depth,
+            test_accuracy,
+            tree,
+        })
+    }
+}
+
+/// `L<class>` for leaves, `S<feature>:<threshold>:<lo>:<hi>` for splits,
+/// `|`-joined in node order. The alphabet needs no JSON escaping.
+fn encode_nodes(nodes: &[Node]) -> String {
+    let parts: Vec<String> = nodes
+        .iter()
+        .map(|node| match *node {
+            Node::Leaf { class } => format!("L{class}"),
+            Node::Split {
+                feature,
+                threshold,
+                lo,
+                hi,
+            } => format!("S{feature}:{threshold}:{lo}:{hi}"),
+        })
+        .collect();
+    parts.join("|")
+}
+
+fn decode_nodes(text: &str) -> Option<Vec<Node>> {
+    text.split('|')
+        .map(|part| {
+            if let Some(class) = part.strip_prefix('L') {
+                Some(Node::Leaf {
+                    class: class.parse().ok()?,
+                })
+            } else if let Some(body) = part.strip_prefix('S') {
+                let mut fields = body.split(':');
+                let node = Node::Split {
+                    feature: fields.next()?.parse().ok()?,
+                    threshold: fields.next()?.parse().ok()?,
+                    lo: fields.next()?.parse().ok()?,
+                    hi: fields.next()?.parse().ok()?,
+                };
+                if fields.next().is_some() {
+                    return None;
+                }
+                Some(node)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Returns the raw text of `"key":<value>` up to the next `,` or `}`.
+/// Only handles the flat objects [`CheckpointLine::encode`] emits — string
+/// values must not contain escapes (ours never do).
+fn scan_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    if let Some(body) = rest.strip_prefix('"') {
+        return Some(&body[..body.find('"')?]);
+    }
+    let end = rest.find([',', '}'])?;
+    Some(&rest[..end])
+}
+
+fn scan_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    scan_raw(line, key)
+}
+
+fn scan_u64(line: &str, key: &str) -> Option<u64> {
+    scan_raw(line, key)?.parse().ok()
+}
+
+fn scan_f64(line: &str, key: &str) -> Option<f64> {
+    let value: f64 = scan_raw(line, key)?.parse().ok()?;
+    value.is_finite().then_some(value)
+}
+
+/// Reads every resumable grid point from checkpoint file text, silently
+/// skipping undecodable or foreign-seed lines.
+pub fn load_lines(text: &str, expected_seed: u64) -> Vec<CheckpointLine> {
+    text.lines()
+        .filter_map(|line| CheckpointLine::decode(line, expected_seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> DecisionTree {
+        DecisionTree::from_nodes(
+            4,
+            3,
+            2,
+            vec![
+                Node::Split {
+                    feature: 1,
+                    threshold: 7,
+                    lo: 1,
+                    hi: 2,
+                },
+                Node::Leaf { class: 0 },
+                Node::Leaf { class: 1 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let line = CheckpointLine {
+            tau: 0.005,
+            depth: 4,
+            test_accuracy: 0.9285714285714286,
+            tree: sample_tree(),
+        };
+        let encoded = line.encode(0x0ADC);
+        let decoded = CheckpointLine::decode(&encoded, 0x0ADC).expect("decodes");
+        assert_eq!(line, decoded);
+    }
+
+    #[test]
+    fn rejects_foreign_seed_and_garbage() {
+        let line = CheckpointLine {
+            tau: 0.0,
+            depth: 2,
+            test_accuracy: 0.5,
+            tree: DecisionTree::constant(4, 1, 2, 0),
+        };
+        let encoded = line.encode(1);
+        assert!(CheckpointLine::decode(&encoded, 2).is_none());
+        assert!(CheckpointLine::decode("not json", 1).is_none());
+        assert!(CheckpointLine::decode("", 1).is_none());
+        // A truncated append (crash mid-write) must not decode.
+        assert!(CheckpointLine::decode(&encoded[..encoded.len() / 2], 1).is_none());
+    }
+
+    #[test]
+    fn skips_nan_accuracy_lines() {
+        let line = CheckpointLine {
+            tau: 0.0,
+            depth: 2,
+            test_accuracy: f64::NAN,
+            tree: DecisionTree::constant(4, 1, 2, 0),
+        };
+        // NaN renders as null and the line is rejected on read, forcing a
+        // clean re-evaluation of that grid point.
+        assert!(CheckpointLine::decode(&line.encode(7), 7).is_none());
+    }
+
+    #[test]
+    fn load_lines_filters_per_line() {
+        let good = CheckpointLine {
+            tau: 0.01,
+            depth: 6,
+            test_accuracy: 0.75,
+            tree: sample_tree(),
+        };
+        let text = format!("{}\njunk line\n{}\n", good.encode(9), good.encode(10));
+        let loaded = load_lines(&text, 9);
+        assert_eq!(loaded, vec![good]);
+    }
+}

@@ -7,6 +7,13 @@
 //! reference. Trainings are independent, so the sweep fans out across
 //! threads.
 //!
+//! The explorer degrades gracefully: a grid point that panics is isolated
+//! with `catch_unwind` and reported in [`Exploration::failed_candidates`]
+//! instead of killing the sweep, and setting
+//! [`ExplorationConfig::checkpoint_path`] persists each completed point so
+//! an interrupted sweep resumes without re-training (see
+//! [`crate::checkpoint`]).
+//!
 //! ```no_run
 //! use printed_codesign::explore::{explore, ExplorationConfig};
 //! use printed_datasets::Benchmark;
@@ -18,16 +25,23 @@
 //! # Ok::<(), printed_datasets::DatasetError>(())
 //! ```
 
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
 use printed_datasets::QuantizedDataset;
 use printed_dtree::cart::train_depth_selected;
+use printed_dtree::DecisionTree;
 use printed_logic::report::AnalysisConfig;
 use printed_pdk::{AnalogModel, CellLibrary};
-use printed_telemetry::{keys, Progress, Recorder};
+use printed_telemetry::{keys, FieldValue, Progress, Recorder};
 
+use crate::campaign::{CampaignOutcome, RobustnessConstraints};
+use crate::checkpoint::{self, CheckpointLine};
 use crate::system::{synthesize_unary_with, UnarySystem};
 use crate::train::{train_adc_aware_recorded, AdcAwareConfig};
 
@@ -44,6 +58,16 @@ pub struct ExplorationConfig {
     pub depths: Vec<usize>,
     /// Base RNG seed (each grid point derives its own).
     pub seed: u64,
+    /// When set, every completed grid point is appended to this NDJSON
+    /// file and a later sweep with the same seed skips the points already
+    /// present, re-synthesizing their hardware from the stored trees.
+    #[serde(default)]
+    pub checkpoint_path: Option<String>,
+    /// Grid points `(depth, τ)` that deliberately panic inside the worker —
+    /// chaos-testing hooks for the fault-isolation path. Empty in normal
+    /// use.
+    #[serde(default)]
+    pub chaos_points: Vec<(usize, f64)>,
 }
 
 impl ExplorationConfig {
@@ -53,6 +77,8 @@ impl ExplorationConfig {
             taus: (0..=6).map(|i| i as f64 * 0.005).collect(),
             depths: (2..=8).collect(),
             seed: 0x0ADC,
+            checkpoint_path: None,
+            chaos_points: Vec::new(),
         }
     }
 
@@ -61,8 +87,14 @@ impl ExplorationConfig {
         Self {
             taus: vec![0.0, 0.01, 0.03],
             depths: vec![2, 4, 6],
-            seed: 0x0ADC,
+            ..Self::paper()
         }
+    }
+
+    /// Returns the config with checkpointing enabled at `path`.
+    pub fn with_checkpoint(mut self, path: impl Into<String>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
     }
 
     /// Number of grid points the sweep will train.
@@ -117,8 +149,22 @@ pub struct CandidateDesign {
     pub depth: usize,
     /// Test accuracy of the trained tree.
     pub test_accuracy: f64,
+    /// The trained tree itself — robustness campaigns re-analyze it and
+    /// checkpoints persist it.
+    pub tree: DecisionTree,
     /// The synthesized co-designed system.
     pub system: UnarySystem,
+}
+
+/// A grid point whose worker panicked; the sweep isolated it and went on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedCandidate {
+    /// Gini slack of the failed point.
+    pub tau: f64,
+    /// Depth cap of the failed point.
+    pub depth: usize,
+    /// The panic message.
+    pub error: String,
 }
 
 /// The full sweep with its reference point.
@@ -129,6 +175,10 @@ pub struct Exploration {
     /// Test accuracy of the ADC-unaware, depth-selected reference model —
     /// the anchor the accuracy-loss constraints are measured from.
     pub reference_accuracy: f64,
+    /// Grid points whose workers panicked, in `(depth, tau)` order. Empty
+    /// on a healthy sweep; a partial sweep is still usable for selection.
+    #[serde(default)]
+    pub failed_candidates: Vec<FailedCandidate>,
 }
 
 impl Exploration {
@@ -141,17 +191,31 @@ impl Exploration {
         self.candidates
             .iter()
             .filter(|c| c.test_accuracy >= floor - 1e-12)
-            .min_by(|a, b| {
-                let pa = a.system.total_power().uw();
-                let pb = b.system.total_power().uw();
-                pa.partial_cmp(&pb).expect("finite powers").then_with(|| {
-                    a.system
-                        .total_area()
-                        .mm2()
-                        .partial_cmp(&b.system.total_area().mm2())
-                        .expect("finite areas")
-                })
+            .min_by(|a, b| cheaper_hardware(a, b))
+    }
+
+    /// Robustness-aware selection: like [`select`](Self::select), but the
+    /// accuracy floor applies to each candidate's *robust* accuracy
+    /// (mean under mismatch, from `campaign`) instead of the nominal test
+    /// accuracy, and `constraints` can additionally require minimum yield,
+    /// worst-single-fault accuracy, or supply-droop margin. Candidates the
+    /// campaign did not profile are excluded. Returns `None` when nothing
+    /// qualifies.
+    pub fn select_robust(
+        &self,
+        max_loss: f64,
+        campaign: &CampaignOutcome,
+        constraints: &RobustnessConstraints,
+    ) -> Option<&CandidateDesign> {
+        let floor = self.reference_accuracy - max_loss;
+        self.candidates
+            .iter()
+            .filter(|c| {
+                campaign
+                    .profile_for(c.tau, c.depth)
+                    .is_some_and(|p| p.robust_accuracy() >= floor - 1e-12 && constraints.admits(p))
             })
+            .min_by(|a, b| cheaper_hardware(a, b))
     }
 
     /// The Pareto-optimal candidates over `(test accuracy, total power)`:
@@ -171,11 +235,7 @@ impl Exploration {
                 })
             })
             .collect();
-        frontier.sort_by(|a, b| {
-            a.test_accuracy
-                .partial_cmp(&b.test_accuracy)
-                .expect("finite accuracies")
-        });
+        frontier.sort_by(|a, b| a.test_accuracy.total_cmp(&b.test_accuracy));
         frontier.dedup_by(|a, b| {
             a.test_accuracy == b.test_accuracy && a.system.total_power() == b.system.total_power()
         });
@@ -185,20 +245,35 @@ impl Exploration {
     /// The accuracy-maximizing candidate (useful as a "0% loss" anchor when
     /// even the reference accuracy is unreachable on a hard dataset).
     pub fn most_accurate(&self) -> Option<&CandidateDesign> {
+        // NaN would sort as the *largest* float under total_cmp; demote it
+        // so a degenerate candidate can never win the accuracy race.
+        let rank = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
         self.candidates.iter().max_by(|a, b| {
-            a.test_accuracy
-                .partial_cmp(&b.test_accuracy)
-                .expect("finite accuracies")
+            rank(a.test_accuracy)
+                .total_cmp(&rank(b.test_accuracy))
                 .then_with(|| {
                     // Ties: cheaper power wins.
                     b.system
                         .total_power()
                         .uw()
-                        .partial_cmp(&a.system.total_power().uw())
-                        .expect("finite powers")
+                        .total_cmp(&a.system.total_power().uw())
                 })
         })
     }
+}
+
+/// Power-then-area ordering for selection tie-breaks. `total_cmp` so a
+/// degenerate candidate with a NaN metric sorts last instead of panicking
+/// mid-selection.
+fn cheaper_hardware(a: &CandidateDesign, b: &CandidateDesign) -> std::cmp::Ordering {
+    let pa = a.system.total_power().uw();
+    let pb = b.system.total_power().uw();
+    pa.total_cmp(&pb).then_with(|| {
+        a.system
+            .total_area()
+            .mm2()
+            .total_cmp(&b.system.total_area().mm2())
+    })
 }
 
 /// Runs the sweep with default EGFET technology at 20 Hz.
@@ -242,11 +317,30 @@ pub fn explore_with(
     )
 }
 
+/// Renders a panic payload into a failed-candidate error string.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// [`explore_with`] plus observability: one [`keys::CANDIDATE_SPAN`] per
 /// grid point (fields `tau`, `depth`, `accuracy`, `comparators`), a
 /// [`keys::CANDIDATE_US`] wall-time histogram, and — independent of the
 /// recorder — an optional live `progress` callback fired from the worker
 /// threads as each candidate completes.
+///
+/// Grid points that panic are isolated per candidate: each failure is
+/// recorded as a [`keys::CANDIDATE_FAILED_EVENT`] (and bumps
+/// [`keys::SWEEP_FAILED`]) and listed in
+/// [`Exploration::failed_candidates`], while the rest of the sweep
+/// completes normally. Points restored from a checkpoint bump
+/// [`keys::SWEEP_CHECKPOINT_HITS`] and emit no candidate span (nothing was
+/// trained).
 ///
 /// The instrumentation never touches the per-point RNG seeds, so the
 /// returned [`Exploration`] is bit-identical to [`explore_with`]'s.
@@ -276,46 +370,146 @@ pub fn explore_instrumented(
     let total = grid.len();
     let done = AtomicUsize::new(0);
 
+    // Checkpoint resume: grid points already persisted skip training and
+    // only re-synthesize their hardware (deterministic from the tree).
+    let mut candidates: Vec<CandidateDesign> = Vec::new();
+    let mut todo: Vec<(usize, f64)> = Vec::new();
+    if let Some(path) = config.checkpoint_path.as_deref() {
+        let completed: HashMap<(usize, u64), CheckpointLine> = std::fs::read_to_string(path)
+            .map(|text| checkpoint::load_lines(&text, config.seed))
+            .unwrap_or_default()
+            .into_iter()
+            .map(|line| (line.key(), line))
+            .collect();
+        for &(depth, tau) in &grid {
+            match completed.get(&(depth, tau.to_bits())) {
+                Some(line) => {
+                    let system = synthesize_unary_with(&line.tree, library, analog, analysis);
+                    recorder.add(keys::SWEEP_CHECKPOINT_HITS, 1);
+                    if let Some(callback) = progress {
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        callback(Progress {
+                            done: finished,
+                            total,
+                        });
+                    }
+                    candidates.push(CandidateDesign {
+                        tau,
+                        depth,
+                        test_accuracy: line.test_accuracy,
+                        tree: line.tree.clone(),
+                        system,
+                    });
+                }
+                None => todo.push((depth, tau)),
+            }
+        }
+    } else {
+        todo = grid;
+    }
+
+    // Fresh completions append to the checkpoint as they finish, one
+    // flushed line each, so a kill at any moment loses at most the line
+    // being written (a torn final line is skipped on resume).
+    let checkpoint_sink: Option<Mutex<std::fs::File>> =
+        config.checkpoint_path.as_deref().map(|path| {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("cannot open checkpoint file {path}: {e}"));
+            Mutex::new(file)
+        });
+
     // Independent trainings — fan out across threads (scoped, no deps).
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let chunk = grid.len().div_ceil(threads);
-    let mut candidates: Vec<CandidateDesign> = std::thread::scope(|scope| {
-        let handles: Vec<_> = grid
-            .chunks(chunk.max(1))
-            .map(|points| {
-                let done = &done;
-                scope.spawn(move || {
-                    // One histogram handle per worker: registration takes a
-                    // lock, observations after that are atomic.
-                    let candidate_us = recorder.histogram(keys::CANDIDATE_US);
-                    points
-                        .iter()
-                        .map(|&(depth, tau)| {
-                            let span = recorder
-                                .span(keys::CANDIDATE_SPAN)
-                                .field("depth", depth)
-                                .field("tau", tau);
-                            let cfg = AdcAwareConfig {
-                                max_depth: depth,
-                                tau,
-                                min_samples_split: 2,
-                                // Derive a distinct but reproducible seed per
-                                // grid point.
-                                seed: config
-                                    .seed
-                                    .wrapping_add((depth as u64) << 32)
-                                    .wrapping_add((tau * 1e6) as u64),
-                            };
-                            let tree = train_adc_aware_recorded(train_data, &cfg, recorder);
-                            let test_accuracy = tree.accuracy(test_data);
-                            let system = synthesize_unary_with(&tree, library, analog, analysis);
-                            candidate_us.observe(
-                                span.field("accuracy", test_accuracy)
-                                    .field("comparators", system.comparator_count())
-                                    .finish(),
-                            );
+    let chunk = todo.len().div_ceil(threads);
+    let (fresh, mut failed): (Vec<CandidateDesign>, Vec<FailedCandidate>) =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = todo
+                .chunks(chunk.max(1))
+                .map(|points| {
+                    let done = &done;
+                    let checkpoint_sink = &checkpoint_sink;
+                    scope.spawn(move || {
+                        // One histogram handle per worker: registration takes a
+                        // lock, observations after that are atomic.
+                        let candidate_us = recorder.histogram(keys::CANDIDATE_US);
+                        let mut ok = Vec::with_capacity(points.len());
+                        let mut bad = Vec::new();
+                        for &(depth, tau) in points {
+                            // Per-candidate isolation: one poisoned grid point
+                            // must not abort the other trainings.
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                if config.chaos_points.contains(&(depth, tau)) {
+                                    panic!("injected chaos point (depth {depth}, tau {tau})");
+                                }
+                                let span = recorder
+                                    .span(keys::CANDIDATE_SPAN)
+                                    .field("depth", depth)
+                                    .field("tau", tau);
+                                let cfg = AdcAwareConfig {
+                                    max_depth: depth,
+                                    tau,
+                                    min_samples_split: 2,
+                                    // Derive a distinct but reproducible seed per
+                                    // grid point.
+                                    seed: config
+                                        .seed
+                                        .wrapping_add((depth as u64) << 32)
+                                        .wrapping_add((tau * 1e6) as u64),
+                                };
+                                let tree = train_adc_aware_recorded(train_data, &cfg, recorder);
+                                let test_accuracy = tree.accuracy(test_data);
+                                let system =
+                                    synthesize_unary_with(&tree, library, analog, analysis);
+                                candidate_us.observe(
+                                    span.field("accuracy", test_accuracy)
+                                        .field("comparators", system.comparator_count())
+                                        .finish(),
+                                );
+                                CandidateDesign {
+                                    tau,
+                                    depth,
+                                    test_accuracy,
+                                    tree,
+                                    system,
+                                }
+                            }));
+                            match outcome {
+                                Ok(candidate) => {
+                                    if let Some(sink) = checkpoint_sink {
+                                        let line = CheckpointLine {
+                                            tau,
+                                            depth,
+                                            test_accuracy: candidate.test_accuracy,
+                                            tree: candidate.tree.clone(),
+                                        }
+                                        .encode(config.seed);
+                                        // Best-effort: a full disk must not
+                                        // kill the sweep, only the resume.
+                                        let mut file = sink.lock().expect("checkpoint file lock");
+                                        let _ = writeln!(file, "{line}");
+                                        let _ = file.flush();
+                                    }
+                                    ok.push(candidate);
+                                }
+                                Err(payload) => {
+                                    let error = panic_message(payload);
+                                    recorder.event(
+                                        keys::CANDIDATE_FAILED_EVENT,
+                                        vec![
+                                            ("depth".to_owned(), FieldValue::U64(depth as u64)),
+                                            ("tau".to_owned(), FieldValue::F64(tau)),
+                                            ("error".to_owned(), FieldValue::Str(error.clone())),
+                                        ],
+                                    );
+                                    recorder.add(keys::SWEEP_FAILED, 1);
+                                    bad.push(FailedCandidate { tau, depth, error });
+                                }
+                            }
                             if let Some(callback) = progress {
                                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                                 callback(Progress {
@@ -323,31 +517,31 @@ pub fn explore_instrumented(
                                     total,
                                 });
                             }
-                            CandidateDesign {
-                                tau,
-                                depth,
-                                test_accuracy,
-                                system,
-                            }
-                        })
-                        .collect::<Vec<_>>()
+                        }
+                        (ok, bad)
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    candidates.sort_by(|a, b| {
-        a.depth
-            .cmp(&b.depth)
-            .then(a.tau.partial_cmp(&b.tau).expect("finite taus"))
-    });
+                .collect();
+            let mut fresh = Vec::new();
+            let mut failed = Vec::new();
+            for handle in handles {
+                // With per-candidate isolation above, a worker can only die
+                // outside the unwind guard (e.g. allocator abort) — keep the
+                // loud failure for that.
+                let (ok, bad) = handle.join().expect("sweep worker panicked");
+                fresh.extend(ok);
+                failed.extend(bad);
+            }
+            (fresh, failed)
+        });
+    candidates.extend(fresh);
+    candidates.sort_by(|a, b| a.depth.cmp(&b.depth).then(a.tau.total_cmp(&b.tau)));
+    failed.sort_by(|a, b| a.depth.cmp(&b.depth).then(a.tau.total_cmp(&b.tau)));
 
     Exploration {
         candidates,
         reference_accuracy: reference.test_accuracy,
+        failed_candidates: failed,
     }
 }
 
@@ -361,6 +555,7 @@ mod tests {
         let (train_data, test_data) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
         let sweep = explore(&train_data, &test_data, &ExplorationConfig::quick());
         assert_eq!(sweep.candidates.len(), 9);
+        assert!(sweep.failed_candidates.is_empty());
         assert!(sweep.reference_accuracy > 0.7);
     }
 
@@ -517,5 +712,136 @@ mod tests {
         if let Some(chosen) = sweep.select(0.01) {
             assert!(top >= chosen.test_accuracy);
         }
+    }
+
+    #[test]
+    fn panicking_candidate_is_isolated_not_fatal() {
+        let (train_data, test_data) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        let config = ExplorationConfig {
+            chaos_points: vec![(4, 0.01)],
+            ..ExplorationConfig::quick()
+        };
+        let (recorder, sink) = Recorder::collecting();
+        let sweep = explore_instrumented(
+            &train_data,
+            &test_data,
+            &config,
+            &CellLibrary::egfet(),
+            &AnalogModel::egfet(),
+            &AnalysisConfig::printed_20hz(),
+            &recorder,
+            None,
+        );
+        // The other eight points survive and selection still works.
+        assert_eq!(sweep.candidates.len(), 8);
+        assert!(!sweep
+            .candidates
+            .iter()
+            .any(|c| c.depth == 4 && c.tau == 0.01));
+        assert!(sweep.select(0.05).is_some() || sweep.most_accurate().is_some());
+        // The failure is explicit, with its grid point and message.
+        assert_eq!(sweep.failed_candidates.len(), 1);
+        let failure = &sweep.failed_candidates[0];
+        assert_eq!((failure.depth, failure.tau), (4, 0.01));
+        assert!(failure.error.contains("chaos point"), "{}", failure.error);
+        // …and observable in the trace.
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(keys::SWEEP_FAILED), 1);
+        assert_eq!(snap.events_named(keys::CANDIDATE_FAILED_EVENT).count(), 1);
+    }
+
+    #[test]
+    fn nan_accuracy_candidate_cannot_crash_selection() {
+        let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let mut sweep = explore(
+            &train_data,
+            &test_data,
+            &ExplorationConfig {
+                taus: vec![0.0],
+                depths: vec![2, 3],
+                ..ExplorationConfig::quick()
+            },
+        );
+        let mut degenerate = sweep.candidates[0].clone();
+        degenerate.test_accuracy = f64::NAN;
+        sweep.candidates.push(degenerate);
+        // total_cmp ordering: these must complete, and never pick the NaN
+        // candidate over a real one.
+        let chosen = sweep.select(0.05).expect("real candidates qualify");
+        assert!(chosen.test_accuracy.is_finite());
+        let top = sweep.most_accurate().expect("non-empty");
+        assert!(top.test_accuracy.is_finite());
+        let _ = sweep.pareto();
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_without_retraining() {
+        let path = std::env::temp_dir().join(format!(
+            "printed-ckpt-{}-{:?}.ndjson",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path_str = path.to_str().unwrap().to_owned();
+        let _ = std::fs::remove_file(&path);
+
+        let (train_data, test_data) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        // "Interrupted" run: only a third of the quick grid.
+        let partial = ExplorationConfig {
+            depths: vec![2],
+            ..ExplorationConfig::quick()
+        }
+        .with_checkpoint(&path_str);
+        explore(&train_data, &test_data, &partial);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap().lines().count(),
+            3,
+            "one checkpoint line per completed point"
+        );
+
+        // Resume over the full grid: the three depth-2 points must come
+        // back from the checkpoint, the other six train fresh.
+        let full = ExplorationConfig::quick().with_checkpoint(&path_str);
+        let (recorder, sink) = Recorder::collecting();
+        let resumed = explore_instrumented(
+            &train_data,
+            &test_data,
+            &full,
+            &CellLibrary::egfet(),
+            &AnalogModel::egfet(),
+            &AnalysisConfig::printed_20hz(),
+            &recorder,
+            None,
+        );
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(keys::SWEEP_CHECKPOINT_HITS), 3);
+        assert_eq!(
+            snap.counter(keys::TREES_TRAINED),
+            6,
+            "resumed points skip training"
+        );
+        assert_eq!(snap.spans_named(keys::CANDIDATE_SPAN).count(), 6);
+
+        // The resumed sweep is bit-identical to an uninterrupted one.
+        let fresh = explore(&train_data, &test_data, &ExplorationConfig::quick());
+        assert_eq!(resumed, fresh);
+
+        // A third run finds everything checkpointed and trains nothing.
+        let (recorder, sink) = Recorder::collecting();
+        let all_cached = explore_instrumented(
+            &train_data,
+            &test_data,
+            &full,
+            &CellLibrary::egfet(),
+            &AnalogModel::egfet(),
+            &AnalysisConfig::printed_20hz(),
+            &recorder,
+            None,
+        );
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(keys::SWEEP_CHECKPOINT_HITS), 9);
+        assert_eq!(snap.counter(keys::TREES_TRAINED), 0);
+        assert_eq!(all_cached, fresh);
+
+        let _ = std::fs::remove_file(&path);
     }
 }

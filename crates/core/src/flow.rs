@@ -27,6 +27,9 @@ use printed_logic::report::AnalysisConfig;
 use printed_pdk::{AnalogModel, CellKind, CellLibrary};
 use printed_telemetry::{keys, FieldValue, FlowTrace, Recorder, RunManifest};
 
+use printed_datasets::Dataset;
+
+use crate::campaign::{CampaignOutcome, RobustnessCampaign, RobustnessConstraints};
 use crate::datasheet::Datasheet;
 use crate::explore::{
     explore_instrumented, CandidateDesign, Exploration, ExplorationConfig, ProgressFn,
@@ -46,6 +49,7 @@ pub struct CodesignFlow<'a> {
     title: String,
     recorder: Recorder,
     progress: Option<ProgressFn<'a>>,
+    robustness: Option<(RobustnessCampaign, &'a Dataset, RobustnessConstraints)>,
 }
 
 impl std::fmt::Debug for CodesignFlow<'_> {
@@ -75,6 +79,7 @@ impl<'a> CodesignFlow<'a> {
             title: train.name().to_owned(),
             recorder: Recorder::disabled(),
             progress: None,
+            robustness: None,
         }
     }
 
@@ -145,6 +150,29 @@ impl<'a> CodesignFlow<'a> {
         self
     }
 
+    /// Runs `campaign` over the sweep and selects on *robust* accuracy
+    /// (mean under mismatch) instead of nominal, with default (empty)
+    /// admission constraints. `analog_test` is the normalized analog test
+    /// split the Monte Carlo scores on (same benchmark as the quantized
+    /// pair). See [`Exploration::select_robust`].
+    pub fn robustness(self, campaign: RobustnessCampaign, analog_test: &'a Dataset) -> Self {
+        self.robustness_with(campaign, analog_test, RobustnessConstraints::default())
+    }
+
+    /// [`robustness`](Self::robustness) with explicit admission
+    /// constraints (minimum yield / worst-fault accuracy / droop margin).
+    /// When no candidate meets the robust floor and constraints, the flow
+    /// falls back to nominal selection so it still returns a design.
+    pub fn robustness_with(
+        mut self,
+        campaign: RobustnessCampaign,
+        analog_test: &'a Dataset,
+        constraints: RobustnessConstraints,
+    ) -> Self {
+        self.robustness = Some((campaign, analog_test, constraints));
+        self
+    }
+
     /// Runs the flow.
     ///
     /// # Panics
@@ -184,12 +212,43 @@ impl<'a> CodesignFlow<'a> {
         );
         stage.finish();
 
+        let campaign_outcome = self.robustness.as_ref().map(|(campaign, analog_test, _)| {
+            let stage = self.recorder.span(keys::STAGE_ROBUSTNESS);
+            let outcome =
+                campaign.run_with(&sweep, self.test, analog_test, &self.analog, &self.recorder);
+            stage.finish();
+            outcome
+        });
+
         let stage = self.recorder.span(keys::STAGE_SELECTION);
-        let chosen = sweep
-            .select(self.accuracy_loss)
-            .or_else(|| sweep.most_accurate())
-            .expect("non-empty grid yields candidates")
-            .clone();
+        let robust_choice = campaign_outcome.as_ref().and_then(|outcome| {
+            let (_, _, constraints) = self.robustness.as_ref().expect("campaign implies config");
+            sweep
+                .select_robust(self.accuracy_loss, outcome, constraints)
+                .cloned()
+        });
+        if let Some(choice) = &robust_choice {
+            let profile = campaign_outcome
+                .as_ref()
+                .and_then(|o| o.profile_for(choice.tau, choice.depth))
+                .expect("robust choice was profiled");
+            self.recorder.event(
+                keys::ROBUST_SELECTED_EVENT,
+                vec![
+                    ("tau".to_owned(), FieldValue::F64(choice.tau)),
+                    ("depth".to_owned(), FieldValue::U64(choice.depth as u64)),
+                    ("accuracy".to_owned(), FieldValue::F64(choice.test_accuracy)),
+                    (
+                        "robust_accuracy".to_owned(),
+                        FieldValue::F64(profile.robust_accuracy()),
+                    ),
+                ],
+            );
+        }
+        let chosen = robust_choice
+            .or_else(|| sweep.select(self.accuracy_loss).cloned())
+            .or_else(|| sweep.most_accurate().cloned())
+            .expect("non-empty grid yields candidates");
         record_selection(&self.recorder, &chosen, &self.analog);
         stage.finish();
 
@@ -207,6 +266,7 @@ impl<'a> CodesignFlow<'a> {
             baseline,
             sweep,
             chosen,
+            robustness: campaign_outcome,
             trace,
         }
     }
@@ -305,6 +365,10 @@ pub struct FlowOutcome {
     pub sweep: Exploration,
     /// The selected co-design.
     pub chosen: CandidateDesign,
+    /// The robustness campaign's per-candidate profiles — `Some` iff the
+    /// flow ran with [`CodesignFlow::robustness`].
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub robustness: Option<CampaignOutcome>,
     /// Telemetry summary of this run — `Some` iff a snapshot-capable
     /// recorder was installed ([`CodesignFlow::traced`] or
     /// [`CodesignFlow::recorder`] with a collecting sink).
@@ -362,6 +426,7 @@ mod tests {
             taus: vec![0.0],
             depths: vec![2, 3],
             seed: 1,
+            ..ExplorationConfig::quick()
         };
         let outcome = CodesignFlow::new(&train, &test)
             .accuracy_loss(0.05)
@@ -386,6 +451,7 @@ mod tests {
             taus: vec![0.0],
             depths: vec![],
             seed: 1,
+            ..ExplorationConfig::quick()
         };
         let _ = CodesignFlow::new(&train, &test).grid(grid).run();
     }
@@ -478,6 +544,7 @@ mod tests {
             taus: vec![0.0, 0.01],
             depths: vec![2, 3],
             seed: 7,
+            ..ExplorationConfig::quick()
         };
         let plain = CodesignFlow::new(&train, &test).grid(grid.clone()).run();
         let traced = CodesignFlow::new(&train, &test).grid(grid).traced().run();
@@ -487,5 +554,48 @@ mod tests {
         assert_eq!(plain.chosen, traced.chosen);
         assert_eq!(plain.sweep, traced.sweep);
         assert_eq!(plain.reference_accuracy, traced.reference_accuracy);
+    }
+
+    #[test]
+    fn robust_flow_profiles_the_sweep_and_selects_robustly() {
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let (_, analog_test) = Benchmark::Seeds.load_split().unwrap();
+        let outcome = CodesignFlow::new(&train, &test)
+            .accuracy_loss(0.05)
+            .grid(ExplorationConfig::quick())
+            .robustness(RobustnessCampaign::quick(), &analog_test)
+            .traced()
+            .run();
+        let campaign = outcome.robustness.as_ref().expect("campaign ran");
+        assert_eq!(campaign.profiles.len(), outcome.sweep.candidates.len());
+        // The chosen design is one the campaign profiled.
+        assert!(campaign
+            .profile_for(outcome.chosen.tau, outcome.chosen.depth)
+            .is_some());
+        let trace = outcome.trace().expect("traced");
+        assert!(trace.stage(keys::STAGE_ROBUSTNESS).is_some());
+        // The robust-selection event matches the chosen design whenever
+        // robust selection (not the nominal fallback) decided.
+        let robust_events: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == keys::ROBUST_SELECTED_EVENT)
+            .collect();
+        if let [event] = robust_events.as_slice() {
+            assert_eq!(
+                event.field("depth").and_then(FieldValue::as_u64),
+                Some(outcome.chosen.depth as u64)
+            );
+            assert!(event
+                .field("robust_accuracy")
+                .and_then(FieldValue::as_f64)
+                .is_some());
+        }
+        // Flow without robustness: no campaign rides along.
+        let plain = CodesignFlow::new(&train, &test)
+            .accuracy_loss(0.05)
+            .grid(ExplorationConfig::quick())
+            .run();
+        assert!(plain.robustness.is_none());
     }
 }

@@ -14,6 +14,10 @@
 //!   constrained selection (Fig. 5 / Table II methodology).
 //! * [`mismatch`] — Monte-Carlo accuracy under printing variation
 //!   (extension beyond the paper's nominal analysis).
+//! * [`campaign`] — unified robustness campaigns (faults + mismatch +
+//!   supply droop) feeding robustness-aware selection.
+//! * [`checkpoint`] — sweep checkpointing, so interrupted explorations
+//!   resume without re-training.
 //!
 //! ## End-to-end
 //!
@@ -31,6 +35,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
+pub mod checkpoint;
 pub mod datasheet;
 pub mod ensemble;
 pub mod explore;
@@ -42,12 +48,16 @@ pub mod system;
 pub mod train;
 pub mod unary;
 
+pub use campaign::{
+    CampaignOutcome, CandidateRobustness, RobustnessCampaign, RobustnessConstraints,
+    RobustnessProfile, SupplyDroopModel,
+};
 pub use datasheet::Datasheet;
 pub use ensemble::{synthesize_ensemble, EnsembleSystem};
-pub use explore::{explore, CandidateDesign, Exploration, ExplorationConfig};
+pub use explore::{explore, CandidateDesign, Exploration, ExplorationConfig, FailedCandidate};
 pub use flow::{record_selection, CodesignFlow, FlowOutcome};
-pub use mismatch::{mismatch_accuracy, MismatchReport};
-pub use robustness::{fault_robustness, FaultRobustness};
+pub use mismatch::{mismatch_accuracy, MismatchReport, MismatchTrials};
+pub use robustness::{decode_one_hot, fault_robustness, FaultRobustness};
 pub use serial::{estimate_serial_unary, SerialUnaryEstimate};
 pub use system::{synthesize_unary, Reduction, UnarySystem};
 pub use train::{train_adc_aware, train_adc_aware_forest, AdcAwareConfig};

@@ -54,9 +54,56 @@ pub struct MismatchReport {
     pub trials: usize,
 }
 
+/// Per-trial Monte-Carlo accuracies, for consumers that need the full
+/// distribution (e.g. the robustness campaign's yield estimate) rather
+/// than the [`MismatchReport`] summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MismatchTrials {
+    /// Accuracy with ideal (unperturbed) thresholds on analog inputs.
+    pub nominal: f64,
+    /// One accuracy per Monte-Carlo trial, in trial order.
+    pub accuracies: Vec<f64>,
+}
+
+impl MismatchTrials {
+    /// Condenses the trials into summary statistics.
+    pub fn report(&self) -> MismatchReport {
+        let mean = self.accuracies.iter().sum::<f64>() / self.accuracies.len() as f64;
+        let min = self
+            .accuracies
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .accuracies
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        MismatchReport {
+            nominal: self.nominal,
+            mean,
+            min,
+            max,
+            trials: self.accuracies.len(),
+        }
+    }
+
+    /// Fraction of trials whose accuracy stays within `loss` of nominal —
+    /// the campaign's parametric-yield estimate.
+    pub fn yield_within(&self, loss: f64) -> f64 {
+        let floor = self.nominal - loss;
+        let good = self
+            .accuracies
+            .iter()
+            .filter(|&&a| a >= floor - 1e-12)
+            .count();
+        good as f64 / self.accuracies.len() as f64
+    }
+}
+
 /// Predicts with explicit per-(feature, tap) effective thresholds in
 /// normalized-volts space.
-fn predict_analog(
+pub(crate) fn predict_analog(
     tree: &DecisionTree,
     sample: &[f64],
     thresholds: &BTreeMap<(usize, u8), f64>,
@@ -78,7 +125,7 @@ fn predict_analog(
     }
 }
 
-fn accuracy_analog(
+pub(crate) fn accuracy_analog(
     tree: &DecisionTree,
     data: &Dataset,
     thresholds: &BTreeMap<(usize, u8), f64>,
@@ -145,6 +192,36 @@ pub fn mismatch_accuracy_recorded(
     analog: &AnalogModel,
     recorder: &Recorder,
 ) -> MismatchReport {
+    mismatch_trials_recorded(tree, test, mismatch, trials, seed, analog, recorder).report()
+}
+
+/// The ideal (unperturbed) effective thresholds of `tree`'s bespoke ADC
+/// bank, in normalized-volts space: tap `c` sits at `c / 2^bits`.
+pub(crate) fn nominal_thresholds(tree: &DecisionTree) -> BTreeMap<(usize, u8), f64> {
+    let full = (1u64 << tree.bits()) as f64;
+    tree.distinct_pairs()
+        .into_iter()
+        .map(|(f, c)| ((f, c), c as f64 / full))
+        .collect()
+}
+
+/// [`mismatch_accuracy_recorded`] without the summary step: returns every
+/// trial's accuracy. Identical RNG consumption, so the summary path and
+/// this one agree bit-for-bit.
+///
+/// # Panics
+///
+/// Same contract as [`mismatch_accuracy`].
+#[allow(clippy::too_many_arguments)]
+pub fn mismatch_trials_recorded(
+    tree: &DecisionTree,
+    test: &Dataset,
+    mismatch: &MismatchModel,
+    trials: usize,
+    seed: u64,
+    analog: &AnalogModel,
+    recorder: &Recorder,
+) -> MismatchTrials {
     assert!(trials > 0, "need at least one trial");
     assert!(
         tree.split_count() > 0,
@@ -167,13 +244,7 @@ pub fn mismatch_accuracy_recorded(
     .expect("tree taps are valid");
 
     // Nominal thresholds: ideal tap voltages.
-    let full = (1u64 << tree.bits()) as f64;
-    let nominal_thresholds: BTreeMap<(usize, u8), f64> = tree
-        .distinct_pairs()
-        .into_iter()
-        .map(|(f, c)| ((f, c), c as f64 / full))
-        .collect();
-    let nominal = accuracy_analog(tree, test, &nominal_thresholds);
+    let nominal = accuracy_analog(tree, test, &nominal_thresholds(tree));
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut accs = Vec::with_capacity(trials);
@@ -199,15 +270,9 @@ pub fn mismatch_accuracy_recorded(
         accs.push(accuracy_analog(tree, test, &thresholds));
     }
 
-    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-    let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    MismatchReport {
+    MismatchTrials {
         nominal,
-        mean,
-        min,
-        max,
-        trials,
+        accuracies: accs,
     }
 }
 
@@ -286,6 +351,29 @@ mod tests {
         let snap = sink.snapshot();
         assert_eq!(snap.counter(keys::MC_TRIALS), 10);
         assert_eq!(snap.counter(keys::MC_FAILURES), 0);
+    }
+
+    #[test]
+    fn trials_path_matches_summary_and_bounds_yield() {
+        let (tree, test) = setup();
+        let model = MismatchModel::typical_printed();
+        let report = mismatch_accuracy(&tree, &test, &model, 12, 5);
+        let trials = mismatch_trials_recorded(
+            &tree,
+            &test,
+            &model,
+            12,
+            5,
+            &AnalogModel::egfet(),
+            &Recorder::disabled(),
+        );
+        assert_eq!(trials.report(), report, "same RNG stream, same numbers");
+        assert_eq!(trials.accuracies.len(), 12);
+        // Yield is monotone in the allowed loss and caps at 1.
+        assert_eq!(trials.yield_within(1.0), 1.0);
+        let tight = trials.yield_within(0.0);
+        assert!((0.0..=1.0).contains(&tight));
+        assert!(trials.yield_within(0.05) >= tight);
     }
 
     #[test]

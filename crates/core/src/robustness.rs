@@ -48,7 +48,7 @@ pub struct FaultRobustness {
 
 /// Decodes a (possibly corrupted) one-hot output vector; `None` unless
 /// exactly one class line is asserted.
-fn decode_one_hot(outputs: &[bool]) -> Option<usize> {
+pub fn decode_one_hot(outputs: &[bool]) -> Option<usize> {
     let mut hot = None;
     for (class, &bit) in outputs.iter().enumerate() {
         if bit {
@@ -102,13 +102,48 @@ pub fn fault_robustness(tree: &DecisionTree, test: &QuantizedDataset) -> FaultRo
         };
     }
 
+    // Fault injections are independent — fan out across threads (same
+    // chunked scoped pattern as the explorer). Workers only *score*; the
+    // reduction below runs serially in fault order, so the result is
+    // identical to a serial campaign regardless of thread count.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let chunk = faults.len().div_ceil(threads);
+    let accuracies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = faults
+            .chunks(chunk.max(1))
+            .map(|chunk_faults| {
+                let encoded = &encoded;
+                let netlist = &netlist;
+                scope.spawn(move || {
+                    chunk_faults
+                        .iter()
+                        .map(|&fault| {
+                            let faulty = FaultyNetlist::new(netlist, fault);
+                            let correct = encoded
+                                .iter()
+                                .filter(|(digits, label)| {
+                                    decode_one_hot(&faulty.eval(digits)) == Some(*label)
+                                })
+                                .count();
+                            correct as f64 / encoded.len() as f64
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fault campaign worker panicked"))
+            .collect()
+    });
+
     let mut sum = 0.0;
     let mut worst = f64::INFINITY;
     let mut worst_fault = None;
     let mut benign = 0usize;
-    for &fault in &faults {
-        let faulty = FaultyNetlist::new(&netlist, fault);
-        let acc = score(&|digits| faulty.eval(digits));
+    for (&fault, &acc) in faults.iter().zip(&accuracies) {
         sum += acc;
         if acc < worst {
             worst = acc;
@@ -169,6 +204,53 @@ mod tests {
         assert_eq!(report.fault_count, 0);
         assert_eq!(report.benign_fraction, 1.0);
         assert_eq!(report.mean_accuracy, report.fault_free_accuracy);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_reduction() {
+        let (tree, test) = setup();
+        let report = fault_robustness(&tree, &test);
+
+        // The same campaign, run serially by hand — the fan-out must not
+        // change a single bit of the statistics.
+        let classifier = UnaryClassifier::from_tree(&tree);
+        let netlist = classifier.to_netlist();
+        let encoded: Vec<(Vec<bool>, usize)> = test
+            .iter()
+            .map(|(sample, label)| (classifier.encode_sample(sample), label))
+            .collect();
+        let score = |eval: &dyn Fn(&[bool]) -> Vec<bool>| -> f64 {
+            let correct = encoded
+                .iter()
+                .filter(|(digits, label)| decode_one_hot(&eval(digits)) == Some(*label))
+                .count();
+            correct as f64 / encoded.len() as f64
+        };
+        let fault_free = score(&|digits| netlist.eval(digits));
+        let faults = enumerate_faults(&netlist);
+        let mut sum = 0.0;
+        let mut worst = f64::INFINITY;
+        let mut worst_fault = None;
+        let mut benign = 0usize;
+        for &fault in &faults {
+            let faulty = FaultyNetlist::new(&netlist, fault);
+            let acc = score(&|digits| faulty.eval(digits));
+            sum += acc;
+            if acc < worst {
+                worst = acc;
+                worst_fault = Some(fault);
+            }
+            if (acc - fault_free).abs() < 1e-12 {
+                benign += 1;
+            }
+        }
+
+        assert_eq!(report.fault_free_accuracy, fault_free);
+        assert_eq!(report.mean_accuracy, sum / faults.len() as f64);
+        assert_eq!(report.worst_accuracy, worst);
+        assert_eq!(report.worst_fault, worst_fault);
+        assert_eq!(report.fault_count, faults.len());
+        assert_eq!(report.benign_fraction, benign as f64 / faults.len() as f64);
     }
 
     #[test]

@@ -45,6 +45,25 @@ pub struct ClassRow {
     pub literals: u64,
 }
 
+/// One sweep candidate's robustness-campaign profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustRow {
+    /// Gini slack τ of the profiled candidate.
+    pub tau: f64,
+    /// Depth cap of the profiled candidate.
+    pub depth: u64,
+    /// Accuracy with ideal thresholds on the analog test split.
+    pub nominal: f64,
+    /// Mean accuracy over the mismatch Monte-Carlo trials.
+    pub mean_mismatch: f64,
+    /// Accuracy under the most damaging single stuck-at fault.
+    pub worst_fault: f64,
+    /// Largest relative supply sag tolerated.
+    pub droop_margin: f64,
+    /// Parametric-yield estimate.
+    pub yield_est: f64,
+}
+
 /// The selected grid point's headline numbers.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SelectedDesign {
@@ -90,6 +109,11 @@ pub struct CostReport {
     pub gini_evals: u64,
     /// Trees trained across the whole sweep.
     pub trees: u64,
+    /// Robustness-campaign profiles, in `(depth, τ)` order; empty when no
+    /// campaign ran.
+    pub robustness: Vec<RobustRow>,
+    /// Sweep grid points that panicked and were isolated.
+    pub failed_candidates: u64,
 }
 
 impl CostReport {
@@ -135,6 +159,28 @@ impl CostReport {
                 power_mw: f64_of(e, "power_mw"),
                 comparators: u64_of(e, "comparators"),
             });
+        let span_u64 = |s: &printed_telemetry::SpanRecord, key: &str| {
+            s.field(key).and_then(FieldValue::as_u64).unwrap_or(0)
+        };
+        let span_f64 = |s: &printed_telemetry::SpanRecord, key: &str| {
+            s.field(key).and_then(FieldValue::as_f64).unwrap_or(0.0)
+        };
+        let mut robustness: Vec<RobustRow> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == keys::ROBUST_SPAN)
+            .map(|s| RobustRow {
+                tau: span_f64(s, "tau"),
+                depth: span_u64(s, "depth"),
+                nominal: span_f64(s, "nominal"),
+                mean_mismatch: span_f64(s, "mean_mismatch"),
+                worst_fault: span_f64(s, "worst_fault"),
+                droop_margin: span_f64(s, "droop_margin"),
+                yield_est: span_f64(s, "yield_est"),
+            })
+            .collect();
+        // Campaign workers finish in parallel order; present grid order.
+        robustness.sort_by(|a, b| a.depth.cmp(&b.depth).then(a.tau.total_cmp(&b.tau)));
         Self {
             title: trace.title.clone(),
             selected,
@@ -148,6 +194,8 @@ impl CostReport {
             splits: trace.split_selections(),
             gini_evals: trace.counter(keys::GINI_EVALS),
             trees: trace.counter(keys::TREES_TRAINED),
+            robustness,
+            failed_candidates: trace.counter(keys::SWEEP_FAILED),
         }
     }
 
@@ -212,6 +260,26 @@ impl CostReport {
             },
             and_gates,
             or_gates,
+            robustness: outcome
+                .robustness
+                .as_ref()
+                .map(|campaign| {
+                    campaign
+                        .profiles
+                        .iter()
+                        .map(|row| RobustRow {
+                            tau: row.tau,
+                            depth: row.depth as u64,
+                            nominal: row.profile.nominal,
+                            mean_mismatch: row.profile.mean_under_mismatch,
+                            worst_fault: row.profile.worst_single_fault,
+                            droop_margin: row.profile.droop_margin,
+                            yield_est: row.profile.yield_estimate,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            failed_candidates: outcome.sweep.failed_candidates.len() as u64,
             ..Self::default()
         };
         match outcome.trace() {
@@ -297,6 +365,30 @@ impl CostReport {
                 out.push_str(&format!(
                     "  c{:<9} {:>5} {:>12}\n",
                     row.class, row.cubes, row.literals,
+                ));
+            }
+        }
+        if self.failed_candidates > 0 {
+            out.push_str(&format!(
+                "  failed candidates: {} grid point(s) panicked and were isolated\n",
+                self.failed_candidates,
+            ));
+        }
+        if !self.robustness.is_empty() {
+            out.push_str(&format!(
+                "  {:<14} {:>8} {:>9} {:>11} {:>7} {:>7}\n",
+                "robustness", "nominal", "mismatch", "worst-fault", "droop", "yield"
+            ));
+            for row in &self.robustness {
+                out.push_str(&format!(
+                    "  τ={:<5} d={:<3} {:>7.1}% {:>8.1}% {:>10.1}% {:>6.0}% {:>6.0}%\n",
+                    row.tau,
+                    row.depth,
+                    row.nominal * 100.0,
+                    row.mean_mismatch * 100.0,
+                    row.worst_fault * 100.0,
+                    row.droop_margin * 100.0,
+                    row.yield_est * 100.0,
                 ));
             }
         }
@@ -392,6 +484,35 @@ mod tests {
         let system = &outcome.chosen.system;
         assert_eq!(report.adcs.len(), system.input_count());
         assert_eq!(report.classes.len(), system.classifier.n_classes());
+    }
+
+    #[test]
+    fn robustness_section_round_trips_both_paths() {
+        use printed_codesign::RobustnessCampaign;
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let (_, analog_test) = Benchmark::Seeds.load_split().unwrap();
+        let outcome = CodesignFlow::new(&train, &test)
+            .accuracy_loss(0.05)
+            .grid(ExplorationConfig::quick())
+            .title("Seeds")
+            .robustness(RobustnessCampaign::quick(), &analog_test)
+            .traced()
+            .run();
+        let from_trace = CostReport::from_trace(outcome.trace().expect("traced run"));
+        let from_outcome = CostReport::from_outcome(&outcome, &AnalogModel::egfet());
+        assert_eq!(from_trace.robustness.len(), outcome.sweep.candidates.len());
+        assert_eq!(from_trace.robustness, from_outcome.robustness);
+        assert_eq!(from_trace.failed_candidates, 0);
+        assert_eq!(from_outcome.failed_candidates, 0);
+        let text = from_trace.render_text();
+        assert!(text.contains("robustness"), "{text}");
+        assert!(text.contains("worst-fault"), "{text}");
+        // The NDJSON round trip preserves the section.
+        let parsed = crate::parse::parse_trace(&outcome.trace().unwrap().to_ndjson());
+        assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
+        let reparsed = CostReport::from_trace(&parsed.trace);
+        assert_eq!(reparsed.robustness, from_trace.robustness);
+        assert_eq!(reparsed.failed_candidates, 0);
     }
 
     #[test]

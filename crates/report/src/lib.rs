@@ -56,7 +56,7 @@ pub mod json;
 pub mod parse;
 pub mod profile;
 
-pub use cost::{AdcRow, ClassRow, CostReport, SelectedDesign};
+pub use cost::{AdcRow, ClassRow, CostReport, RobustRow, SelectedDesign};
 pub use diff::{DiffConfig, DiffReport, TraceStats};
 pub use parse::{parse_trace, ParsedTrace};
 pub use profile::{Profile, ProfileNode};

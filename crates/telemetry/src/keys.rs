@@ -88,3 +88,30 @@ pub const ADC_EVENT: &str = "adc";
 /// Event: per-class sum-of-products cost attribution for the selected
 /// design (fields: `class`, `cubes`, `literals`).
 pub const CLASS_EVENT: &str = "class_logic";
+
+/// Stage span: the robustness campaign (faults + mismatch + droop).
+pub const STAGE_ROBUSTNESS: &str = "stage:robustness";
+
+/// Per-candidate span emitted by the robustness campaign (fields: `tau`,
+/// `depth`, `nominal`, `mean_mismatch`, `worst_fault`, `droop_margin`,
+/// `yield_est`).
+pub const ROBUST_SPAN: &str = "robust_candidate";
+
+/// Event: robustness-aware selection picked a design (fields: `tau`,
+/// `depth`, `accuracy`, `robust_accuracy`).
+pub const ROBUST_SELECTED_EVENT: &str = "robust_selected";
+
+/// Event: a sweep grid point panicked and was isolated instead of killing
+/// the exploration (fields: `depth`, `tau`, `error`).
+pub const CANDIDATE_FAILED_EVENT: &str = "candidate_failed";
+
+/// Counter: sweep grid points that panicked and were recorded as failed
+/// candidates.
+pub const SWEEP_FAILED: &str = "sweep.failed_candidates";
+
+/// Counter: sweep grid points skipped because a checkpoint already held
+/// their result.
+pub const SWEEP_CHECKPOINT_HITS: &str = "sweep.checkpoint_hits";
+
+/// Counter: single stuck-at faults injected by robustness campaigns.
+pub const FAULTS_INJECTED: &str = "robust.faults";

@@ -198,6 +198,74 @@ fn traced_flow_records_one_candidate_span_per_grid_point() {
     );
 }
 
+/// Robustness-aware selection demonstrably diverges from plain selection
+/// on Seeds: the power-minimal candidate within the loss budget has a thin
+/// supply-droop margin, so a modest droop constraint steers the campaign
+/// toward a different grid point — end-to-end through the flow and visible
+/// in the rendered `printed-trace report` robustness section.
+#[test]
+fn robust_selection_diverges_from_plain_on_seeds() {
+    use printed_ml::codesign::{RobustnessCampaign, RobustnessConstraints};
+    use printed_ml::report::CostReport;
+    use printed_ml::telemetry::Recorder;
+
+    let (train, test) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+    let (_, analog_test) = Benchmark::Seeds.load_split().expect("built-ins split");
+    let grid = ExplorationConfig::quick();
+    let sweep = explore(&train, &test, &grid);
+    let campaign = RobustnessCampaign::quick();
+    let outcome = campaign.run(&sweep, &test, &analog_test, &Recorder::disabled());
+    let constraints = RobustnessConstraints {
+        min_droop_margin: Some(0.2),
+        ..RobustnessConstraints::default()
+    };
+
+    let plain = sweep.select(0.05).expect("Seeds admits a 5%-loss design");
+    let robust = sweep
+        .select_robust(0.05, &outcome, &constraints)
+        .expect("a droop-tolerant design exists on the quick grid");
+    assert!(
+        (plain.tau, plain.depth) != (robust.tau, robust.depth),
+        "selections agree at (τ={}, depth {}) — the droop constraint did not bite",
+        plain.tau,
+        plain.depth
+    );
+    // The divergence is *because* of robustness: the plain choice violates
+    // the droop constraint, the robust choice satisfies it within the same
+    // accuracy budget.
+    let plain_profile = outcome
+        .profile_for(plain.tau, plain.depth)
+        .expect("every candidate was profiled");
+    assert!(!constraints.admits(plain_profile));
+    let robust_profile = outcome
+        .profile_for(robust.tau, robust.depth)
+        .expect("every candidate was profiled");
+    assert!(constraints.admits(robust_profile));
+    assert!(
+        robust_profile.robust_accuracy() >= sweep.reference_accuracy - 0.05 - 1e-12,
+        "robust accuracy {} under the floor",
+        robust_profile.robust_accuracy()
+    );
+
+    // Same divergence end-to-end: the flow with the constrained campaign
+    // picks the robust design, and the report renders its profile.
+    let flow_outcome = CodesignFlow::new(&train, &test)
+        .grid(grid)
+        .accuracy_loss(0.05)
+        .robustness_with(campaign, &analog_test, constraints)
+        .traced()
+        .run();
+    assert_eq!(
+        (flow_outcome.chosen.tau, flow_outcome.chosen.depth),
+        (robust.tau, robust.depth)
+    );
+    let report = CostReport::from_outcome(&flow_outcome, &AnalogModel::egfet());
+    assert_eq!(report.robustness.len(), sweep.candidates.len());
+    let text = report.render_text();
+    assert!(text.contains("robustness"), "missing section:\n{text}");
+    assert!(text.contains("worst-fault"), "missing header:\n{text}");
+}
+
 /// The explorer's selected designs reproduce the Fig. 5 monotonicity on a
 /// real benchmark: looser accuracy constraints never need more power.
 #[test]

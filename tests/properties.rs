@@ -320,6 +320,61 @@ proptest! {
         prop_assert_eq!(tree.split_count() + tree.leaf_count(), tree.nodes().len());
     }
 
+    /// One-hot decoding returns `Some(class)` exactly when exactly one
+    /// class line is asserted — the contract fault campaigns score against.
+    #[test]
+    fn decode_one_hot_iff_exactly_one(outputs in vec(any::<bool>(), 0..12)) {
+        use printed_ml::codesign::decode_one_hot;
+        let hot: Vec<usize> = outputs
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        match decode_one_hot(&outputs) {
+            Some(class) => prop_assert_eq!(hot, vec![class]),
+            None => prop_assert_ne!(hot.len(), 1),
+        }
+    }
+
+    /// Benign-fault identity: sticking a gate at the value it already
+    /// computes for a given input leaves every output unchanged.
+    #[test]
+    fn benign_faults_are_invisible(
+        nl in arb_netlist(4, 24),
+        inputs in vec(any::<bool>(), 4),
+        gate_pick in any::<u16>(),
+    ) {
+        use printed_ml::logic::faults::{FaultyNetlist, StuckAt};
+        let gate = gate_pick as usize % nl.gate_count();
+        let fault_free = nl.eval_all(&inputs);
+        let fault = StuckAt { gate, value: fault_free[gate] };
+        let faulty = FaultyNetlist::new(&nl, fault);
+        prop_assert_eq!(faulty.eval(&inputs), nl.eval(&inputs));
+    }
+
+    /// Sweep checkpoints survive the write→resume round trip losslessly for
+    /// arbitrary trees and grid points, including through the file-level
+    /// loader with a torn (crash-truncated) final line.
+    #[test]
+    fn checkpoint_lines_round_trip_losslessly(
+        tree in arb_tree(4, 3),
+        tau in 0.0f64..0.2,
+        depth in 1usize..9,
+        accuracy in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        use printed_ml::codesign::checkpoint::{load_lines, CheckpointLine};
+        let line = CheckpointLine { tau, depth, test_accuracy: accuracy, tree };
+        let encoded = line.encode(seed);
+        let decoded = CheckpointLine::decode(&encoded, seed).expect("own lines decode");
+        prop_assert_eq!(&decoded, &line);
+        // A crash mid-append leaves a partial last line; the loader keeps
+        // the whole lines and drops the torn one.
+        let torn = format!("{encoded}\n{}", &encoded[..encoded.len() / 2]);
+        prop_assert_eq!(load_lines(&torn, seed), vec![line]);
+    }
+
     /// The thermometer priority encoder inverts the unary encoding for all
     /// resolutions up to 4 bits.
     #[test]
