@@ -15,6 +15,9 @@
 //!   over the sweep and report the robustness-aware selection; fails if any
 //!   grid point panicked or no candidate could be profiled;
 //! * `--trials <n>` — Monte-Carlo trials per candidate for `--robust`;
+//! * `--resume <path>` — checkpoint the sweep to this NDJSON file and, if
+//!   it already holds completed grid points from an interrupted run with
+//!   the same seed, resume from them instead of re-training;
 //! * `--verilog <path>` — write the unary classifier netlist as Verilog;
 //! * `--spice <path>` — write the bespoke reference ladder as a SPICE deck.
 
@@ -38,6 +41,7 @@ struct Args {
     quick: bool,
     robust: bool,
     trials: Option<usize>,
+    resume: Option<String>,
     verilog: Option<String>,
     spice: Option<String>,
 }
@@ -48,7 +52,7 @@ fn parse_args() -> Result<Args, String> {
         .next()
         .ok_or(
             "usage: codesign <benchmark> [--loss F] [--quick] [--robust] [--trials N] \
-             [--verilog P] [--spice P]",
+             [--resume P] [--verilog P] [--spice P]",
         )?
         .parse()
         .map_err(|e| format!("{e}"))?;
@@ -58,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         robust: false,
         trials: None,
+        resume: None,
         verilog: None,
         spice: None,
     };
@@ -80,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.trials = Some(n);
             }
+            "--resume" => args.resume = Some(argv.next().ok_or("--resume needs a path")?),
             "--verilog" => args.verilog = Some(argv.next().ok_or("--verilog needs a path")?),
             "--spice" => args.spice = Some(argv.next().ok_or("--spice needs a path")?),
             other => return Err(format!("unknown flag {other}")),
@@ -114,11 +120,15 @@ fn run(args: &Args, hook: &mut TraceHook) -> Result<(), String> {
         baseline.total_power()
     );
 
-    let grid = if args.quick {
+    let mut grid = if args.quick {
         ExplorationConfig::quick()
     } else {
         ExplorationConfig::paper()
     };
+    if let Some(path) = &args.resume {
+        grid = grid.with_checkpoint(path);
+        println!("checkpointing sweep to {path} (resumes completed points)");
+    }
     hook.set_manifest(
         RunManifest::capture(format!("{}", args.benchmark))
             .with_grid(&grid.taus, grid.depths.iter().copied())

@@ -395,12 +395,14 @@ impl RobustnessCampaign {
                                     .span(keys::ROBUST_SPAN)
                                     .field("depth", candidate.depth)
                                     .field("tau", candidate.tau);
-                                // Same per-grid-point derivation as the
-                                // explorer, off the campaign's own base seed.
-                                let seed = self
-                                    .seed
-                                    .wrapping_add((candidate.depth as u64) << 32)
-                                    .wrapping_add((candidate.tau * 1e6) as u64);
+                                // Same collision-free per-grid-point
+                                // derivation as the explorer, off the
+                                // campaign's own base seed.
+                                let seed = crate::explore::point_seed(
+                                    self.seed,
+                                    candidate.depth,
+                                    candidate.tau,
+                                );
                                 let profile = self.profile_with_seed(
                                     &candidate.tree,
                                     test_q,

@@ -161,10 +161,53 @@ fn scan_f64(line: &str, key: &str) -> Option<f64> {
 
 /// Reads every resumable grid point from checkpoint file text, silently
 /// skipping undecodable or foreign-seed lines.
+///
+/// When the file holds several lines for the same `(depth, τ)` (resumed
+/// sweeps append, they never rewrite in place), the **last** line wins: it
+/// is the most recently written result, and under a fixed seed any
+/// duplicates are bit-identical anyway. First-seen order of the surviving
+/// keys is preserved.
 pub fn load_lines(text: &str, expected_seed: u64) -> Vec<CheckpointLine> {
-    text.lines()
+    let mut lines: Vec<CheckpointLine> = Vec::new();
+    let mut index: std::collections::HashMap<(usize, u64), usize> =
+        std::collections::HashMap::new();
+    for line in text
+        .lines()
         .filter_map(|line| CheckpointLine::decode(line, expected_seed))
-        .collect()
+    {
+        match index.entry(line.key()) {
+            std::collections::hash_map::Entry::Occupied(slot) => lines[*slot.get()] = line,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(lines.len());
+                lines.push(line);
+            }
+        }
+    }
+    lines
+}
+
+/// Rewrites the checkpoint file at `path` to exactly one line per entry in
+/// `lines`, dropping duplicates and foreign-seed leftovers. The explorer
+/// calls this after a fully successful sweep so repeated resume cycles
+/// keep the file bounded at one line per grid point; after compaction the
+/// file describes exactly that sweep's grid (a checkpoint file belongs to
+/// one sweep configuration).
+///
+/// The rewrite goes through a sibling temp file and a rename, so a crash
+/// mid-compaction leaves either the old or the new file, never a torn one.
+///
+/// # Errors
+///
+/// Propagates I/O failures from writing the temp file or renaming it.
+pub fn compact(path: &str, seed: u64, lines: &[CheckpointLine]) -> std::io::Result<()> {
+    let mut text = String::new();
+    for line in lines {
+        text.push_str(&line.encode(seed));
+        text.push('\n');
+    }
+    let tmp = format!("{path}.compact.tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -230,6 +273,73 @@ mod tests {
         // NaN renders as null and the line is rejected on read, forcing a
         // clean re-evaluation of that grid point.
         assert!(CheckpointLine::decode(&line.encode(7), 7).is_none());
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_the_last_line() {
+        let older = CheckpointLine {
+            tau: 0.01,
+            depth: 4,
+            test_accuracy: 0.6,
+            tree: DecisionTree::constant(4, 1, 2, 0),
+        };
+        let newer = CheckpointLine {
+            test_accuracy: 0.8,
+            tree: sample_tree(),
+            ..older.clone()
+        };
+        let other = CheckpointLine {
+            tau: 0.02,
+            depth: 2,
+            test_accuracy: 0.7,
+            tree: DecisionTree::constant(4, 1, 2, 1),
+        };
+        let text = format!(
+            "{}\n{}\n{}\n",
+            older.encode(5),
+            other.encode(5),
+            newer.encode(5)
+        );
+        // Last line per (depth, τ) wins; first-seen key order is kept.
+        assert_eq!(load_lines(&text, 5), vec![newer, other]);
+    }
+
+    #[test]
+    fn compaction_round_trips_and_drops_duplicates() {
+        let path = std::env::temp_dir().join(format!(
+            "printed-compact-{}-{:?}.ndjson",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path_str = path.to_str().unwrap().to_owned();
+        let a = CheckpointLine {
+            tau: 0.0,
+            depth: 2,
+            test_accuracy: 0.9,
+            tree: sample_tree(),
+        };
+        let b = CheckpointLine {
+            tau: 0.01,
+            depth: 3,
+            test_accuracy: 0.8,
+            tree: DecisionTree::constant(4, 1, 2, 1),
+        };
+        // A grown file: duplicates, a foreign-seed line, and junk.
+        let grown = format!(
+            "{}\n{}\njunk\n{}\n{}\n",
+            a.encode(3),
+            b.encode(3),
+            b.encode(99),
+            a.encode(3)
+        );
+        std::fs::write(&path, grown).unwrap();
+        let loaded = load_lines(&std::fs::read_to_string(&path).unwrap(), 3);
+        assert_eq!(loaded, vec![a.clone(), b.clone()]);
+        compact(&path_str, 3, &loaded).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "one line per key after compaction");
+        assert_eq!(load_lines(&text, 3), vec![a, b]);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

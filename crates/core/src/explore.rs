@@ -4,12 +4,25 @@
 //! trains an ADC-aware tree for each point, and then selects, for a given
 //! accuracy-loss constraint (0%, 1%, 5%), the most hardware-efficient
 //! design whose accuracy stays within the constraint of the ADC-unaware
-//! reference. Trainings are independent, so the sweep fans out across
-//! threads.
+//! reference.
+//!
+//! The sweep is **prefix-shared**: Algorithm 1 grows trees breadth-first,
+//! so for a fixed τ (and fixed seed) the depth-d tree is a strict prefix
+//! of the depth-D tree for every d ≤ D — all depth < d decisions (splits,
+//! RNG draws, hardware-state mutations) are committed before any depth-d
+//! node is considered. The explorer therefore trains **one** tree per τ at
+//! `max(depths)` and derives every shallower candidate by BFS truncation
+//! ([`AnnotatedTree::truncated`]), bit-identical to a fresh training at
+//! the lower cap. A full `|τ|×|depth|` grid costs `|τ|` trainings and
+//! `|grid|` syntheses; the syntheses and per-τ trainings fan out over a
+//! work-stealing scheduler (workers pull the next task from an atomic
+//! index, so one expensive τ cannot serialize the sweep behind it).
 //!
 //! The explorer degrades gracefully: a grid point that panics is isolated
 //! with `catch_unwind` and reported in [`Exploration::failed_candidates`]
-//! instead of killing the sweep, and setting
+//! instead of killing the sweep — if the shared training itself dies, the
+//! surviving shallower caps simply retrain at their own depth (equivalence
+//! makes that bit-identical). Setting
 //! [`ExplorationConfig::checkpoint_path`] persists each completed point so
 //! an interrupted sweep resumes without re-training (see
 //! [`crate::checkpoint`]).
@@ -43,7 +56,7 @@ use printed_telemetry::{keys, FieldValue, Progress, Recorder};
 use crate::campaign::{CampaignOutcome, RobustnessConstraints};
 use crate::checkpoint::{self, CheckpointLine};
 use crate::system::{synthesize_unary_with, UnarySystem};
-use crate::train::{train_adc_aware_recorded, AdcAwareConfig};
+use crate::train::{train_adc_aware_annotated, AdcAwareConfig, AnnotatedTree};
 
 /// Live progress callback for [`explore_instrumented`]: invoked from the
 /// sweep's worker threads, once per finished grid point.
@@ -68,6 +81,12 @@ pub struct ExplorationConfig {
     /// use.
     #[serde(default)]
     pub chaos_points: Vec<(usize, f64)>,
+    /// Worker-thread count for the sweep; `None` (the default) uses the
+    /// machine's available parallelism. The result is bit-identical for
+    /// any thread count — each task's outcome depends only on its own
+    /// seed, and the final `(depth, τ)` sort pins the ordering.
+    #[serde(default)]
+    pub threads: Option<usize>,
 }
 
 impl ExplorationConfig {
@@ -79,6 +98,7 @@ impl ExplorationConfig {
             seed: 0x0ADC,
             checkpoint_path: None,
             chaos_points: Vec::new(),
+            threads: None,
         }
     }
 
@@ -109,8 +129,12 @@ impl ExplorationConfig {
     /// # Panics
     ///
     /// Panics if `taus` or `depths` is empty, any `tau` is negative or not
-    /// finite, or any depth is zero.
+    /// finite, any depth is zero, or `threads` is `Some(0)`.
     pub fn validate(&self) {
+        assert!(
+            self.threads != Some(0),
+            "exploration config requests 0 worker threads: ExplorationConfig::threads must be None (auto) or at least 1"
+        );
         assert!(
             !self.taus.is_empty(),
             "exploration grid has no taus: ExplorationConfig::taus must list at least one Gini-slack value (the paper sweeps 0..=0.03 step 0.005)"
@@ -317,6 +341,30 @@ pub fn explore_with(
     )
 }
 
+/// Odd multiplier (2⁶⁴/φ) whose product is a bijection on `u64`, so
+/// distinct inputs can never collide after mixing.
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the per-τ training seed from the sweep's base seed.
+///
+/// Mixing `tau.to_bits()` keys the stream on τ's *exact* bit pattern:
+/// τ values distinguishable as `f64`s always get distinct seeds. (An
+/// earlier derivation used `(tau * 1e6) as u64`, which truncated
+/// non-multiple-of-1e-6 values and collided τs closer than 1e-6.) The
+/// seed is deliberately depth-independent — prefix sharing requires every
+/// depth cap of a τ to replay the same RNG stream.
+pub(crate) fn tau_seed(base: u64, tau: f64) -> u64 {
+    base ^ tau.to_bits().wrapping_mul(SEED_MIX)
+}
+
+/// Derives a per-grid-point seed — for consumers (robustness campaigns)
+/// that genuinely need an independent stream per `(depth, τ)` point rather
+/// than the training's shared per-τ stream. Folds the depth in with a
+/// second odd-multiplier mix so `(depth, τ)` pairs never collide.
+pub(crate) fn point_seed(base: u64, depth: usize, tau: f64) -> u64 {
+    tau_seed(base, tau) ^ (depth as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
 /// Renders a panic payload into a failed-candidate error string.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -328,22 +376,43 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// One unit of work for the sweep's work-stealing scheduler.
+enum SweepTask {
+    /// Re-synthesize a checkpointed grid point (no training).
+    Restore {
+        depth: usize,
+        tau: f64,
+        line: CheckpointLine,
+    },
+    /// Train one tree for `tau` at the deepest missing cap and derive the
+    /// shallower caps by truncation. `depths` is sorted descending.
+    Train { tau: f64, depths: Vec<usize> },
+}
+
 /// [`explore_with`] plus observability: one [`keys::CANDIDATE_SPAN`] per
 /// grid point (fields `tau`, `depth`, `accuracy`, `comparators`), a
 /// [`keys::CANDIDATE_US`] wall-time histogram, and — independent of the
 /// recorder — an optional live `progress` callback fired from the worker
 /// threads as each candidate completes.
 ///
+/// Prefix sharing shows up in the trace: only the deepest missing cap of
+/// each τ trains (a `train` span, [`keys::TREES_TRAINED`]); every other
+/// cap derives by truncation (a [`keys::TRUNCATE_SPAN`] with fields `tau`,
+/// `depth`, `trained_depth`, and a [`keys::TREES_SHARED`] bump). Both
+/// paths emit the candidate span and histogram observation.
+///
 /// Grid points that panic are isolated per candidate: each failure is
 /// recorded as a [`keys::CANDIDATE_FAILED_EVENT`] (and bumps
 /// [`keys::SWEEP_FAILED`]) and listed in
 /// [`Exploration::failed_candidates`], while the rest of the sweep
-/// completes normally. Points restored from a checkpoint bump
+/// completes normally — a failed shared training just retrains at the
+/// next shallower cap. Points restored from a checkpoint bump
 /// [`keys::SWEEP_CHECKPOINT_HITS`] and emit no candidate span (nothing was
-/// trained).
+/// trained); after a fully successful sweep the checkpoint file is
+/// compacted to one line per grid point.
 ///
-/// The instrumentation never touches the per-point RNG seeds, so the
-/// returned [`Exploration`] is bit-identical to [`explore_with`]'s.
+/// The instrumentation never touches the per-τ RNG seeds, so the returned
+/// [`Exploration`] is bit-identical to [`explore_with`]'s.
 #[allow(clippy::too_many_arguments)]
 pub fn explore_instrumented(
     train_data: &QuantizedDataset,
@@ -372,40 +441,41 @@ pub fn explore_instrumented(
 
     // Checkpoint resume: grid points already persisted skip training and
     // only re-synthesize their hardware (deterministic from the tree).
-    let mut candidates: Vec<CandidateDesign> = Vec::new();
-    let mut todo: Vec<(usize, f64)> = Vec::new();
-    if let Some(path) = config.checkpoint_path.as_deref() {
-        let completed: HashMap<(usize, u64), CheckpointLine> = std::fs::read_to_string(path)
-            .map(|text| checkpoint::load_lines(&text, config.seed))
-            .unwrap_or_default()
-            .into_iter()
-            .map(|line| (line.key(), line))
+    let completed: HashMap<(usize, u64), CheckpointLine> = config
+        .checkpoint_path
+        .as_deref()
+        .and_then(|path| std::fs::read_to_string(path).ok())
+        .map(|text| checkpoint::load_lines(&text, config.seed))
+        .unwrap_or_default()
+        .into_iter()
+        .map(|line| (line.key(), line))
+        .collect();
+
+    // Task list: one Train task per τ with missing points (heaviest work
+    // first, so the work-stealing loop starts the long poles early), then
+    // one Restore task per checkpointed point (synthesis only).
+    let mut tasks: Vec<SweepTask> = Vec::new();
+    for &tau in &config.taus {
+        let mut depths: Vec<usize> = config
+            .depths
+            .iter()
+            .copied()
+            .filter(|&depth| !completed.contains_key(&(depth, tau.to_bits())))
             .collect();
-        for &(depth, tau) in &grid {
-            match completed.get(&(depth, tau.to_bits())) {
-                Some(line) => {
-                    let system = synthesize_unary_with(&line.tree, library, analog, analysis);
-                    recorder.add(keys::SWEEP_CHECKPOINT_HITS, 1);
-                    if let Some(callback) = progress {
-                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                        callback(Progress {
-                            done: finished,
-                            total,
-                        });
-                    }
-                    candidates.push(CandidateDesign {
-                        tau,
-                        depth,
-                        test_accuracy: line.test_accuracy,
-                        tree: line.tree.clone(),
-                        system,
-                    });
-                }
-                None => todo.push((depth, tau)),
-            }
+        if !depths.is_empty() {
+            // Descending: the first (deepest) cap trains, the rest truncate.
+            depths.sort_unstable_by(|a, b| b.cmp(a));
+            tasks.push(SweepTask::Train { tau, depths });
         }
-    } else {
-        todo = grid;
+    }
+    for &(depth, tau) in &grid {
+        if let Some(line) = completed.get(&(depth, tau.to_bits())) {
+            tasks.push(SweepTask::Restore {
+                depth,
+                tau,
+                line: line.clone(),
+            });
+        }
     }
 
     // Fresh completions append to the checkpoint as they finish, one
@@ -421,101 +491,189 @@ pub fn explore_instrumented(
             Mutex::new(file)
         });
 
-    // Independent trainings — fan out across threads (scoped, no deps).
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let chunk = todo.len().div_ceil(threads);
-    let (fresh, mut failed): (Vec<CandidateDesign>, Vec<FailedCandidate>) =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = todo
-                .chunks(chunk.max(1))
-                .map(|points| {
+    // Work-stealing fan-out: workers pull the next task from a shared
+    // atomic index until the list is exhausted. Unlike static chunking,
+    // an expensive deep-τ task cannot strand the cheap ones behind it —
+    // whoever finishes first pulls more work.
+    let threads = config
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .min(tasks.len())
+        .max(1);
+    let next_task = AtomicUsize::new(0);
+    let tasks = &tasks;
+    let (fresh, mut failed): (Vec<CandidateDesign>, Vec<FailedCandidate>) = std::thread::scope(
+        |scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
                     let done = &done;
+                    let next_task = &next_task;
                     let checkpoint_sink = &checkpoint_sink;
                     scope.spawn(move || {
                         // One histogram handle per worker: registration takes a
                         // lock, observations after that are atomic.
                         let candidate_us = recorder.histogram(keys::CANDIDATE_US);
-                        let mut ok = Vec::with_capacity(points.len());
-                        let mut bad = Vec::new();
-                        for &(depth, tau) in points {
-                            // Per-candidate isolation: one poisoned grid point
-                            // must not abort the other trainings.
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                if config.chaos_points.contains(&(depth, tau)) {
-                                    panic!("injected chaos point (depth {depth}, tau {tau})");
-                                }
-                                let span = recorder
-                                    .span(keys::CANDIDATE_SPAN)
-                                    .field("depth", depth)
-                                    .field("tau", tau);
-                                let cfg = AdcAwareConfig {
-                                    max_depth: depth,
-                                    tau,
-                                    min_samples_split: 2,
-                                    // Derive a distinct but reproducible seed per
-                                    // grid point.
-                                    seed: config
-                                        .seed
-                                        .wrapping_add((depth as u64) << 32)
-                                        .wrapping_add((tau * 1e6) as u64),
-                                };
-                                let tree = train_adc_aware_recorded(train_data, &cfg, recorder);
-                                let test_accuracy = tree.accuracy(test_data);
-                                let system =
-                                    synthesize_unary_with(&tree, library, analog, analysis);
-                                candidate_us.observe(
-                                    span.field("accuracy", test_accuracy)
-                                        .field("comparators", system.comparator_count())
-                                        .finish(),
-                                );
-                                CandidateDesign {
-                                    tau,
-                                    depth,
-                                    test_accuracy,
-                                    tree,
-                                    system,
-                                }
-                            }));
-                            match outcome {
-                                Ok(candidate) => {
-                                    if let Some(sink) = checkpoint_sink {
-                                        let line = CheckpointLine {
-                                            tau,
-                                            depth,
-                                            test_accuracy: candidate.test_accuracy,
-                                            tree: candidate.tree.clone(),
-                                        }
-                                        .encode(config.seed);
-                                        // Best-effort: a full disk must not
-                                        // kill the sweep, only the resume.
-                                        let mut file = sink.lock().expect("checkpoint file lock");
-                                        let _ = writeln!(file, "{line}");
-                                        let _ = file.flush();
-                                    }
-                                    ok.push(candidate);
-                                }
-                                Err(payload) => {
-                                    let error = panic_message(payload);
-                                    recorder.event(
-                                        keys::CANDIDATE_FAILED_EVENT,
-                                        vec![
-                                            ("depth".to_owned(), FieldValue::U64(depth as u64)),
-                                            ("tau".to_owned(), FieldValue::F64(tau)),
-                                            ("error".to_owned(), FieldValue::Str(error.clone())),
-                                        ],
-                                    );
-                                    recorder.add(keys::SWEEP_FAILED, 1);
-                                    bad.push(FailedCandidate { tau, depth, error });
-                                }
-                            }
+                        let mut ok: Vec<CandidateDesign> = Vec::new();
+                        let mut bad: Vec<FailedCandidate> = Vec::new();
+                        let report_progress = || {
                             if let Some(callback) = progress {
                                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                                 callback(Progress {
                                     done: finished,
                                     total,
                                 });
+                            }
+                        };
+                        let record_failure = |depth: usize,
+                                              tau: f64,
+                                              payload: Box<dyn std::any::Any + Send>|
+                         -> FailedCandidate {
+                            let error = panic_message(payload);
+                            recorder.event(
+                                keys::CANDIDATE_FAILED_EVENT,
+                                vec![
+                                    ("depth".to_owned(), FieldValue::U64(depth as u64)),
+                                    ("tau".to_owned(), FieldValue::F64(tau)),
+                                    ("error".to_owned(), FieldValue::Str(error.clone())),
+                                ],
+                            );
+                            recorder.add(keys::SWEEP_FAILED, 1);
+                            FailedCandidate { tau, depth, error }
+                        };
+                        let persist = |candidate: &CandidateDesign| {
+                            if let Some(sink) = checkpoint_sink {
+                                let line = CheckpointLine {
+                                    tau: candidate.tau,
+                                    depth: candidate.depth,
+                                    test_accuracy: candidate.test_accuracy,
+                                    tree: candidate.tree.clone(),
+                                }
+                                .encode(config.seed);
+                                // Best-effort: a full disk must not kill the
+                                // sweep, only the resume.
+                                let mut file = sink.lock().expect("checkpoint file lock");
+                                let _ = writeln!(file, "{line}");
+                                let _ = file.flush();
+                            }
+                        };
+                        loop {
+                            let index = next_task.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = tasks.get(index) else { break };
+                            match task {
+                                SweepTask::Restore { depth, tau, line } => {
+                                    let (depth, tau) = (*depth, *tau);
+                                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                        let system = synthesize_unary_with(
+                                            &line.tree, library, analog, analysis,
+                                        );
+                                        CandidateDesign {
+                                            tau,
+                                            depth,
+                                            test_accuracy: line.test_accuracy,
+                                            tree: line.tree.clone(),
+                                            system,
+                                        }
+                                    }));
+                                    match outcome {
+                                        Ok(candidate) => {
+                                            recorder.add(keys::SWEEP_CHECKPOINT_HITS, 1);
+                                            ok.push(candidate);
+                                        }
+                                        Err(payload) => bad.push(record_failure(
+                                            depth, tau, payload,
+                                        )),
+                                    }
+                                    report_progress();
+                                }
+                                SweepTask::Train { tau, depths } => {
+                                    let tau = *tau;
+                                    // The shared tree for this τ, once grown at
+                                    // the deepest cap that survived.
+                                    let mut shared: Option<(usize, AnnotatedTree)> = None;
+                                    for &depth in depths {
+                                        // Per-candidate isolation: one poisoned
+                                        // grid point must not abort the others.
+                                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                            if config.chaos_points.contains(&(depth, tau)) {
+                                                panic!(
+                                                    "injected chaos point (depth {depth}, tau {tau})"
+                                                );
+                                            }
+                                            let span = recorder
+                                                .span(keys::CANDIDATE_SPAN)
+                                                .field("depth", depth)
+                                                .field("tau", tau);
+                                            let tree = if let Some((trained_depth, annotated)) =
+                                                shared.as_ref()
+                                            {
+                                                let truncate_span = recorder
+                                                    .span(keys::TRUNCATE_SPAN)
+                                                    .field("tau", tau)
+                                                    .field("depth", depth)
+                                                    .field("trained_depth", *trained_depth);
+                                                let tree = annotated.truncated(depth);
+                                                truncate_span.finish();
+                                                recorder.add(keys::TREES_SHARED, 1);
+                                                tree
+                                            } else {
+                                                let cfg = AdcAwareConfig {
+                                                    max_depth: depth,
+                                                    tau,
+                                                    min_samples_split: 2,
+                                                    // Per-τ, depth-independent:
+                                                    // every cap replays the same
+                                                    // RNG stream, which is what
+                                                    // makes truncation exact.
+                                                    seed: tau_seed(config.seed, tau),
+                                                };
+                                                let annotated = train_adc_aware_annotated(
+                                                    train_data, &cfg, recorder,
+                                                );
+                                                let tree = annotated.tree.clone();
+                                                shared = Some((depth, annotated));
+                                                tree
+                                            };
+                                            let test_accuracy = tree.accuracy(test_data);
+                                            let system = synthesize_unary_with(
+                                                &tree, library, analog, analysis,
+                                            );
+                                            candidate_us.observe(
+                                                span.field("accuracy", test_accuracy)
+                                                    .field(
+                                                        "comparators",
+                                                        system.comparator_count(),
+                                                    )
+                                                    .finish(),
+                                            );
+                                            CandidateDesign {
+                                                tau,
+                                                depth,
+                                                test_accuracy,
+                                                tree,
+                                                system,
+                                            }
+                                        }));
+                                        match outcome {
+                                            Ok(candidate) => {
+                                                persist(&candidate);
+                                                ok.push(candidate);
+                                            }
+                                            // If the shared training itself died,
+                                            // `shared` stays None and the next
+                                            // (shallower) cap trains at its own
+                                            // depth — bit-identical by the
+                                            // prefix-sharing equivalence.
+                                            Err(payload) => bad.push(record_failure(
+                                                depth, tau, payload,
+                                            )),
+                                        }
+                                        report_progress();
+                                    }
+                                }
                             }
                         }
                         (ok, bad)
@@ -533,10 +691,30 @@ pub fn explore_instrumented(
                 failed.extend(bad);
             }
             (fresh, failed)
-        });
-    candidates.extend(fresh);
+        },
+    );
+    let mut candidates = fresh;
     candidates.sort_by(|a, b| a.depth.cmp(&b.depth).then(a.tau.total_cmp(&b.tau)));
     failed.sort_by(|a, b| a.depth.cmp(&b.depth).then(a.tau.total_cmp(&b.tau)));
+
+    // A fully successful checkpointed sweep compacts the file down to one
+    // line per grid point, so repeated resume cycles cannot grow it
+    // without bound. Best-effort, like the appends.
+    if failed.is_empty() {
+        if let Some(path) = config.checkpoint_path.as_deref() {
+            drop(checkpoint_sink);
+            let lines: Vec<CheckpointLine> = candidates
+                .iter()
+                .map(|c| CheckpointLine {
+                    tau: c.tau,
+                    depth: c.depth,
+                    test_accuracy: c.test_accuracy,
+                    tree: c.tree.clone(),
+                })
+                .collect();
+            let _ = checkpoint::compact(path, config.seed, &lines);
+        }
+    }
 
     Exploration {
         candidates,
@@ -687,7 +865,10 @@ mod tests {
             snap.spans_named(keys::CANDIDATE_SPAN).count(),
             config.grid_size()
         );
-        assert_eq!(snap.counter(keys::TREES_TRAINED), 9);
+        // Prefix sharing: one training per τ, the rest derived.
+        assert_eq!(snap.counter(keys::TREES_TRAINED), 3);
+        assert_eq!(snap.counter(keys::TREES_SHARED), 6);
+        assert_eq!(snap.spans_named(keys::TRUNCATE_SPAN).count(), 6);
         assert_eq!(snap.histogram(keys::CANDIDATE_US).unwrap().count, 9);
         // Every candidate span carries the grid coordinates and outcome.
         for span in snap.spans_named(keys::CANDIDATE_SPAN) {
@@ -775,6 +956,109 @@ mod tests {
     }
 
     #[test]
+    fn close_taus_get_distinct_seeds() {
+        // Regression: the old `(tau * 1e6) as u64` mix truncated to 1e-6
+        // resolution, so τ values closer than that collided onto one RNG
+        // stream. The bit-pattern mix keys every distinguishable f64.
+        let base = 0x0ADC;
+        let tau_a = 1e-7;
+        let tau_b = 3e-7;
+        let old_mix = |tau: f64| base + (tau * 1e6) as u64;
+        assert_eq!(
+            old_mix(tau_a),
+            old_mix(tau_b),
+            "the old derivation collided"
+        );
+        assert_ne!(tau_seed(base, tau_a), tau_seed(base, tau_b));
+        // And the streams stay distinct across a dense τ grid.
+        let taus: Vec<f64> = (0..1000).map(|i| i as f64 * 1e-8).collect();
+        let mut seeds: Vec<u64> = taus.iter().map(|&t| tau_seed(base, t)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), taus.len());
+        // Depth folds in without colliding either.
+        let mut point_seeds: Vec<u64> = (1..=8)
+            .flat_map(|d| taus.iter().map(move |&t| point_seed(base, d, t)))
+            .collect();
+        point_seeds.sort_unstable();
+        point_seeds.dedup();
+        assert_eq!(point_seeds.len(), 8 * taus.len());
+    }
+
+    #[test]
+    fn pathological_grid_matches_serial_path() {
+        // The old contiguous chunking put all deep points in the last
+        // worker; work stealing must not change the result on a grid built
+        // to expose scheduling: one expensive depth-8 row, many cheap
+        // depth-2 rows.
+        let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let pathological = ExplorationConfig {
+            taus: (0..6).map(|i| i as f64 * 0.005).collect(),
+            depths: vec![2, 8],
+            ..ExplorationConfig::quick()
+        };
+        let serial = explore(
+            &train_data,
+            &test_data,
+            &ExplorationConfig {
+                threads: Some(1),
+                ..pathological.clone()
+            },
+        );
+        let parallel = explore(
+            &train_data,
+            &test_data,
+            &ExplorationConfig {
+                threads: Some(8),
+                ..pathological
+            },
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn paper_grid_trains_one_tree_per_tau() {
+        // The acceptance pin: a 49-point paper() sweep performs exactly 7
+        // trainings (one per τ, at max depth) and derives the other 42.
+        let (train_data, test_data) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let config = ExplorationConfig::paper();
+        let (recorder, sink) = Recorder::collecting();
+        let sweep = explore_instrumented(
+            &train_data,
+            &test_data,
+            &config,
+            &CellLibrary::egfet(),
+            &AnalogModel::egfet(),
+            &AnalysisConfig::printed_20hz(),
+            &recorder,
+            None,
+        );
+        assert_eq!(sweep.candidates.len(), 49);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(keys::TREES_TRAINED), config.taus.len() as u64);
+        assert_eq!(
+            snap.counter(keys::TREES_SHARED),
+            (config.grid_size() - config.taus.len()) as u64
+        );
+        // Gini work equals exactly 7 standalone max-depth trainings —
+        // truncation does no split scoring at all.
+        let (tally_recorder, tally_sink) = Recorder::collecting();
+        for &tau in &config.taus {
+            let cfg = AdcAwareConfig {
+                max_depth: 8,
+                tau,
+                min_samples_split: 2,
+                seed: tau_seed(config.seed, tau),
+            };
+            crate::train::train_adc_aware_recorded(&train_data, &cfg, &tally_recorder);
+        }
+        assert_eq!(
+            snap.counter(keys::GINI_EVALS),
+            tally_sink.snapshot().counter(keys::GINI_EVALS)
+        );
+    }
+
+    #[test]
     fn checkpointed_sweep_resumes_without_retraining() {
         let path = std::env::temp_dir().join(format!(
             "printed-ckpt-{}-{:?}.ndjson",
@@ -816,14 +1100,21 @@ mod tests {
         assert_eq!(snap.counter(keys::SWEEP_CHECKPOINT_HITS), 3);
         assert_eq!(
             snap.counter(keys::TREES_TRAINED),
-            6,
-            "resumed points skip training"
+            3,
+            "resumed points skip training; missing caps share one tree per τ"
         );
+        assert_eq!(snap.counter(keys::TREES_SHARED), 3);
         assert_eq!(snap.spans_named(keys::CANDIDATE_SPAN).count(), 6);
 
-        // The resumed sweep is bit-identical to an uninterrupted one.
+        // The resumed sweep is bit-identical to an uninterrupted one: the
+        // restored depth-2 candidates were trained at cap 2 with the per-τ
+        // seed, which equals truncating the fresh sweep's depth-6 trees.
         let fresh = explore(&train_data, &test_data, &ExplorationConfig::quick());
         assert_eq!(resumed, fresh);
+
+        // The fully successful sweep compacted the file: one line per grid
+        // point, no duplicate accumulation across resume cycles.
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 9);
 
         // A third run finds everything checkpointed and trains nothing.
         let (recorder, sink) = Recorder::collecting();

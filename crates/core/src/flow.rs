@@ -461,6 +461,7 @@ mod tests {
         let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
         let grid = ExplorationConfig::quick();
         let expected_candidates = grid.grid_size();
+        let expected_taus = grid.taus.len();
         let outcome = CodesignFlow::new(&train, &test)
             .accuracy_loss(0.01)
             .grid(grid)
@@ -476,9 +477,11 @@ mod tests {
             assert!(trace.stage(stage).is_some(), "missing {stage}");
         }
         assert_eq!(trace.sweep.total_candidates, expected_candidates);
+        // Prefix sharing: one training per τ, the rest by truncation.
+        assert_eq!(trace.counter(keys::TREES_TRAINED) as usize, expected_taus);
         assert_eq!(
-            trace.counter(keys::TREES_TRAINED) as usize,
-            expected_candidates
+            trace.counter(keys::TREES_SHARED) as usize,
+            expected_candidates - expected_taus
         );
         let (s_z, s_m, s_h) = trace.split_selections();
         assert!(s_z + s_m + s_h > 0, "Algorithm 1 tallies must be populated");

@@ -111,6 +111,43 @@ pub fn train_adc_aware_recorded(
     config: &AdcAwareConfig,
     recorder: &Recorder,
 ) -> DecisionTree {
+    train_adc_aware_annotated(data, config, recorder).tree
+}
+
+/// A trained tree together with the per-node training majorities Algorithm
+/// 1 computed on the way — everything needed to derive every shallower
+/// depth cap by [`DecisionTree::truncated`] without retraining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedTree {
+    /// The tree grown at `config.max_depth`.
+    pub tree: DecisionTree,
+    /// Majority training class per node, indexed by node slot: the class
+    /// the trainer would have placed at that position had growth stopped
+    /// there (exactly what [`DecisionTree::truncated`] substitutes for
+    /// splits beyond a shallower cap).
+    pub majorities: Vec<usize>,
+}
+
+impl AnnotatedTree {
+    /// The tree truncated to `max_depth` — bit-identical to training with
+    /// the same config at the lower cap, because BFS growth commits every
+    /// depth < `max_depth` decision (splits, RNG draws, hardware-state
+    /// mutations) before considering any deeper node. Pinned by the
+    /// `truncation_matches_fresh_training_*` tests.
+    pub fn truncated(&self, max_depth: usize) -> DecisionTree {
+        self.tree.truncated(max_depth, &self.majorities)
+    }
+}
+
+/// [`train_adc_aware_recorded`], additionally returning the per-node
+/// majority classes (see [`AnnotatedTree`]). The tree and the RNG stream
+/// are bit-identical to the unannotated path — the majorities were always
+/// computed; this merely keeps them.
+pub fn train_adc_aware_annotated(
+    data: &QuantizedDataset,
+    config: &AdcAwareConfig,
+    recorder: &Recorder,
+) -> AnnotatedTree {
     let mut selected = BTreeSet::new();
     let mut used_features = BTreeSet::new();
     train_adc_aware_seeded(
@@ -171,13 +208,17 @@ pub fn train_adc_aware_forest_recorded(
                 &indices,
                 recorder,
             )
+            .tree
         })
         .collect();
     printed_dtree::Forest::from_trees(members)
 }
 
 /// Core Algorithm 1 growth with externally owned hardware state (so
-/// ensembles can share it) over an explicit root subset.
+/// ensembles can share it) over an explicit root subset. Also returns the
+/// per-slot majority classes: the FIFO BFS pops nodes in slot-allocation
+/// order, so recording the majority at each pop yields a slot-indexed
+/// vector.
 fn train_adc_aware_seeded(
     data: &QuantizedDataset,
     config: &AdcAwareConfig,
@@ -185,7 +226,7 @@ fn train_adc_aware_seeded(
     used_features: &mut BTreeSet<usize>,
     root_indices: &[usize],
     recorder: &Recorder,
-) -> DecisionTree {
+) -> AnnotatedTree {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     assert!(!root_indices.is_empty(), "cannot train on an empty subset");
     assert!(
@@ -206,6 +247,7 @@ fn train_adc_aware_seeded(
     };
 
     let mut nodes: Vec<Node> = Vec::new();
+    let mut majorities: Vec<usize> = Vec::new();
 
     // BFS queue of (placeholder index, subset, depth).
     let mut queue: VecDeque<(usize, Vec<usize>, usize)> = VecDeque::new();
@@ -214,6 +256,8 @@ fn train_adc_aware_seeded(
 
     while let Some((slot, indices, depth)) = queue.pop_front() {
         let majority = majority_class(data, &indices);
+        debug_assert_eq!(majorities.len(), slot, "FIFO pops in slot order");
+        majorities.push(majority);
         let stop = depth >= config.max_depth
             || indices.len() < config.min_samples_split
             || is_pure(data, &indices);
@@ -276,8 +320,9 @@ fn train_adc_aware_seeded(
     }
     span.finish();
 
-    DecisionTree::from_nodes(data.bits(), data.n_features(), data.n_classes(), nodes)
-        .expect("trainer builds valid trees")
+    let tree = DecisionTree::from_nodes(data.bits(), data.n_features(), data.n_classes(), nodes)
+        .expect("trainer builds valid trees");
+    AnnotatedTree { tree, majorities }
 }
 
 /// Algorithm 1's selection rule over one node's candidate set.
@@ -557,6 +602,87 @@ mod tests {
         let snap = sink.snapshot();
         assert_eq!(snap.counter(keys::TREES_TRAINED), 3);
         assert_eq!(snap.spans_named(keys::TRAIN_SPAN).count(), 3);
+    }
+
+    #[test]
+    fn truncation_matches_fresh_training_on_benchmarks() {
+        // The prefix-sharing claim: training at depth D and truncating to
+        // d <= D is bit-identical to training at d with the same seed,
+        // because BFS growth commits every depth < d decision (splits, RNG
+        // draws, selected/used_features mutations) before any depth-d node.
+        for benchmark in [Benchmark::Seeds, Benchmark::Vertebral2C] {
+            let (train_data, _) = benchmark.load_quantized(4).unwrap();
+            for tau in [0.0, 0.01, 0.03] {
+                let deep_cfg = AdcAwareConfig {
+                    max_depth: 8,
+                    tau,
+                    ..Default::default()
+                };
+                let annotated =
+                    train_adc_aware_annotated(&train_data, &deep_cfg, &Recorder::disabled());
+                for depth in 1..=8 {
+                    let fresh = train_adc_aware(
+                        &train_data,
+                        &AdcAwareConfig {
+                            max_depth: depth,
+                            ..deep_cfg
+                        },
+                    );
+                    assert_eq!(
+                        annotated.truncated(depth),
+                        fresh,
+                        "{benchmark} tau {tau} depth {depth}: truncation must equal fresh training"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_handles_degenerate_caps() {
+        let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let annotated = train_adc_aware_annotated(
+            &train_data,
+            &AdcAwareConfig {
+                max_depth: 4,
+                tau: 0.01,
+                ..Default::default()
+            },
+            &Recorder::disabled(),
+        );
+        // Cap 0: a single root-majority leaf.
+        let stump = annotated.truncated(0);
+        assert_eq!(stump.nodes().len(), 1);
+        assert_eq!(stump.depth(), 0);
+        // Cap >= trained depth: the tree unchanged.
+        for cap in [annotated.tree.depth(), 9, usize::MAX] {
+            assert_eq!(annotated.truncated(cap), annotated.tree);
+        }
+        // Caps in between never exceed the cap.
+        for cap in 1..4 {
+            assert!(annotated.truncated(cap).depth() <= cap);
+        }
+    }
+
+    #[test]
+    fn annotated_majorities_match_rederivation_from_data() {
+        // The trainer's free per-slot majorities agree with
+        // DecisionTree::node_majorities re-derived by routing the training
+        // set — the two ways of annotating a tree are interchangeable.
+        let (train_data, _) = Benchmark::Vertebral2C.load_quantized(4).unwrap();
+        let annotated = train_adc_aware_annotated(
+            &train_data,
+            &AdcAwareConfig {
+                max_depth: 5,
+                tau: 0.01,
+                ..Default::default()
+            },
+            &Recorder::disabled(),
+        );
+        assert_eq!(
+            annotated.majorities,
+            annotated.tree.node_majorities(&train_data)
+        );
     }
 
     #[test]

@@ -273,6 +273,112 @@ impl DecisionTree {
         set.into_iter().collect()
     }
 
+    /// The majority training class observed at every node: routes `data`
+    /// through the tree and, per node, picks the most frequent label among
+    /// the samples reaching it (ties broken toward the smallest class
+    /// index, matching the trainer's leaf rule). Returned indexed by node
+    /// slot; nodes no sample reaches fall back to class 0.
+    ///
+    /// This is the per-node annotation [`DecisionTree::truncated`] needs:
+    /// for a tree grown on `data`, these majorities equal the classes the
+    /// trainer would have placed at each position had growth stopped there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or has fewer features than the tree.
+    pub fn node_majorities(&self, data: &QuantizedDataset) -> Vec<usize> {
+        assert!(!data.is_empty(), "cannot annotate from an empty dataset");
+        let mut counts = vec![vec![0usize; self.n_classes]; self.nodes.len()];
+        for (sample, label) in data.iter() {
+            let mut i = 0;
+            loop {
+                counts[i][label] += 1;
+                match self.nodes[i] {
+                    Node::Split {
+                        feature,
+                        threshold,
+                        lo,
+                        hi,
+                    } => i = if sample[feature] >= threshold { hi } else { lo },
+                    Node::Leaf { .. } => break,
+                }
+            }
+        }
+        counts
+            .iter()
+            .map(|per_class| {
+                per_class
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(c, &n)| (n, std::cmp::Reverse(c)))
+                    .map(|(c, _)| c)
+                    .expect("n_classes >= 1")
+            })
+            .collect()
+    }
+
+    /// The tree truncated to at most `max_depth` levels of splits: splits
+    /// at depth `max_depth` and below are replaced by leaves predicting
+    /// `majorities[node]` (see [`DecisionTree::node_majorities`]; trainers
+    /// can supply the majorities they already computed during growth).
+    /// Nodes are re-laid-out in BFS order, so for a breadth-first-grown
+    /// tree the result is *bit-identical* to growing with the lower cap:
+    /// BFS commits every depth < `max_depth` decision before the first
+    /// depth-`max_depth` node is even considered.
+    ///
+    /// `max_depth >= self.depth()` returns the tree unchanged (modulo the
+    /// BFS re-layout, which is the identity for trainer-built trees);
+    /// `max_depth == 0` collapses to a single root-majority leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `majorities.len() != self.nodes().len()` or a majority is
+    /// out of class range.
+    pub fn truncated(&self, max_depth: usize, majorities: &[usize]) -> DecisionTree {
+        assert_eq!(
+            majorities.len(),
+            self.nodes.len(),
+            "need one majority class per node"
+        );
+        let mut nodes: Vec<Node> = Vec::with_capacity(self.nodes.len());
+        let mut queue: std::collections::VecDeque<(usize, usize, usize)> =
+            std::collections::VecDeque::new();
+        nodes.push(Node::Leaf { class: 0 }); // placeholder for the root
+        queue.push_back((0, 0, 0)); // (old index, new slot, depth)
+        while let Some((old, slot, depth)) = queue.pop_front() {
+            match self.nodes[old] {
+                Node::Leaf { class } => nodes[slot] = Node::Leaf { class },
+                Node::Split {
+                    feature,
+                    threshold,
+                    lo,
+                    hi,
+                } => {
+                    if depth >= max_depth {
+                        nodes[slot] = Node::Leaf {
+                            class: majorities[old],
+                        };
+                        continue;
+                    }
+                    let lo_slot = nodes.len();
+                    nodes.push(Node::Leaf { class: 0 });
+                    let hi_slot = nodes.len();
+                    nodes.push(Node::Leaf { class: 0 });
+                    nodes[slot] = Node::Split {
+                        feature,
+                        threshold,
+                        lo: lo_slot,
+                        hi: hi_slot,
+                    };
+                    queue.push_back((lo, lo_slot, depth + 1));
+                    queue.push_back((hi, hi_slot, depth + 1));
+                }
+            }
+        }
+        DecisionTree::from_nodes(self.bits, self.n_features, self.n_classes, nodes)
+            .expect("truncating a valid tree yields a valid tree")
+    }
+
     /// Every root-to-leaf path with its condition conjunction — the raw
     /// material of the unary two-level logic.
     pub fn paths(&self) -> Vec<Path> {

@@ -109,6 +109,9 @@ pub struct CostReport {
     pub gini_evals: u64,
     /// Trees trained across the whole sweep.
     pub trees: u64,
+    /// Candidates derived by truncating a shared per-τ tree instead of
+    /// training (the prefix-shared sweep engine's savings).
+    pub trees_shared: u64,
     /// Robustness-campaign profiles, in `(depth, τ)` order; empty when no
     /// campaign ran.
     pub robustness: Vec<RobustRow>,
@@ -194,6 +197,7 @@ impl CostReport {
             splits: trace.split_selections(),
             gini_evals: trace.counter(keys::GINI_EVALS),
             trees: trace.counter(keys::TREES_TRAINED),
+            trees_shared: trace.counter(keys::TREES_SHARED),
             robustness,
             failed_candidates: trace.counter(keys::SWEEP_FAILED),
         }
@@ -287,6 +291,7 @@ impl CostReport {
                 splits: trace.split_selections(),
                 gini_evals: trace.counter(keys::GINI_EVALS),
                 trees: trace.counter(keys::TREES_TRAINED),
+                trees_shared: trace.counter(keys::TREES_SHARED),
                 ..base
             },
             None => base,
@@ -342,6 +347,15 @@ impl CostReport {
             out.push_str(&format!(
                 "  splits: {s_z} S_Z / {s_m} S_M / {s_h} S_H  ({} gini evals, {} trees)\n",
                 self.gini_evals, self.trees,
+            ));
+        }
+        if self.trees_shared > 0 {
+            let total = self.trees + self.trees_shared;
+            out.push_str(&format!(
+                "  sharing: {}/{} candidates derived by prefix truncation ({:.0}% of the grid)\n",
+                self.trees_shared,
+                total,
+                100.0 * self.trees_shared as f64 / total as f64,
             ));
         }
         if !self.adcs.is_empty() {

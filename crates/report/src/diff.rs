@@ -36,6 +36,9 @@ pub struct TraceStats {
     pub gini_evals: u64,
     /// Trees trained across the sweep.
     pub trees: u64,
+    /// Candidates derived by prefix-shared truncation instead of training
+    /// (0 on baselines recorded before the shared sweep engine).
+    pub trees_shared: u64,
     /// Selected design's total area, mm².
     pub area_mm2: f64,
     /// Selected design's total power, mW.
@@ -84,6 +87,7 @@ impl TraceStats {
             wall_us: trace.wall_us,
             gini_evals: trace.counter(keys::GINI_EVALS),
             trees: trace.counter(keys::TREES_TRAINED),
+            trees_shared: trace.counter(keys::TREES_SHARED),
             area_mm2: f("area_mm2"),
             power_mw: f("power_mw"),
             comparators: u("comparators"),
@@ -128,6 +132,7 @@ impl TraceStats {
             .u64("wall_us", self.wall_us)
             .u64("gini_evals", self.gini_evals)
             .u64("trees", self.trees)
+            .u64("trees_shared", self.trees_shared)
             .f64("area_mm2", self.area_mm2)
             .f64("power_mw", self.power_mw)
             .u64("comparators", self.comparators)
@@ -184,6 +189,8 @@ impl TraceStats {
             wall_us: u("wall_us"),
             gini_evals: u("gini_evals"),
             trees: u("trees"),
+            // Absent from pre-sharing baselines; defaults to 0 there.
+            trees_shared: u("trees_shared"),
             area_mm2: f("area_mm2"),
             power_mw: f("power_mw"),
             comparators: u("comparators"),
@@ -267,6 +274,11 @@ impl DiffReport {
                 "trees",
                 self.baseline.trees as f64,
                 self.current.trees as f64,
+            ),
+            (
+                "trees_shared",
+                self.baseline.trees_shared as f64,
+                self.current.trees_shared as f64,
             ),
             ("area_mm2", self.baseline.area_mm2, self.current.area_mm2),
             ("power_mw", self.baseline.power_mw, self.current.power_mw),
@@ -458,6 +470,7 @@ mod tests {
             wall_us: 100_000,
             gini_evals: 4_000,
             trees: 4,
+            trees_shared: 12,
             area_mm2: 12.5,
             power_mw: 1.25,
             comparators: 9,

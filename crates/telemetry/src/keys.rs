@@ -113,5 +113,15 @@ pub const SWEEP_FAILED: &str = "sweep.failed_candidates";
 /// their result.
 pub const SWEEP_CHECKPOINT_HITS: &str = "sweep.checkpoint_hits";
 
+/// Counter: sweep candidates derived by truncating a deeper tree trained
+/// at the same τ instead of training from scratch. A full `|τ|×|depth|`
+/// sweep trains `|τ|` trees and shares the remaining
+/// `|grid| − |τ|` candidates through this path.
+pub const TREES_SHARED: &str = "sweep.trees_shared";
+
+/// Span: one BFS truncation of a trained tree to a shallower depth cap
+/// (fields: `tau`, `depth`, `trained_depth`).
+pub const TRUNCATE_SPAN: &str = "truncate";
+
 /// Counter: single stuck-at faults injected by robustness campaigns.
 pub const FAULTS_INJECTED: &str = "robust.faults";

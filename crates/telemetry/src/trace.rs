@@ -262,6 +262,14 @@ impl FlowTrace {
                 self.counter(keys::TREES_TRAINED),
             ));
         }
+        let shared = self.counter(keys::TREES_SHARED);
+        if shared > 0 {
+            let trained = self.counter(keys::TREES_TRAINED);
+            out.push_str(&format!(
+                "  sharing: {shared} of {} candidates derived by truncation ({trained} trained)\n",
+                trained + shared,
+            ));
+        }
         let trials = self.counter(keys::MC_TRIALS);
         if trials > 0 {
             out.push_str(&format!(

@@ -166,6 +166,7 @@ fn traced_flow_records_one_candidate_span_per_grid_point() {
     let (train, test) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
     let grid = ExplorationConfig::quick();
     let expected = grid.taus.len() * grid.depths.len();
+    let expected_taus = grid.taus.len();
     let outcome = CodesignFlow::new(&train, &test).grid(grid).traced().run();
     let trace = outcome.trace().expect("traced flow carries a trace");
     assert_eq!(trace.sweep.total_candidates, expected);
@@ -178,7 +179,12 @@ fn traced_flow_records_one_candidate_span_per_grid_point() {
     ] {
         assert!(trace.stage(stage).is_some(), "missing {stage}");
     }
-    assert_eq!(trace.counter(keys::TREES_TRAINED), expected as u64);
+    // Prefix sharing: one training per τ, everything else derived.
+    assert_eq!(trace.counter(keys::TREES_TRAINED), expected_taus as u64);
+    assert_eq!(
+        trace.counter(keys::TREES_SHARED),
+        (expected - expected_taus) as u64
+    );
     let selections = trace
         .events
         .iter()

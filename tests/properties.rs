@@ -375,6 +375,33 @@ proptest! {
         prop_assert_eq!(load_lines(&torn, seed), vec![line]);
     }
 
+    /// Prefix-sharing equivalence — the sweep engine's load-bearing claim:
+    /// training Algorithm 1 at a deep cap and truncating to `d` is
+    /// bit-identical to training at `d` with the same seed, for random
+    /// datasets, τ values, seeds, and caps (including the degenerate
+    /// `d = 0`/`d = 1` and `d ≥` trained-depth cases).
+    #[test]
+    fn truncation_equals_fresh_training_on_random_data(
+        rows in vec((vec(0.0f64..1.0, 3), 0usize..3), 12..40),
+        tau in 0.0f64..0.05,
+        seed in any::<u64>(),
+        cap in 0usize..=6,
+    ) {
+        use printed_ml::codesign::train::{
+            train_adc_aware, train_adc_aware_annotated, AdcAwareConfig,
+        };
+        use printed_ml::telemetry::Recorder;
+        let mut rows = rows;
+        rows[0].1 = 0;
+        rows[1].1 = 1;
+        let ds = Dataset::from_rows("prop", 3, rows).expect("consistent rows");
+        let q = QuantizedDataset::from_dataset(&ds.normalized(), 4);
+        let deep_cfg = AdcAwareConfig { max_depth: 6, tau, min_samples_split: 2, seed };
+        let deep = train_adc_aware_annotated(&q, &deep_cfg, &Recorder::disabled());
+        let fresh = train_adc_aware(&q, &AdcAwareConfig { max_depth: cap, ..deep_cfg });
+        prop_assert_eq!(deep.truncated(cap), fresh);
+    }
+
     /// The thermometer priority encoder inverts the unary encoding for all
     /// resolutions up to 4 bits.
     #[test]
