@@ -76,6 +76,10 @@ impl BespokeAdcBank {
             return Err(BespokeAdcError::TapOutOfRange { tap, max });
         }
         self.taps.entry(feature).or_default().insert(tap);
+        debug_assert!(
+            self.taps_of(feature).contains(&tap),
+            "required tap must be retained for its feature"
+        );
         Ok(())
     }
 
@@ -134,6 +138,11 @@ impl BespokeAdcBank {
                 comparators += 1;
             }
         }
+        debug_assert_eq!(
+            comparators,
+            self.comparator_count(),
+            "priced comparators must equal the retained set"
+        );
         AdcCost {
             area: ladder_area + model.comparator_bank_area(comparators),
             power: ladder_power + comp_power,

@@ -18,6 +18,9 @@
 //! * `--resume <path>` — checkpoint the sweep to this NDJSON file and, if
 //!   it already holds completed grid points from an interrupted run with
 //!   the same seed, resume from them instead of re-training;
+//! * `--lint[=deny]` — run the static-analysis suite over the selected
+//!   design and print the diagnostic table; with `=deny`, exit non-zero
+//!   when any error-severity diagnostic fires (warnings never block);
 //! * `--verilog <path>` — write the unary classifier netlist as Verilog;
 //! * `--spice <path>` — write the bespoke reference ladder as a SPICE deck.
 
@@ -35,11 +38,19 @@ use printed_logic::verilog::to_verilog;
 use printed_pdk::AnalogModel;
 use printed_telemetry::{keys, RunManifest};
 
+#[derive(Clone, Copy, PartialEq)]
+enum LintMode {
+    Off,
+    Warn,
+    Deny,
+}
+
 struct Args {
     benchmark: Benchmark,
     loss: f64,
     quick: bool,
     robust: bool,
+    lint: LintMode,
     trials: Option<usize>,
     resume: Option<String>,
     verilog: Option<String>,
@@ -52,7 +63,7 @@ fn parse_args() -> Result<Args, String> {
         .next()
         .ok_or(
             "usage: codesign <benchmark> [--loss F] [--quick] [--robust] [--trials N] \
-             [--resume P] [--verilog P] [--spice P]",
+             [--resume P] [--lint[=deny]] [--verilog P] [--spice P]",
         )?
         .parse()
         .map_err(|e| format!("{e}"))?;
@@ -61,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         loss: 0.01,
         quick: false,
         robust: false,
+        lint: LintMode::Off,
         trials: None,
         resume: None,
         verilog: None,
@@ -77,6 +89,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--quick" => args.quick = true,
             "--robust" => args.robust = true,
+            "--lint" => args.lint = LintMode::Warn,
+            "--lint=deny" => args.lint = LintMode::Deny,
             "--trials" => {
                 let v = argv.next().ok_or("--trials needs a value")?;
                 let n: usize = v.parse().map_err(|e| format!("--trials: {e}"))?;
@@ -164,6 +178,25 @@ fn run(args: &Args, hook: &mut TraceHook) -> Result<(), String> {
             Some(chosen.test_accuracy),
         )
     );
+
+    if args.lint != LintMode::Off {
+        let stage = hook.recorder().span(keys::STAGE_LINT);
+        let report = printed_codesign::lint_candidate(
+            chosen,
+            &AnalogModel::egfet(),
+            Some(&grid),
+            &printed_codesign::LintConfig::new(),
+        );
+        printed_codesign::record_lint(hook.recorder(), &report);
+        stage.finish();
+        println!("{}", report.render_text());
+        if args.lint == LintMode::Deny && report.has_errors() {
+            return Err(format!(
+                "lint found {} error-severity diagnostic(s)",
+                report.error_count()
+            ));
+        }
+    }
 
     if args.robust {
         run_robustness(args, hook, &sweep, &test, chosen.tau, chosen.depth)?;

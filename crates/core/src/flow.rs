@@ -252,6 +252,16 @@ impl<'a> CodesignFlow<'a> {
         record_selection(&self.recorder, &chosen, &self.analog);
         stage.finish();
 
+        let stage = self.recorder.span(keys::STAGE_LINT);
+        let lint = crate::lint::lint_candidate(
+            &chosen,
+            &self.analog,
+            Some(&self.grid),
+            &printed_lint::LintConfig::new(),
+        );
+        crate::lint::record_lint(&self.recorder, &lint);
+        stage.finish();
+
         let trace = self.recorder.snapshot().map(|snapshot| {
             let manifest = RunManifest::capture(self.train.name())
                 .with_grid(&self.grid.taus, self.grid.depths.iter().copied())
@@ -267,6 +277,7 @@ impl<'a> CodesignFlow<'a> {
             sweep,
             chosen,
             robustness: campaign_outcome,
+            lint: Some(lint),
             trace,
         }
     }
@@ -369,6 +380,11 @@ pub struct FlowOutcome {
     /// flow ran with [`CodesignFlow::robustness`].
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub robustness: Option<CampaignOutcome>,
+    /// The static-analysis findings over the chosen design — `Some` for
+    /// every [`CodesignFlow::run`]; `None` only when deserializing
+    /// outcomes produced before the lint stage existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub lint: Option<printed_lint::LintReport>,
     /// Telemetry summary of this run — `Some` iff a snapshot-capable
     /// recorder was installed ([`CodesignFlow::traced`] or
     /// [`CodesignFlow::recorder`] with a collecting sink).
@@ -473,9 +489,19 @@ mod tests {
             keys::STAGE_BASELINE,
             keys::STAGE_SWEEP,
             keys::STAGE_SELECTION,
+            keys::STAGE_LINT,
         ] {
             assert!(trace.stage(stage).is_some(), "missing {stage}");
         }
+        // The lint stage ran, found no errors on a clean design, and its
+        // counters mirror the report carried on the outcome.
+        let lint = outcome.lint.as_ref().expect("flow always lints");
+        assert!(!lint.has_errors(), "{}", lint.render_text());
+        assert_eq!(
+            trace.counter(keys::LINT_DIAGNOSTICS),
+            lint.diagnostics.len() as u64
+        );
+        assert_eq!(trace.counter(keys::LINT_ERRORS), 0);
         assert_eq!(trace.sweep.total_candidates, expected_candidates);
         // Prefix sharing: one training per τ, the rest by truncation.
         assert_eq!(trace.counter(keys::TREES_TRAINED) as usize, expected_taus);

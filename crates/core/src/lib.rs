@@ -41,6 +41,7 @@ pub mod datasheet;
 pub mod ensemble;
 pub mod explore;
 pub mod flow;
+pub mod lint;
 pub mod mismatch;
 pub mod robustness;
 pub mod serial;
@@ -56,7 +57,9 @@ pub use datasheet::Datasheet;
 pub use ensemble::{synthesize_ensemble, EnsembleSystem};
 pub use explore::{explore, CandidateDesign, Exploration, ExplorationConfig, FailedCandidate};
 pub use flow::{record_selection, CodesignFlow, FlowOutcome};
+pub use lint::{lint_candidate, record_lint};
 pub use mismatch::{mismatch_accuracy, MismatchReport, MismatchTrials};
+pub use printed_lint::{Diagnostic, LintConfig, LintLevel, LintReport, Severity};
 pub use robustness::{decode_one_hot, fault_robustness, FaultRobustness};
 pub use serial::{estimate_serial_unary, SerialUnaryEstimate};
 pub use system::{synthesize_unary, Reduction, UnarySystem};

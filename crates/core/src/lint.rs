@@ -1,0 +1,171 @@
+//! Bridge from the co-design flow to the [`printed_lint`] static
+//! analyzer.
+//!
+//! `printed-lint` is deliberately ignorant of this crate: its
+//! [`LintTarget`] speaks the structural vocabulary (tree, netlist, bank,
+//! literals, covers). This module lowers a [`CandidateDesign`] into that
+//! vocabulary — re-deriving the canonical netlist and bespoke bank from
+//! the classifier, which is exactly what the lints are meant to
+//! cross-check — and mirrors the findings into telemetry so traced runs
+//! and the `printed-trace` report can surface them.
+
+use printed_lint::{GridRef, LintConfig, LintReport, LintTarget, Linter};
+use printed_pdk::AnalogModel;
+use printed_telemetry::{keys, FieldValue, Recorder};
+
+use crate::explore::{CandidateDesign, ExplorationConfig};
+
+/// Runs the full built-in lint suite over a synthesized candidate.
+///
+/// The netlist and ADC bank are re-derived from the classifier (the
+/// canonical lowering), while the *reported* ADC cost comes from the
+/// candidate's priced system — so C001 genuinely cross-checks the stored
+/// numbers against a fresh recomputation. Pass the exploration grid to
+/// enable the G001 hygiene checks.
+pub fn lint_candidate(
+    candidate: &CandidateDesign,
+    analog: &AnalogModel,
+    grid: Option<&ExplorationConfig>,
+    config: &LintConfig,
+) -> LintReport {
+    let classifier = &candidate.system.classifier;
+    let netlist = classifier.to_netlist();
+    let bank = classifier.adc_bank();
+    let grid_ref = grid.map(|g| GridRef {
+        taus: &g.taus,
+        depths: &g.depths,
+        seed: g.seed,
+    });
+    let target = LintTarget {
+        tree: Some(&candidate.tree),
+        netlist: &netlist,
+        bank: &bank,
+        literals: classifier.literals(),
+        class_sops: classifier.class_sops(),
+        reported_adc: Some(&candidate.system.adc),
+        model: analog,
+        grid: grid_ref,
+    };
+    Linter::with_config(config.clone()).run(&target)
+}
+
+/// Records a lint report into `recorder`: the [`keys::LINT_DIAGNOSTICS`]
+/// and [`keys::LINT_ERRORS`] counters plus one [`keys::LINT_EVENT`] per
+/// diagnostic (fields `code`, `severity`, `locus`, `message`). No-op when
+/// the recorder is disabled.
+pub fn record_lint(recorder: &Recorder, report: &LintReport) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    recorder.add(keys::LINT_DIAGNOSTICS, report.diagnostics.len() as u64);
+    recorder.add(keys::LINT_ERRORS, report.error_count() as u64);
+    for diagnostic in &report.diagnostics {
+        recorder.event(
+            keys::LINT_EVENT,
+            vec![
+                (
+                    "code".to_owned(),
+                    FieldValue::from(diagnostic.code.as_str()),
+                ),
+                (
+                    "severity".to_owned(),
+                    FieldValue::from(diagnostic.severity.label()),
+                ),
+                (
+                    "locus".to_owned(),
+                    FieldValue::from(diagnostic.locus.as_str()),
+                ),
+                (
+                    "message".to_owned(),
+                    FieldValue::from(diagnostic.message.as_str()),
+                ),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use printed_datasets::Benchmark;
+    use printed_lint::Severity;
+    use printed_telemetry::FlowTrace;
+
+    fn quick_candidate() -> (CandidateDesign, ExplorationConfig) {
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let grid = ExplorationConfig::quick();
+        let sweep = explore(&train, &test, &grid);
+        let chosen = sweep.select(0.05).or(sweep.most_accurate()).unwrap();
+        (chosen.clone(), grid)
+    }
+
+    #[test]
+    fn synthesized_designs_lint_without_errors() {
+        let (chosen, grid) = quick_candidate();
+        let report = lint_candidate(
+            &chosen,
+            &AnalogModel::egfet(),
+            Some(&grid),
+            &LintConfig::new(),
+        );
+        assert!(
+            !report.has_errors(),
+            "clean design must not error:\n{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn corrupted_cost_is_caught_end_to_end() {
+        let (mut chosen, _) = quick_candidate();
+        chosen.system.adc.comparators += 3;
+        let report = lint_candidate(&chosen, &AnalogModel::egfet(), None, &LintConfig::new());
+        assert_eq!(report.with_code("C001").count(), 1);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn record_lint_mirrors_the_report_into_telemetry() {
+        let (chosen, grid) = quick_candidate();
+        let mut report = lint_candidate(
+            &chosen,
+            &AnalogModel::egfet(),
+            Some(&grid),
+            &LintConfig::new(),
+        );
+        report.diagnostics.push(printed_lint::Diagnostic::new(
+            "A001",
+            Severity::Error,
+            "u0_9",
+            "synthetic",
+        ));
+        let (recorder, _sink) = Recorder::collecting();
+        record_lint(&recorder, &report);
+        let snapshot = recorder.snapshot().unwrap();
+        let trace = FlowTrace::from_snapshot("lint", &snapshot);
+        assert_eq!(
+            trace.counter(keys::LINT_DIAGNOSTICS),
+            report.diagnostics.len() as u64
+        );
+        assert_eq!(
+            trace.counter(keys::LINT_ERRORS),
+            report.error_count() as u64
+        );
+        let events: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == keys::LINT_EVENT)
+            .collect();
+        assert_eq!(events.len(), report.diagnostics.len());
+        let last = events.last().unwrap();
+        assert_eq!(
+            last.field("code").and_then(FieldValue::as_str),
+            Some("A001")
+        );
+        assert_eq!(
+            last.field("severity").and_then(FieldValue::as_str),
+            Some("error")
+        );
+    }
+}

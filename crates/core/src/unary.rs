@@ -130,6 +130,12 @@ impl UnaryClassifier {
         &self.class_sops[class]
     }
 
+    /// All class covers, indexed by class label (what the static-analysis
+    /// passes consume).
+    pub fn class_sops(&self) -> &[Sop] {
+        &self.class_sops
+    }
+
     /// Total AND-term count across classes (a two-level size metric).
     pub fn term_count(&self) -> usize {
         self.class_sops.iter().map(|s| s.cubes().len()).sum()

@@ -122,6 +122,71 @@ pub fn check_equivalence(left: &Netlist, right: &Netlist, seed: u64) -> Equivale
     }
 }
 
+/// Checks whether two netlists compute the same outputs on an explicitly
+/// enumerated input domain (matched positionally, as in
+/// [`check_equivalence`]).
+///
+/// The full-space checker treats every Boolean assignment as reachable,
+/// but netlists fed by thermometer-coded ADCs never see assignments that
+/// violate unary monotonicity — two designs differing only on those
+/// vectors are equivalent *in this system*. Callers enumerate the
+/// physically reachable domain (e.g. [`thermometer_patterns`]) and verify
+/// over exactly that; the `exhaustive` flag in the verdict reflects the
+/// caller's claim that `domain` covers every reachable input.
+pub fn check_equivalence_on(
+    left: &Netlist,
+    right: &Netlist,
+    domain: impl IntoIterator<Item = Vec<bool>>,
+) -> Equivalence {
+    if left.input_count() != right.input_count() {
+        return Equivalence::Mismatched {
+            reason: format!(
+                "input counts differ: {} vs {}",
+                left.input_count(),
+                right.input_count()
+            ),
+        };
+    }
+    if left.outputs().len() != right.outputs().len() {
+        return Equivalence::Mismatched {
+            reason: format!(
+                "output counts differ: {} vs {}",
+                left.outputs().len(),
+                right.outputs().len()
+            ),
+        };
+    }
+    for inputs in domain {
+        if let Some(cex) = compare_on(left, right, inputs) {
+            return cex;
+        }
+    }
+    Equivalence::Equivalent { exhaustive: true }
+}
+
+/// Enumerates every thermometer-consistent assignment of variables split
+/// into consecutive monotone groups: group `g` spans `sizes[g]` variables
+/// whose valid assignments are exactly the `sizes[g] + 1` true-prefixes
+/// (digit `k` high implies digit `j` high for `j < k`, the unary ADC
+/// invariant). The domain has `Π (sizes[g] + 1)` patterns — usually far
+/// smaller than `2^Σ sizes`.
+pub fn thermometer_patterns(sizes: &[usize]) -> Vec<Vec<bool>> {
+    let total: usize = sizes.iter().sum();
+    let mut patterns = vec![Vec::with_capacity(total)];
+    for &size in sizes {
+        let mut next = Vec::with_capacity(patterns.len() * (size + 1));
+        for pattern in &patterns {
+            for level in 0..=size {
+                let mut extended = pattern.clone();
+                extended.extend((0..size).map(|digit| digit < level));
+                next.push(extended);
+            }
+        }
+        patterns = next;
+    }
+    patterns
+}
+
 fn compare_on(left: &Netlist, right: &Netlist, inputs: Vec<bool>) -> Option<Equivalence> {
     let l = left.eval(&inputs);
     let r = right.eval(&inputs);
@@ -228,6 +293,75 @@ mod tests {
             b.output("o", o);
             assert!(check_equivalence(&a, &b, 0).is_equivalent(), "c={c}");
         }
+    }
+
+    #[test]
+    fn thermometer_patterns_enumerate_true_prefixes() {
+        // One 2-digit group: 3 valid levels; plus a 1-digit group: 2.
+        let patterns = thermometer_patterns(&[2, 1]);
+        assert_eq!(patterns.len(), 3 * 2);
+        for p in &patterns {
+            assert_eq!(p.len(), 3);
+            // Monotone within the first group: digit 1 high ⇒ digit 0 high.
+            assert!(!p[1] || p[0], "{p:?} violates thermometer order");
+        }
+        // The invalid vector 01 never appears.
+        assert!(!patterns.iter().any(|p| !p[0] && p[1]));
+        assert_eq!(thermometer_patterns(&[]), vec![Vec::<bool>::new()]);
+    }
+
+    #[test]
+    fn thermometer_restricted_equivalence_ignores_invalid_vectors() {
+        // Regression for the full-space checker's blind spot: two
+        // implementations of "x ≥ tap₀" that differ only when the
+        // thermometer-invalid vector (digit 1 high, digit 0 low) is
+        // driven. A physical ADC can never produce it, so the designs are
+        // equivalent in this system — but the unrestricted checker calls
+        // them different.
+        let mut a = Netlist::new("low-digit");
+        let d0 = a.input("u0_3");
+        let _d1 = a.input("u0_9");
+        a.output("o", d0);
+
+        let mut b = Netlist::new("either-digit");
+        let d0 = b.input("u0_3");
+        let d1 = b.input("u0_9");
+        let o = b.gate(CellKind::Or2, &[d0, d1]);
+        b.output("o", o);
+
+        match check_equivalence(&a, &b, 0) {
+            Equivalence::Counterexample { inputs, .. } => {
+                assert_eq!(inputs, vec![false, true], "differs exactly on 01");
+            }
+            other => panic!("full-space check must find the gap, got {other:?}"),
+        }
+        assert_eq!(
+            check_equivalence_on(&a, &b, thermometer_patterns(&[2])),
+            Equivalence::Equivalent { exhaustive: true }
+        );
+    }
+
+    #[test]
+    fn restricted_check_still_reports_shape_mismatch_and_real_gaps() {
+        let mut a = Netlist::new("id");
+        let x = a.input("x");
+        a.output("o", x);
+        let mut b = Netlist::new("neg");
+        let x = b.input("x");
+        let o = b.gate(CellKind::Inv, &[x]);
+        b.output("o", o);
+        assert!(matches!(
+            check_equivalence_on(&a, &b, thermometer_patterns(&[1])),
+            Equivalence::Counterexample { .. }
+        ));
+        let mut c = Netlist::new("two-in");
+        let x = c.input("x");
+        let _y = c.input("y");
+        c.output("o", x);
+        assert!(matches!(
+            check_equivalence_on(&a, &c, thermometer_patterns(&[1])),
+            Equivalence::Mismatched { .. }
+        ));
     }
 
     #[test]

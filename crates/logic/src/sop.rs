@@ -77,6 +77,10 @@ impl Cube {
             }
             map.insert(var, pol);
         }
+        debug_assert!(
+            literals.iter().all(|&(v, p)| map.get(&v) == Some(&p)),
+            "constructed cube must retain every input literal"
+        );
         Some(Self { literals: map })
     }
 
@@ -136,6 +140,11 @@ impl Cube {
         diff_var.map(|v| {
             let mut merged = self.literals.clone();
             merged.remove(&v);
+            debug_assert_eq!(
+                merged.len(),
+                self.literals.len() - 1,
+                "merging x + x' drops exactly the differing variable"
+            );
             Cube { literals: merged }
         })
     }
@@ -261,6 +270,13 @@ impl Sop {
                 break;
             }
         }
+        debug_assert!(
+            cubes.iter().enumerate().all(|(i, c)| cubes
+                .iter()
+                .enumerate()
+                .all(|(j, other)| i == j || !c.implies(other))),
+            "simplified cover must be absorption-free at the fixpoint"
+        );
         Sop {
             num_vars: self.num_vars,
             cubes,

@@ -64,6 +64,19 @@ pub struct RobustRow {
     pub yield_est: f64,
 }
 
+/// One static-analysis finding over the selected design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintRow {
+    /// Diagnostic code (`U001`, `A002`, …).
+    pub code: String,
+    /// Severity label (`"error"` or `"warning"`).
+    pub severity: String,
+    /// Where the finding anchors (cube, input name, bank, …).
+    pub locus: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
 /// The selected grid point's headline numbers.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SelectedDesign {
@@ -117,6 +130,11 @@ pub struct CostReport {
     pub robustness: Vec<RobustRow>,
     /// Sweep grid points that panicked and were isolated.
     pub failed_candidates: u64,
+    /// Static-analysis findings over the selected design; empty when the
+    /// lint stage found nothing (or never ran).
+    pub lint: Vec<LintRow>,
+    /// Error-severity findings among [`CostReport::lint`].
+    pub lint_errors: u64,
 }
 
 impl CostReport {
@@ -184,6 +202,23 @@ impl CostReport {
             .collect();
         // Campaign workers finish in parallel order; present grid order.
         robustness.sort_by(|a, b| a.depth.cmp(&b.depth).then(a.tau.total_cmp(&b.tau)));
+        let str_of = |e: &EventRecord, key: &str| {
+            e.field(key)
+                .and_then(FieldValue::as_str)
+                .unwrap_or("")
+                .to_owned()
+        };
+        let lint: Vec<LintRow> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == keys::LINT_EVENT)
+            .map(|e| LintRow {
+                code: str_of(e, "code"),
+                severity: str_of(e, "severity"),
+                locus: str_of(e, "locus"),
+                message: str_of(e, "message"),
+            })
+            .collect();
         Self {
             title: trace.title.clone(),
             selected,
@@ -200,6 +235,8 @@ impl CostReport {
             trees_shared: trace.counter(keys::TREES_SHARED),
             robustness,
             failed_candidates: trace.counter(keys::SWEEP_FAILED),
+            lint,
+            lint_errors: trace.counter(keys::LINT_ERRORS),
         }
     }
 
@@ -284,6 +321,27 @@ impl CostReport {
                 })
                 .unwrap_or_default(),
             failed_candidates: outcome.sweep.failed_candidates.len() as u64,
+            lint: outcome
+                .lint
+                .as_ref()
+                .map(|report| {
+                    report
+                        .diagnostics
+                        .iter()
+                        .map(|d| LintRow {
+                            code: d.code.clone(),
+                            severity: d.severity.label().to_owned(),
+                            locus: d.locus.clone(),
+                            message: d.message.clone(),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            lint_errors: outcome
+                .lint
+                .as_ref()
+                .map(|report| report.error_count() as u64)
+                .unwrap_or(0),
             ..Self::default()
         };
         match outcome.trace() {
@@ -406,6 +464,19 @@ impl CostReport {
                 ));
             }
         }
+        if !self.lint.is_empty() {
+            out.push_str(&format!(
+                "  lint: {} finding(s), {} error(s)\n",
+                self.lint.len(),
+                self.lint_errors,
+            ));
+            for row in &self.lint {
+                out.push_str(&format!(
+                    "  {} [{}] {}: {}\n",
+                    row.severity, row.code, row.locus, row.message,
+                ));
+            }
+        }
         if let Some(fits) = self.within_harvester_budget() {
             let s = self.selected.as_ref().expect("selected is present");
             out.push_str(&format!(
@@ -455,6 +526,9 @@ mod tests {
         assert_eq!(from_trace.and_gates, from_outcome.and_gates);
         assert_eq!(from_trace.or_gates, from_outcome.or_gates);
         assert_eq!(from_trace.splits, from_outcome.splits);
+        assert_eq!(from_trace.lint, from_outcome.lint);
+        assert_eq!(from_trace.lint_errors, from_outcome.lint_errors);
+        assert_eq!(from_trace.lint_errors, 0, "clean design must lint clean");
         let (a, b) = (
             from_trace.selected.expect("selected event"),
             from_outcome.selected.expect("chosen design"),

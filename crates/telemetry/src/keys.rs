@@ -125,3 +125,16 @@ pub const TRUNCATE_SPAN: &str = "truncate";
 
 /// Counter: single stuck-at faults injected by robustness campaigns.
 pub const FAULTS_INJECTED: &str = "robust.faults";
+
+/// Stage span: the static-analysis lint pass over the selected design.
+pub const STAGE_LINT: &str = "stage:lint";
+
+/// Counter: total diagnostics the lint pass emitted (all severities).
+pub const LINT_DIAGNOSTICS: &str = "lint.diagnostics";
+
+/// Counter: error-severity diagnostics the lint pass emitted.
+pub const LINT_ERRORS: &str = "lint.errors";
+
+/// Event: one lint diagnostic (fields: `code`, `severity`, `locus`,
+/// `message`).
+pub const LINT_EVENT: &str = "lint";

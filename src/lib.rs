@@ -18,6 +18,7 @@ pub use printed_analog as analog;
 pub use printed_codesign as codesign;
 pub use printed_datasets as datasets;
 pub use printed_dtree as dtree;
+pub use printed_lint as lint;
 pub use printed_logic as logic;
 pub use printed_pdk as pdk;
 pub use printed_report as report;

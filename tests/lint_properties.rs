@@ -1,0 +1,273 @@
+//! Static-analysis guarantees: every design the flow synthesizes lints
+//! clean (zero error-severity diagnostics), and each diagnostic code
+//! fires on exactly the corruption it documents — on real benchmark
+//! designs, not just the lint crate's hand-built fixtures.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use printed_ml::codesign::explore::{explore, ExplorationConfig};
+use printed_ml::codesign::{lint_candidate, CandidateDesign, LintConfig};
+use printed_ml::datasets::{Benchmark, Dataset, QuantizedDataset};
+use printed_ml::lint::{GridRef, LintTarget, Linter};
+use printed_ml::logic::sop::{Cube, Sop};
+use printed_ml::pdk::AnalogModel;
+
+/// Lints one candidate with the paper grid attached and asserts no
+/// error-severity diagnostic fires.
+fn assert_lints_clean(candidate: &CandidateDesign, grid: &ExplorationConfig, context: &str) {
+    let report = lint_candidate(
+        candidate,
+        &AnalogModel::egfet(),
+        Some(grid),
+        &LintConfig::new(),
+    );
+    assert!(
+        !report.has_errors(),
+        "{context} (τ={}, depth {}) must lint clean:\n{}",
+        candidate.tau,
+        candidate.depth,
+        report.render_text()
+    );
+}
+
+/// Every design synthesized from the shipped benchmarks across the paper
+/// 7×7 τ×depth grid carries zero error-severity diagnostics — the
+/// acceptance bar for the analyzer's false-positive rate.
+#[test]
+fn paper_grid_designs_lint_clean_on_shipped_benchmarks() {
+    for benchmark in [Benchmark::Seeds, Benchmark::Vertebral2C] {
+        let (train, test) = benchmark.load_quantized(4).unwrap();
+        let grid = ExplorationConfig::paper();
+        let sweep = explore(&train, &test, &grid);
+        assert!(sweep.failed_candidates.is_empty());
+        assert_eq!(sweep.candidates.len(), grid.grid_size());
+        for candidate in &sweep.candidates {
+            assert_lints_clean(candidate, &grid, &format!("{benchmark}"));
+        }
+    }
+}
+
+proptest! {
+    /// Designs synthesized from *random* datasets and seeds across the
+    /// paper τ×depth grid also lint without errors.
+    #[test]
+    fn random_dataset_designs_lint_clean(
+        rows in vec((vec(0.0f64..1.0, 3), 0usize..3), 16..40),
+        seed in any::<u64>(),
+    ) {
+        let mut rows = rows;
+        rows[0].1 = 0;
+        rows[1].1 = 1;
+        let ds = Dataset::from_rows("prop", 3, rows).expect("consistent rows");
+        let q = QuantizedDataset::from_dataset(&ds.normalized(), 4);
+        let grid = ExplorationConfig {
+            seed,
+            ..ExplorationConfig::paper()
+        };
+        let sweep = explore(&q, &q, &grid);
+        prop_assert!(sweep.failed_candidates.is_empty());
+        for candidate in &sweep.candidates {
+            let report = lint_candidate(
+                candidate,
+                &AnalogModel::egfet(),
+                Some(&grid),
+                &LintConfig::new(),
+            );
+            prop_assert!(
+                !report.has_errors(),
+                "random design (τ={}, depth {}):\n{}",
+                candidate.tau,
+                candidate.depth,
+                report.render_text()
+            );
+        }
+    }
+}
+
+/// A real Seeds design plus the pieces the corruption tests perturb.
+struct RealDesign {
+    candidate: CandidateDesign,
+    grid: ExplorationConfig,
+    model: AnalogModel,
+}
+
+impl RealDesign {
+    fn synthesize() -> Self {
+        let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let grid = ExplorationConfig::quick();
+        let sweep = explore(&train, &test, &grid);
+        let candidate = sweep
+            .select(0.05)
+            .or(sweep.most_accurate())
+            .expect("non-empty sweep")
+            .clone();
+        Self {
+            candidate,
+            grid,
+            model: AnalogModel::egfet(),
+        }
+    }
+
+    /// Lints the (possibly corrupted) pieces and returns the report.
+    fn lint_with(
+        &self,
+        class_sops: &[Sop],
+        bank: &printed_ml::adc::BespokeAdcBank,
+        reported: &printed_ml::adc::AdcCost,
+    ) -> printed_ml::lint::LintReport {
+        let classifier = &self.candidate.system.classifier;
+        let netlist = classifier.to_netlist();
+        let target = LintTarget {
+            tree: Some(&self.candidate.tree),
+            netlist: &netlist,
+            bank,
+            literals: classifier.literals(),
+            class_sops,
+            reported_adc: Some(reported),
+            model: &self.model,
+            grid: Some(GridRef {
+                taus: &self.grid.taus,
+                depths: &self.grid.depths,
+                seed: self.grid.seed,
+            }),
+        };
+        Linter::new().run(&target)
+    }
+
+    /// The pristine design's own report (error-free; may carry benign
+    /// warnings such as A002 on a literal the cover simplification merged
+    /// away).
+    fn baseline(&self) -> printed_ml::lint::LintReport {
+        let classifier = &self.candidate.system.classifier;
+        let bank = classifier.adc_bank();
+        let reported = bank.cost(&self.model);
+        let report = self.lint_with(classifier.class_sops(), &bank, &reported);
+        assert!(!report.has_errors(), "{}", report.render_text());
+        report
+    }
+}
+
+/// Asserts the corruption added exactly one `code` finding relative to
+/// the pristine baseline and perturbed no other code's count — the
+/// no-false-positives bar on a real design.
+fn assert_delta_is_exactly(
+    baseline: &printed_ml::lint::LintReport,
+    corrupted: &printed_ml::lint::LintReport,
+    code: &str,
+) {
+    let codes: std::collections::BTreeSet<&str> = baseline
+        .diagnostics
+        .iter()
+        .chain(&corrupted.diagnostics)
+        .map(|d| d.code.as_str())
+        .collect();
+    for c in codes {
+        let before = baseline.with_code(c).count();
+        let after = corrupted.with_code(c).count();
+        let expected = before + usize::from(c == code);
+        assert_eq!(
+            after,
+            expected,
+            "{c}: {before} before, {after} after corruption targeting {code}:\n{}",
+            corrupted.render_text()
+        );
+    }
+    assert!(corrupted.with_code(code).count() > baseline.with_code(code).count());
+}
+
+/// Dropping a retained comparator from a real design's bank fires A001 —
+/// and nothing else (the reported cost is recomputed from the corrupted
+/// bank so C001 stays quiet).
+#[test]
+fn dropped_comparator_fires_exactly_a001() {
+    let design = RealDesign::synthesize();
+    let baseline = design.baseline();
+    let classifier = &design.candidate.system.classifier;
+    let literals = classifier.literals();
+    // Drop a comparator some cube actually reads, so the A002 tally is
+    // untouched and the delta is purely the missing-comparator error.
+    let &(feature, tap) = literals
+        .iter()
+        .enumerate()
+        .find(|&(var, _)| {
+            classifier.class_sops().iter().any(|sop| {
+                sop.cubes()
+                    .iter()
+                    .any(|c| c.literals().any(|(v, _)| v == var))
+            })
+        })
+        .map(|(_, literal)| literal)
+        .expect("some literal is read by a cube");
+    let mut bank = printed_ml::adc::BespokeAdcBank::new(classifier.bits());
+    for &(f, t) in literals {
+        if (f, t) != (feature, tap) {
+            bank.require(f, t as usize).unwrap();
+        }
+    }
+    let reported = bank.cost(&design.model);
+    let report = design.lint_with(classifier.class_sops(), &bank, &reported);
+    assert!(report.has_errors());
+    assert_delta_is_exactly(&baseline, &report, "A001");
+}
+
+/// Injecting a thermometer-contradictory cube into a real design's cover
+/// fires U001 — and nothing else (the cube can never fire, so it cannot
+/// break one-hotness or path coverage).
+#[test]
+fn injected_contradictory_cube_fires_exactly_u001() {
+    // The corruption needs two taps of the same feature, so pick a sweep
+    // candidate whose tree splits some feature at two thresholds (deep
+    // Seeds trees do).
+    let (train, test) = Benchmark::Seeds.load_quantized(4).unwrap();
+    let grid = ExplorationConfig::quick();
+    let sweep = explore(&train, &test, &grid);
+    let candidate = sweep
+        .candidates
+        .iter()
+        .find(|c| {
+            let lits = c.system.classifier.literals();
+            lits.windows(2).any(|w| w[0].0 == w[1].0)
+        })
+        .expect("some quick Seeds candidate reuses a feature across taps")
+        .clone();
+    let design = RealDesign {
+        candidate,
+        grid,
+        model: AnalogModel::egfet(),
+    };
+    let classifier = &design.candidate.system.classifier;
+    let literals = classifier.literals();
+    // Adjacent vars `pair`/`pair+1` carry the lower and higher tap of the
+    // same feature; demand digit(hi) ∧ ¬digit(lo) — impossible under
+    // monotonicity but not a same-variable conflict.
+    let pair = literals
+        .windows(2)
+        .position(|w| w[0].0 == w[1].0)
+        .expect("selected for feature reuse");
+    let mut sops: Vec<Sop> = classifier.class_sops().to_vec();
+    let corrupted = Cube::from_literals(&[(pair, false), (pair + 1, true)]);
+    let mut cubes = sops[0].cubes().to_vec();
+    cubes.push(corrupted);
+    sops[0] = Sop::from_cubes(literals.len(), cubes);
+    let bank = classifier.adc_bank();
+    let reported = bank.cost(&design.model);
+    let baseline = design.baseline();
+    let report = design.lint_with(&sops, &bank, &reported);
+    assert_delta_is_exactly(&baseline, &report, "U001");
+}
+
+/// Perturbing a real design's reported ADC cost fires C001 — and nothing
+/// else.
+#[test]
+fn perturbed_cost_fires_exactly_c001() {
+    let design = RealDesign::synthesize();
+    let classifier = &design.candidate.system.classifier;
+    let bank = classifier.adc_bank();
+    let mut reported = bank.cost(&design.model);
+    reported.power += printed_ml::pdk::Power::from_uw(1.0);
+    let baseline = design.baseline();
+    let report = design.lint_with(classifier.class_sops(), &bank, &reported);
+    assert!(report.has_errors());
+    assert_delta_is_exactly(&baseline, &report, "C001");
+}
