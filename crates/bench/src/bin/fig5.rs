@@ -8,7 +8,10 @@
 //! report the area/power reduction (%) relative to the unary+bespoke-ADC
 //! design of the *unaware* model.
 //!
-//! Run with `cargo run --release -p printed-bench --bin fig5`.
+//! Run with `cargo run --release -p printed-bench --bin fig5`. Passing
+//! `--resume <prefix>` checkpoints each benchmark's sweep to
+//! `<prefix>-<dataset>.ndjson` and resumes completed grid points from an
+//! interrupted earlier run (`printed-trace watch` can tail those files).
 
 use printed_bench::{
     baseline_model, choose, explore_traced, hrule, load, row_label, stderr_progress, TraceHook,
@@ -18,8 +21,32 @@ use printed_codesign::explore::ExplorationConfig;
 use printed_codesign::synthesize_unary;
 use printed_datasets::Benchmark;
 
+/// Parses the optional `--resume <prefix>` flag shared by the sweep
+/// binaries.
+fn resume_prefix() -> Option<String> {
+    let mut prefix = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--resume" => match argv.next() {
+                Some(p) => prefix = Some(p),
+                None => {
+                    eprintln!("error: --resume needs a path prefix");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other} (usage: fig5 [--resume PREFIX])");
+                std::process::exit(2);
+            }
+        }
+    }
+    prefix
+}
+
 fn main() {
     let hook = TraceHook::from_env("fig5");
+    let resume = resume_prefix();
     let progress = stderr_progress();
     println!("Fig. 5 — Additional gains from ADC-aware training (vs the Fig. 4 designs)");
     println!("(paper averages: 0% loss → 11% area / 15% power; 5% loss → 45% / 57%)\n");
@@ -39,13 +66,12 @@ fn main() {
         let (train, test) = load(benchmark);
         let unaware = baseline_model(benchmark);
         let unaware_system = synthesize_unary(&unaware.tree);
-        let sweep = explore_traced(
-            &train,
-            &test,
-            &ExplorationConfig::paper(),
-            hook.recorder(),
-            Some(&progress),
-        );
+        let mut grid = ExplorationConfig::paper();
+        if let Some(prefix) = &resume {
+            let slug = benchmark.to_string().to_lowercase();
+            grid = grid.with_checkpoint(format!("{prefix}-{slug}.ndjson"));
+        }
+        let sweep = explore_traced(&train, &test, &grid, hook.recorder(), Some(&progress));
         span.finish();
 
         let mut cells = Vec::new();

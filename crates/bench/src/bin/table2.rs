@@ -3,7 +3,10 @@
 //! \[2\] and the approximate precision-scaled baseline \[7\], and the 2 mW
 //! self-powering verdict.
 //!
-//! Run with `cargo run --release -p printed-bench --bin table2`.
+//! Run with `cargo run --release -p printed-bench --bin table2`. Passing
+//! `--resume <prefix>` checkpoints each benchmark's sweep to
+//! `<prefix>-<dataset>.ndjson` and resumes completed grid points from an
+//! interrupted earlier run (`printed-trace watch` can tail those files).
 
 use printed_bench::{
     baseline_design, choose, explore_traced, hrule, load, row_label, stderr_progress, TraceHook,
@@ -30,8 +33,32 @@ const PAPER: [PaperRow; 8] = [
     (89.00, 6.12, 3.0, 2.8, Some(4.2), Some(2.6)),
 ];
 
+/// Parses the optional `--resume <prefix>` flag shared by the sweep
+/// binaries.
+fn resume_prefix() -> Option<String> {
+    let mut prefix = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--resume" => match argv.next() {
+                Some(p) => prefix = Some(p),
+                None => {
+                    eprintln!("error: --resume needs a path prefix");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other} (usage: table2 [--resume PREFIX])");
+                std::process::exit(2);
+            }
+        }
+    }
+    prefix
+}
+
 fn main() {
     let hook = TraceHook::from_env("table2");
+    let resume = resume_prefix();
     let progress = stderr_progress();
     println!("Table II — Our co-designed decision trees (≤1% accuracy loss) vs [2] and [7]");
     println!("(measured | paper in parentheses)\n");
@@ -71,13 +98,12 @@ fn main() {
                 min_bits: 1,
             },
         );
-        let sweep = explore_traced(
-            &train,
-            &test,
-            &ExplorationConfig::paper(),
-            hook.recorder(),
-            Some(&progress),
-        );
+        let mut grid = ExplorationConfig::paper();
+        if let Some(prefix) = &resume {
+            let slug = benchmark.to_string().to_lowercase();
+            grid = grid.with_checkpoint(format!("{prefix}-{slug}.ndjson"));
+        }
+        let sweep = explore_traced(&train, &test, &grid, hook.recorder(), Some(&progress));
         let chosen = choose(&sweep, 0.01).clone();
         span.field("accuracy", chosen.test_accuracy).finish();
 

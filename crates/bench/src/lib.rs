@@ -148,9 +148,13 @@ pub fn stderr_progress() -> impl Fn(Progress) + Send + Sync {
 ///
 /// `PRINTED_TRACE=<path>` installs a collecting recorder; when the binary
 /// finishes, the trace is dumped to `<path>` as NDJSON and a human-readable
-/// wall-time summary is printed to stderr. With the variable unset the
-/// recorder is the shared disabled one — no sink, no allocation, no clock
-/// reads.
+/// wall-time summary is printed to stderr. Adding `PRINTED_TRACE_LIVE=1`
+/// upgrades the sink to a streaming one: every span and event is flushed
+/// to `<path>` the moment it happens, so `printed-trace watch <path>` can
+/// tail the run; [`TraceHook::finish`] then overwrites the stream with
+/// the canonical flow dump (the watcher detects the truncation). With the
+/// variable unset the recorder is the shared disabled one — no sink, no
+/// allocation, no clock reads.
 #[derive(Debug)]
 pub struct TraceHook {
     title: String,
@@ -160,14 +164,28 @@ pub struct TraceHook {
 }
 
 impl TraceHook {
-    /// Builds the hook for a binary from the `PRINTED_TRACE` environment
-    /// variable.
+    /// Builds the hook for a binary from the `PRINTED_TRACE` (path) and
+    /// `PRINTED_TRACE_LIVE` (streaming) environment variables.
     pub fn from_env(title: &str) -> Self {
         let path = std::env::var_os("PRINTED_TRACE").map(PathBuf::from);
-        let recorder = if path.is_some() {
-            Recorder::collecting().0
-        } else {
-            Recorder::disabled()
+        let live = std::env::var_os("PRINTED_TRACE_LIVE").is_some_and(|v| v == "1");
+        let recorder = match &path {
+            Some(p) if live => match printed_telemetry::StreamSink::to_file(p) {
+                Ok(sink) => {
+                    let sink: std::sync::Arc<dyn printed_telemetry::Sink> =
+                        std::sync::Arc::new(sink);
+                    Recorder::with_sink(sink)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "PRINTED_TRACE_LIVE: cannot stream to {}: {e}; collecting instead",
+                        p.display()
+                    );
+                    Recorder::collecting().0
+                }
+            },
+            Some(_) => Recorder::collecting().0,
+            None => Recorder::disabled(),
         };
         Self {
             title: title.to_owned(),
@@ -209,6 +227,7 @@ impl TraceHook {
     /// No-op when tracing is off.
     pub fn finish(self) {
         let Some(path) = self.path else { return };
+        printed_codesign::record_process_gauges(&self.recorder);
         let Some(snapshot) = self.recorder.snapshot() else {
             return;
         };

@@ -520,8 +520,19 @@ pub fn explore_instrumented(
                         let mut ok: Vec<CandidateDesign> = Vec::new();
                         let mut bad: Vec<FailedCandidate> = Vec::new();
                         let report_progress = || {
+                            // Count unconditionally: the trace's progress
+                            // events must advance even when no live callback
+                            // is installed, so `printed-trace watch` can
+                            // read k/N straight off a streamed NDJSON file.
+                            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            recorder.event(
+                                keys::PROGRESS_EVENT,
+                                vec![
+                                    ("done".to_owned(), FieldValue::U64(finished as u64)),
+                                    ("total".to_owned(), FieldValue::U64(total as u64)),
+                                ],
+                            );
                             if let Some(callback) = progress {
-                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                                 callback(Progress {
                                     done: finished,
                                     total,

@@ -262,6 +262,7 @@ impl<'a> CodesignFlow<'a> {
         crate::lint::record_lint(&self.recorder, &lint);
         stage.finish();
 
+        record_process_gauges(&self.recorder);
         let trace = self.recorder.snapshot().map(|snapshot| {
             let manifest = RunManifest::capture(self.train.name())
                 .with_grid(&self.grid.taus, self.grid.depths.iter().copied())
@@ -280,6 +281,25 @@ impl<'a> CodesignFlow<'a> {
             lint: Some(lint),
             trace,
         }
+    }
+}
+
+/// Stamps process-level gauges ([`keys::PEAK_RSS_KB`], and the allocation
+/// totals when `printed-telemetry`'s `count-allocs` feature is active)
+/// into `recorder`, so the finalized trace carries a memory axis next to
+/// the wall-time one. Call once, immediately before snapshotting — peak
+/// RSS is monotone, so the last value is the run's high-water mark.
+/// No-op when the recorder is disabled or off Linux.
+pub fn record_process_gauges(recorder: &Recorder) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    if let Some(kb) = printed_telemetry::peak_rss_kb() {
+        recorder.gauge(keys::PEAK_RSS_KB).record_max(kb);
+    }
+    if let Some((count, bytes)) = printed_telemetry::alloc_counts() {
+        recorder.set_gauge(keys::ALLOC_COUNT, count);
+        recorder.set_gauge(keys::ALLOC_BYTES, bytes);
     }
 }
 

@@ -56,7 +56,7 @@ pub use campaign::{
 pub use datasheet::Datasheet;
 pub use ensemble::{synthesize_ensemble, EnsembleSystem};
 pub use explore::{explore, CandidateDesign, Exploration, ExplorationConfig, FailedCandidate};
-pub use flow::{record_selection, CodesignFlow, FlowOutcome};
+pub use flow::{record_process_gauges, record_selection, CodesignFlow, FlowOutcome};
 pub use lint::{lint_candidate, record_lint};
 pub use mismatch::{mismatch_accuracy, MismatchReport, MismatchTrials};
 pub use printed_lint::{Diagnostic, LintConfig, LintLevel, LintReport, Severity};

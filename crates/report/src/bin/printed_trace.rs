@@ -5,11 +5,18 @@
 //! PRINTED_TRACE=seeds.ndjson cargo run --release -p printed-bench --bin codesign -- seeds --quick
 //! printed-trace report seeds.ndjson
 //!
-//! # Gate a fresh run against a committed baseline (exit 1 on regression):
-//! printed-trace diff BENCH_seeds.json seeds.ndjson --max-regress 5%
+//! # Gate a fresh run against the committed suite baseline (exit 1 on
+//! # regression; suites are paired per dataset, missing datasets fail):
+//! printed-trace diff BENCH_all.ndjson current_all.ndjson --max-regress 5%
 //!
-//! # Condense a trace into a new baseline:
-//! printed-trace snapshot seeds.ndjson -o BENCH_seeds.json
+//! # Tail an in-flight traced run (PRINTED_TRACE_LIVE=1) or checkpoint:
+//! printed-trace watch seeds_live.ndjson
+//!
+//! # Render cross-PR drift from the benchmark history:
+//! printed-trace history BENCH_history.ndjson --dataset Seeds
+//!
+//! # Condense a trace into a one-line baseline record:
+//! printed-trace snapshot seeds.ndjson -o seeds_stats.json
 //! ```
 //!
 //! Exit codes: `0` success / gate passed, `1` regression detected,
@@ -17,7 +24,10 @@
 
 use std::process::ExitCode;
 
-use printed_report::{diff, parse_trace, CostReport, DiffConfig, Profile, TraceStats};
+use printed_report::{
+    diff_many, diff_suites, parse_history, parse_trace, render_history, CostReport, DiffConfig,
+    HistoryEntry, Profile, TraceStats, Watcher,
+};
 
 const USAGE: &str = "\
 usage: printed-trace <command> [args]
@@ -26,9 +36,24 @@ commands:
   report <trace.ndjson>
       Flame/self-time profile plus hardware-cost attribution.
   diff <baseline> <current> [--max-regress PCT] [--max-wall-regress PCT]
+       [--wall-floor-us N] [--wall-z Z]
       Gate a run against a baseline; exits 1 on regression.
-      Inputs may be bench_stats JSON (from `snapshot`) or NDJSON traces.
+      Inputs may be bench_stats NDJSON (single line or a whole suite
+      like BENCH_all.ndjson) or NDJSON traces. Suites are paired by
+      dataset; a dataset missing on either side is a hard error.
+      Calibrated baselines gate wall time at
+      median + max(floor, z*MAD); PCT applies to uncalibrated ones.
       PCT accepts `5%`, `5`, or `0.05` (all mean five percent).
+  watch <trace.ndjson> [--poll-ms N] [--once]
+      Tail an in-flight traced run: rolling k/N progress, candidate
+      rate, ETA, and failed-candidate alerts. Robust to torn tails and
+      to the final truncate-and-rewrite. --once prints one status line
+      and exits (for scripts/CI smoke checks).
+  history <history.ndjson> [--dataset NAME]
+      Render per-dataset drift from an append-only bench_history file.
+  history append <history.ndjson> <stats.ndjson>
+      Append one bench_history record per bench_stats line (what CI
+      runs after the gate passes).
   snapshot <trace.ndjson> [-o out.json]
       Condense a trace to a one-line bench_stats baseline.";
 
@@ -37,6 +62,8 @@ fn main() -> ExitCode {
     let outcome = match args.first().map(String::as_str) {
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
+        Some("history") => cmd_history(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
@@ -83,11 +110,26 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
         match arg.as_str() {
             "--max-regress" => {
                 let v = iter.next().ok_or("--max-regress needs a value")?;
-                config = DiffConfig::with_tolerance(parse_pct(v)?);
+                let tolerance = parse_pct(v)?;
+                config.max_regress = tolerance;
+                config.max_wall_regress = tolerance;
             }
             "--max-wall-regress" => {
                 let v = iter.next().ok_or("--max-wall-regress needs a value")?;
                 wall_override = Some(parse_pct(v)?);
+            }
+            "--wall-floor-us" => {
+                let v = iter.next().ok_or("--wall-floor-us needs a value")?;
+                config.wall_floor_us = v
+                    .parse()
+                    .map_err(|e| format!("bad --wall-floor-us {v:?}: {e}"))?;
+            }
+            "--wall-z" => {
+                let v = iter.next().ok_or("--wall-z needs a value")?;
+                config.wall_z = v.parse().map_err(|e| format!("bad --wall-z {v:?}: {e}"))?;
+                if !config.wall_z.is_finite() || config.wall_z < 0.0 {
+                    return Err(format!("bad --wall-z {v:?}"));
+                }
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             path => paths.push(path.to_owned()),
@@ -99,23 +141,180 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let [baseline_path, current_path] = paths.as_slice() else {
         return Err("usage: printed-trace diff <baseline> <current> [--max-regress PCT]".into());
     };
-    let (baseline, base_warnings) = TraceStats::from_text(&read(baseline_path)?)
-        .map_err(|e| format!("{baseline_path}: {e}"))?;
-    let (current, cur_warnings) =
-        TraceStats::from_text(&read(current_path)?).map_err(|e| format!("{current_path}: {e}"))?;
+    let baseline_text = read(baseline_path)?;
+    let current_text = read(current_path)?;
+    let (baselines, base_warnings) =
+        TraceStats::from_text_multi(&baseline_text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let (currents, cur_warnings) =
+        TraceStats::from_text_multi(&current_text).map_err(|e| format!("{current_path}: {e}"))?;
     for warning in base_warnings {
         eprintln!("warning: {baseline_path}: {warning}");
     }
     for warning in cur_warnings {
         eprintln!("warning: {current_path}: {warning}");
     }
-    let report = diff::diff(&baseline, &current, config);
-    print!("{}", report.render_text());
-    Ok(if report.passed() {
+    // Two bench_stats files are suites even when one holds a single
+    // record: require the strict dataset bijection, so a suite that
+    // silently lost benchmarks cannot pass by lookup. A trace-dump
+    // input, by contrast, *is* a single run and matches by lookup.
+    let is_suite = |text: &str| text.contains(r#""kind":"bench_stats""#);
+    let reports = if is_suite(&baseline_text) && is_suite(&current_text) {
+        diff_suites(&baselines, &currents, config)?
+    } else {
+        diff_many(&baselines, &currents, config)?
+    };
+    let mut passed = true;
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print!("{}", report.render_text());
+        passed &= report.passed();
+    }
+    if reports.len() > 1 {
+        let failures = reports.iter().filter(|r| !r.passed()).count();
+        println!(
+            "suite: {}/{} benchmarks passed{}",
+            reports.len() - failures,
+            reports.len(),
+            if failures > 0 {
+                format!(" ({failures} REGRESSED)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    Ok(if passed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     })
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut poll_ms: u64 = 500;
+    let mut once = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--poll-ms" => {
+                let v = iter.next().ok_or("--poll-ms needs a value")?;
+                poll_ms = v.parse().map_err(|e| format!("bad --poll-ms {v:?}: {e}"))?;
+            }
+            "--once" => once = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            p => {
+                if path.replace(p.to_owned()).is_some() {
+                    return Err("watch takes exactly one path".into());
+                }
+            }
+        }
+    }
+    let path = path.ok_or("usage: printed-trace watch <trace.ndjson> [--poll-ms N] [--once]")?;
+
+    let mut watcher = Watcher::new();
+    let mut consumed: usize = 0;
+    let mut last_status = String::new();
+    let mut reported_alerts = 0;
+    loop {
+        // Whole-file read each poll: traces are small (kilobytes), and it
+        // makes truncation detection trivial — the file got shorter than
+        // what we already consumed.
+        let content = match std::fs::read_to_string(&path) {
+            Ok(content) => content,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && !once => {
+                // The producer may not have created the file yet.
+                std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+                continue;
+            }
+            Err(e) => return Err(format!("{path}: {e}")),
+        };
+        if content.len() < consumed {
+            println!("watch: {path} truncated (writer finalized or restarted), re-reading");
+            watcher.reset();
+            consumed = 0;
+            reported_alerts = 0;
+        }
+        watcher.push(&content[consumed..]);
+        consumed = content.len();
+
+        let state = watcher.state();
+        for alert in &state.alerts[reported_alerts..] {
+            println!("watch: ALERT {alert}");
+        }
+        reported_alerts = state.alerts.len();
+        let status = state.status_line();
+        if status != last_status {
+            println!("watch: {status}");
+            last_status = status;
+        }
+        if state.finalized {
+            if let Some(selected) = &state.selected {
+                println!("watch: {selected}");
+            }
+            println!("watch: trace finalized, exiting");
+            return Ok(ExitCode::SUCCESS);
+        }
+        if once {
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+}
+
+fn cmd_history(args: &[String]) -> Result<ExitCode, String> {
+    if args.first().map(String::as_str) == Some("append") {
+        let [_, history_path, stats_path] = args else {
+            return Err(
+                "usage: printed-trace history append <history.ndjson> <stats.ndjson>".into(),
+            );
+        };
+        let (stats, warnings) = TraceStats::from_text_multi(&read(stats_path)?)
+            .map_err(|e| format!("{stats_path}: {e}"))?;
+        for warning in warnings {
+            eprintln!("warning: {stats_path}: {warning}");
+        }
+        let mut appended = String::new();
+        for s in &stats {
+            appended.push_str(&HistoryEntry::from_stats(s).to_json());
+            appended.push('\n');
+        }
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(history_path)
+            .map_err(|e| format!("{history_path}: {e}"))?;
+        file.write_all(appended.as_bytes())
+            .map_err(|e| format!("{history_path}: {e}"))?;
+        eprintln!("appended {} record(s) to {history_path}", stats.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut path = None;
+    let mut dataset = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--dataset" => {
+                dataset = Some(iter.next().ok_or("--dataset needs a value")?.to_owned());
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            p => {
+                if path.replace(p.to_owned()).is_some() {
+                    return Err("history takes exactly one path".into());
+                }
+            }
+        }
+    }
+    let path = path.ok_or("usage: printed-trace history <history.ndjson> [--dataset NAME]")?;
+    let (entries, warnings) = parse_history(&read(&path)?);
+    for warning in warnings {
+        eprintln!("warning: {path}: {warning}");
+    }
+    print!("{}", render_history(&entries, dataset.as_deref()));
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_snapshot(args: &[String]) -> Result<ExitCode, String> {

@@ -2,13 +2,34 @@
 //! slower or the hardware got bigger.
 //!
 //! [`TraceStats`] condenses a trace to the handful of numbers worth
-//! guarding — wall time, Gini-evaluation count, trees trained, and the
-//! selected design's area/power/comparators — and serializes to a single
-//! JSON line, the format of the committed `BENCH_*.json` baselines.
-//! [`diff`] compares a baseline against a current run under a
-//! [`DiffConfig`] tolerance and returns the list of violations; the
-//! `printed-trace diff` subcommand turns a non-empty list into exit
-//! code 1, which is what CI gates on.
+//! guarding — wall time, Gini-evaluation count, trees trained, peak RSS,
+//! and the selected design's area/power/comparators — and serializes to a
+//! single JSON line, the record format of the committed `BENCH_all.ndjson`
+//! baseline suite. [`diff`] compares a baseline against a current run
+//! under a [`DiffConfig`] tolerance and returns the list of violations;
+//! [`diff_many`] pairs whole suites by dataset (and fails hard on missing
+//! counterparts); the `printed-trace diff` subcommand turns a non-empty
+//! violation list into exit code 1, which is what CI gates on.
+//!
+//! ## Noise-calibrated wall gating
+//!
+//! Percentage tolerances are the wrong tool for wall time: a 5% gate on a
+//! 2.5 ms run fires on 125 µs of scheduler jitter. Baselines produced by
+//! `bench_all` therefore carry a *calibration*: the median and MAD
+//! (median absolute deviation) of `k` repeat runs, plus the host
+//! environment class (`cpus/threads/build`). The gate then becomes
+//!
+//! ```text
+//! current.wall_us  >  median + max(wall_floor_us, wall_z × MAD)
+//! ```
+//!
+//! — an absolute threshold derived from the baseline's own measured
+//! noise, with a floor so a near-zero MAD cannot make the gate
+//! hair-trigger. A baseline refuses to wall-gate a run from a different
+//! environment class (2-core debug vs 8-core release tells you nothing);
+//! deterministic metrics are still gated in that case. Uncalibrated
+//! baselines (the pre-suite single-shot format) fall back to the old
+//! percentage check.
 //!
 //! Timing regresses only upward (faster is fine); hardware numbers are
 //! checked for drift in *either* direction — the flow is deterministic,
@@ -30,8 +51,19 @@ pub struct TraceStats {
     pub taus: Vec<f64>,
     /// Depth grid of the sweep.
     pub depths: Vec<u64>,
-    /// Wall time of the run, µs.
+    /// Wall time of the run, µs. For calibrated baselines this is the
+    /// median of the repeat runs (kept equal to [`wall_us_median`] so old
+    /// readers see a sane number).
+    ///
+    /// [`wall_us_median`]: TraceStats::wall_us_median
     pub wall_us: u64,
+    /// Median wall time across the calibration's repeat runs, µs
+    /// (0 = uncalibrated single-shot run).
+    pub wall_us_median: u64,
+    /// Median absolute deviation of the repeat runs' wall times, µs.
+    pub wall_us_mad: u64,
+    /// Number of repeat runs behind the calibration (0 = uncalibrated).
+    pub calib_runs: u64,
     /// Gini evaluations across the sweep (the training-cost proxy).
     pub gini_evals: u64,
     /// Trees trained across the sweep.
@@ -45,6 +77,17 @@ pub struct TraceStats {
     pub power_mw: f64,
     /// Selected design's retained comparators.
     pub comparators: u64,
+    /// Peak resident-set size of the producing process, kB (0 = not
+    /// recorded).
+    pub peak_rss_kb: u64,
+    /// Logical CPUs of the producing host (0 = unknown).
+    pub cpus: u64,
+    /// Explicit sweep thread override (0 = auto).
+    pub threads: u64,
+    /// Build profile (`"release"`/`"debug"`, empty = unknown).
+    pub build: String,
+    /// Unix timestamp (seconds) the run was recorded (0 = unknown).
+    pub unix_secs: u64,
 }
 
 impl TraceStats {
@@ -63,40 +106,67 @@ impl TraceStats {
                 .and_then(FieldValue::as_u64)
                 .unwrap_or(0)
         };
+        let manifest = trace.manifest.as_ref();
         Self {
-            dataset: trace
-                .manifest
-                .as_ref()
+            dataset: manifest
                 .map(|m| m.dataset.clone())
                 .unwrap_or_else(|| trace.title.clone()),
-            git_sha: trace
-                .manifest
-                .as_ref()
-                .map(|m| m.git_sha.clone())
-                .unwrap_or_default(),
-            taus: trace
-                .manifest
-                .as_ref()
-                .map(|m| m.taus.clone())
-                .unwrap_or_default(),
-            depths: trace
-                .manifest
-                .as_ref()
-                .map(|m| m.depths.clone())
-                .unwrap_or_default(),
+            git_sha: manifest.map(|m| m.git_sha.clone()).unwrap_or_default(),
+            taus: manifest.map(|m| m.taus.clone()).unwrap_or_default(),
+            depths: manifest.map(|m| m.depths.clone()).unwrap_or_default(),
             wall_us: trace.wall_us,
+            wall_us_median: 0,
+            wall_us_mad: 0,
+            calib_runs: 0,
             gini_evals: trace.counter(keys::GINI_EVALS),
             trees: trace.counter(keys::TREES_TRAINED),
             trees_shared: trace.counter(keys::TREES_SHARED),
             area_mm2: f("area_mm2"),
             power_mw: f("power_mw"),
             comparators: u("comparators"),
+            peak_rss_kb: trace.gauge(keys::PEAK_RSS_KB),
+            cpus: manifest.map(|m| m.cpus).unwrap_or(0),
+            threads: manifest.map(|m| m.threads).unwrap_or(0),
+            build: manifest.map(|m| m.build.clone()).unwrap_or_default(),
+            unix_secs: manifest.map(|m| m.unix_secs).unwrap_or(0),
         }
     }
 
+    /// Installs a wall-time calibration from `k` repeat-run wall times
+    /// (builder style): `wall_us` becomes the median, and median/MAD/run
+    /// count are recorded for the noise-derived gate.
+    pub fn with_calibration(mut self, walls_us: &[u64]) -> Self {
+        if walls_us.is_empty() {
+            return self;
+        }
+        let (median, mad) = median_mad(walls_us);
+        self.wall_us = median;
+        self.wall_us_median = median;
+        self.wall_us_mad = mad;
+        self.calib_runs = walls_us.len() as u64;
+        self
+    }
+
+    /// The host-environment class of the producing run (mirrors
+    /// [`printed_telemetry::RunManifest::env_class`]); `None` for
+    /// pre-environment baselines.
+    pub fn env_class(&self) -> Option<String> {
+        if self.cpus == 0 && self.build.is_empty() {
+            return None;
+        }
+        let threads = if self.threads == 0 {
+            "auto".to_owned()
+        } else {
+            format!("{}t", self.threads)
+        };
+        Some(format!("{}cpu/{}/{}", self.cpus, threads, self.build))
+    }
+
     /// Serializes to one JSON line — the committed-baseline format.
+    /// Calibration, environment, and RSS fields are emitted only when
+    /// set, so single-shot stats keep the compact legacy shape.
     pub fn to_json(&self) -> String {
-        JsonLine::new()
+        let mut line = JsonLine::new()
             .str("kind", "bench_stats")
             .str("dataset", &self.dataset)
             .str("git_sha", &self.git_sha)
@@ -129,34 +199,73 @@ impl TraceStats {
                         .join(",")
                 ),
             )
-            .u64("wall_us", self.wall_us)
+            .u64("wall_us", self.wall_us);
+        if self.calib_runs > 0 {
+            line = line
+                .u64("wall_us_median", self.wall_us_median)
+                .u64("wall_us_mad", self.wall_us_mad)
+                .u64("calib_runs", self.calib_runs);
+        }
+        line = line
             .u64("gini_evals", self.gini_evals)
             .u64("trees", self.trees)
             .u64("trees_shared", self.trees_shared)
             .f64("area_mm2", self.area_mm2)
             .f64("power_mw", self.power_mw)
-            .u64("comparators", self.comparators)
-            .finish()
+            .u64("comparators", self.comparators);
+        if self.peak_rss_kb > 0 {
+            line = line.u64("peak_rss_kb", self.peak_rss_kb);
+        }
+        if self.env_class().is_some() {
+            line = line
+                .u64("cpus", self.cpus)
+                .u64("threads", self.threads)
+                .str("build", &self.build);
+        }
+        if self.unix_secs > 0 {
+            line = line.u64("unix_secs", self.unix_secs);
+        }
+        line.finish()
     }
 
     /// Parses either format a gate input can be: a `bench_stats` JSON
     /// line (committed baseline) or a full NDJSON trace dump (fresh run).
-    /// Returns the stats plus any parse warnings.
+    /// Returns the stats plus any parse warnings. Multi-record files are
+    /// valid input; this returns the *first* record — use
+    /// [`TraceStats::from_text_multi`] to get the whole suite.
     pub fn from_text(text: &str) -> Result<(Self, Vec<String>), String> {
-        let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
-        if let Ok(value) = parse_json(first.trim()) {
-            if value.get("kind").and_then(JsonValue::as_str) == Some("bench_stats") {
-                return Ok((Self::from_stats_json(&value)?, Vec::new()));
+        let (mut many, warnings) = Self::from_text_multi(text)?;
+        Ok((many.remove(0), warnings))
+    }
+
+    /// Parses every run a gate input holds: all `bench_stats` lines of a
+    /// baseline suite (e.g. `BENCH_all.ndjson`), or the single condensed
+    /// record of an NDJSON trace dump. Never returns an empty vector.
+    pub fn from_text_multi(text: &str) -> Result<(Vec<Self>, Vec<String>), String> {
+        let mut stats = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
             }
+            let Ok(value) = parse_json(line) else {
+                continue;
+            };
+            if value.get("kind").and_then(JsonValue::as_str) == Some("bench_stats") {
+                stats.push(Self::from_stats_json(&value)?);
+            }
+        }
+        if !stats.is_empty() {
+            return Ok((stats, Vec::new()));
         }
         let parsed = parse_trace(text);
         if parsed.trace == FlowTrace::default() && !parsed.warnings.is_empty() {
             return Err(format!(
-                "not a bench_stats line or a parseable trace ({})",
+                "not a bench_stats file or a parseable trace ({})",
                 parsed.warnings[0]
             ));
         }
-        Ok((Self::from_trace(&parsed.trace), parsed.warnings))
+        Ok((vec![Self::from_trace(&parsed.trace)], parsed.warnings))
     }
 
     fn from_stats_json(value: &JsonValue) -> Result<Self, String> {
@@ -187,6 +296,10 @@ impl TraceStats {
             taus,
             depths,
             wall_us: u("wall_us"),
+            // Absent from single-shot / legacy baselines; 0 = uncalibrated.
+            wall_us_median: u("wall_us_median"),
+            wall_us_mad: u("wall_us_mad"),
+            calib_runs: u("calib_runs"),
             gini_evals: u("gini_evals"),
             trees: u("trees"),
             // Absent from pre-sharing baselines; defaults to 0 there.
@@ -194,8 +307,32 @@ impl TraceStats {
             area_mm2: f("area_mm2"),
             power_mw: f("power_mw"),
             comparators: u("comparators"),
+            peak_rss_kb: u("peak_rss_kb"),
+            cpus: u("cpus"),
+            threads: u("threads"),
+            build: s("build"),
+            unix_secs: u("unix_secs"),
         })
     }
+}
+
+/// Median and median-absolute-deviation of a sample, both in the
+/// sample's unit. Even-length samples average the middle pair (rounding
+/// down). Empty samples return `(0, 0)`.
+pub fn median_mad(samples: &[u64]) -> (u64, u64) {
+    fn median(sorted: &[u64]) -> u64 {
+        match sorted.len() {
+            0 => 0,
+            n if n % 2 == 1 => sorted[n / 2],
+            n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2,
+        }
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let med = median(&sorted);
+    let mut deviations: Vec<u64> = sorted.iter().map(|&x| x.abs_diff(med)).collect();
+    deviations.sort_unstable();
+    (med, median(&deviations))
 }
 
 /// Tolerances for [`diff`].
@@ -204,9 +341,20 @@ pub struct DiffConfig {
     /// Allowed relative drift for deterministic metrics (Gini evals,
     /// trees, area, power, comparators). Default 5%.
     pub max_regress: f64,
-    /// Allowed relative wall-time regression. Defaults to `max_regress`;
-    /// raise it independently on noisy shared CI runners.
+    /// Allowed relative wall-time regression for *uncalibrated*
+    /// baselines. Defaults to `max_regress`; raise it independently on
+    /// noisy shared CI runners.
     pub max_wall_regress: f64,
+    /// Absolute floor of the calibrated wall gate, µs: the tolerated
+    /// excess over the baseline median is never smaller than this, so a
+    /// near-zero measured MAD cannot make the gate hair-trigger.
+    /// Default 50 ms.
+    pub wall_floor_us: u64,
+    /// MAD multiplier of the calibrated wall gate. 8 MADs ≈ 5.4σ for
+    /// Gaussian noise — far enough out that scheduler jitter essentially
+    /// never fires it, close enough that a real 2× regression always
+    /// does.
+    pub wall_z: f64,
 }
 
 impl Default for DiffConfig {
@@ -214,16 +362,20 @@ impl Default for DiffConfig {
         Self {
             max_regress: 0.05,
             max_wall_regress: 0.05,
+            wall_floor_us: 50_000,
+            wall_z: 8.0,
         }
     }
 }
 
 impl DiffConfig {
-    /// Sets both tolerances to the same fraction.
+    /// Sets both relative tolerances to the same fraction (calibrated
+    /// wall-gate parameters keep their defaults).
     pub fn with_tolerance(fraction: f64) -> Self {
         Self {
             max_regress: fraction,
             max_wall_regress: fraction,
+            ..Self::default()
         }
     }
 }
@@ -259,7 +411,7 @@ impl DiffReport {
             self.current.dataset,
             short(&self.current.git_sha),
         ));
-        let rows: &[(&str, f64, f64)] = &[
+        let mut rows: Vec<(&str, f64, f64)> = vec![
             (
                 "wall_us",
                 self.baseline.wall_us as f64,
@@ -288,11 +440,18 @@ impl DiffReport {
                 self.current.comparators as f64,
             ),
         ];
+        if self.baseline.peak_rss_kb > 0 || self.current.peak_rss_kb > 0 {
+            rows.push((
+                "peak_rss_kb",
+                self.baseline.peak_rss_kb as f64,
+                self.current.peak_rss_kb as f64,
+            ));
+        }
         out.push_str(&format!(
             "  {:<12} {:>14} {:>14} {:>9}\n",
             "metric", "baseline", "current", "delta"
         ));
-        for &(name, base, cur) in rows {
+        for &(name, base, cur) in &rows {
             let delta = if base == 0.0 {
                 "n/a".to_owned()
             } else {
@@ -359,15 +518,7 @@ pub fn diff(baseline: &TraceStats, current: &TraceStats, config: DiffConfig) -> 
         ));
     }
 
-    // Timing: regression-only (upward) gate.
-    check_regress(
-        &mut violations,
-        &mut notes,
-        "wall time (µs)",
-        baseline.wall_us as f64,
-        current.wall_us as f64,
-        config.max_wall_regress,
-    );
+    check_wall(&mut violations, &mut notes, baseline, current, config);
     check_regress(
         &mut violations,
         &mut notes,
@@ -406,6 +557,161 @@ pub fn diff(baseline: &TraceStats, current: &TraceStats, config: DiffConfig) -> 
         config,
         violations,
         notes,
+    }
+}
+
+/// Pairs two suites of stats by dataset and diffs each pair. Both sides
+/// single → paired directly (same as [`diff`]). Baseline is a suite and
+/// current is a single run (or vice versa) → the single run is matched
+/// against its dataset's counterpart in the suite. Both sides suites →
+/// an exact bijection is required: a dataset present on one side and
+/// missing on the other is a hard `Err`, never a silent skip — a
+/// benchmark falling out of the suite is exactly the kind of regression
+/// the gate exists to catch.
+pub fn diff_many(
+    baselines: &[TraceStats],
+    currents: &[TraceStats],
+    config: DiffConfig,
+) -> Result<Vec<DiffReport>, String> {
+    let find = |suite: &[TraceStats], dataset: &str| -> Option<TraceStats> {
+        suite.iter().find(|s| s.dataset == dataset).cloned()
+    };
+    match (baselines.len(), currents.len()) {
+        (0, _) | (_, 0) => Err("empty stats set (nothing to compare)".to_owned()),
+        (1, 1) => Ok(vec![diff(&baselines[0], &currents[0], config)]),
+        (_, 1) => {
+            let current = &currents[0];
+            let baseline = find(baselines, &current.dataset).ok_or_else(|| {
+                format!(
+                    "dataset {:?} has no baseline record (baseline has: {})",
+                    current.dataset,
+                    dataset_list(baselines)
+                )
+            })?;
+            Ok(vec![diff(&baseline, current, config)])
+        }
+        (1, _) => {
+            let baseline = &baselines[0];
+            let current = find(currents, &baseline.dataset).ok_or_else(|| {
+                format!(
+                    "baseline dataset {:?} missing from the current run (current has: {})",
+                    baseline.dataset,
+                    dataset_list(currents)
+                )
+            })?;
+            Ok(vec![diff(baseline, &current, config)])
+        }
+        _ => diff_suites(baselines, currents, config),
+    }
+}
+
+/// Diffs two whole suites under a strict dataset bijection, whatever the
+/// counts: every baseline dataset must appear in the current suite and
+/// vice versa, or the comparison is a hard `Err`. Use this (the
+/// `printed-trace diff` CLI does, whenever both inputs are `bench_stats`
+/// files) so a suite that silently lost benchmarks — e.g. `bench_all`
+/// crashed after the first dataset — cannot pass the gate by lookup.
+pub fn diff_suites(
+    baselines: &[TraceStats],
+    currents: &[TraceStats],
+    config: DiffConfig,
+) -> Result<Vec<DiffReport>, String> {
+    let find = |suite: &[TraceStats], dataset: &str| -> Option<TraceStats> {
+        suite.iter().find(|s| s.dataset == dataset).cloned()
+    };
+    if baselines.is_empty() || currents.is_empty() {
+        return Err("empty stats set (nothing to compare)".to_owned());
+    }
+    let mut missing = Vec::new();
+    for baseline in baselines {
+        if find(currents, &baseline.dataset).is_none() {
+            missing.push(format!(
+                "baseline dataset {:?} missing from the current run",
+                baseline.dataset
+            ));
+        }
+    }
+    for current in currents {
+        if find(baselines, &current.dataset).is_none() {
+            missing.push(format!(
+                "current dataset {:?} has no baseline record",
+                current.dataset
+            ));
+        }
+    }
+    if !missing.is_empty() {
+        return Err(missing.join("; "));
+    }
+    Ok(baselines
+        .iter()
+        .map(|baseline| {
+            let current = find(currents, &baseline.dataset).expect("bijection checked above");
+            diff(baseline, &current, config)
+        })
+        .collect())
+}
+
+fn dataset_list(suite: &[TraceStats]) -> String {
+    let names: Vec<&str> = suite.iter().map(|s| s.dataset.as_str()).collect();
+    names.join(", ")
+}
+
+/// The wall-time gate: noise-calibrated absolute threshold when the
+/// baseline carries a calibration (and the environment classes agree),
+/// legacy percentage check otherwise.
+fn check_wall(
+    violations: &mut Vec<String>,
+    notes: &mut Vec<String>,
+    baseline: &TraceStats,
+    current: &TraceStats,
+    config: DiffConfig,
+) {
+    if baseline.calib_runs == 0 || baseline.wall_us_median == 0 {
+        check_regress(
+            violations,
+            notes,
+            "wall time (µs)",
+            baseline.wall_us as f64,
+            current.wall_us as f64,
+            config.max_wall_regress,
+        );
+        return;
+    }
+    if let (Some(base_env), Some(cur_env)) = (baseline.env_class(), current.env_class()) {
+        if base_env != cur_env {
+            notes.push(format!(
+                "wall-time gate REFUSED: environment class mismatch \
+                 (baseline {base_env}, current {cur_env}) — deterministic metrics still gated"
+            ));
+            return;
+        }
+    }
+    let slack = config
+        .wall_floor_us
+        .max((config.wall_z * baseline.wall_us_mad as f64) as u64);
+    let threshold = baseline.wall_us_median + slack;
+    if current.wall_us > threshold {
+        violations.push(format!(
+            "wall time regressed: {} µs > {} µs \
+             (median {} + max({} floor, {:.0}×MAD {}) from {} calibration runs)",
+            current.wall_us,
+            threshold,
+            baseline.wall_us_median,
+            config.wall_floor_us,
+            config.wall_z,
+            baseline.wall_us_mad,
+            baseline.calib_runs,
+        ));
+    } else {
+        notes.push(format!(
+            "wall time {} µs within calibrated threshold {} µs \
+             ({} runs, median {}, MAD {})",
+            current.wall_us,
+            threshold,
+            baseline.calib_runs,
+            baseline.wall_us_median,
+            baseline.wall_us_mad,
+        ));
     }
 }
 
@@ -474,7 +780,19 @@ mod tests {
             area_mm2: 12.5,
             power_mw: 1.25,
             comparators: 9,
+            ..TraceStats::default()
         }
+    }
+
+    fn calibrated() -> TraceStats {
+        let mut s = stats();
+        s = s.with_calibration(&[98_000, 100_000, 101_000, 104_000, 99_000]);
+        s.cpus = 8;
+        s.threads = 0;
+        s.build = "release".into();
+        s.peak_rss_kb = 40_000;
+        s.unix_secs = 1_750_000_000;
+        s
     }
 
     #[test]
@@ -543,10 +861,85 @@ mod tests {
         let config = DiffConfig {
             max_regress: 0.05,
             max_wall_regress: 0.50,
+            ..DiffConfig::default()
         };
         assert!(diff(&base, &cur, config).passed());
         cur.area_mm2 = 14.0; // hardware still gated at 5%
         assert!(!diff(&base, &cur, config).passed());
+    }
+
+    #[test]
+    fn median_mad_handles_odd_even_and_empty() {
+        assert_eq!(median_mad(&[]), (0, 0));
+        assert_eq!(median_mad(&[7]), (7, 0));
+        assert_eq!(median_mad(&[1, 3]), (2, 1));
+        // Median 100, deviations [2,1,0,1,4] → sorted [0,1,1,2,4] → MAD 1.
+        assert_eq!(median_mad(&[98, 99, 100, 101, 104]), (100, 1));
+    }
+
+    #[test]
+    fn calibration_builder_fills_the_trio() {
+        let s = stats().with_calibration(&[98_000, 100_000, 101_000, 104_000, 99_000]);
+        assert_eq!(s.wall_us, 100_000);
+        assert_eq!(s.wall_us_median, 100_000);
+        assert_eq!(s.wall_us_mad, 1_000);
+        assert_eq!(s.calib_runs, 5);
+        // Empty samples leave the stats untouched.
+        assert_eq!(stats().with_calibration(&[]), stats());
+    }
+
+    #[test]
+    fn calibrated_gate_uses_the_mad_threshold() {
+        let base = calibrated(); // median 100_000, MAD 1_000
+        let mut cur = calibrated();
+        // Threshold = 100_000 + max(50_000 floor, 8×1_000) = 150_000.
+        cur.wall_us = 150_000;
+        assert!(diff(&base, &cur, DiffConfig::default()).passed());
+        cur.wall_us = 150_001;
+        let report = diff(&base, &cur, DiffConfig::default());
+        assert!(!report.passed());
+        assert!(
+            report.violations[0].contains("calibration runs"),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn mad_dominates_when_above_the_floor() {
+        let mut base = calibrated();
+        base.wall_us_mad = 20_000; // 8×20_000 = 160_000 > 50_000 floor
+        let mut cur = calibrated();
+        cur.wall_us = 255_000; // under 100_000 + 160_000
+        assert!(diff(&base, &cur, DiffConfig::default()).passed());
+        cur.wall_us = 265_000;
+        assert!(!diff(&base, &cur, DiffConfig::default()).passed());
+    }
+
+    #[test]
+    fn env_mismatch_refuses_the_wall_gate_but_keeps_deterministic_gates() {
+        let base = calibrated();
+        let mut cur = calibrated();
+        cur.cpus = 2;
+        cur.wall_us = 10_000_000; // way past any threshold — but unjudgeable
+        let report = diff(&base, &cur, DiffConfig::default());
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(
+            report.notes.iter().any(|n| n.contains("REFUSED")),
+            "{:?}",
+            report.notes
+        );
+        // Deterministic metrics still fire on the mismatched-env pair.
+        cur.area_mm2 = 20.0;
+        assert!(!diff(&base, &cur, DiffConfig::default()).passed());
+    }
+
+    #[test]
+    fn uncalibrated_baseline_falls_back_to_percentage() {
+        let base = stats(); // calib_runs = 0
+        let mut cur = stats();
+        cur.wall_us = 106_000;
+        assert!(!diff(&base, &cur, DiffConfig::default()).passed());
     }
 
     #[test]
@@ -559,11 +952,101 @@ mod tests {
     }
 
     #[test]
+    fn calibrated_stats_json_round_trips() {
+        let original = calibrated();
+        let json = original.to_json();
+        assert!(json.contains(r#""wall_us_median":100000"#), "{json}");
+        assert!(json.contains(r#""calib_runs":5"#), "{json}");
+        assert!(json.contains(r#""peak_rss_kb":40000"#), "{json}");
+        assert!(json.contains(r#""build":"release""#), "{json}");
+        let (parsed, _) = TraceStats::from_text(&json).expect("parses");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn uncalibrated_json_omits_the_new_fields() {
+        let json = stats().to_json();
+        assert!(!json.contains("wall_us_median"), "{json}");
+        assert!(!json.contains("peak_rss_kb"), "{json}");
+        assert!(!json.contains("cpus"), "{json}");
+    }
+
+    #[test]
+    fn from_text_multi_reads_a_whole_suite() {
+        let mut a = calibrated();
+        a.dataset = "Seeds".into();
+        let mut b = calibrated();
+        b.dataset = "Cardio".into();
+        let file = format!("{}\n{}\n", a.to_json(), b.to_json());
+        let (suite, warnings) = TraceStats::from_text_multi(&file).expect("parses");
+        assert!(warnings.is_empty());
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].dataset, "Seeds");
+        assert_eq!(suite[1].dataset, "Cardio");
+    }
+
+    #[test]
+    fn diff_many_requires_an_exact_bijection() {
+        let mut a = stats();
+        a.dataset = "Seeds".into();
+        let mut b = stats();
+        b.dataset = "Cardio".into();
+        let mut c = stats();
+        c.dataset = "Pendigits".into();
+        // Exact match passes.
+        let reports = diff_many(
+            &[a.clone(), b.clone()],
+            &[a.clone(), b.clone()],
+            DiffConfig::default(),
+        )
+        .expect("bijection");
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(DiffReport::passed));
+        // Missing on the current side is a hard error, not a skip.
+        let err = diff_many(
+            &[a.clone(), b.clone()],
+            &[a.clone(), c.clone()],
+            DiffConfig::default(),
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("\"Cardio\" missing from the current run"),
+            "{err}"
+        );
+        assert!(
+            err.contains("\"Pendigits\" has no baseline record"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn diff_many_matches_a_single_run_inside_a_suite() {
+        let mut a = stats();
+        a.dataset = "Seeds".into();
+        let mut b = stats();
+        b.dataset = "Cardio".into();
+        let reports = diff_many(&[a.clone(), b.clone()], &[b.clone()], DiffConfig::default())
+            .expect("lookup");
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].baseline.dataset, "Cardio");
+        // And the reverse orientation.
+        let reports = diff_many(&[a.clone()], &[b.clone(), a.clone()], DiffConfig::default())
+            .expect("lookup");
+        assert_eq!(reports[0].current.dataset, "Seeds");
+        // A single run with no counterpart errors.
+        let mut c = stats();
+        c.dataset = "Pendigits".into();
+        let err = diff_many(&[a, b], &[c], DiffConfig::default()).unwrap_err();
+        assert!(err.contains("no baseline record"), "{err}");
+    }
+
+    #[test]
     fn from_text_accepts_a_trace_dump() {
         use printed_telemetry::{keys, FieldValue, Recorder, RunManifest};
         let (recorder, sink) = Recorder::collecting();
         let span = recorder.span(keys::STAGE_SWEEP);
         recorder.add(keys::GINI_EVALS, 777);
+        recorder.set_gauge(keys::PEAK_RSS_KB, 31_000);
         recorder.event(
             keys::SELECTED_EVENT,
             vec![
@@ -576,6 +1059,8 @@ mod tests {
         let trace =
             FlowTrace::from_snapshot("Seeds", &sink.snapshot()).with_manifest(RunManifest {
                 dataset: "Seeds".into(),
+                cpus: 8,
+                build: "release".into(),
                 ..RunManifest::default()
             });
         let (parsed, _) = TraceStats::from_text(&trace.to_ndjson()).expect("parses");
@@ -583,6 +1068,8 @@ mod tests {
         assert_eq!(parsed.gini_evals, 777);
         assert_eq!(parsed.comparators, 6);
         assert!((parsed.area_mm2 - 3.25).abs() < 1e-12);
+        assert_eq!(parsed.peak_rss_kb, 31_000);
+        assert_eq!(parsed.env_class().as_deref(), Some("8cpu/auto/release"));
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Cross-PR benchmark history: append-only `bench_history` NDJSON and a
+//! drift renderer for `printed-trace history`.
+//!
+//! `BENCH_all.ndjson` answers "did *this* change regress the suite?";
+//! the history file answers the longitudinal question — how wall time
+//! and hardware cost moved across merges. CI appends one
+//! `{"kind":"bench_history"}` line per benchmark per PR (git SHA,
+//! timestamp, the deterministic metrics, and the median wall time), and
+//! `printed-trace history` renders each dataset's records in order with
+//! the per-step wall drift.
+//!
+//! Records are one JSON object per line, so the file merges trivially
+//! and a torn append (killed CI job) corrupts at most the final line —
+//! the parser skips unparseable lines with a warning, never aborts.
+
+use printed_telemetry::JsonLine;
+
+use crate::diff::TraceStats;
+use crate::json::{parse as parse_json, JsonValue};
+
+/// One benchmark's guarded numbers at one revision.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistoryEntry {
+    /// Git revision the record was produced at.
+    pub git_sha: String,
+    /// Unix timestamp (seconds) of the run.
+    pub unix_secs: u64,
+    /// Benchmark/dataset name.
+    pub dataset: String,
+    /// Median wall time, µs.
+    pub wall_us: u64,
+    /// Gini evaluations across the sweep.
+    pub gini_evals: u64,
+    /// Trees trained.
+    pub trees: u64,
+    /// Truncation-shared candidates.
+    pub trees_shared: u64,
+    /// Selected design's area, mm².
+    pub area_mm2: f64,
+    /// Selected design's power, mW.
+    pub power_mw: f64,
+    /// Selected design's comparators.
+    pub comparators: u64,
+}
+
+impl HistoryEntry {
+    /// Condenses baseline stats into a history record.
+    pub fn from_stats(stats: &TraceStats) -> Self {
+        Self {
+            git_sha: stats.git_sha.clone(),
+            unix_secs: stats.unix_secs,
+            dataset: stats.dataset.clone(),
+            wall_us: stats.wall_us,
+            gini_evals: stats.gini_evals,
+            trees: stats.trees,
+            trees_shared: stats.trees_shared,
+            area_mm2: stats.area_mm2,
+            power_mw: stats.power_mw,
+            comparators: stats.comparators,
+        }
+    }
+
+    /// Serializes to one `{"kind":"bench_history"}` NDJSON line.
+    pub fn to_json(&self) -> String {
+        JsonLine::new()
+            .str("kind", "bench_history")
+            .str("git_sha", &self.git_sha)
+            .u64("unix_secs", self.unix_secs)
+            .str("dataset", &self.dataset)
+            .u64("wall_us", self.wall_us)
+            .u64("gini_evals", self.gini_evals)
+            .u64("trees", self.trees)
+            .u64("trees_shared", self.trees_shared)
+            .f64("area_mm2", self.area_mm2)
+            .f64("power_mw", self.power_mw)
+            .u64("comparators", self.comparators)
+            .finish()
+    }
+
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        if value.get("kind").and_then(JsonValue::as_str) != Some("bench_history") {
+            return None;
+        }
+        let s = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_owned()
+        };
+        let u = |key: &str| value.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        let f = |key: &str| value.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        Some(Self {
+            git_sha: s("git_sha"),
+            unix_secs: u("unix_secs"),
+            dataset: s("dataset"),
+            wall_us: u("wall_us"),
+            gini_evals: u("gini_evals"),
+            trees: u("trees"),
+            trees_shared: u("trees_shared"),
+            area_mm2: f("area_mm2"),
+            power_mw: f("power_mw"),
+            comparators: u("comparators"),
+        })
+    }
+}
+
+/// Parses a history file: all `bench_history` lines, in file order, plus
+/// warnings for lines that were JSON-ish but not parseable (torn
+/// appends). Foreign record kinds are skipped silently.
+pub fn parse_history(text: &str) -> (Vec<HistoryEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut warnings = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_json(line) {
+            Ok(value) => {
+                if let Some(entry) = HistoryEntry::from_json(&value) {
+                    entries.push(entry);
+                }
+            }
+            Err(e) => warnings.push(format!("line {}: unparseable ({e:?})", i + 1)),
+        }
+    }
+    (entries, warnings)
+}
+
+/// Renders per-dataset drift tables: each record with its date, short
+/// SHA, guarded numbers, and wall-time delta vs the previous record of
+/// the same dataset. `dataset` filters to one benchmark.
+pub fn render_history(entries: &[HistoryEntry], dataset: Option<&str>) -> String {
+    let mut datasets: Vec<&str> = Vec::new();
+    for entry in entries {
+        if dataset.is_some_and(|d| d != entry.dataset) {
+            continue;
+        }
+        if !datasets.contains(&entry.dataset.as_str()) {
+            datasets.push(&entry.dataset);
+        }
+    }
+    if datasets.is_empty() {
+        return match dataset {
+            Some(d) => format!("history: no records for dataset {d:?}\n"),
+            None => "history: no records\n".to_owned(),
+        };
+    }
+    let mut out = String::new();
+    for name in datasets {
+        let records: Vec<&HistoryEntry> = entries.iter().filter(|e| e.dataset == name).collect();
+        out.push_str(&format!("history: {name} ({} records)\n", records.len()));
+        out.push_str(&format!(
+            "  {:<10} {:<9} {:>9} {:>11} {:>9} {:>9} {:>4} {:>8}\n",
+            "date", "sha", "wall_us", "gini_evals", "area_mm2", "power_mw", "cmp", "Δwall"
+        ));
+        let mut prev_wall: Option<u64> = None;
+        for record in records {
+            let delta = match prev_wall {
+                Some(prev) if prev > 0 => format!(
+                    "{:+.1}%",
+                    100.0 * (record.wall_us as f64 - prev as f64) / prev as f64
+                ),
+                _ => "—".to_owned(),
+            };
+            out.push_str(&format!(
+                "  {:<10} {:<9} {:>9} {:>11} {:>9.3} {:>9.4} {:>4} {:>8}\n",
+                civil_date(record.unix_secs),
+                short(&record.git_sha),
+                record.wall_us,
+                record.gini_evals,
+                record.area_mm2,
+                record.power_mw,
+                record.comparators,
+                delta,
+            ));
+            prev_wall = Some(record.wall_us);
+        }
+    }
+    out
+}
+
+fn short(sha: &str) -> &str {
+    if sha.is_empty() {
+        return "unknown";
+    }
+    let end = sha
+        .char_indices()
+        .nth(8)
+        .map(|(i, _)| i)
+        .unwrap_or(sha.len());
+    &sha[..end]
+}
+
+/// `YYYY-MM-DD` from a Unix timestamp (UTC), via the standard
+/// days-to-civil conversion — no date crate needed for one format.
+fn civil_date(unix_secs: u64) -> String {
+    if unix_secs == 0 {
+        return "unknown".to_owned();
+    }
+    let days = (unix_secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days, for day counts since 1970-01-01.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(dataset: &str, wall: u64, secs: u64) -> HistoryEntry {
+        HistoryEntry {
+            git_sha: "0123456789abcdef0123456789abcdef01234567".into(),
+            unix_secs: secs,
+            dataset: dataset.into(),
+            wall_us: wall,
+            gini_evals: 2231,
+            trees: 3,
+            trees_shared: 6,
+            area_mm2: 3.482,
+            power_mw: 0.1246,
+            comparators: 3,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_ndjson() {
+        let original = entry("Seeds", 2468, 1_754_611_200);
+        let line = original.to_json();
+        assert!(line.starts_with(r#"{"kind":"bench_history""#));
+        let (parsed, warnings) = parse_history(&line);
+        assert!(warnings.is_empty());
+        assert_eq!(parsed, vec![original]);
+    }
+
+    #[test]
+    fn from_stats_carries_the_guarded_numbers() {
+        let stats = TraceStats {
+            dataset: "Seeds".into(),
+            git_sha: "abc".into(),
+            wall_us: 2468,
+            gini_evals: 2231,
+            area_mm2: 3.482,
+            unix_secs: 1_754_611_200,
+            ..TraceStats::default()
+        };
+        let entry = HistoryEntry::from_stats(&stats);
+        assert_eq!(entry.dataset, "Seeds");
+        assert_eq!(entry.wall_us, 2468);
+        assert_eq!(entry.unix_secs, 1_754_611_200);
+    }
+
+    #[test]
+    fn torn_final_line_warns_but_parses_the_rest() {
+        let good = entry("Seeds", 2468, 1_754_611_200).to_json();
+        let torn = &good[..good.len() / 2];
+        let (parsed, warnings) = parse_history(&format!("{good}\n{torn}"));
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("line 2"), "{warnings:?}");
+    }
+
+    #[test]
+    fn renders_per_dataset_drift() {
+        let entries = vec![
+            entry("Seeds", 2468, 1_754_611_200),
+            entry("Cardio", 9000, 1_754_611_200),
+            entry("Seeds", 2700, 1_754_697_600),
+        ];
+        let text = render_history(&entries, None);
+        assert!(text.contains("history: Seeds (2 records)"), "{text}");
+        assert!(text.contains("history: Cardio (1 records)"), "{text}");
+        assert!(text.contains("+9.4%"), "{text}"); // 2468 → 2700
+        assert!(text.contains("2025-08-08"), "{text}");
+        // Filtered rendering drops the other dataset.
+        let seeds_only = render_history(&entries, Some("Seeds"));
+        assert!(!seeds_only.contains("Cardio"), "{seeds_only}");
+        // Unknown dataset says so.
+        assert!(render_history(&entries, Some("Nope")).contains("no records for"));
+    }
+
+    #[test]
+    fn civil_date_handles_epoch_landmarks() {
+        assert_eq!(civil_date(0), "unknown");
+        assert_eq!(civil_date(86_400), "1970-01-02");
+        assert_eq!(civil_date(951_782_400), "2000-02-29"); // leap day
+        assert_eq!(civil_date(1_754_611_200), "2025-08-08");
+    }
+
+    #[test]
+    fn foreign_kinds_are_skipped_silently() {
+        let text = format!(
+            "{}\n{}\n",
+            r#"{"kind":"bench_stats","dataset":"Seeds"}"#,
+            entry("Seeds", 1, 0).to_json()
+        );
+        let (parsed, warnings) = parse_history(&text);
+        assert_eq!(parsed.len(), 1);
+        assert!(warnings.is_empty());
+    }
+}

@@ -52,11 +52,15 @@
 
 pub mod cost;
 pub mod diff;
+pub mod history;
 pub mod json;
 pub mod parse;
 pub mod profile;
+pub mod watch;
 
 pub use cost::{AdcRow, ClassRow, CostReport, RobustRow, SelectedDesign};
-pub use diff::{DiffConfig, DiffReport, TraceStats};
+pub use diff::{diff_many, diff_suites, median_mad, DiffConfig, DiffReport, TraceStats};
+pub use history::{parse_history, render_history, HistoryEntry};
 pub use parse::{parse_trace, ParsedTrace};
 pub use profile::{Profile, ProfileNode};
+pub use watch::{WatchState, Watcher};

@@ -51,6 +51,7 @@ pub fn parse_trace(text: &str) -> ParsedTrace {
     let mut spans: Vec<SpanRecord> = Vec::new();
     let mut events: Vec<EventRecord> = Vec::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
     let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
 
     for (index, line) in text.lines().enumerate() {
@@ -115,6 +116,9 @@ pub fn parse_trace(text: &str) -> ParsedTrace {
             "counter" => parse_counter(&value).map(|(name, v)| {
                 counters.insert(name, v);
             }),
+            "gauge" => parse_counter(&value).map(|(name, v)| {
+                gauges.insert(name, v);
+            }),
             "histogram" => parse_histogram(&value).map(|(name, h)| {
                 histograms.insert(name, h);
             }),
@@ -145,6 +149,7 @@ pub fn parse_trace(text: &str) -> ParsedTrace {
     out.trace.spans = spans;
     out.trace.events = events;
     out.trace.counters = counters;
+    out.trace.gauges = gauges;
     out.trace.histograms = histograms;
     out
 }
@@ -301,6 +306,17 @@ fn parse_manifest(value: &JsonValue) -> Result<RunManifest, String> {
             .get("unix_secs")
             .and_then(JsonValue::as_u64)
             .unwrap_or(0),
+        // Environment fingerprint, absent on pre-calibration manifests.
+        cpus: value.get("cpus").and_then(JsonValue::as_u64).unwrap_or(0),
+        threads: value
+            .get("threads")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+        build: value
+            .get("build")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_owned(),
     })
 }
 
@@ -328,6 +344,7 @@ mod tests {
             .finish();
         recorder.add(keys::GINI_EVALS, 321);
         recorder.add(keys::HW_COMPARATORS_RETAINED, 9);
+        recorder.set_gauge(keys::PEAK_RSS_KB, 2048);
         recorder.event(
             keys::SELECTED_EVENT,
             vec![
@@ -345,6 +362,9 @@ mod tests {
             seed: 0x0ADC,
             accuracy_loss: 0.01,
             unix_secs: 1_754_000_000,
+            cpus: 8,
+            threads: 2,
+            build: "release".into(),
         })
     }
 

@@ -1,0 +1,439 @@
+//! Live sweep monitoring: incremental NDJSON tailing for
+//! `printed-trace watch`.
+//!
+//! A traced sweep streaming through `printed_telemetry::StreamSink` (or a
+//! checkpointed sweep appending `sweep_ckpt` lines) produces an NDJSON
+//! file that grows one flushed line at a time. [`Watcher`] consumes such
+//! a file *incrementally*: feed it raw chunks as they appear on disk and
+//! it maintains rolling progress (k/N candidates), candidate rate, an
+//! ETA, and failed-candidate alerts.
+//!
+//! The tailing contract matches the producers':
+//!
+//! * **Torn tails.** Writers emit whole lines, but a reader can race the
+//!   final `write` and observe a partial last line. [`Watcher::push`]
+//!   carries the unterminated tail across calls and only parses complete
+//!   lines, so a torn tail is never miscounted — it is finished by the
+//!   next chunk.
+//! * **Truncation.** When the run finishes, `TraceHook::finish` rewrites
+//!   the file with the canonical flow dump — the file *shrinks*. The
+//!   polling driver detects `len < consumed` and calls
+//!   [`Watcher::reset`], then replays from the top (where the
+//!   `{"kind":"flow"}` header marks the trace finalized).
+//! * **Resume interleaving.** A `--resume` sweep replays `sweep_ckpt`
+//!   lines for restored candidates and streams fresh records for the
+//!   rest. Candidates are deduplicated by `(depth, τ-bits)`, so a grid
+//!   point restored from a checkpoint *and* seen as a live span counts
+//!   once.
+
+use std::collections::BTreeSet;
+
+use crate::json::{parse as parse_json, JsonValue};
+
+/// Rolling state of one watched trace file.
+#[derive(Debug, Default)]
+pub struct Watcher {
+    carry: String,
+    state: WatchState,
+}
+
+/// The observable progress of an in-flight (or finished) run.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct WatchState {
+    /// Dataset name, once a manifest line has been seen.
+    pub dataset: String,
+    /// Total grid points, from a manifest grid or a progress event
+    /// (0 = unknown so far).
+    pub total: usize,
+    /// Largest `done` reported by a progress event.
+    progress_done: usize,
+    /// Distinct candidates observed via spans / checkpoint lines, keyed
+    /// by `(depth, τ.to_bits())`.
+    seen: BTreeSet<(u64, u64)>,
+    /// Alert lines for failed candidates, in observation order.
+    pub alerts: Vec<String>,
+    /// Timestamp (µs from the run's epoch) of the latest record that
+    /// carried one.
+    pub last_at_us: u64,
+    /// Complete lines consumed (parse failures included).
+    pub lines: u64,
+    /// Whether a `{"kind":"flow"}` header was seen — the file is a
+    /// finalized dump, not an in-flight stream.
+    pub finalized: bool,
+    /// Selected design summary, once a `selected` event was seen.
+    pub selected: Option<String>,
+}
+
+impl WatchState {
+    /// Candidates finished: the max of event-reported progress and
+    /// distinct candidates seen (spans and checkpoint lines can each lag
+    /// the other during a resume).
+    pub fn done(&self) -> usize {
+        self.progress_done.max(self.seen.len())
+    }
+
+    /// Candidate completion rate in candidates/second, from the run's
+    /// own record timestamps (not the watcher's clock, so a stalled file
+    /// does not dilute it). `None` until a timestamped record arrives.
+    pub fn rate(&self) -> Option<f64> {
+        if self.last_at_us == 0 || self.done() == 0 {
+            return None;
+        }
+        Some(self.done() as f64 / (self.last_at_us as f64 / 1e6))
+    }
+
+    /// Estimated seconds to completion at the current rate. `None` when
+    /// the total or the rate is unknown.
+    pub fn eta_secs(&self) -> Option<f64> {
+        let rate = self.rate()?;
+        if self.total == 0 || rate <= 0.0 {
+            return None;
+        }
+        Some(self.total.saturating_sub(self.done()) as f64 / rate)
+    }
+
+    /// One status line, e.g.
+    /// `Seeds  5/9 candidates (55.6%) · 120.0/s · ETA 0.0s · 1 FAILED`.
+    pub fn status_line(&self) -> String {
+        let mut out = String::new();
+        if !self.dataset.is_empty() {
+            out.push_str(&self.dataset);
+            out.push_str("  ");
+        }
+        if self.total > 0 {
+            out.push_str(&format!(
+                "{}/{} candidates ({:.1}%)",
+                self.done(),
+                self.total,
+                100.0 * self.done() as f64 / self.total as f64
+            ));
+        } else {
+            out.push_str(&format!("{}/? candidates", self.done()));
+        }
+        if let Some(rate) = self.rate() {
+            out.push_str(&format!(" · {rate:.1}/s"));
+        }
+        if let Some(eta) = self.eta_secs() {
+            out.push_str(&format!(" · ETA {eta:.1}s"));
+        }
+        if !self.alerts.is_empty() {
+            out.push_str(&format!(" · {} FAILED", self.alerts.len()));
+        }
+        if self.finalized {
+            out.push_str(" · finalized");
+        }
+        out
+    }
+}
+
+impl Watcher {
+    /// A fresh watcher with no state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current rolling state.
+    pub fn state(&self) -> &WatchState {
+        &self.state
+    }
+
+    /// Feeds the next raw chunk of the file. Only complete
+    /// (newline-terminated) lines are parsed; an unterminated tail is
+    /// carried and completed by the next push. Returns the number of
+    /// complete lines consumed from this chunk.
+    pub fn push(&mut self, chunk: &str) -> usize {
+        self.carry.push_str(chunk);
+        let mut consumed = 0;
+        while let Some(pos) = self.carry.find('\n') {
+            let line: String = self.carry.drain(..=pos).collect();
+            let line = line.trim();
+            if !line.is_empty() {
+                self.consume_line(line);
+                consumed += 1;
+                self.state.lines += 1;
+            }
+        }
+        consumed
+    }
+
+    /// Drops all state (carry buffer included). The polling driver calls
+    /// this when the file shrank — the writer truncated and rewrote it.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    fn consume_line(&mut self, line: &str) {
+        let Ok(value) = parse_json(line) else {
+            // Interleaved non-JSON noise (e.g. a stray log line) is
+            // ignored; the stream stays watchable.
+            return;
+        };
+        let kind = value.get("kind").and_then(JsonValue::as_str).unwrap_or("");
+        match kind {
+            "flow" => {
+                self.state.finalized = true;
+                if let Some(n) = value.get("candidates").and_then(JsonValue::as_u64) {
+                    self.state.total = self.state.total.max(n as usize);
+                }
+            }
+            "manifest" => {
+                if let Some(dataset) = value.get("dataset").and_then(JsonValue::as_str) {
+                    self.state.dataset = dataset.to_owned();
+                }
+                let taus = value
+                    .get("taus")
+                    .and_then(JsonValue::as_arr)
+                    .map_or(0, <[JsonValue]>::len);
+                let depths = value
+                    .get("depths")
+                    .and_then(JsonValue::as_arr)
+                    .map_or(0, <[JsonValue]>::len);
+                if taus * depths > 0 {
+                    self.state.total = self.state.total.max(taus * depths);
+                }
+            }
+            // A live span line ("candidate" name) or a finalized dump's
+            // candidate record — both carry depth + tau.
+            "span" | "candidate" => {
+                let name = value.get("name").and_then(JsonValue::as_str);
+                if kind == "span" && name != Some("candidate") {
+                    self.observe_timestamp(&value);
+                    return;
+                }
+                self.observe_candidate(&value);
+                self.observe_timestamp(&value);
+            }
+            "sweep_ckpt" => {
+                self.observe_candidate(&value);
+            }
+            "event" => {
+                self.observe_timestamp(&value);
+                match value.get("name").and_then(JsonValue::as_str) {
+                    Some("progress") => {
+                        let done =
+                            value.get("done").and_then(JsonValue::as_u64).unwrap_or(0) as usize;
+                        let total =
+                            value.get("total").and_then(JsonValue::as_u64).unwrap_or(0) as usize;
+                        self.state.progress_done = self.state.progress_done.max(done);
+                        self.state.total = self.state.total.max(total);
+                    }
+                    Some("candidate_failed") => {
+                        let depth = value.get("depth").and_then(JsonValue::as_u64).unwrap_or(0);
+                        let tau = value.get("tau").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                        let error = value
+                            .get("error")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("unknown error");
+                        self.state.alerts.push(format!(
+                            "candidate (depth {depth}, τ={tau}) FAILED: {error}"
+                        ));
+                    }
+                    Some("selected") => {
+                        let depth = value.get("depth").and_then(JsonValue::as_u64).unwrap_or(0);
+                        let tau = value.get("tau").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                        let accuracy = value
+                            .get("accuracy")
+                            .and_then(JsonValue::as_f64)
+                            .unwrap_or(0.0);
+                        self.state.selected = Some(format!(
+                            "selected τ={tau}, depth {depth} ({:.2}% accuracy)",
+                            accuracy * 100.0
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn observe_candidate(&mut self, value: &JsonValue) {
+        let (Some(depth), Some(tau)) = (
+            value.get("depth").and_then(JsonValue::as_u64),
+            value.get("tau").and_then(JsonValue::as_f64),
+        ) else {
+            return;
+        };
+        self.state.seen.insert((depth, tau.to_bits()));
+    }
+
+    fn observe_timestamp(&mut self, value: &JsonValue) {
+        let at = value
+            .get("at_us")
+            .and_then(JsonValue::as_u64)
+            .or_else(|| {
+                let start = value.get("start_us").and_then(JsonValue::as_u64)?;
+                let duration = value.get("duration_us").and_then(JsonValue::as_u64)?;
+                Some(start + duration)
+            })
+            .unwrap_or(0);
+        self.state.last_at_us = self.state.last_at_us.max(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(depth: u64, tau: f64, start: u64, dur: u64) -> String {
+        format!(
+            r#"{{"kind":"span","name":"candidate","start_us":{start},"duration_us":{dur},"depth":{depth},"tau":{tau:?}}}"#
+        )
+    }
+
+    fn progress_line(done: u64, total: u64, at: u64) -> String {
+        format!(
+            r#"{{"kind":"event","name":"progress","at_us":{at},"done":{done},"total":{total}}}"#
+        )
+    }
+
+    fn ckpt_line(depth: u64, tau: f64) -> String {
+        format!(
+            r#"{{"kind":"sweep_ckpt","v":1,"seed":2780,"depth":{depth},"tau":{tau:?},"test_accuracy":0.9,"nodes":"..."}}"#
+        )
+    }
+
+    #[test]
+    fn counts_streamed_candidates_and_progress() {
+        let mut w = Watcher::new();
+        w.push(&format!(
+            "{}\n{}\n{}\n{}\n",
+            r#"{"kind":"manifest","dataset":"Seeds","taus":[0.0,0.01,0.03],"depths":[2,4,6]}"#,
+            span_line(2, 0.0, 100, 50),
+            progress_line(1, 9, 160),
+            span_line(4, 0.0, 150, 80),
+        ));
+        let s = w.state();
+        assert_eq!(s.dataset, "Seeds");
+        assert_eq!(s.total, 9);
+        assert_eq!(s.done(), 2);
+        assert!(!s.finalized);
+        assert!(s.rate().unwrap() > 0.0);
+        assert!(s.eta_secs().unwrap() > 0.0);
+        assert!(
+            s.status_line().contains("2/9 candidates"),
+            "{}",
+            s.status_line()
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_carried_until_completed() {
+        let mut w = Watcher::new();
+        let line = span_line(2, 0.01, 10, 5);
+        let (head, tail) = line.split_at(line.len() / 2);
+        // First chunk ends mid-line: only the complete first line counts.
+        assert_eq!(w.push(&format!("{}\n{head}", span_line(4, 0.0, 1, 5))), 1);
+        assert_eq!(w.state().done(), 1);
+        // The torn JSON must not have been parsed (or worse, miscounted).
+        assert_eq!(w.state().lines, 1);
+        // Completing the line consumes it.
+        assert_eq!(w.push(&format!("{tail}\n")), 1);
+        assert_eq!(w.state().done(), 2);
+    }
+
+    #[test]
+    fn torn_tail_never_parses_as_garbage() {
+        let mut w = Watcher::new();
+        // A chunk that is *only* a torn prefix of a failed-candidate
+        // event: no alert may fire until the line completes.
+        let line = r#"{"kind":"event","name":"candidate_failed","at_us":5,"depth":4,"tau":0.0,"error":"boom"}"#;
+        w.push(&line[..30]);
+        assert!(w.state().alerts.is_empty());
+        w.push(&format!("{}\n", &line[30..]));
+        assert_eq!(w.state().alerts.len(), 1);
+        assert!(w.state().alerts[0].contains("boom"));
+    }
+
+    #[test]
+    fn reset_models_mid_watch_truncation() {
+        let mut w = Watcher::new();
+        w.push(&format!(
+            "{}\n{}\n",
+            span_line(2, 0.0, 1, 1),
+            span_line(4, 0.0, 2, 1)
+        ));
+        assert_eq!(w.state().done(), 2);
+        // Writer truncated + rewrote: driver resets, replays the new
+        // content (a finalized dump) from the top.
+        w.reset();
+        assert_eq!(w.state().done(), 0);
+        w.push("{\"kind\":\"flow\",\"title\":\"codesign\",\"wall_us\":2468,\"candidates\":9}\n");
+        assert!(w.state().finalized);
+        assert_eq!(w.state().total, 9);
+        assert!(w.state().status_line().contains("finalized"));
+    }
+
+    #[test]
+    fn resume_interleaving_dedupes_restored_candidates() {
+        let mut w = Watcher::new();
+        // Checkpoint replay for two grid points, then a live span for one
+        // of the *same* points plus one fresh point.
+        w.push(&format!(
+            "{}\n{}\n{}\n{}\n",
+            ckpt_line(2, 0.0),
+            ckpt_line(4, 0.0),
+            span_line(2, 0.0, 30, 10),
+            span_line(6, 0.0, 40, 10),
+        ));
+        // (2,0.0) seen twice counts once: 3 distinct, not 4.
+        assert_eq!(w.state().done(), 3);
+    }
+
+    #[test]
+    fn progress_events_and_spans_race_without_undercounting() {
+        let mut w = Watcher::new();
+        // Progress says 5 done, but only 2 spans flushed so far.
+        w.push(&format!(
+            "{}\n{}\n{}\n",
+            progress_line(5, 9, 100),
+            span_line(2, 0.0, 1, 1),
+            span_line(2, 0.01, 2, 1),
+        ));
+        assert_eq!(w.state().done(), 5);
+        // More spans than the last progress event reported: spans win.
+        let mut w = Watcher::new();
+        w.push(&format!(
+            "{}\n{}\n{}\n",
+            progress_line(1, 9, 100),
+            span_line(2, 0.0, 1, 1),
+            span_line(2, 0.01, 2, 1),
+        ));
+        assert_eq!(w.state().done(), 2);
+    }
+
+    #[test]
+    fn failed_candidates_raise_alerts_and_selection_is_reported() {
+        let mut w = Watcher::new();
+        w.push(concat!(
+            r#"{"kind":"event","name":"candidate_failed","at_us":5,"depth":6,"tau":0.03,"error":"injected chaos"}"#,
+            "\n",
+            r#"{"kind":"event","name":"selected","at_us":9,"tau":0.01,"depth":2,"accuracy":0.9048}"#,
+            "\n",
+        ));
+        assert_eq!(w.state().alerts.len(), 1);
+        assert!(w.state().alerts[0].contains("depth 6"));
+        assert!(w.state().alerts[0].contains("injected chaos"));
+        assert_eq!(
+            w.state().selected.as_deref(),
+            Some("selected τ=0.01, depth 2 (90.48% accuracy)")
+        );
+        assert!(w.state().status_line().contains("1 FAILED"));
+    }
+
+    #[test]
+    fn non_json_noise_and_unknown_kinds_are_ignored() {
+        let mut w = Watcher::new();
+        w.push("not json at all\n{\"kind\":\"mystery\"}\n");
+        assert_eq!(w.state().done(), 0);
+        assert_eq!(w.state().lines, 2);
+    }
+
+    #[test]
+    fn unknown_total_renders_a_question_mark() {
+        let mut w = Watcher::new();
+        w.push(&format!("{}\n", ckpt_line(2, 0.0)));
+        assert!(w.state().status_line().contains("1/? candidates"));
+        assert_eq!(w.state().eta_secs(), None);
+    }
+}

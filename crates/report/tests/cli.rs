@@ -179,6 +179,149 @@ fn snapshot_produces_a_baseline_diff_accepts() {
 }
 
 #[test]
+fn suite_diff_pairs_by_dataset_and_fails_on_missing_counterparts() {
+    use printed_report::TraceStats;
+    let trace = traced_seeds();
+    let seeds = TraceStats::from_trace(&trace).with_calibration(&[2400, 2468, 2500]);
+    let mut cardio = seeds.clone();
+    cardio.dataset = "Cardiotocography".into();
+
+    let baseline_path = scratch("BENCH_suite.ndjson");
+    std::fs::write(
+        &baseline_path,
+        format!("{}\n{}\n", seeds.to_json(), cardio.to_json()),
+    )
+    .unwrap();
+
+    // A matching suite passes and prints the per-benchmark verdicts.
+    let current_path = scratch("suite_current.ndjson");
+    std::fs::write(
+        &current_path,
+        format!("{}\n{}\n", seeds.to_json(), cardio.to_json()),
+    )
+    .unwrap();
+    let output = printed_trace(&[
+        "diff",
+        baseline_path.to_str().unwrap(),
+        current_path.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("suite: 2/2 benchmarks passed"), "{stdout}");
+
+    // A single trace diffs against its dataset's record in the suite.
+    let trace_path = scratch("suite_single.ndjson");
+    std::fs::write(&trace_path, trace.to_ndjson()).unwrap();
+    let output = printed_trace(&[
+        "diff",
+        baseline_path.to_str().unwrap(),
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+
+    // Dropping a benchmark from the current suite is a hard error (2),
+    // not a silent skip.
+    let partial_path = scratch("suite_partial.ndjson");
+    std::fs::write(&partial_path, format!("{}\n", seeds.to_json())).unwrap();
+    let output = printed_trace(&[
+        "diff",
+        baseline_path.to_str().unwrap(),
+        partial_path.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("missing from the current run"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn watch_once_reports_progress_from_a_live_stream() {
+    // Simulate an in-flight streamed trace: manifest + two candidate
+    // spans + a progress event, with a torn final line.
+    let live_path = scratch("watch_live.ndjson");
+    std::fs::write(
+        &live_path,
+        concat!(
+            r#"{"kind":"manifest","dataset":"Seeds","taus":[0.0,0.01,0.03],"depths":[2,4,6]}"#,
+            "\n",
+            r#"{"kind":"span","name":"candidate","start_us":100,"duration_us":50,"depth":2,"tau":0.0}"#,
+            "\n",
+            r#"{"kind":"event","name":"progress","at_us":160,"done":1,"total":9}"#,
+            "\n",
+            r#"{"kind":"span","name":"candidate","start_us":150,"du"#, // torn
+        ),
+    )
+    .unwrap();
+    let output = printed_trace(&["watch", live_path.to_str().unwrap(), "--once"]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("1/9 candidates"), "{stdout}");
+    assert!(stdout.contains("Seeds"), "{stdout}");
+
+    // A finalized dump reports completion and the selection.
+    let final_path = scratch("watch_final.ndjson");
+    let trace = traced_seeds();
+    std::fs::write(&final_path, trace.to_ndjson()).unwrap();
+    let output = printed_trace(&["watch", final_path.to_str().unwrap(), "--once"]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("finalized"), "{stdout}");
+    assert!(stdout.contains("selected"), "{stdout}");
+}
+
+#[test]
+fn history_append_then_render_shows_drift() {
+    use printed_report::TraceStats;
+    let trace = traced_seeds();
+    let stats = TraceStats::from_trace(&trace);
+    let stats_path = scratch("hist_stats.ndjson");
+    std::fs::write(&stats_path, format!("{}\n", stats.to_json())).unwrap();
+
+    let history_path = scratch("BENCH_history_test.ndjson");
+    let _ = std::fs::remove_file(&history_path);
+    for _ in 0..2 {
+        let output = printed_trace(&[
+            "history",
+            "append",
+            history_path.to_str().unwrap(),
+            stats_path.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+
+    let output = printed_trace(&["history", history_path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(0), "stdout: {stdout}");
+    assert!(
+        stdout.contains(&format!("history: {} (2 records)", stats.dataset)),
+        "{stdout}"
+    );
+    assert!(stdout.contains("+0.0%"), "{stdout}");
+
+    // Filtering to an absent dataset still exits 0 with a clear message.
+    let output = printed_trace(&[
+        "history",
+        history_path.to_str().unwrap(),
+        "--dataset",
+        "Nope",
+    ]);
+    assert_eq!(output.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&output.stdout).contains("no records for"));
+}
+
+#[test]
 fn usage_errors_exit_two() {
     assert_eq!(printed_trace(&[]).status.code(), Some(2));
     assert_eq!(printed_trace(&["frobnicate"]).status.code(), Some(2));

@@ -138,3 +138,21 @@ pub const LINT_ERRORS: &str = "lint.errors";
 /// Event: one lint diagnostic (fields: `code`, `severity`, `locus`,
 /// `message`).
 pub const LINT_EVENT: &str = "lint";
+
+/// Event: live sweep progress, emitted as each grid point completes
+/// (fields: `done`, `total`). Streamed traces carry one per candidate so
+/// `printed-trace watch` can render rolling k/N progress without waiting
+/// for the final dump.
+pub const PROGRESS_EVENT: &str = "progress";
+
+/// Gauge: peak resident-set size of the process in kB (`VmHWM` from
+/// `/proc/self/status`), stamped once at trace finalization.
+pub const PEAK_RSS_KB: &str = "process.peak_rss_kb";
+
+/// Gauge: heap allocations performed by the process (only populated when
+/// the `count-allocs` feature installs the counting global allocator).
+pub const ALLOC_COUNT: &str = "process.alloc_count";
+
+/// Gauge: bytes requested from the heap across all allocations (only
+/// populated under the `count-allocs` feature).
+pub const ALLOC_BYTES: &str = "process.alloc_bytes";

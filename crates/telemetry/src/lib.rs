@@ -36,25 +36,35 @@
 //! [`Recorder::default`]): spans skip even the clock reads, and counter
 //! handles resolve to no-ops.
 
-#![forbid(unsafe_code)]
+// The only unsafe code in the crate is the optional `count-allocs`
+// counting global allocator (GlobalAlloc is an unsafe trait); without the
+// feature the crate stays forbid-clean.
+#![cfg_attr(not(feature = "count-allocs"), forbid(unsafe_code))]
+#![cfg_attr(feature = "count-allocs", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod clock;
 mod manifest;
 mod metric;
 mod ndjson;
+mod process;
 mod recorder;
 mod sink;
 mod span;
+mod stream;
 mod trace;
 
 pub mod keys;
 
 pub use clock::{fmt_duration, Timer};
 pub use manifest::RunManifest;
-pub use metric::{Counter, Histogram, HistogramCore, HistogramSnapshot};
+pub use metric::{Counter, Gauge, Histogram, HistogramCore, HistogramSnapshot};
 pub use ndjson::JsonLine;
+#[cfg(feature = "count-allocs")]
+pub use process::CountingAlloc;
+pub use process::{alloc_counts, peak_rss_kb};
 pub use recorder::{Progress, Recorder};
 pub use sink::{CollectingSink, NullSink, Sink, TraceSnapshot};
 pub use span::{EventRecord, FieldValue, Span, SpanRecord};
+pub use stream::StreamSink;
 pub use trace::{FlowTrace, SweepTrace};

@@ -35,6 +35,16 @@ pub struct RunManifest {
     pub accuracy_loss: f64,
     /// Unix timestamp (seconds) when the manifest was captured.
     pub unix_secs: u64,
+    /// Logical CPUs available to the run (0 = unknown / pre-env manifest).
+    #[serde(default)]
+    pub cpus: u64,
+    /// Explicit sweep thread-count override (0 = auto, i.e. all CPUs).
+    #[serde(default)]
+    pub threads: u64,
+    /// Build profile the binary was compiled under (`"release"` /
+    /// `"debug"`; empty = unknown / pre-env manifest).
+    #[serde(default)]
+    pub build: String,
 }
 
 impl RunManifest {
@@ -54,6 +64,14 @@ impl RunManifest {
             git_sha,
             dataset: dataset.into(),
             unix_secs,
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(0),
+            build: if cfg!(debug_assertions) {
+                "debug".to_owned()
+            } else {
+                "release".to_owned()
+            },
             ..Self::default()
         }
     }
@@ -75,6 +93,30 @@ impl RunManifest {
     pub fn with_accuracy_loss(mut self, loss: f64) -> Self {
         self.accuracy_loss = loss;
         self
+    }
+
+    /// Records an explicit sweep thread-count override (builder style);
+    /// `None` means auto (all CPUs), stored as 0.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads.map(|t| t as u64).unwrap_or(0);
+        self
+    }
+
+    /// The host-environment class this run belongs to, e.g.
+    /// `"8cpu/auto/release"`, or `None` when the manifest predates
+    /// environment capture. Wall-time baselines refuse to gate across
+    /// different classes: a 2-core debug run tells you nothing about an
+    /// 8-core release regression.
+    pub fn env_class(&self) -> Option<String> {
+        if self.cpus == 0 && self.build.is_empty() {
+            return None;
+        }
+        let threads = if self.threads == 0 {
+            "auto".to_owned()
+        } else {
+            format!("{}t", self.threads)
+        };
+        Some(format!("{}cpu/{}/{}", self.cpus, threads, self.build))
     }
 
     /// Grid points this manifest describes (`taus × depths`).
@@ -110,6 +152,9 @@ impl RunManifest {
             .u64("seed", self.seed)
             .f64("accuracy_loss", self.accuracy_loss)
             .u64("unix_secs", self.unix_secs)
+            .u64("cpus", self.cpus)
+            .u64("threads", self.threads)
+            .str("build", &self.build)
             .finish()
     }
 }
@@ -182,12 +227,33 @@ mod tests {
             seed: 7,
             accuracy_loss: 0.005,
             unix_secs: 1_750_000_000,
+            cpus: 8,
+            threads: 0,
+            build: "release".into(),
         }
         .to_json_line();
         assert!(line.starts_with(r#"{"kind":"manifest""#));
         assert!(line.contains(r#""taus":[0.0,0.01]"#));
         assert!(line.contains(r#""depths":[4,6]"#));
         assert!(line.contains(r#""git_sha":"abc123""#));
+        assert!(line.contains(r#""cpus":8"#));
+        assert!(line.contains(r#""build":"release""#));
+    }
+
+    #[test]
+    fn capture_fingerprints_the_environment() {
+        let manifest = RunManifest::capture("Seeds");
+        assert!(manifest.cpus > 0);
+        assert!(matches!(manifest.build.as_str(), "debug" | "release"));
+        let class = manifest.env_class().expect("captured manifest has a class");
+        assert!(class.contains("cpu/auto/"), "{class}");
+        let with_threads = manifest.with_threads(Some(4));
+        assert!(with_threads.env_class().unwrap().contains("/4t/"));
+    }
+
+    #[test]
+    fn pre_env_manifest_has_no_class() {
+        assert_eq!(RunManifest::default().env_class(), None);
     }
 
     #[test]

@@ -41,6 +41,45 @@ impl Counter {
     }
 }
 
+/// A handle to a named atomic gauge: a last-value-wins instrument for
+/// levels (peak RSS, queue depth, allocation totals) as opposed to the
+/// monotonically accumulating [`Counter`].
+///
+/// Inert when resolved from a disabled [`crate::Recorder`]; enabled
+/// handles share one `AtomicU64` per name, so `set`/`record_max` from any
+/// thread are lock-free.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// An inert gauge (what disabled recorders hand out).
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Sets the gauge to `value` (last write wins).
+    pub fn set(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `value` if it is higher than the current
+    /// reading — the idiom for peak trackers.
+    pub fn record_max(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero for inert handles).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
 /// Number of power-of-two buckets tracked per histogram: bucket `i` counts
 /// observations with `value_us < 2^(i+1)`, so the top bucket covers
 /// everything beyond ~2.2 years in microseconds.
@@ -204,6 +243,27 @@ mod tests {
         c.incr();
         c.add(10);
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn noop_gauge_stays_zero() {
+        let g = Gauge::noop();
+        g.set(10);
+        g.record_max(99);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn live_gauge_sets_and_peaks() {
+        let g = Gauge(Some(Arc::new(AtomicU64::new(0))));
+        g.set(10);
+        assert_eq!(g.get(), 10);
+        g.record_max(5); // lower: no change
+        assert_eq!(g.get(), 10);
+        g.record_max(42);
+        assert_eq!(g.get(), 42);
+        g.set(7); // last write wins
+        assert_eq!(g.get(), 7);
     }
 
     #[test]

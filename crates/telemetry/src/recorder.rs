@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use crate::metric::{Counter, Histogram};
+use crate::metric::{Counter, Gauge, Histogram};
 use crate::sink::{CollectingSink, NullSink, Sink, TraceSnapshot};
 use crate::span::{EventRecord, FieldValue, Span, SpanInner};
 
@@ -112,6 +112,18 @@ impl Recorder {
         Histogram(self.sink.histogram(name))
     }
 
+    /// Resolves a named [`Gauge`] handle (last-value-wins level).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.sink.gauge(name))
+    }
+
+    /// One-shot convenience: sets the named gauge to `value`.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        if let Some(cell) = self.sink.gauge(name) {
+            cell.store(value, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
     /// Submits an instant event with attributes.
     pub fn event(&self, name: &str, fields: Vec<(String, FieldValue)>) {
         if self.is_enabled() {
@@ -178,7 +190,18 @@ mod tests {
         span.finish();
         recorder.add("c", 5);
         assert_eq!(recorder.counter("c").get(), 0);
+        recorder.set_gauge("g", 9);
+        assert_eq!(recorder.gauge("g").get(), 0);
         assert!(recorder.snapshot().is_none());
+    }
+
+    #[test]
+    fn gauges_round_trip_through_a_collecting_recorder() {
+        let (recorder, sink) = Recorder::collecting();
+        recorder.set_gauge("process.peak_rss_kb", 1234);
+        let handle = recorder.gauge("process.peak_rss_kb");
+        handle.record_max(5000);
+        assert_eq!(sink.snapshot().gauge("process.peak_rss_kb"), 5000);
     }
 
     #[test]

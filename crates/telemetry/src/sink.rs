@@ -38,6 +38,13 @@ pub trait Sink: Send + Sync {
     /// histogram. `None` means histograms are off for this sink.
     fn histogram(&self, name: &str) -> Option<Arc<HistogramCore>>;
 
+    /// Resolves (registering on first use) the shared cell behind a named
+    /// gauge (last-value-wins level, e.g. peak RSS). Defaults to `None`
+    /// (gauges off) so pre-gauge sink implementations keep compiling.
+    fn gauge(&self, _name: &str) -> Option<Arc<AtomicU64>> {
+        None
+    }
+
     /// A point-in-time copy of everything recorded so far, if the sink
     /// keeps anything to copy.
     fn snapshot(&self) -> Option<TraceSnapshot> {
@@ -75,6 +82,7 @@ pub struct CollectingSink {
     spans: Mutex<Vec<SpanRecord>>,
     events: Mutex<Vec<EventRecord>>,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
 }
 
@@ -106,6 +114,18 @@ impl CollectingSink {
                 .counters
                 .lock()
                 .expect("telemetry counter store poisoned")
+                .iter()
+                .map(|(name, cell)| {
+                    (
+                        name.clone(),
+                        cell.load(std::sync::atomic::Ordering::Relaxed),
+                    )
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("telemetry gauge store poisoned")
                 .iter()
                 .map(|(name, cell)| {
                     (
@@ -166,6 +186,16 @@ impl Sink for CollectingSink {
         Some(core)
     }
 
+    fn gauge(&self, name: &str) -> Option<Arc<AtomicU64>> {
+        let mut map = self.gauges.lock().expect("telemetry gauge store poisoned");
+        if let Some(cell) = map.get(name) {
+            return Some(Arc::clone(cell));
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_owned(), Arc::clone(&cell));
+        Some(cell)
+    }
+
     fn snapshot(&self) -> Option<TraceSnapshot> {
         Some(CollectingSink::snapshot(self))
     }
@@ -180,6 +210,9 @@ pub struct TraceSnapshot {
     pub events: Vec<EventRecord>,
     /// Final counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Final gauge readings by name (absent on pre-gauge snapshots).
+    #[serde(default)]
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -188,6 +221,11 @@ impl TraceSnapshot {
     /// The value of a named counter (zero if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The reading of a named gauge (zero if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// The snapshot of a named histogram, if one was recorded.
@@ -234,6 +272,15 @@ impl TraceSnapshot {
             lines.push(
                 JsonLine::new()
                     .str("kind", "counter")
+                    .str("name", name)
+                    .u64("value", *value)
+                    .finish(),
+            );
+        }
+        for (name, value) in &self.gauges {
+            lines.push(
+                JsonLine::new()
+                    .str("kind", "gauge")
                     .str("name", name)
                     .u64("value", *value)
                     .finish(),
@@ -327,6 +374,25 @@ mod tests {
         assert!(!sink.enabled());
         assert!(Sink::counter(&sink, "x").is_none());
         assert!(Sink::histogram(&sink, "x").is_none());
+        assert!(Sink::gauge(&sink, "x").is_none());
         assert!(Sink::snapshot(&sink).is_none());
+    }
+
+    #[test]
+    fn gauges_are_shared_last_write_wins_and_render() {
+        let sink = CollectingSink::new();
+        let a = Sink::gauge(&sink, "process.peak_rss_kb").unwrap();
+        let b = Sink::gauge(&sink, "process.peak_rss_kb").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        a.store(4096, std::sync::atomic::Ordering::Relaxed);
+        b.store(8192, std::sync::atomic::Ordering::Relaxed);
+        let snap = sink.snapshot();
+        assert_eq!(snap.gauge("process.peak_rss_kb"), 8192);
+        assert_eq!(snap.gauge("missing"), 0);
+        let text = snap.to_ndjson();
+        assert!(
+            text.contains(r#"{"kind":"gauge","name":"process.peak_rss_kb","value":8192}"#),
+            "{text}"
+        );
     }
 }

@@ -53,6 +53,10 @@ pub struct FlowTrace {
     pub sweep: SweepTrace,
     /// Final counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Final gauge readings by name (peak RSS, allocation totals; absent
+    /// on pre-gauge traces).
+    #[serde(default)]
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Instant events (e.g. [`keys::SELECTED_EVENT`]), in submission
@@ -102,6 +106,7 @@ impl FlowTrace {
                 candidates,
             },
             counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
             histograms: snapshot.histograms.clone(),
             events: snapshot.events.clone(),
             spans,
@@ -118,6 +123,11 @@ impl FlowTrace {
     /// Final value of a named counter (zero if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Final reading of a named gauge (zero if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// Algorithm 1 split selections by cost class: `(S_Z, S_M, S_H)`.
@@ -171,6 +181,15 @@ impl FlowTrace {
             lines.push(
                 JsonLine::new()
                     .str("kind", "counter")
+                    .str("name", name)
+                    .u64("value", *value)
+                    .finish(),
+            );
+        }
+        for (name, value) in &self.gauges {
+            lines.push(
+                JsonLine::new()
+                    .str("kind", "gauge")
                     .str("name", name)
                     .u64("value", *value)
                     .finish(),
@@ -269,6 +288,21 @@ impl FlowTrace {
                 "  sharing: {shared} of {} candidates derived by truncation ({trained} trained)\n",
                 trained + shared,
             ));
+        }
+        let rss_kb = self.gauge(keys::PEAK_RSS_KB);
+        if rss_kb > 0 {
+            out.push_str(&format!(
+                "  memory: {:.1} MiB peak RSS",
+                rss_kb as f64 / 1024.0
+            ));
+            let allocs = self.gauge(keys::ALLOC_COUNT);
+            if allocs > 0 {
+                out.push_str(&format!(
+                    ", {allocs} allocations ({:.1} MiB requested)",
+                    self.gauge(keys::ALLOC_BYTES) as f64 / (1024.0 * 1024.0),
+                ));
+            }
+            out.push('\n');
         }
         let trials = self.counter(keys::MC_TRIALS);
         if trials > 0 {
@@ -393,6 +427,7 @@ mod tests {
             seed: 42,
             accuracy_loss: 0.01,
             unix_secs: 1_750_000_000,
+            ..RunManifest::default()
         });
         let ndjson = trace.to_ndjson();
         let lines: Vec<&str> = ndjson.lines().collect();
@@ -400,6 +435,19 @@ mod tests {
         assert!(lines[1].contains(r#""dataset":"Seeds""#));
         let text = trace.render_text();
         assert!(text.contains("manifest: Seeds @ 01234567  grid 2τ×2d seed 42"));
+    }
+
+    #[test]
+    fn gauges_ride_along_in_both_renderers() {
+        let (recorder, sink) = Recorder::collecting();
+        recorder.span(keys::STAGE_SWEEP).finish();
+        recorder.set_gauge(keys::PEAK_RSS_KB, 10_240);
+        let trace = FlowTrace::from_snapshot("unit", &sink.snapshot());
+        assert_eq!(trace.gauge(keys::PEAK_RSS_KB), 10_240);
+        assert!(trace
+            .to_ndjson()
+            .contains(r#"{"kind":"gauge","name":"process.peak_rss_kb","value":10240}"#));
+        assert!(trace.render_text().contains("memory: 10.0 MiB peak RSS"));
     }
 
     #[test]
