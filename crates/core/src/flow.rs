@@ -182,6 +182,10 @@ impl<'a> CodesignFlow<'a> {
     /// any training starts.
     pub fn run(self) -> FlowOutcome {
         self.grid.validate();
+        // Main-thread kernel tallies (selection-path synthesis, lint);
+        // sweep workers enter their own per-thread scopes. Dropped before
+        // the snapshot below so the tallies land in the trace.
+        let kernel_scope = printed_telemetry::KernelScope::enter(&self.recorder);
         let max_depth = self
             .grid
             .depths
@@ -262,6 +266,7 @@ impl<'a> CodesignFlow<'a> {
         crate::lint::record_lint(&self.recorder, &lint);
         stage.finish();
 
+        drop(kernel_scope);
         record_process_gauges(&self.recorder);
         let trace = self.recorder.snapshot().map(|snapshot| {
             let manifest = RunManifest::capture(self.train.name())

@@ -135,7 +135,10 @@ impl AnnotatedTree {
     /// mutations) before considering any deeper node. Pinned by the
     /// `truncation_matches_fresh_training_*` tests.
     pub fn truncated(&self, max_depth: usize) -> DecisionTree {
-        self.tree.truncated(max_depth, &self.majorities)
+        let timer = printed_telemetry::KernelTimer::start(printed_telemetry::Kernel::BfsTruncate);
+        let truncated = self.tree.truncated(max_depth, &self.majorities);
+        timer.finish(self.tree.nodes().len() as u64);
+        truncated
     }
 }
 
@@ -265,7 +268,9 @@ fn train_adc_aware_seeded(
             nodes[slot] = Node::Leaf { class: majority };
             continue;
         }
+        let timer = printed_telemetry::KernelTimer::start(printed_telemetry::Kernel::GiniScan);
         let candidates = split_candidates(data, &indices, &cart_cfg);
+        timer.finish(candidates.len() as u64);
         gini_evals += candidates.len() as u64;
         if candidates.is_empty() {
             nodes[slot] = Node::Leaf { class: majority };

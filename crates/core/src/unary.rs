@@ -61,6 +61,7 @@ impl UnaryClassifier {
     /// adjacent-cube merging), which is what turns sibling leaves of the
     /// same class back into shorter products.
     pub fn from_tree(tree: &DecisionTree) -> Self {
+        let timer = printed_telemetry::KernelTimer::start(printed_telemetry::Kernel::ThermoEncode);
         let literal_set: BTreeSet<(usize, u8)> = tree.distinct_pairs();
         let literals: Vec<(usize, u8)> = literal_set.into_iter().collect();
         let var_of = |feature: usize, tap: u8| -> usize {
@@ -91,6 +92,7 @@ impl UnaryClassifier {
             .into_iter()
             .map(|cubes| Sop::from_cubes(literals.len(), cubes).simplified())
             .collect();
+        timer.finish(paths.len() as u64);
         Self {
             bits: tree.bits(),
             n_features: tree.n_features(),
@@ -197,6 +199,7 @@ impl UnaryClassifier {
     /// order, named `u{feature}_{tap}` — these are wires straight from the
     /// bespoke ADC comparators. Outputs: one one-hot signal per class.
     pub fn to_netlist(&self) -> Netlist {
+        let timer = printed_telemetry::KernelTimer::start(printed_telemetry::Kernel::NetlistSynth);
         let mut nl = Netlist::new(format!("unary-{}lit", self.literals.len()));
         let vars: Vec<_> = self
             .literals
@@ -222,6 +225,7 @@ impl UnaryClassifier {
             nl.output(format!("class{class}"), out);
         }
         nl.prune();
+        timer.finish(nl.gate_count() as u64);
         nl
     }
 

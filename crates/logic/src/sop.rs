@@ -219,6 +219,7 @@ impl Sop {
     /// Applies duplicate removal, absorption, and adjacent-cube merging to a
     /// fixpoint. Safe for any cover (does not consult don't-cares).
     pub fn simplified(&self) -> Sop {
+        let timer = printed_telemetry::KernelTimer::start(printed_telemetry::Kernel::CubeMerge);
         let mut cubes = self.cubes.clone();
         loop {
             let before = cubes.clone();
@@ -277,6 +278,7 @@ impl Sop {
                 .all(|(j, other)| i == j || !c.implies(other))),
             "simplified cover must be absorption-free at the fixpoint"
         );
+        timer.finish(self.cubes.len() as u64);
         Sop {
             num_vars: self.num_vars,
             cubes,

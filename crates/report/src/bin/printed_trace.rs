@@ -25,8 +25,9 @@
 use std::process::ExitCode;
 
 use printed_report::{
-    diff_many, diff_suites, parse_history, parse_trace, render_history, CostReport, DiffConfig,
-    HistoryEntry, Profile, TraceStats, Watcher,
+    diff_kernels, diff_many, diff_suites, parse_history, parse_kernel_history, parse_trace,
+    render_history, render_kernel_history, CostReport, DiffConfig, HistoryEntry,
+    KernelHistoryEntry, KernelStats, Profile, TraceStats, Watcher,
 };
 
 const USAGE: &str = "\
@@ -36,7 +37,7 @@ commands:
   report <trace.ndjson>
       Flame/self-time profile plus hardware-cost attribution.
   diff <baseline> <current> [--max-regress PCT] [--max-wall-regress PCT]
-       [--wall-floor-us N] [--wall-z Z]
+       [--wall-floor-us N] [--wall-z Z] [--tp-floor PCT]
       Gate a run against a baseline; exits 1 on regression.
       Inputs may be bench_stats NDJSON (single line or a whole suite
       like BENCH_all.ndjson) or NDJSON traces. Suites are paired by
@@ -44,6 +45,11 @@ commands:
       Calibrated baselines gate wall time at
       median + max(floor, z*MAD); PCT applies to uncalibrated ones.
       PCT accepts `5%`, `5`, or `0.05` (all mean five percent).
+      kernel_stats inputs (BENCH_hotpath.ndjson from bench_hot) switch
+      to the kernel axis: both sides must then be kernel suites, pairs
+      are matched by (dataset, kernel), invocation/item counts must
+      match exactly, and throughput gates at median - max(z*MAD,
+      tp-floor*median) items/s — refused across environment classes.
   watch <trace.ndjson> [--poll-ms N] [--once]
       Tail an in-flight traced run: rolling k/N progress, candidate
       rate, ETA, and failed-candidate alerts. Robust to torn tails and
@@ -131,6 +137,10 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
                     return Err(format!("bad --wall-z {v:?}"));
                 }
             }
+            "--tp-floor" => {
+                let v = iter.next().ok_or("--tp-floor needs a value")?;
+                config.tp_floor = parse_pct(v)?;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             path => paths.push(path.to_owned()),
         }
@@ -143,6 +153,49 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     };
     let baseline_text = read(baseline_path)?;
     let current_text = read(current_path)?;
+    // kernel_stats inputs route to the kernel axis — and must come in
+    // pairs: gating a kernel suite against a flow baseline (or vice
+    // versa) compares incommensurable numbers.
+    let is_kernel = |text: &str| text.contains(r#""kind":"kernel_stats""#);
+    match (is_kernel(&baseline_text), is_kernel(&current_text)) {
+        (true, true) => {
+            let baselines = KernelStats::from_text_multi(&baseline_text)
+                .map_err(|e| format!("{baseline_path}: {e}"))?;
+            let currents = KernelStats::from_text_multi(&current_text)
+                .map_err(|e| format!("{current_path}: {e}"))?;
+            let reports = diff_kernels(&baselines, &currents, config)?;
+            let mut passed = true;
+            for report in &reports {
+                print!("{}", report.render_text());
+                passed &= report.passed();
+            }
+            if reports.len() > 1 {
+                let failures = reports.iter().filter(|r| !r.passed()).count();
+                println!(
+                    "hotpath: {}/{} kernels passed{}",
+                    reports.len() - failures,
+                    reports.len(),
+                    if failures > 0 {
+                        format!(" ({failures} REGRESSED)")
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            return Ok(if passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            });
+        }
+        (true, false) | (false, true) => {
+            return Err(format!(
+                "cannot mix axes: one of {baseline_path}/{current_path} is a kernel_stats \
+                 suite and the other is not"
+            ));
+        }
+        (false, false) => {}
+    }
     let (baselines, base_warnings) =
         TraceStats::from_text_multi(&baseline_text).map_err(|e| format!("{baseline_path}: {e}"))?;
     let (currents, cur_warnings) =
@@ -217,6 +270,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
     let mut consumed: usize = 0;
     let mut last_status = String::new();
     let mut reported_alerts = 0;
+    let mut reported_notes = 0;
     loop {
         // Whole-file read each poll: traces are small (kilobytes), and it
         // makes truncation detection trivial — the file got shorter than
@@ -235,6 +289,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
             watcher.reset();
             consumed = 0;
             reported_alerts = 0;
+            reported_notes = 0;
         }
         watcher.push(&content[consumed..]);
         consumed = content.len();
@@ -244,6 +299,10 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
             println!("watch: ALERT {alert}");
         }
         reported_alerts = state.alerts.len();
+        for note in &state.notes[reported_notes..] {
+            println!("watch: note: {note}");
+        }
+        reported_notes = state.notes.len();
         let status = state.status_line();
         if status != last_status {
             println!("watch: {status}");
@@ -270,16 +329,30 @@ fn cmd_history(args: &[String]) -> Result<ExitCode, String> {
                 "usage: printed-trace history append <history.ndjson> <stats.ndjson>".into(),
             );
         };
-        let (stats, warnings) = TraceStats::from_text_multi(&read(stats_path)?)
-            .map_err(|e| format!("{stats_path}: {e}"))?;
-        for warning in warnings {
-            eprintln!("warning: {stats_path}: {warning}");
-        }
+        let stats_text = read(stats_path)?;
         let mut appended = String::new();
-        for s in &stats {
-            appended.push_str(&HistoryEntry::from_stats(s).to_json());
-            appended.push('\n');
-        }
+        // A kernel_stats file appends to the kernel axis; anything else
+        // (a bench_stats suite or a trace dump) to the benchmark axis.
+        let count = if stats_text.contains(r#""kind":"kernel_stats""#) {
+            let stats = KernelStats::from_text_multi(&stats_text)
+                .map_err(|e| format!("{stats_path}: {e}"))?;
+            for s in &stats {
+                appended.push_str(&KernelHistoryEntry::from_stats(s).to_json());
+                appended.push('\n');
+            }
+            stats.len()
+        } else {
+            let (stats, warnings) = TraceStats::from_text_multi(&stats_text)
+                .map_err(|e| format!("{stats_path}: {e}"))?;
+            for warning in warnings {
+                eprintln!("warning: {stats_path}: {warning}");
+            }
+            for s in &stats {
+                appended.push_str(&HistoryEntry::from_stats(s).to_json());
+                appended.push('\n');
+            }
+            stats.len()
+        };
         use std::io::Write;
         let mut file = std::fs::OpenOptions::new()
             .create(true)
@@ -288,7 +361,7 @@ fn cmd_history(args: &[String]) -> Result<ExitCode, String> {
             .map_err(|e| format!("{history_path}: {e}"))?;
         file.write_all(appended.as_bytes())
             .map_err(|e| format!("{history_path}: {e}"))?;
-        eprintln!("appended {} record(s) to {history_path}", stats.len());
+        eprintln!("appended {count} record(s) to {history_path}");
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -309,11 +382,23 @@ fn cmd_history(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let path = path.ok_or("usage: printed-trace history <history.ndjson> [--dataset NAME]")?;
-    let (entries, warnings) = parse_history(&read(&path)?);
+    let text = read(&path)?;
+    let (entries, warnings) = parse_history(&text);
     for warning in warnings {
         eprintln!("warning: {path}: {warning}");
     }
-    print!("{}", render_history(&entries, dataset.as_deref()));
+    // The kernel axis shares the file; render it when present. A file
+    // holding only kernel records skips the benchmark table entirely.
+    let (kernel_entries, _) = parse_kernel_history(&text);
+    if !entries.is_empty() || kernel_entries.is_empty() {
+        print!("{}", render_history(&entries, dataset.as_deref()));
+    }
+    if !kernel_entries.is_empty() {
+        print!(
+            "{}",
+            render_kernel_history(&kernel_entries, dataset.as_deref())
+        );
+    }
     Ok(ExitCode::SUCCESS)
 }
 

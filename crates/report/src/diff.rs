@@ -151,15 +151,7 @@ impl TraceStats {
     /// [`printed_telemetry::RunManifest::env_class`]); `None` for
     /// pre-environment baselines.
     pub fn env_class(&self) -> Option<String> {
-        if self.cpus == 0 && self.build.is_empty() {
-            return None;
-        }
-        let threads = if self.threads == 0 {
-            "auto".to_owned()
-        } else {
-            format!("{}t", self.threads)
-        };
-        Some(format!("{}cpu/{}/{}", self.cpus, threads, self.build))
+        env_class_of(self.cpus, self.threads, &self.build)
     }
 
     /// Serializes to one JSON line — the committed-baseline format.
@@ -316,6 +308,341 @@ impl TraceStats {
     }
 }
 
+/// `{cpus}cpu/{threads|auto}/{build}` — the shared environment-class
+/// format of [`TraceStats::env_class`] and [`KernelStats::env_class`].
+/// `None` when neither the CPU count nor the build profile is known.
+fn env_class_of(cpus: u64, threads: u64, build: &str) -> Option<String> {
+    if cpus == 0 && build.is_empty() {
+        return None;
+    }
+    let threads = if threads == 0 {
+        "auto".to_owned()
+    } else {
+        format!("{threads}t")
+    };
+    Some(format!("{cpus}cpu/{threads}/{build}"))
+}
+
+/// One kernel's guarded numbers on one benchmark — the record format of
+/// the committed `BENCH_hotpath.ndjson` baseline that `bench_hot` writes
+/// and the `hotpath-gate` CI job diffs against.
+///
+/// The deterministic pair (`calls`, `items`) pins *how much work* the
+/// kernel did; the calibrated throughput trio (`tp_median`, `tp_mad`,
+/// `calib_runs`, in items/second) pins *how fast* it did it, with the
+/// baseline's own measured noise setting the gate width.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KernelStats {
+    /// Benchmark/dataset name.
+    pub dataset: String,
+    /// Kernel name (e.g. `gini_scan`), from [`printed_telemetry::Kernel`].
+    pub kernel: String,
+    /// Git revision that produced the record (empty when unknown).
+    pub git_sha: String,
+    /// Kernel invocations per isolated driver run (deterministic).
+    pub calls: u64,
+    /// Items processed per isolated driver run (deterministic).
+    pub items: u64,
+    /// Median throughput across the calibration runs, items/second
+    /// (0 = uncalibrated).
+    pub tp_median: u64,
+    /// Median absolute deviation of the repeat runs' throughputs,
+    /// items/second.
+    pub tp_mad: u64,
+    /// Number of repeat runs behind the calibration (0 = uncalibrated).
+    pub calib_runs: u64,
+    /// Logical CPUs of the producing host (0 = unknown).
+    pub cpus: u64,
+    /// Explicit sweep thread override (0 = auto).
+    pub threads: u64,
+    /// Build profile (`"release"`/`"debug"`, empty = unknown).
+    pub build: String,
+    /// Unix timestamp (seconds) the record was produced (0 = unknown).
+    pub unix_secs: u64,
+}
+
+impl KernelStats {
+    /// Installs a throughput calibration from `k` repeat-run throughput
+    /// samples (items/second), builder style.
+    pub fn with_calibration(mut self, throughputs: &[u64]) -> Self {
+        if throughputs.is_empty() {
+            return self;
+        }
+        let (median, mad) = median_mad(throughputs);
+        self.tp_median = median;
+        self.tp_mad = mad;
+        self.calib_runs = throughputs.len() as u64;
+        self
+    }
+
+    /// The host-environment class of the producing run (same format as
+    /// [`TraceStats::env_class`]); `None` for environment-free records.
+    pub fn env_class(&self) -> Option<String> {
+        env_class_of(self.cpus, self.threads, &self.build)
+    }
+
+    /// Serializes to one `{"kind":"kernel_stats"}` JSON line.
+    pub fn to_json(&self) -> String {
+        let mut line = JsonLine::new()
+            .str("kind", "kernel_stats")
+            .str("dataset", &self.dataset)
+            .str("kernel", &self.kernel)
+            .str("git_sha", &self.git_sha)
+            .u64("calls", self.calls)
+            .u64("items", self.items)
+            .u64("tp_median", self.tp_median)
+            .u64("tp_mad", self.tp_mad)
+            .u64("calib_runs", self.calib_runs);
+        if self.env_class().is_some() {
+            line = line
+                .u64("cpus", self.cpus)
+                .u64("threads", self.threads)
+                .str("build", &self.build);
+        }
+        if self.unix_secs > 0 {
+            line = line.u64("unix_secs", self.unix_secs);
+        }
+        line.finish()
+    }
+
+    /// Parses every `kernel_stats` line of an NDJSON file. Errors when
+    /// the text holds none — a kernel gate input must be a kernel suite.
+    pub fn from_text_multi(text: &str) -> Result<Vec<Self>, String> {
+        let mut stats = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(value) = parse_json(line) else {
+                continue;
+            };
+            if value.get("kind").and_then(JsonValue::as_str) == Some("kernel_stats") {
+                stats.push(Self::from_json(&value));
+            }
+        }
+        if stats.is_empty() {
+            return Err("no kernel_stats records found".to_owned());
+        }
+        Ok(stats)
+    }
+
+    fn from_json(value: &JsonValue) -> Self {
+        let s = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_owned()
+        };
+        let u = |key: &str| value.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        Self {
+            dataset: s("dataset"),
+            kernel: s("kernel"),
+            git_sha: s("git_sha"),
+            calls: u("calls"),
+            items: u("items"),
+            tp_median: u("tp_median"),
+            tp_mad: u("tp_mad"),
+            calib_runs: u("calib_runs"),
+            cpus: u("cpus"),
+            threads: u("threads"),
+            build: s("build"),
+            unix_secs: u("unix_secs"),
+        }
+    }
+}
+
+/// The outcome of gating one kernel on one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDiffReport {
+    /// The committed reference record.
+    pub baseline: KernelStats,
+    /// The fresh run's record.
+    pub current: KernelStats,
+    /// One line per gate failure (empty = pass).
+    pub violations: Vec<String>,
+    /// Non-fatal observations (refusals, improvements, skipped checks).
+    pub notes: Vec<String>,
+}
+
+impl KernelDiffReport {
+    /// Whether the gate passes (no violations).
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the comparison as one block: header, notes, failures,
+    /// verdict.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "kernel {}/{}: calls {} → {}, items {} → {}, throughput {} → {} items/s\n",
+            self.baseline.dataset,
+            self.baseline.kernel,
+            self.baseline.calls,
+            self.current.calls,
+            self.baseline.items,
+            self.current.items,
+            self.baseline.tp_median,
+            self.current.tp_median,
+        );
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        for violation in &self.violations {
+            out.push_str(&format!("  FAIL: {violation}\n"));
+        }
+        out.push_str(if self.passed() {
+            "  verdict: PASS\n"
+        } else {
+            "  verdict: REGRESSION\n"
+        });
+        out
+    }
+}
+
+/// Gates a fresh kernel suite against a committed baseline suite,
+/// paired by `(dataset, kernel)` under a strict bijection — a kernel
+/// record present on one side and missing on the other is a hard `Err`
+/// (a kernel silently falling out of `bench_hot` is exactly the
+/// regression the gate exists to catch).
+///
+/// Per pair: `calls` and `items` are deterministic work counts and must
+/// match **exactly, in both directions** — a kernel suddenly doing more
+/// or less work is a behavior change either way. Throughput gates at
+///
+/// ```text
+/// current.tp_median  <  baseline.tp_median
+///                        − max(wall_z × tp_MAD, tp_floor × tp_median)
+/// ```
+///
+/// — the baseline's own measured noise sets the slack, floored at the
+/// relative [`DiffConfig::tp_floor`] so a near-zero MAD cannot make it
+/// hair-trigger.
+/// Like the wall gate, the throughput gate REFUSES to judge runs from a
+/// different environment class (the counts are still gated).
+pub fn diff_kernels(
+    baselines: &[KernelStats],
+    currents: &[KernelStats],
+    config: DiffConfig,
+) -> Result<Vec<KernelDiffReport>, String> {
+    if baselines.is_empty() || currents.is_empty() {
+        return Err("empty kernel stats set (nothing to compare)".to_owned());
+    }
+    let find = |suite: &[KernelStats], key: (&str, &str)| -> Option<KernelStats> {
+        suite
+            .iter()
+            .find(|s| (s.dataset.as_str(), s.kernel.as_str()) == key)
+            .cloned()
+    };
+    let mut missing = Vec::new();
+    for baseline in baselines {
+        if find(currents, (&baseline.dataset, &baseline.kernel)).is_none() {
+            missing.push(format!(
+                "baseline kernel {}/{} missing from the current run",
+                baseline.dataset, baseline.kernel
+            ));
+        }
+    }
+    for current in currents {
+        if find(baselines, (&current.dataset, &current.kernel)).is_none() {
+            missing.push(format!(
+                "current kernel {}/{} has no baseline record",
+                current.dataset, current.kernel
+            ));
+        }
+    }
+    if !missing.is_empty() {
+        return Err(missing.join("; "));
+    }
+    Ok(baselines
+        .iter()
+        .map(|baseline| {
+            let current =
+                find(currents, (&baseline.dataset, &baseline.kernel)).expect("bijection checked");
+            diff_kernel(baseline, &current, config)
+        })
+        .collect())
+}
+
+fn diff_kernel(
+    baseline: &KernelStats,
+    current: &KernelStats,
+    config: DiffConfig,
+) -> KernelDiffReport {
+    let mut violations = Vec::new();
+    let mut notes = Vec::new();
+
+    // Deterministic work counts: exact equality, blocking both ways.
+    if baseline.calls != current.calls {
+        violations.push(format!(
+            "calls changed: {} → {} (deterministic invocation count must match exactly)",
+            baseline.calls, current.calls
+        ));
+    }
+    if baseline.items != current.items {
+        violations.push(format!(
+            "items changed: {} → {} (deterministic work count must match exactly)",
+            baseline.items, current.items
+        ));
+    }
+
+    check_throughput(&mut violations, &mut notes, baseline, current, config);
+
+    KernelDiffReport {
+        baseline: baseline.clone(),
+        current: current.clone(),
+        violations,
+        notes,
+    }
+}
+
+/// The throughput gate: noise-calibrated absolute threshold below the
+/// baseline median, refused across environment classes.
+fn check_throughput(
+    violations: &mut Vec<String>,
+    notes: &mut Vec<String>,
+    baseline: &KernelStats,
+    current: &KernelStats,
+    config: DiffConfig,
+) {
+    if baseline.calib_runs == 0 || baseline.tp_median == 0 {
+        notes.push("throughput: no calibrated baseline, check skipped".to_owned());
+        return;
+    }
+    if let (Some(base_env), Some(cur_env)) = (baseline.env_class(), current.env_class()) {
+        if base_env != cur_env {
+            notes.push(format!(
+                "throughput gate REFUSED: environment class mismatch \
+                 (baseline {base_env}, current {cur_env}) — kernel work counts still gated"
+            ));
+            return;
+        }
+    }
+    let slack = ((config.wall_z * baseline.tp_mad as f64) as u64)
+        .max((config.tp_floor * baseline.tp_median as f64) as u64);
+    let threshold = baseline.tp_median.saturating_sub(slack);
+    if current.tp_median < threshold {
+        violations.push(format!(
+            "throughput regressed: {} items/s < {} items/s \
+             (median {} − max({:.0}×MAD {}, {:.0}% floor) from {} calibration runs)",
+            current.tp_median,
+            threshold,
+            baseline.tp_median,
+            config.wall_z,
+            baseline.tp_mad,
+            config.tp_floor * 100.0,
+            baseline.calib_runs,
+        ));
+    } else {
+        notes.push(format!(
+            "throughput {} items/s within calibrated threshold {} items/s \
+             ({} runs, median {}, MAD {})",
+            current.tp_median, threshold, baseline.calib_runs, baseline.tp_median, baseline.tp_mad,
+        ));
+    }
+}
+
 /// Median and median-absolute-deviation of a sample, both in the
 /// sample's unit. Even-length samples average the middle pair (rounding
 /// down). Empty samples return `(0, 0)`.
@@ -355,6 +682,13 @@ pub struct DiffConfig {
     /// never fires it, close enough that a real 2× regression always
     /// does.
     pub wall_z: f64,
+    /// Relative floor of the calibrated kernel-throughput gate: the
+    /// tolerated shortfall below the baseline median is never smaller
+    /// than this fraction of it. Default 25% — isolated kernel drivers
+    /// run for milliseconds, where cross-process load shifts of 10–20%
+    /// are routine and invisible to an in-process MAD; the regressions
+    /// worth gating are step changes (an algorithmic 2×), not jitter.
+    pub tp_floor: f64,
 }
 
 impl Default for DiffConfig {
@@ -364,6 +698,7 @@ impl Default for DiffConfig {
             max_wall_regress: 0.05,
             wall_floor_us: 50_000,
             wall_z: 8.0,
+            tp_floor: 0.25,
         }
     }
 }
@@ -1075,5 +1410,147 @@ mod tests {
     #[test]
     fn garbage_input_is_a_hard_error() {
         assert!(TraceStats::from_text("definitely not json").is_err());
+    }
+
+    fn kernel(dataset: &str, name: &str) -> KernelStats {
+        KernelStats {
+            dataset: dataset.into(),
+            kernel: name.into(),
+            git_sha: "0123456789abcdef0123456789abcdef01234567".into(),
+            calls: 7,
+            items: 1_610,
+            cpus: 8,
+            threads: 0,
+            build: "release".into(),
+            unix_secs: 1_754_000_000,
+            ..KernelStats::default()
+        }
+        // Median 1_000_000, deviations [20k, 10k, 0, 10k, 30k] → MAD 10k.
+        .with_calibration(&[980_000, 990_000, 1_000_000, 1_010_000, 1_030_000])
+    }
+
+    #[test]
+    fn kernel_stats_json_round_trips() {
+        let original = kernel("Seeds", "gini_scan");
+        let json = original.to_json();
+        assert!(json.starts_with(r#"{"kind":"kernel_stats""#), "{json}");
+        let parsed = KernelStats::from_text_multi(&json).expect("parses");
+        assert_eq!(parsed, vec![original]);
+        // A file with no kernel records is a hard error.
+        assert!(KernelStats::from_text_multi(r#"{"kind":"bench_stats"}"#).is_err());
+    }
+
+    #[test]
+    fn kernel_count_drift_blocks_in_both_directions() {
+        let base = kernel("Seeds", "gini_scan");
+        for calls in [6, 8] {
+            let mut cur = kernel("Seeds", "gini_scan");
+            cur.calls = calls;
+            let reports =
+                diff_kernels(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+            assert!(!reports[0].passed(), "calls {calls} should violate");
+            assert!(reports[0].violations[0].contains("calls changed"));
+        }
+        for items in [1_609, 1_611] {
+            let mut cur = kernel("Seeds", "gini_scan");
+            cur.items = items;
+            let reports =
+                diff_kernels(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+            assert!(!reports[0].passed(), "items {items} should violate");
+            assert!(reports[0].violations[0].contains("items changed"));
+        }
+    }
+
+    #[test]
+    fn kernel_throughput_gates_at_median_minus_mad_slack() {
+        let mut base = kernel("Seeds", "gini_scan"); // median 1_000_000
+        base.tp_mad = 40_000; // 8×40_000 = 320_000 > 25% floor 250_000
+        let mut cur = kernel("Seeds", "gini_scan");
+        cur.tp_median = 680_000;
+        let reports = diff_kernels(&[base.clone()], &[cur.clone()], DiffConfig::default()).unwrap();
+        assert!(reports[0].passed(), "{:?}", reports[0].violations);
+        cur.tp_median = 679_999;
+        let reports = diff_kernels(&[base.clone()], &[cur], DiffConfig::default()).unwrap();
+        assert!(!reports[0].passed());
+        assert!(
+            reports[0].violations[0].contains("throughput regressed"),
+            "{:?}",
+            reports[0].violations
+        );
+        assert!(reports[0].render_text().contains("verdict: REGRESSION"));
+        // A faster run sails through.
+        let mut cur = kernel("Seeds", "gini_scan");
+        cur.tp_median = 2_000_000;
+        let reports = diff_kernels(&[base], &[cur], DiffConfig::default()).unwrap();
+        assert!(reports[0].passed());
+    }
+
+    #[test]
+    fn kernel_relative_floor_dominates_a_tiny_mad() {
+        let mut base = kernel("Seeds", "gini_scan");
+        base.tp_mad = 0; // 8×0 = 0 < 25%×1_000_000 = 250_000 floor
+        let mut cur = kernel("Seeds", "gini_scan");
+        cur.tp_median = 750_000;
+        let reports = diff_kernels(&[base.clone()], &[cur.clone()], DiffConfig::default()).unwrap();
+        assert!(reports[0].passed(), "{:?}", reports[0].violations);
+        cur.tp_median = 749_999;
+        let reports = diff_kernels(&[base], &[cur], DiffConfig::default()).unwrap();
+        assert!(!reports[0].passed());
+    }
+
+    #[test]
+    fn kernel_env_mismatch_refuses_throughput_but_keeps_counts() {
+        let base = kernel("Seeds", "gini_scan");
+        let mut cur = kernel("Seeds", "gini_scan");
+        cur.cpus = 2;
+        cur.tp_median = 1; // absurdly slow — but unjudgeable cross-env
+        let reports = diff_kernels(
+            std::slice::from_ref(&base),
+            std::slice::from_ref(&cur),
+            DiffConfig::default(),
+        )
+        .unwrap();
+        assert!(reports[0].passed(), "{:?}", reports[0].violations);
+        assert!(
+            reports[0].notes.iter().any(|n| n.contains("REFUSED")),
+            "{:?}",
+            reports[0].notes
+        );
+        // The deterministic counts still fire on the mismatched pair.
+        cur.items = 999;
+        let reports = diff_kernels(&[base], &[cur], DiffConfig::default()).unwrap();
+        assert!(!reports[0].passed());
+    }
+
+    #[test]
+    fn kernel_suites_require_a_dataset_kernel_bijection() {
+        let a = kernel("Seeds", "gini_scan");
+        let b = kernel("Seeds", "cube_merge");
+        let c = kernel("Cardio", "gini_scan");
+        let reports = diff_kernels(
+            &[a.clone(), b.clone()],
+            &[b.clone(), a.clone()],
+            DiffConfig::default(),
+        )
+        .expect("bijection");
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(KernelDiffReport::passed));
+        // Same kernel on a different dataset is NOT a counterpart.
+        let err = diff_kernels(&[a.clone(), b], &[a, c], DiffConfig::default()).unwrap_err();
+        assert!(err.contains("Seeds/cube_merge missing"), "{err}");
+        assert!(err.contains("Cardio/gini_scan has no baseline"), "{err}");
+    }
+
+    #[test]
+    fn kernel_uncalibrated_baseline_skips_throughput() {
+        let mut base = kernel("Seeds", "gini_scan");
+        base.tp_median = 0;
+        base.tp_mad = 0;
+        base.calib_runs = 0;
+        let mut cur = kernel("Seeds", "gini_scan");
+        cur.tp_median = 1;
+        let reports = diff_kernels(&[base], &[cur], DiffConfig::default()).unwrap();
+        assert!(reports[0].passed());
+        assert!(reports[0].notes.iter().any(|n| n.contains("skipped")));
     }
 }

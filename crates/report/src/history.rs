@@ -15,7 +15,7 @@
 
 use printed_telemetry::JsonLine;
 
-use crate::diff::TraceStats;
+use crate::diff::{KernelStats, TraceStats};
 use crate::json::{parse as parse_json, JsonValue};
 
 /// One benchmark's guarded numbers at one revision.
@@ -41,6 +41,9 @@ pub struct HistoryEntry {
     pub power_mw: f64,
     /// Selected design's comparators.
     pub comparators: u64,
+    /// Peak resident-set size of the producing process, kB (0 = not
+    /// recorded; absent on pre-RSS history records).
+    pub peak_rss_kb: u64,
 }
 
 impl HistoryEntry {
@@ -57,12 +60,15 @@ impl HistoryEntry {
             area_mm2: stats.area_mm2,
             power_mw: stats.power_mw,
             comparators: stats.comparators,
+            peak_rss_kb: stats.peak_rss_kb,
         }
     }
 
-    /// Serializes to one `{"kind":"bench_history"}` NDJSON line.
+    /// Serializes to one `{"kind":"bench_history"}` NDJSON line. The RSS
+    /// field is emitted only when recorded, so pre-RSS appends keep their
+    /// compact shape.
     pub fn to_json(&self) -> String {
-        JsonLine::new()
+        let mut line = JsonLine::new()
             .str("kind", "bench_history")
             .str("git_sha", &self.git_sha)
             .u64("unix_secs", self.unix_secs)
@@ -73,8 +79,11 @@ impl HistoryEntry {
             .u64("trees_shared", self.trees_shared)
             .f64("area_mm2", self.area_mm2)
             .f64("power_mw", self.power_mw)
-            .u64("comparators", self.comparators)
-            .finish()
+            .u64("comparators", self.comparators);
+        if self.peak_rss_kb > 0 {
+            line = line.u64("peak_rss_kb", self.peak_rss_kb);
+        }
+        line.finish()
     }
 
     fn from_json(value: &JsonValue) -> Option<Self> {
@@ -101,6 +110,8 @@ impl HistoryEntry {
             area_mm2: f("area_mm2"),
             power_mw: f("power_mw"),
             comparators: u("comparators"),
+            // Absent on pre-RSS records; defaults to "not recorded".
+            peak_rss_kb: u("peak_rss_kb"),
         })
     }
 }
@@ -152,20 +163,36 @@ pub fn render_history(entries: &[HistoryEntry], dataset: Option<&str>) -> String
         let records: Vec<&HistoryEntry> = entries.iter().filter(|e| e.dataset == name).collect();
         out.push_str(&format!("history: {name} ({} records)\n", records.len()));
         out.push_str(&format!(
-            "  {:<10} {:<9} {:>9} {:>11} {:>9} {:>9} {:>4} {:>8}\n",
-            "date", "sha", "wall_us", "gini_evals", "area_mm2", "power_mw", "cmp", "Δwall"
+            "  {:<10} {:<9} {:>9} {:>11} {:>9} {:>9} {:>4} {:>9} {:>8} {:>8}\n",
+            "date",
+            "sha",
+            "wall_us",
+            "gini_evals",
+            "area_mm2",
+            "power_mw",
+            "cmp",
+            "rss_kb",
+            "Δwall",
+            "Δrss"
         ));
-        let mut prev_wall: Option<u64> = None;
-        for record in records {
-            let delta = match prev_wall {
-                Some(prev) if prev > 0 => format!(
-                    "{:+.1}%",
-                    100.0 * (record.wall_us as f64 - prev as f64) / prev as f64
-                ),
+        let step = |prev: Option<u64>, cur: u64| -> String {
+            match prev {
+                Some(prev) if prev > 0 && cur > 0 => {
+                    format!("{:+.1}%", 100.0 * (cur as f64 - prev as f64) / prev as f64)
+                }
                 _ => "—".to_owned(),
+            }
+        };
+        let mut prev_wall: Option<u64> = None;
+        let mut prev_rss: Option<u64> = None;
+        for record in records {
+            let rss = if record.peak_rss_kb > 0 {
+                record.peak_rss_kb.to_string()
+            } else {
+                "—".to_owned()
             };
             out.push_str(&format!(
-                "  {:<10} {:<9} {:>9} {:>11} {:>9.3} {:>9.4} {:>4} {:>8}\n",
+                "  {:<10} {:<9} {:>9} {:>11} {:>9.3} {:>9.4} {:>4} {:>9} {:>8} {:>8}\n",
                 civil_date(record.unix_secs),
                 short(&record.git_sha),
                 record.wall_us,
@@ -173,9 +200,165 @@ pub fn render_history(entries: &[HistoryEntry], dataset: Option<&str>) -> String
                 record.area_mm2,
                 record.power_mw,
                 record.comparators,
-                delta,
+                rss,
+                step(prev_wall, record.wall_us),
+                step(prev_rss, record.peak_rss_kb),
             ));
             prev_wall = Some(record.wall_us);
+            // A record without RSS must not poison the next delta.
+            if record.peak_rss_kb > 0 {
+                prev_rss = Some(record.peak_rss_kb);
+            }
+        }
+    }
+    out
+}
+
+/// One kernel's hot-path numbers at one revision — the kernel axis of
+/// the history file. CI appends one `{"kind":"kernel_history"}` line per
+/// `(dataset, kernel)` pair after the hotpath gate passes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KernelHistoryEntry {
+    /// Git revision the record was produced at.
+    pub git_sha: String,
+    /// Unix timestamp (seconds) of the run.
+    pub unix_secs: u64,
+    /// Benchmark/dataset name.
+    pub dataset: String,
+    /// Kernel name (e.g. `gini_scan`).
+    pub kernel: String,
+    /// Kernel invocations per isolated driver run.
+    pub calls: u64,
+    /// Items processed per isolated driver run.
+    pub items: u64,
+    /// Median throughput across the calibration runs, items/second.
+    pub tp_median: u64,
+}
+
+impl KernelHistoryEntry {
+    /// Condenses a kernel baseline record into a history record.
+    pub fn from_stats(stats: &KernelStats) -> Self {
+        Self {
+            git_sha: stats.git_sha.clone(),
+            unix_secs: stats.unix_secs,
+            dataset: stats.dataset.clone(),
+            kernel: stats.kernel.clone(),
+            calls: stats.calls,
+            items: stats.items,
+            tp_median: stats.tp_median,
+        }
+    }
+
+    /// Serializes to one `{"kind":"kernel_history"}` NDJSON line.
+    pub fn to_json(&self) -> String {
+        JsonLine::new()
+            .str("kind", "kernel_history")
+            .str("git_sha", &self.git_sha)
+            .u64("unix_secs", self.unix_secs)
+            .str("dataset", &self.dataset)
+            .str("kernel", &self.kernel)
+            .u64("calls", self.calls)
+            .u64("items", self.items)
+            .u64("tp_median", self.tp_median)
+            .finish()
+    }
+
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        if value.get("kind").and_then(JsonValue::as_str) != Some("kernel_history") {
+            return None;
+        }
+        let s = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_owned()
+        };
+        let u = |key: &str| value.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        Some(Self {
+            git_sha: s("git_sha"),
+            unix_secs: u("unix_secs"),
+            dataset: s("dataset"),
+            kernel: s("kernel"),
+            calls: u("calls"),
+            items: u("items"),
+            tp_median: u("tp_median"),
+        })
+    }
+}
+
+/// Parses the kernel axis of a history file: all `kernel_history` lines
+/// in file order, plus warnings for unparseable lines. Foreign kinds
+/// (including `bench_history` — the two axes share the file) are skipped
+/// silently.
+pub fn parse_kernel_history(text: &str) -> (Vec<KernelHistoryEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut warnings = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_json(line) {
+            Ok(value) => {
+                if let Some(entry) = KernelHistoryEntry::from_json(&value) {
+                    entries.push(entry);
+                }
+            }
+            Err(e) => warnings.push(format!("line {}: unparseable ({e:?})", i + 1)),
+        }
+    }
+    (entries, warnings)
+}
+
+/// Renders per-`(dataset, kernel)` throughput drift, one table per pair,
+/// with the per-step Δtp vs the previous record of the same pair.
+/// `dataset` filters to one benchmark. Empty input renders nothing (the
+/// caller decides whether a missing kernel axis is worth a message).
+pub fn render_kernel_history(entries: &[KernelHistoryEntry], dataset: Option<&str>) -> String {
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    for entry in entries {
+        if dataset.is_some_and(|d| d != entry.dataset) {
+            continue;
+        }
+        let key = (entry.dataset.as_str(), entry.kernel.as_str());
+        if !pairs.contains(&key) {
+            pairs.push(key);
+        }
+    }
+    let mut out = String::new();
+    for (name, kernel) in pairs {
+        let records: Vec<&KernelHistoryEntry> = entries
+            .iter()
+            .filter(|e| e.dataset == name && e.kernel == kernel)
+            .collect();
+        out.push_str(&format!(
+            "kernel history: {name}/{kernel} ({} records)\n",
+            records.len()
+        ));
+        out.push_str(&format!(
+            "  {:<10} {:<9} {:>7} {:>9} {:>14} {:>8}\n",
+            "date", "sha", "calls", "items", "items/s", "Δtp"
+        ));
+        let mut prev_tp: Option<u64> = None;
+        for record in records {
+            let delta = match prev_tp {
+                Some(prev) if prev > 0 => format!(
+                    "{:+.1}%",
+                    100.0 * (record.tp_median as f64 - prev as f64) / prev as f64
+                ),
+                _ => "—".to_owned(),
+            };
+            out.push_str(&format!(
+                "  {:<10} {:<9} {:>7} {:>9} {:>14} {:>8}\n",
+                civil_date(record.unix_secs),
+                short(&record.git_sha),
+                record.calls,
+                record.items,
+                record.tp_median,
+                delta,
+            ));
+            prev_tp = Some(record.tp_median);
         }
     }
     out
@@ -230,6 +413,7 @@ mod tests {
             area_mm2: 3.482,
             power_mw: 0.1246,
             comparators: 3,
+            peak_rss_kb: 0,
         }
     }
 
@@ -295,6 +479,97 @@ mod tests {
         assert_eq!(civil_date(86_400), "1970-01-02");
         assert_eq!(civil_date(951_782_400), "2000-02-29"); // leap day
         assert_eq!(civil_date(1_754_611_200), "2025-08-08");
+    }
+
+    #[test]
+    fn rss_column_trends_and_tolerates_pre_rss_records() {
+        let mut with_rss = entry("Seeds", 2468, 1_754_611_200);
+        with_rss.peak_rss_kb = 40_000;
+        let mut grown = entry("Seeds", 2468, 1_754_697_600);
+        grown.peak_rss_kb = 44_000;
+        // Old record without RSS, then two with: the Δrss of the first
+        // RSS-bearing record is "—", the second is +10.0%.
+        let entries = vec![entry("Seeds", 2400, 1_754_524_800), with_rss.clone(), grown];
+        let text = render_history(&entries, None);
+        assert!(text.contains("rss_kb"), "{text}");
+        assert!(text.contains("Δrss"), "{text}");
+        assert!(text.contains("40000"), "{text}");
+        assert!(text.contains("+10.0%"), "{text}");
+        // The RSS field round-trips (and stays absent when unrecorded).
+        let line = with_rss.to_json();
+        assert!(line.contains(r#""peak_rss_kb":40000"#), "{line}");
+        assert!(!entry("Seeds", 1, 0).to_json().contains("peak_rss_kb"));
+        let (parsed, _) = parse_history(&line);
+        assert_eq!(parsed, vec![with_rss]);
+    }
+
+    fn kernel_entry(kernel: &str, tp: u64, secs: u64) -> KernelHistoryEntry {
+        KernelHistoryEntry {
+            git_sha: "0123456789abcdef0123456789abcdef01234567".into(),
+            unix_secs: secs,
+            dataset: "Seeds".into(),
+            kernel: kernel.into(),
+            calls: 7,
+            items: 1_610,
+            tp_median: tp,
+        }
+    }
+
+    #[test]
+    fn kernel_history_round_trips_and_renders_drift() {
+        let original = kernel_entry("gini_scan", 1_000_000, 1_754_611_200);
+        let line = original.to_json();
+        assert!(line.starts_with(r#"{"kind":"kernel_history""#), "{line}");
+        let (parsed, warnings) = parse_kernel_history(&line);
+        assert!(warnings.is_empty());
+        assert_eq!(parsed, vec![original]);
+
+        let entries = vec![
+            kernel_entry("gini_scan", 1_000_000, 1_754_611_200),
+            kernel_entry("cube_merge", 2_000_000, 1_754_611_200),
+            kernel_entry("gini_scan", 1_100_000, 1_754_697_600),
+        ];
+        let text = render_kernel_history(&entries, None);
+        assert!(
+            text.contains("kernel history: Seeds/gini_scan (2 records)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("kernel history: Seeds/cube_merge (1 records)"),
+            "{text}"
+        );
+        assert!(text.contains("+10.0%"), "{text}"); // 1.0M → 1.1M
+                                                    // Filtering by dataset drops everything for a foreign name.
+        assert_eq!(render_kernel_history(&entries, Some("Nope")), "");
+    }
+
+    #[test]
+    fn the_two_history_axes_share_a_file_without_crosstalk() {
+        let bench = entry("Seeds", 2468, 1_754_611_200);
+        let kernel = kernel_entry("gini_scan", 1_000_000, 1_754_611_200);
+        let text = format!("{}\n{}\n", bench.to_json(), kernel.to_json());
+        let (bench_parsed, _) = parse_history(&text);
+        assert_eq!(bench_parsed, vec![bench]);
+        let (kernel_parsed, _) = parse_kernel_history(&text);
+        assert_eq!(kernel_parsed, vec![kernel]);
+    }
+
+    #[test]
+    fn kernel_history_condenses_from_kernel_stats() {
+        let stats = KernelStats {
+            dataset: "Seeds".into(),
+            kernel: "netlist_synth".into(),
+            git_sha: "abc".into(),
+            calls: 9,
+            items: 321,
+            tp_median: 5_000,
+            unix_secs: 1_754_611_200,
+            ..KernelStats::default()
+        };
+        let entry = KernelHistoryEntry::from_stats(&stats);
+        assert_eq!(entry.kernel, "netlist_synth");
+        assert_eq!(entry.tp_median, 5_000);
+        assert_eq!(entry.unix_secs, 1_754_611_200);
     }
 
     #[test]

@@ -59,8 +59,14 @@ pub mod profile;
 pub mod watch;
 
 pub use cost::{AdcRow, ClassRow, CostReport, RobustRow, SelectedDesign};
-pub use diff::{diff_many, diff_suites, median_mad, DiffConfig, DiffReport, TraceStats};
-pub use history::{parse_history, render_history, HistoryEntry};
+pub use diff::{
+    diff_kernels, diff_many, diff_suites, median_mad, DiffConfig, DiffReport, KernelDiffReport,
+    KernelStats, TraceStats,
+};
+pub use history::{
+    parse_history, parse_kernel_history, render_history, render_kernel_history, HistoryEntry,
+    KernelHistoryEntry,
+};
 pub use parse::{parse_trace, ParsedTrace};
 pub use profile::{Profile, ProfileNode};
 pub use watch::{WatchState, Watcher};

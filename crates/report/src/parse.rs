@@ -18,7 +18,8 @@ use std::collections::BTreeMap;
 
 use printed_telemetry::keys::{CANDIDATE_SPAN, CANDIDATE_US, STAGE_PREFIX};
 use printed_telemetry::{
-    EventRecord, FieldValue, FlowTrace, HistogramSnapshot, RunManifest, SpanRecord, SweepTrace,
+    EventRecord, FieldValue, FlowTrace, HistogramSnapshot, KernelRecord, RunManifest, SpanRecord,
+    SweepTrace,
 };
 
 use crate::json::{parse as parse_json, JsonValue};
@@ -52,6 +53,7 @@ pub fn parse_trace(text: &str) -> ParsedTrace {
     let mut events: Vec<EventRecord> = Vec::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+    let mut kernels: Vec<KernelRecord> = Vec::new();
     let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
 
     for (index, line) in text.lines().enumerate() {
@@ -119,6 +121,7 @@ pub fn parse_trace(text: &str) -> ParsedTrace {
             "gauge" => parse_counter(&value).map(|(name, v)| {
                 gauges.insert(name, v);
             }),
+            "kernel" => parse_kernel(&value).map(|k| kernels.push(k)),
             "histogram" => parse_histogram(&value).map(|(name, h)| {
                 histograms.insert(name, h);
             }),
@@ -150,6 +153,7 @@ pub fn parse_trace(text: &str) -> ParsedTrace {
     out.trace.events = events;
     out.trace.counters = counters;
     out.trace.gauges = gauges;
+    out.trace.kernels = kernels;
     out.trace.histograms = histograms;
     out
 }
@@ -227,6 +231,26 @@ fn parse_counter(value: &JsonValue) -> Result<(String, u64), String> {
             .and_then(JsonValue::as_u64)
             .ok_or("missing value")?,
     ))
+}
+
+fn parse_kernel(value: &JsonValue) -> Result<KernelRecord, String> {
+    let u = |key: &str| -> Result<u64, String> {
+        value
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("missing {key}"))
+    };
+    Ok(KernelRecord {
+        name: value
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing name")?
+            .to_owned(),
+        calls: u("calls")?,
+        items: u("items")?,
+        ns: u("ns")?,
+        // items_per_sec is derived at emission, never stored.
+    })
 }
 
 fn parse_histogram(value: &JsonValue) -> Result<(String, HistogramSnapshot), String> {
@@ -345,6 +369,12 @@ mod tests {
         recorder.add(keys::GINI_EVALS, 321);
         recorder.add(keys::HW_COMPARATORS_RETAINED, 9);
         recorder.set_gauge(keys::PEAK_RSS_KB, 2048);
+        // Kernel tallies ride the counter namespace and are lifted into
+        // KernelRecords by FlowTrace::from_snapshot — the round trip must
+        // reconstruct them from the {"kind":"kernel"} lines.
+        recorder.add("kernel.gini_scan.calls", 7);
+        recorder.add("kernel.gini_scan.items", 250);
+        recorder.add("kernel.gini_scan.ns", 1_250_000);
         recorder.event(
             keys::SELECTED_EVENT,
             vec![
@@ -371,6 +401,7 @@ mod tests {
     #[test]
     fn flow_ndjson_round_trips_identically() {
         let original = sample_trace();
+        assert_eq!(original.kernels.len(), 1, "sample carries a kernel record");
         let parsed = parse_trace(&original.to_ndjson());
         assert!(parsed.is_clean(), "warnings: {:?}", parsed.warnings);
         assert_eq!(parsed.trace, original);

@@ -52,6 +52,10 @@ pub struct WatchState {
     seen: BTreeSet<(u64, u64)>,
     /// Alert lines for failed candidates, in observation order.
     pub alerts: Vec<String>,
+    /// Informational notes, e.g. the first sighting of an unknown record
+    /// kind (a newer writer's records are skipped with a note, never
+    /// silently dropped).
+    pub notes: Vec<String>,
     /// Timestamp (µs from the run's epoch) of the latest record that
     /// carried one.
     pub last_at_us: u64,
@@ -243,7 +247,22 @@ impl Watcher {
                     _ => {}
                 }
             }
-            _ => {}
+            // Kinds a finalized dump contains but the watcher has no use
+            // for — skipped without comment.
+            "stage" | "counter" | "gauge" | "histogram" | "kernel" => {}
+            // Anything else is a record kind this watcher does not know
+            // (a newer writer, or a foreign file): note it once per kind
+            // instead of silently dropping it.
+            other => {
+                let note = if other.is_empty() {
+                    "skipping record(s) with no \"kind\" field".to_owned()
+                } else {
+                    format!("skipping record(s) of unknown kind {other:?}")
+                };
+                if !self.state.notes.contains(&note) {
+                    self.state.notes.push(note);
+                }
+            }
         }
     }
 
@@ -422,11 +441,42 @@ mod tests {
     }
 
     #[test]
-    fn non_json_noise_and_unknown_kinds_are_ignored() {
+    fn non_json_noise_is_ignored_but_unknown_kinds_get_a_note() {
         let mut w = Watcher::new();
-        w.push("not json at all\n{\"kind\":\"mystery\"}\n");
+        w.push(
+            "not json at all\n{\"kind\":\"mystery\"}\n{\"kind\":\"mystery\"}\n{\"no_kind\":1}\n",
+        );
         assert_eq!(w.state().done(), 0);
-        assert_eq!(w.state().lines, 2);
+        assert_eq!(w.state().lines, 4);
+        // One note per distinct unknown kind, not per line; non-JSON
+        // noise stays silent (it is not a record at all).
+        assert_eq!(w.state().notes.len(), 2, "{:?}", w.state().notes);
+        assert!(
+            w.state().notes[0].contains("mystery"),
+            "{:?}",
+            w.state().notes
+        );
+        assert!(
+            w.state().notes[1].contains("no \"kind\""),
+            "{:?}",
+            w.state().notes
+        );
+    }
+
+    #[test]
+    fn known_finalized_kinds_are_skipped_without_notes() {
+        let mut w = Watcher::new();
+        w.push(concat!(
+            r#"{"kind":"counter","name":"train.gini_evals","value":321}"#,
+            "\n",
+            r#"{"kind":"gauge","name":"process.peak_rss_kb","value":2048}"#,
+            "\n",
+            r#"{"kind":"kernel","name":"gini_scan","calls":7,"items":250,"ns":125,"items_per_sec":2.0e9}"#,
+            "\n",
+            r#"{"kind":"stage","name":"sweep","start_us":0,"duration_us":9}"#,
+            "\n",
+        ));
+        assert!(w.state().notes.is_empty(), "{:?}", w.state().notes);
     }
 
     #[test]

@@ -322,6 +322,103 @@ fn history_append_then_render_shows_drift() {
 }
 
 #[test]
+fn gauge_records_round_trip_losslessly_through_report_and_diff() {
+    use printed_report::TraceStats;
+    use printed_telemetry::keys;
+
+    let mut trace = traced_seeds();
+    trace.gauges.insert(keys::PEAK_RSS_KB.to_owned(), 31_744);
+    trace
+        .gauges
+        .insert(keys::ALLOC_BYTES.to_owned(), 123_456_789);
+
+    // NDJSON keeps the gauge map intact, bit for bit.
+    let ndjson = trace.to_ndjson();
+    let parsed = parse_trace(&ndjson);
+    assert!(parsed.is_clean(), "{:?}", parsed.warnings);
+    assert_eq!(parsed.trace.gauges, trace.gauges);
+
+    // Condensing before and after the round trip yields identical
+    // guarded numbers, with the RSS gauge carried into them.
+    let before = TraceStats::from_trace(&trace);
+    let after = TraceStats::from_trace(&parsed.trace);
+    assert_eq!(before, after);
+    assert_eq!(after.peak_rss_kb, 31_744);
+
+    // The CLI accepts gauge-bearing traces on both sides of a diff and
+    // surfaces the RSS axis in the rendered table.
+    let path = scratch("seeds_gauges.ndjson");
+    std::fs::write(&path, &ndjson).unwrap();
+    let output = printed_trace(&["diff", path.to_str().unwrap(), path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("peak_rss_kb"), "{stdout}");
+}
+
+#[test]
+fn kernel_diff_cli_gates_counts_and_refuses_mixed_axes() {
+    use printed_report::KernelStats;
+
+    let base = KernelStats {
+        dataset: "Seeds".into(),
+        kernel: "gini_scan".into(),
+        calls: 17,
+        items: 785,
+        ..KernelStats::default()
+    }
+    .with_calibration(&[980_000, 990_000, 1_000_000, 1_010_000, 1_030_000]);
+    let mut thermo = base.clone();
+    thermo.kernel = "thermo_encode".into();
+    let suite = format!("{}\n{}\n", base.to_json(), thermo.to_json());
+    let baseline_path = scratch("hot_base.ndjson");
+    std::fs::write(&baseline_path, &suite).unwrap();
+
+    // An identical current run passes with the hotpath summary line.
+    let same_path = scratch("hot_same.ndjson");
+    std::fs::write(&same_path, &suite).unwrap();
+    let output = printed_trace(&[
+        "diff",
+        baseline_path.to_str().unwrap(),
+        same_path.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("hotpath: 2/2 kernels passed"), "{stdout}");
+
+    // A drifted invocation count blocks even when it *shrinks* — the
+    // counts are deterministic, any change is a behavior change.
+    let mut drifted = base.clone();
+    drifted.calls = 16;
+    let drift_path = scratch("hot_drift.ndjson");
+    std::fs::write(
+        &drift_path,
+        format!("{}\n{}\n", drifted.to_json(), thermo.to_json()),
+    )
+    .unwrap();
+    let output = printed_trace(&[
+        "diff",
+        baseline_path.to_str().unwrap(),
+        drift_path.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("calls changed"), "{stdout}");
+    assert!(stdout.contains("1 REGRESSED"), "{stdout}");
+
+    // A kernel baseline cannot gate a bench-axis file: usage error.
+    let trace_path = scratch("hot_mixed.ndjson");
+    std::fs::write(&trace_path, traced_seeds().to_ndjson()).unwrap();
+    let output = printed_trace(&[
+        "diff",
+        baseline_path.to_str().unwrap(),
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot mix axes"), "stderr: {stderr}");
+}
+
+#[test]
 fn usage_errors_exit_two() {
     assert_eq!(printed_trace(&[]).status.code(), Some(2));
     assert_eq!(printed_trace(&["frobnicate"]).status.code(), Some(2));

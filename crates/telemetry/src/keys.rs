@@ -156,3 +156,9 @@ pub const ALLOC_COUNT: &str = "process.alloc_count";
 /// Gauge: bytes requested from the heap across all allocations (only
 /// populated under the `count-allocs` feature).
 pub const ALLOC_BYTES: &str = "process.alloc_bytes";
+
+/// Prefix shared by all per-kernel profiling counters. A kernel `k`
+/// tallies three counters — `kernel.<k>.calls`, `kernel.<k>.items`,
+/// `kernel.<k>.ns` — which trace renderers lift into `kind:"kernel"`
+/// records (see [`crate::Kernel`]).
+pub const KERNEL_PREFIX: &str = "kernel.";

@@ -10,6 +10,10 @@
 //! * a thread-safe [`Recorder`] behind a pluggable [`Sink`] trait whose
 //!   default ([`NullSink`]) makes every instrumentation call a no-op, so
 //!   instrumented hot paths cost ~nothing when tracing is off,
+//! * per-kernel hot-path profiling ([`Kernel`], [`KernelTimer`],
+//!   [`KernelScope`]): per-thread call/item/self-time tallies for the five
+//!   dominant kernels, merged into shared counters at scope close and
+//!   inert (one thread-local flag read) outside a scope,
 //! * serde-serializable [`FlowTrace`]/[`SweepTrace`] summaries with NDJSON
 //!   and human-readable text renderers, and
 //! * a [`Progress`] type for live `k/N candidates done` callbacks from the
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod kernel;
 mod manifest;
 mod metric;
 mod ndjson;
@@ -57,6 +62,7 @@ mod trace;
 pub mod keys;
 
 pub use clock::{fmt_duration, Timer};
+pub use kernel::{Kernel, KernelScope, KernelTimer};
 pub use manifest::RunManifest;
 pub use metric::{Counter, Gauge, Histogram, HistogramCore, HistogramSnapshot};
 pub use ndjson::JsonLine;
@@ -67,4 +73,4 @@ pub use recorder::{Progress, Recorder};
 pub use sink::{CollectingSink, NullSink, Sink, TraceSnapshot};
 pub use span::{EventRecord, FieldValue, Span, SpanRecord};
 pub use stream::StreamSink;
-pub use trace::{FlowTrace, SweepTrace};
+pub use trace::{FlowTrace, KernelRecord, SweepTrace};

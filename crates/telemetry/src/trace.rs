@@ -14,6 +14,36 @@ use crate::ndjson::JsonLine;
 use crate::sink::TraceSnapshot;
 use crate::span::{EventRecord, FieldValue, SpanRecord};
 
+/// Per-kernel profiling totals lifted out of the raw
+/// `kernel.<name>.{calls,items,ns}` counters: one record per kernel that
+/// ran inside a [`crate::KernelScope`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Kernel name (`gini_scan`, `thermo_encode`, `bfs_truncate`,
+    /// `cube_merge`, `netlist_synth`).
+    pub name: String,
+    /// Invocations.
+    pub calls: u64,
+    /// Items processed across all invocations (candidates scored, cubes
+    /// merged, gates placed, ...).
+    pub items: u64,
+    /// Cumulative self time, ns (nested-kernel time excluded).
+    pub ns: u64,
+}
+
+impl KernelRecord {
+    /// Derived throughput: items per second of self time (zero when no
+    /// time was recorded). Recomputed on demand — never stored — so NDJSON
+    /// round trips stay lossless.
+    pub fn items_per_sec(&self) -> f64 {
+        if self.ns == 0 {
+            0.0
+        } else {
+            self.items as f64 * 1e9 / self.ns as f64
+        }
+    }
+}
+
 /// The sweep portion of a trace: one span per τ×depth grid point.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SweepTrace {
@@ -57,6 +87,10 @@ pub struct FlowTrace {
     /// on pre-gauge traces).
     #[serde(default)]
     pub gauges: BTreeMap<String, u64>,
+    /// Per-kernel profiling totals, by kernel name ascending (absent on
+    /// traces recorded without a kernel scope).
+    #[serde(default)]
+    pub kernels: Vec<KernelRecord>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Instant events (e.g. [`keys::SELECTED_EVENT`]), in submission
@@ -96,6 +130,8 @@ impl FlowTrace {
             .chain(snapshot.events.iter().map(|e| e.at_us))
             .max()
             .unwrap_or(0);
+        let mut counters = snapshot.counters.clone();
+        let kernels = lift_kernels(&mut counters);
         Self {
             title: title.into(),
             wall_us,
@@ -105,8 +141,9 @@ impl FlowTrace {
                 candidate_us: snapshot.histogram(keys::CANDIDATE_US).cloned(),
                 candidates,
             },
-            counters: snapshot.counters.clone(),
+            counters,
             gauges: snapshot.gauges.clone(),
+            kernels,
             histograms: snapshot.histograms.clone(),
             events: snapshot.events.clone(),
             spans,
@@ -128,6 +165,11 @@ impl FlowTrace {
     /// Final reading of a named gauge (zero if never set).
     pub fn gauge(&self, name: &str) -> u64 {
         self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The profiling record of a named kernel, if that kernel ran.
+    pub fn kernel(&self, name: &str) -> Option<&KernelRecord> {
+        self.kernels.iter().find(|k| k.name == name)
     }
 
     /// Algorithm 1 split selections by cost class: `(S_Z, S_M, S_H)`.
@@ -192,6 +234,18 @@ impl FlowTrace {
                     .str("kind", "gauge")
                     .str("name", name)
                     .u64("value", *value)
+                    .finish(),
+            );
+        }
+        for kernel in &self.kernels {
+            lines.push(
+                JsonLine::new()
+                    .str("kind", "kernel")
+                    .str("name", &kernel.name)
+                    .u64("calls", kernel.calls)
+                    .u64("items", kernel.items)
+                    .u64("ns", kernel.ns)
+                    .f64("items_per_sec", kernel.items_per_sec())
                     .finish(),
             );
         }
@@ -289,6 +343,29 @@ impl FlowTrace {
                 trained + shared,
             ));
         }
+        if !self.kernels.is_empty() {
+            let total_ns: u64 = self.kernels.iter().map(|k| k.ns).sum();
+            out.push_str("  kernels (self time):\n");
+            out.push_str(&format!(
+                "    {:<14} {:>9} {:>12} {:>10} {:>6} {:>14}\n",
+                "name", "calls", "items", "self", "share", "items/sec"
+            ));
+            for kernel in &self.kernels {
+                let share = if total_ns == 0 {
+                    0.0
+                } else {
+                    100.0 * kernel.ns as f64 / total_ns as f64
+                };
+                out.push_str(&format!(
+                    "    {:<14} {:>9} {:>12} {:>10} {share:>5.1}% {:>14.0}\n",
+                    kernel.name,
+                    kernel.calls,
+                    kernel.items,
+                    fmt_duration(Duration::from_nanos(kernel.ns)),
+                    kernel.items_per_sec(),
+                ));
+            }
+        }
         let rss_kb = self.gauge(keys::PEAK_RSS_KB);
         if rss_kb > 0 {
             out.push_str(&format!(
@@ -332,6 +409,40 @@ impl FlowTrace {
         }
         out
     }
+}
+
+/// Moves the `kernel.<name>.{calls,items,ns}` counters out of `counters`
+/// and folds them into per-kernel records, kernel name ascending. Only the
+/// three known metric suffixes are lifted; any other `kernel.*` counter
+/// stays in the map untouched.
+fn lift_kernels(counters: &mut BTreeMap<String, u64>) -> Vec<KernelRecord> {
+    let lifted: Vec<String> = counters
+        .keys()
+        .filter(|key| {
+            key.strip_prefix(keys::KERNEL_PREFIX)
+                .and_then(|rest| rest.rsplit_once('.'))
+                .is_some_and(|(_, metric)| matches!(metric, "calls" | "items" | "ns"))
+        })
+        .cloned()
+        .collect();
+    let mut by_name: BTreeMap<String, KernelRecord> = BTreeMap::new();
+    for key in lifted {
+        let value = counters.remove(&key).unwrap_or(0);
+        let rest = &key[keys::KERNEL_PREFIX.len()..];
+        let (name, metric) = rest.rsplit_once('.').expect("filtered above");
+        let record = by_name
+            .entry(name.to_owned())
+            .or_insert_with(|| KernelRecord {
+                name: name.to_owned(),
+                ..KernelRecord::default()
+            });
+        match metric {
+            "calls" => record.calls = value,
+            "items" => record.items = value,
+            _ => record.ns = value,
+        }
+    }
+    by_name.into_values().collect()
 }
 
 fn span_line(kind: &str, span: &SpanRecord) -> String {
@@ -448,6 +559,33 @@ mod tests {
             .to_ndjson()
             .contains(r#"{"kind":"gauge","name":"process.peak_rss_kb","value":10240}"#));
         assert!(trace.render_text().contains("memory: 10.0 MiB peak RSS"));
+    }
+
+    #[test]
+    fn kernel_counters_lift_into_records() {
+        let (recorder, sink) = Recorder::collecting();
+        {
+            let _scope = crate::KernelScope::enter(&recorder);
+            let timer = crate::KernelTimer::start(crate::Kernel::GiniScan);
+            timer.finish(250);
+        }
+        recorder.span(keys::STAGE_SWEEP).finish();
+        recorder.add("kernel.gini_scan.extra", 7); // unknown metric suffix
+        let trace = FlowTrace::from_snapshot("unit", &sink.snapshot());
+        // The three known metrics are lifted out of the counter map ...
+        assert!(!trace.counters.contains_key("kernel.gini_scan.calls"));
+        let record = trace.kernel("gini_scan").expect("kernel record");
+        assert_eq!((record.calls, record.items), (1, 250));
+        // ... while unknown kernel.* counters stay behind untouched.
+        assert_eq!(trace.counter("kernel.gini_scan.extra"), 7);
+        let ndjson = trace.to_ndjson();
+        assert!(
+            ndjson.contains(r#""kind":"kernel","name":"gini_scan","calls":1,"items":250"#),
+            "{ndjson}"
+        );
+        let text = trace.render_text();
+        assert!(text.contains("kernels (self time):"), "{text}");
+        assert!(text.contains("gini_scan"), "{text}");
     }
 
     #[test]
