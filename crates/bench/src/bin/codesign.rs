@@ -15,9 +15,16 @@
 //!   over the sweep and report the robustness-aware selection; fails if any
 //!   grid point panicked or no candidate could be profiled;
 //! * `--trials <n>` — Monte-Carlo trials per candidate for `--robust`;
+//! * `--trials-max <n>` — switch the campaign to the adaptive sequential
+//!   budget: candidates stop early once a confidence bound proves they
+//!   admit or violate the selection constraints, spending at most `n`
+//!   trials each, and the cheap-probe pre-pass prunes grid points whose
+//!   nominal accuracy or droop margin already rules them out;
 //! * `--resume <path>` — checkpoint the sweep to this NDJSON file and, if
 //!   it already holds completed grid points from an interrupted run with
-//!   the same seed, resume from them instead of re-training;
+//!   the same seed, resume from them instead of re-training; with
+//!   `--robust` the campaign checkpoints per-candidate profiles to
+//!   `<path>.robust` and resumes them the same way;
 //! * `--lint[=deny]` — run the static-analysis suite over the selected
 //!   design and print the diagnostic table; with `=deny`, exit non-zero
 //!   when any error-severity diagnostic fires (warnings never block);
@@ -30,7 +37,7 @@ use printed_analog::ladder::Ladder;
 use printed_analog::spice::ladder_deck;
 use printed_bench::{choose, explore_traced, stderr_progress, TraceHook, BITS};
 use printed_codesign::explore::ExplorationConfig;
-use printed_codesign::{RobustnessCampaign, RobustnessConstraints};
+use printed_codesign::{AdaptiveBudget, RobustnessCampaign, RobustnessConstraints};
 use printed_datasets::Benchmark;
 use printed_dtree::cart::train_depth_selected;
 use printed_dtree::synthesize_baseline;
@@ -52,6 +59,7 @@ struct Args {
     robust: bool,
     lint: LintMode,
     trials: Option<usize>,
+    trials_max: Option<usize>,
     resume: Option<String>,
     verilog: Option<String>,
     spice: Option<String>,
@@ -63,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
         .next()
         .ok_or(
             "usage: codesign <benchmark> [--loss F] [--quick] [--robust] [--trials N] \
-             [--resume P] [--lint[=deny]] [--verilog P] [--spice P]",
+             [--trials-max N] [--resume P] [--lint[=deny]] [--verilog P] [--spice P]",
         )?
         .parse()
         .map_err(|e| format!("{e}"))?;
@@ -74,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         robust: false,
         lint: LintMode::Off,
         trials: None,
+        trials_max: None,
         resume: None,
         verilog: None,
         spice: None,
@@ -99,6 +108,14 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.trials = Some(n);
             }
+            "--trials-max" => {
+                let v = argv.next().ok_or("--trials-max needs a value")?;
+                let n: usize = v.parse().map_err(|e| format!("--trials-max: {e}"))?;
+                if n == 0 {
+                    return Err("--trials-max must be at least 1".into());
+                }
+                args.trials_max = Some(n);
+            }
             "--resume" => args.resume = Some(argv.next().ok_or("--resume needs a path")?),
             "--verilog" => args.verilog = Some(argv.next().ok_or("--verilog needs a path")?),
             "--spice" => args.spice = Some(argv.next().ok_or("--spice needs a path")?),
@@ -107,6 +124,14 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.trials.is_some() && !args.robust {
         return Err("--trials only makes sense with --robust".into());
+    }
+    if args.trials_max.is_some() && !args.robust {
+        return Err("--trials-max only makes sense with --robust".into());
+    }
+    if args.trials.is_some() && args.trials_max.is_some() {
+        return Err(
+            "--trials (fixed budget) and --trials-max (adaptive ceiling) are exclusive".into(),
+        );
     }
     Ok(args)
 }
@@ -255,9 +280,31 @@ fn run_robustness(
     if let Some(trials) = args.trials {
         campaign.trials = trials;
     }
+    let constraints = RobustnessConstraints::default();
+    if let Some(trials_max) = args.trials_max {
+        campaign = campaign.budgeted(
+            AdaptiveBudget::new(trials_max)
+                .with_constraints(constraints)
+                .with_floor(sweep.reference_accuracy - args.loss)
+                .with_probe(),
+        );
+    }
+    // The campaign checkpoints beside the sweep checkpoint, never inside
+    // it: sweep compaction rewrites the file and would drop robust lines.
+    let campaign_ckpt = args.resume.as_ref().map(|path| format!("{path}.robust"));
+    if let Some(path) = &campaign_ckpt {
+        println!("checkpointing campaign to {path} (resumes profiled candidates)");
+    }
 
     let stage = hook.recorder().span(keys::STAGE_ROBUSTNESS);
-    let outcome = campaign.run(sweep, test_q, &test_analog, hook.recorder());
+    let outcome = campaign.run_checkpointed(
+        sweep,
+        test_q,
+        &test_analog,
+        &AnalogModel::egfet(),
+        hook.recorder(),
+        campaign_ckpt.as_deref(),
+    );
     stage.finish();
 
     if !sweep.failed_candidates.is_empty() {
@@ -267,14 +314,41 @@ fn run_robustness(
         ));
     }
     if outcome.profiles.is_empty() {
-        return Err("robustness campaign produced no profiles".into());
+        return Err(format!(
+            "robustness campaign produced no profiles ({} grid point(s) pruned)",
+            outcome.pruned.len()
+        ));
     }
 
-    println!(
-        "robustness campaign: {} trials/candidate, {:.0}% yield tolerance",
-        campaign.trials,
-        campaign.yield_loss * 100.0
-    );
+    if campaign.adaptive.is_some() {
+        println!(
+            "robustness campaign: adaptive, ≤{} trials/candidate, {:.0}% yield tolerance",
+            campaign.trial_budget(),
+            campaign.yield_loss * 100.0
+        );
+        let saved = outcome.trials_budget.saturating_sub(outcome.trials_spent);
+        println!(
+            "  trials spent {} of {} budgeted ({saved} saved); {} grid point(s) probe-pruned",
+            outcome.trials_spent,
+            outcome.trials_budget,
+            outcome.pruned.len()
+        );
+        for pruned in &outcome.pruned {
+            println!(
+                "  pruned τ={} depth {} ({}: nominal {:.1}%)",
+                pruned.tau,
+                pruned.depth,
+                pruned.reason.as_str(),
+                pruned.nominal * 100.0
+            );
+        }
+    } else {
+        println!(
+            "robustness campaign: {} trials/candidate, {:.0}% yield tolerance",
+            campaign.trials,
+            campaign.yield_loss * 100.0
+        );
+    }
     println!("     τ      depth  nominal  mismatch  worst-fault  droop  yield");
     for row in &outcome.profiles {
         println!(
@@ -289,7 +363,7 @@ fn run_robustness(
         );
     }
 
-    match sweep.select_robust(args.loss, &outcome, &RobustnessConstraints::default()) {
+    match sweep.select_robust(args.loss, &outcome, &constraints) {
         Some(robust) => {
             let agrees = robust.depth == plain_depth && robust.tau.to_bits() == plain_tau.to_bits();
             println!(

@@ -20,6 +20,8 @@
 use printed_dtree::{DecisionTree, Node};
 use printed_telemetry::JsonLine;
 
+use crate::campaign::{CandidateRobustness, PruneReason, PrunedPoint, RobustnessProfile};
+
 /// One completed grid point, as persisted to the checkpoint file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointLine {
@@ -210,6 +212,162 @@ pub fn compact(path: &str, seed: u64, lines: &[CheckpointLine]) -> std::io::Resu
     std::fs::rename(&tmp, path)
 }
 
+/// One finished robustness-campaign grid point, as persisted to the
+/// campaign checkpoint file (kind `robust_ckpt`). Unlike sweep
+/// checkpoints, no tree is stored — the campaign always runs over an
+/// already-materialized sweep, so a line only has to carry the profile
+/// (or the prune evidence) and the trial spend.
+///
+/// Lines are stamped with [`RobustnessCampaign::checkpoint_stamp`], which
+/// folds in every parameter that shapes per-candidate results (seed,
+/// budget, yield tolerance, mismatch/droop models, adaptive policy); a
+/// stale or foreign line never resumes.
+///
+/// [`RobustnessCampaign::checkpoint_stamp`]:
+///     crate::campaign::RobustnessCampaign::checkpoint_stamp
+#[derive(Debug, Clone, PartialEq)]
+pub enum RobustCheckpointLine {
+    /// The candidate was profiled (possibly with an early exit).
+    Profiled(CandidateRobustness),
+    /// The probe pre-pass pruned the candidate before any trial.
+    Pruned(PrunedPoint),
+}
+
+impl RobustCheckpointLine {
+    /// Map key identifying the grid point (same convention as
+    /// [`CheckpointLine::key`]).
+    pub fn key(&self) -> (usize, u64) {
+        match self {
+            Self::Profiled(row) => (row.depth, row.tau.to_bits()),
+            Self::Pruned(point) => (point.depth, point.tau.to_bits()),
+        }
+    }
+
+    /// Renders the record as one NDJSON line (no trailing newline).
+    pub fn encode(&self, stamp: u64) -> String {
+        let base = |disposition: &str, depth: usize, tau: f64| {
+            JsonLine::new()
+                .str("kind", "robust_ckpt")
+                .u64("v", 1)
+                .u64("stamp", stamp)
+                .str("point", disposition)
+                .u64("depth", depth as u64)
+                .f64("tau", tau)
+        };
+        match self {
+            Self::Profiled(row) => base("ok", row.depth, row.tau)
+                .u64("trials", row.trials_spent as u64)
+                .f64("nominal", row.profile.nominal)
+                .f64("mean", row.profile.mean_under_mismatch)
+                .f64("min", row.profile.min_under_mismatch)
+                .f64("worst_fault", row.profile.worst_single_fault)
+                .f64("benign", row.profile.benign_fault_fraction)
+                .f64("droop", row.profile.droop_margin)
+                .f64("yld", row.profile.yield_estimate)
+                .finish(),
+            Self::Pruned(point) => {
+                let line = base(point.reason.as_str(), point.depth, point.tau)
+                    .f64("nominal", point.nominal);
+                match point.droop_margin {
+                    Some(droop) => line.f64("droop", droop).finish(),
+                    None => line.finish(),
+                }
+            }
+        }
+    }
+
+    /// Parses one line previously produced by [`encode`](Self::encode).
+    /// Returns `None` for anything unusable: other NDJSON kinds, foreign
+    /// stamps, truncated lines, or non-finite metrics (rendered as
+    /// `null`) — the grid point is then cleanly re-evaluated.
+    pub fn decode(line: &str, expected_stamp: u64) -> Option<Self> {
+        let line = line.trim();
+        if scan_str(line, "kind")? != "robust_ckpt" || scan_u64(line, "v")? != 1 {
+            return None;
+        }
+        if scan_u64(line, "stamp")? != expected_stamp {
+            return None;
+        }
+        let depth = scan_u64(line, "depth")? as usize;
+        let tau = scan_f64(line, "tau")?;
+        let nominal = scan_f64(line, "nominal")?;
+        match scan_str(line, "point")? {
+            "ok" => Some(Self::Profiled(CandidateRobustness {
+                tau,
+                depth,
+                trials_spent: scan_u64(line, "trials")? as usize,
+                profile: RobustnessProfile {
+                    nominal,
+                    mean_under_mismatch: scan_f64(line, "mean")?,
+                    min_under_mismatch: scan_f64(line, "min")?,
+                    worst_single_fault: scan_f64(line, "worst_fault")?,
+                    benign_fault_fraction: scan_f64(line, "benign")?,
+                    droop_margin: scan_f64(line, "droop")?,
+                    yield_estimate: scan_f64(line, "yld")?,
+                },
+            })),
+            tag => {
+                let reason = PruneReason::parse_tag(tag)?;
+                let droop_margin = scan_f64(line, "droop");
+                if reason == PruneReason::DroopMargin && droop_margin.is_none() {
+                    return None;
+                }
+                Some(Self::Pruned(PrunedPoint {
+                    tau,
+                    depth,
+                    reason,
+                    nominal,
+                    droop_margin,
+                }))
+            }
+        }
+    }
+}
+
+/// [`load_lines`] for robustness-campaign checkpoints: reads every
+/// resumable grid point, silently skipping undecodable or foreign-stamp
+/// lines, last line per `(depth, τ)` wins, first-seen order preserved.
+pub fn load_robust_lines(text: &str, expected_stamp: u64) -> Vec<RobustCheckpointLine> {
+    let mut lines: Vec<RobustCheckpointLine> = Vec::new();
+    let mut index: std::collections::HashMap<(usize, u64), usize> =
+        std::collections::HashMap::new();
+    for line in text
+        .lines()
+        .filter_map(|line| RobustCheckpointLine::decode(line, expected_stamp))
+    {
+        match index.entry(line.key()) {
+            std::collections::hash_map::Entry::Occupied(slot) => lines[*slot.get()] = line,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(lines.len());
+                lines.push(line);
+            }
+        }
+    }
+    lines
+}
+
+/// [`compact`] for robustness-campaign checkpoints: rewrites the file at
+/// `path` to exactly one line per entry via a sibling temp file and a
+/// rename.
+///
+/// # Errors
+///
+/// Propagates I/O failures from writing the temp file or renaming it.
+pub fn compact_robust(
+    path: &str,
+    stamp: u64,
+    lines: &[RobustCheckpointLine],
+) -> std::io::Result<()> {
+    let mut text = String::new();
+    for line in lines {
+        text.push_str(&line.encode(stamp));
+        text.push('\n');
+    }
+    let tmp = format!("{path}.compact.tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +497,112 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 2, "one line per key after compaction");
         assert_eq!(load_lines(&text, 3), vec![a, b]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn sample_profiled() -> RobustCheckpointLine {
+        RobustCheckpointLine::Profiled(CandidateRobustness {
+            tau: 0.01,
+            depth: 4,
+            trials_spent: 11,
+            profile: RobustnessProfile {
+                nominal: 0.9285714285714286,
+                mean_under_mismatch: 0.91,
+                min_under_mismatch: 0.85,
+                worst_single_fault: 0.6,
+                benign_fault_fraction: 0.25,
+                droop_margin: 0.2,
+                yield_estimate: 0.8181818181818182,
+            },
+        })
+    }
+
+    #[test]
+    fn robust_lines_round_trip_both_variants() {
+        let profiled = sample_profiled();
+        let encoded = profiled.encode(0xB0B);
+        assert_eq!(
+            RobustCheckpointLine::decode(&encoded, 0xB0B),
+            Some(profiled)
+        );
+        for point in [
+            PrunedPoint {
+                tau: 0.03,
+                depth: 2,
+                reason: PruneReason::NominalBelowFloor,
+                nominal: 0.7,
+                droop_margin: None,
+            },
+            PrunedPoint {
+                tau: 0.05,
+                depth: 6,
+                reason: PruneReason::DroopMargin,
+                nominal: 0.9,
+                droop_margin: Some(0.05),
+            },
+        ] {
+            let line = RobustCheckpointLine::Pruned(point);
+            let encoded = line.encode(7);
+            assert_eq!(RobustCheckpointLine::decode(&encoded, 7), Some(line));
+        }
+    }
+
+    #[test]
+    fn robust_decode_rejects_foreign_and_torn_lines() {
+        let line = sample_profiled();
+        let encoded = line.encode(1);
+        assert!(RobustCheckpointLine::decode(&encoded, 2).is_none());
+        assert!(RobustCheckpointLine::decode("junk", 1).is_none());
+        assert!(RobustCheckpointLine::decode(&encoded[..encoded.len() / 2], 1).is_none());
+        // A sweep checkpoint line is a foreign kind here.
+        let sweep = CheckpointLine {
+            tau: 0.0,
+            depth: 2,
+            test_accuracy: 0.5,
+            tree: sample_tree(),
+        };
+        assert!(RobustCheckpointLine::decode(&sweep.encode(1), 1).is_none());
+        // NaN metrics render as null and force a re-evaluation.
+        let mut nan = sample_profiled();
+        if let RobustCheckpointLine::Profiled(row) = &mut nan {
+            row.profile.yield_estimate = f64::NAN;
+        }
+        assert!(RobustCheckpointLine::decode(&nan.encode(1), 1).is_none());
+    }
+
+    #[test]
+    fn robust_load_is_last_wins_and_compaction_bounds_the_file() {
+        let a = sample_profiled();
+        let mut newer = a.clone();
+        if let RobustCheckpointLine::Profiled(row) = &mut newer {
+            row.trials_spent = 24;
+        }
+        let b = RobustCheckpointLine::Pruned(PrunedPoint {
+            tau: 0.02,
+            depth: 2,
+            reason: PruneReason::DroopMargin,
+            nominal: 0.88,
+            droop_margin: Some(0.1),
+        });
+        let grown = format!(
+            "{}\n{}\njunk\n{}\n{}\n",
+            a.encode(3),
+            b.encode(3),
+            b.encode(99),
+            newer.encode(3)
+        );
+        assert_eq!(load_robust_lines(&grown, 3), vec![newer.clone(), b.clone()]);
+        let path = std::env::temp_dir().join(format!(
+            "printed-robust-compact-{}-{:?}.ndjson",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path_str = path.to_str().unwrap().to_owned();
+        std::fs::write(&path, grown).unwrap();
+        compact_robust(&path_str, 3, &[newer.clone(), b.clone()]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(load_robust_lines(&text, 3), vec![newer, b]);
         let _ = std::fs::remove_file(&path);
     }
 

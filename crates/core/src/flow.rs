@@ -216,13 +216,34 @@ impl<'a> CodesignFlow<'a> {
         );
         stage.finish();
 
-        let campaign_outcome = self.robustness.as_ref().map(|(campaign, analog_test, _)| {
-            let stage = self.recorder.span(keys::STAGE_ROBUSTNESS);
-            let outcome =
-                campaign.run_with(&sweep, self.test, analog_test, &self.analog, &self.recorder);
-            stage.finish();
-            outcome
-        });
+        let campaign_outcome =
+            self.robustness
+                .as_ref()
+                .map(|(campaign, analog_test, constraints)| {
+                    // Under an adaptive budget the early-exit decisions must be
+                    // taken against the *selection* criteria, or the sequential
+                    // stopping rule could discard trials that selection still
+                    // needed. Inject the flow's robust floor and constraints so
+                    // the campaign decides exactly what `select_robust` will.
+                    let mut campaign = campaign.clone();
+                    if let Some(adaptive) = campaign.adaptive.as_mut() {
+                        adaptive.constraints = *constraints;
+                        if adaptive.robust_floor.is_none() {
+                            adaptive.robust_floor =
+                                Some(sweep.reference_accuracy - self.accuracy_loss);
+                        }
+                    }
+                    let stage = self.recorder.span(keys::STAGE_ROBUSTNESS);
+                    let outcome = campaign.run_with(
+                        &sweep,
+                        self.test,
+                        analog_test,
+                        &self.analog,
+                        &self.recorder,
+                    );
+                    stage.finish();
+                    outcome
+                });
 
         let stage = self.recorder.span(keys::STAGE_SELECTION);
         let robust_choice = campaign_outcome.as_ref().and_then(|outcome| {

@@ -50,15 +50,15 @@ pub mod train;
 pub mod unary;
 
 pub use campaign::{
-    CampaignOutcome, CandidateRobustness, RobustnessCampaign, RobustnessConstraints,
-    RobustnessProfile, SupplyDroopModel,
+    AdaptiveBudget, CampaignOutcome, CandidateRobustness, PruneReason, PrunedPoint,
+    RobustnessCampaign, RobustnessConstraints, RobustnessProfile, SupplyDroopModel,
 };
 pub use datasheet::Datasheet;
 pub use ensemble::{synthesize_ensemble, EnsembleSystem};
 pub use explore::{explore, CandidateDesign, Exploration, ExplorationConfig, FailedCandidate};
 pub use flow::{record_process_gauges, record_selection, CodesignFlow, FlowOutcome};
 pub use lint::{lint_candidate, record_lint};
-pub use mismatch::{mismatch_accuracy, MismatchReport, MismatchTrials};
+pub use mismatch::{mismatch_accuracy, MismatchReport, MismatchTrialStream, MismatchTrials};
 pub use printed_lint::{Diagnostic, LintConfig, LintLevel, LintReport, Severity};
 pub use robustness::{decode_one_hot, fault_robustness, FaultRobustness};
 pub use serial::{estimate_serial_unary, SerialUnaryEstimate};

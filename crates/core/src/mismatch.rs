@@ -66,19 +66,38 @@ pub struct MismatchTrials {
 }
 
 impl MismatchTrials {
-    /// Condenses the trials into summary statistics.
+    /// Condenses the trials into summary statistics. NaN trials (a failed
+    /// scoring path) are excluded from the aggregates via `total_cmp`
+    /// ordering; an empty or all-NaN trial set reports NaN mean/min/max
+    /// rather than the `0/0` and `fold(INFINITY)` artifacts a naive
+    /// aggregation would produce.
     pub fn report(&self) -> MismatchReport {
-        let mean = self.accuracies.iter().sum::<f64>() / self.accuracies.len() as f64;
-        let min = self
+        let mut scored = self
             .accuracies
             .iter()
             .copied()
-            .fold(f64::INFINITY, f64::min);
-        let max = self
-            .accuracies
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+            .filter(|a| !a.is_nan())
+            .peekable();
+        let (mut sum, mut count) = (0.0, 0usize);
+        let (mut min, mut max) = (f64::NAN, f64::NAN);
+        if let Some(&first) = scored.peek() {
+            (min, max) = (first, first);
+        }
+        for a in scored {
+            sum += a;
+            count += 1;
+            if a.total_cmp(&min).is_lt() {
+                min = a;
+            }
+            if a.total_cmp(&max).is_gt() {
+                max = a;
+            }
+        }
+        let mean = if count == 0 {
+            f64::NAN
+        } else {
+            sum / count as f64
+        };
         MismatchReport {
             nominal: self.nominal,
             mean,
@@ -89,8 +108,13 @@ impl MismatchTrials {
     }
 
     /// Fraction of trials whose accuracy stays within `loss` of nominal —
-    /// the campaign's parametric-yield estimate.
+    /// the campaign's parametric-yield estimate. An empty trial set has no
+    /// evidence of yielding and reports `0.0`, never NaN; NaN trials count
+    /// as failures.
     pub fn yield_within(&self, loss: f64) -> f64 {
+        if self.accuracies.is_empty() {
+            return 0.0;
+        }
         let floor = self.nominal - loss;
         let good = self
             .accuracies
@@ -223,35 +247,97 @@ pub fn mismatch_trials_recorded(
     recorder: &Recorder,
 ) -> MismatchTrials {
     assert!(trials > 0, "need at least one trial");
-    assert!(
-        tree.split_count() > 0,
-        "a constant tree has no thresholds to perturb"
-    );
-    assert!(!test.is_empty(), "cannot score an empty dataset");
-    assert!(
-        test.n_features() >= tree.n_features(),
-        "dataset narrower than the tree"
-    );
+    let mut stream = MismatchTrialStream::new(tree, test, mismatch, seed, analog, recorder);
+    let accs: Vec<f64> = (0..trials).map(|_| stream.next_accuracy()).collect();
+    MismatchTrials {
+        nominal: stream.nominal(),
+        accuracies: accs,
+    }
+}
 
-    let bank = UnaryClassifier::from_tree(tree).adc_bank();
-    let distinct = bank.distinct_taps();
-    let ladder = Ladder::pruned(
-        tree.bits(),
-        &distinct,
-        analog.supply.volts(),
-        analog.unit_resistor.ohms(),
-    )
-    .expect("tree taps are valid");
+/// An incremental view of the same Monte Carlo
+/// [`mismatch_trials_recorded`] runs: one perturbed front-end sample and
+/// one accuracy per [`next_accuracy`](Self::next_accuracy) call.
+///
+/// The RNG is consumed strictly sequentially per trial, so the first `k`
+/// accuracies drawn from a stream are **bit-identical** to the first `k`
+/// entries of any exhaustive run with the same seed, regardless of how
+/// many further trials either one takes. The robustness campaign's
+/// sequential early exit leans on exactly this prefix property: a
+/// budgeted campaign observes a prefix of the exhaustive campaign's
+/// accuracy stream, never a different stream.
+///
+/// # Panics
+///
+/// Construction panics when the tree has no splits, or `test` is empty or
+/// narrower than the tree's feature space (same contract as
+/// [`mismatch_accuracy`], minus the trial count).
+pub struct MismatchTrialStream<'a> {
+    tree: &'a DecisionTree,
+    test: &'a Dataset,
+    mismatch: &'a MismatchModel,
+    recorder: &'a Recorder,
+    ladder: Ladder,
+    rng: StdRng,
+    nominal: f64,
+}
 
-    // Nominal thresholds: ideal tap voltages.
-    let nominal = accuracy_analog(tree, test, &nominal_thresholds(tree));
+impl<'a> MismatchTrialStream<'a> {
+    /// Builds the shared pruned ladder once and scores the nominal
+    /// (unperturbed) thresholds; no RNG is consumed yet.
+    pub fn new(
+        tree: &'a DecisionTree,
+        test: &'a Dataset,
+        mismatch: &'a MismatchModel,
+        seed: u64,
+        analog: &AnalogModel,
+        recorder: &'a Recorder,
+    ) -> Self {
+        assert!(
+            tree.split_count() > 0,
+            "a constant tree has no thresholds to perturb"
+        );
+        assert!(!test.is_empty(), "cannot score an empty dataset");
+        assert!(
+            test.n_features() >= tree.n_features(),
+            "dataset narrower than the tree"
+        );
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut accs = Vec::with_capacity(trials);
-    for _ in 0..trials {
+        let bank = UnaryClassifier::from_tree(tree).adc_bank();
+        let distinct = bank.distinct_taps();
+        let ladder = Ladder::pruned(
+            tree.bits(),
+            &distinct,
+            analog.supply.volts(),
+            analog.unit_resistor.ohms(),
+        )
+        .expect("tree taps are valid");
+
+        // Nominal thresholds: ideal tap voltages.
+        let nominal = accuracy_analog(tree, test, &nominal_thresholds(tree));
+
+        Self {
+            tree,
+            test,
+            mismatch,
+            recorder,
+            ladder,
+            rng: StdRng::seed_from_u64(seed),
+            nominal,
+        }
+    }
+
+    /// Accuracy with ideal (unperturbed) thresholds on analog inputs.
+    pub fn nominal(&self) -> f64 {
+        self.nominal
+    }
+
+    /// Samples one perturbed front-end and scores the tree on it.
+    pub fn next_accuracy(&mut self) -> f64 {
         // Shared perturbed ladder: one vref per distinct tap.
-        let sample = mismatch
-            .sample_recorded(&ladder, &mut rng, recorder)
+        let sample = self
+            .mismatch
+            .sample_recorded(&self.ladder, &mut self.rng, self.recorder)
             .expect("perturbed ladder solves");
         let vref: BTreeMap<usize, f64> = sample
             .taps()
@@ -259,20 +345,17 @@ pub fn mismatch_trials_recorded(
             .map(|t| (t.tap, t.vref_volts))
             .collect();
         // Per-comparator offsets on top.
-        let thresholds: BTreeMap<(usize, u8), f64> = tree
+        let thresholds: BTreeMap<(usize, u8), f64> = self
+            .tree
             .distinct_pairs()
             .into_iter()
             .map(|(f, c)| {
-                let offset = sample_normal(&mut rng, 0.0, mismatch.comparator_offset_sigma_v);
+                let offset =
+                    sample_normal(&mut self.rng, 0.0, self.mismatch.comparator_offset_sigma_v);
                 ((f, c), vref[&(c as usize)] - offset)
             })
             .collect();
-        accs.push(accuracy_analog(tree, test, &thresholds));
-    }
-
-    MismatchTrials {
-        nominal,
-        accuracies: accs,
+        accuracy_analog(self.tree, self.test, &thresholds)
     }
 }
 
@@ -374,6 +457,59 @@ mod tests {
         let tight = trials.yield_within(0.0);
         assert!((0.0..=1.0).contains(&tight));
         assert!(trials.yield_within(0.05) >= tight);
+    }
+
+    #[test]
+    fn stream_prefix_matches_exhaustive_run() {
+        let (tree, test) = setup();
+        let model = MismatchModel::typical_printed();
+        let full = mismatch_trials_recorded(
+            &tree,
+            &test,
+            &model,
+            16,
+            77,
+            &AnalogModel::egfet(),
+            &Recorder::disabled(),
+        );
+        let recorder = Recorder::disabled();
+        let mut stream =
+            MismatchTrialStream::new(&tree, &test, &model, 77, &AnalogModel::egfet(), &recorder);
+        assert_eq!(stream.nominal(), full.nominal);
+        let prefix: Vec<f64> = (0..5).map(|_| stream.next_accuracy()).collect();
+        assert_eq!(
+            prefix,
+            full.accuracies[..5],
+            "a budgeted stream must observe an exact prefix of the exhaustive accuracy stream"
+        );
+    }
+
+    #[test]
+    fn empty_and_nan_trial_sets_aggregate_without_poison() {
+        // Empty: no yield evidence, NaN summary stats — never 0/0 or ±inf.
+        let empty = MismatchTrials {
+            nominal: 0.9,
+            accuracies: vec![],
+        };
+        assert_eq!(empty.yield_within(0.05), 0.0);
+        let report = empty.report();
+        assert!(report.mean.is_nan() && report.min.is_nan() && report.max.is_nan());
+        assert_eq!(report.trials, 0);
+        // NaN trials count as failed, not as evidence.
+        let poisoned = MismatchTrials {
+            nominal: 0.9,
+            accuracies: vec![0.8, f64::NAN, 0.9],
+        };
+        let report = poisoned.report();
+        assert!((report.mean - 0.85).abs() < 1e-12);
+        assert_eq!((report.min, report.max), (0.8, 0.9));
+        assert!(poisoned.yield_within(0.1) < 1.0);
+        let all_nan = MismatchTrials {
+            nominal: 0.9,
+            accuracies: vec![f64::NAN; 3],
+        };
+        assert!(all_nan.report().mean.is_nan());
+        assert_eq!(all_nan.yield_within(1.0), 0.0);
     }
 
     #[test]

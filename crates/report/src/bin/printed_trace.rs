@@ -25,9 +25,10 @@
 use std::process::ExitCode;
 
 use printed_report::{
-    diff_kernels, diff_many, diff_suites, parse_history, parse_kernel_history, parse_trace,
-    render_history, render_kernel_history, CostReport, DiffConfig, HistoryEntry,
-    KernelHistoryEntry, KernelStats, Profile, TraceStats, Watcher,
+    diff_kernels, diff_many, diff_robust, diff_suites, parse_history, parse_kernel_history,
+    parse_robust_history, parse_trace, render_history, render_kernel_history,
+    render_robust_history, CostReport, DiffConfig, HistoryEntry, KernelHistoryEntry, KernelStats,
+    Profile, RobustHistoryEntry, RobustStats, TraceStats, Watcher,
 };
 
 const USAGE: &str = "\
@@ -50,6 +51,13 @@ commands:
       are matched by (dataset, kernel), invocation/item counts must
       match exactly, and throughput gates at median - max(z*MAD,
       tp-floor*median) items/s — refused across environment classes.
+      robust_stats inputs (BENCH_robust.ndjson from bench_robust)
+      switch to the robustness axis: deterministic campaign metrics
+      (selected point, yield, worst fault, droop margin, pruned count,
+      trial budget) gate exactly in both directions, while trials spent
+      and campaign wall gate at median + max(z*MAD, floor) — wall is
+      refused across environment classes. Axes never mix: the baseline
+      and current file must carry the same record kind.
   watch <trace.ndjson> [--poll-ms N] [--once]
       Tail an in-flight traced run: rolling k/N progress, candidate
       rate, ETA, and failed-candidate alerts. Robust to torn tails and
@@ -59,7 +67,9 @@ commands:
       Render per-dataset drift from an append-only bench_history file.
   history append <history.ndjson> <stats.ndjson>
       Append one bench_history record per bench_stats line (what CI
-      runs after the gate passes).
+      runs after the gate passes). kernel_stats and robust_stats
+      inputs append to their own history axes; all three axes share
+      the file without crosstalk.
   snapshot <trace.ndjson> [-o out.json]
       Condense a trace to a one-line bench_stats baseline.";
 
@@ -89,6 +99,25 @@ fn main() -> ExitCode {
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Which regression axis a suite file belongs to. Every diff pairs two
+/// files of the same axis; mixing axes is a usage error (exit 2).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    Bench,
+    Kernel,
+    Robust,
+}
+
+impl Axis {
+    fn name(self) -> &'static str {
+        match self {
+            Axis::Bench => "bench_stats",
+            Axis::Kernel => "kernel_stats",
+            Axis::Robust => "robust_stats",
+        }
+    }
 }
 
 fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
@@ -153,12 +182,35 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     };
     let baseline_text = read(baseline_path)?;
     let current_text = read(current_path)?;
-    // kernel_stats inputs route to the kernel axis — and must come in
-    // pairs: gating a kernel suite against a flow baseline (or vice
-    // versa) compares incommensurable numbers.
-    let is_kernel = |text: &str| text.contains(r#""kind":"kernel_stats""#);
-    match (is_kernel(&baseline_text), is_kernel(&current_text)) {
-        (true, true) => {
+    // kernel_stats and robust_stats inputs route to their own axes —
+    // and must come in pairs: gating a kernel or robustness suite
+    // against a flow baseline (or vice versa) compares incommensurable
+    // numbers. A file carrying records from more than one axis is
+    // itself malformed.
+    let axis_of = |path: &str, text: &str| -> Result<Axis, String> {
+        let kernel = text.contains(r#""kind":"kernel_stats""#);
+        let robust = text.contains(r#""kind":"robust_stats""#);
+        match (kernel, robust) {
+            (true, true) => Err(format!(
+                "{path}: mixes kernel_stats and robust_stats records; \
+                 each suite file carries exactly one axis"
+            )),
+            (true, false) => Ok(Axis::Kernel),
+            (false, true) => Ok(Axis::Robust),
+            (false, false) => Ok(Axis::Bench),
+        }
+    };
+    let baseline_axis = axis_of(baseline_path, &baseline_text)?;
+    let current_axis = axis_of(current_path, &current_text)?;
+    if baseline_axis != current_axis {
+        return Err(format!(
+            "cannot mix axes: {baseline_path} is a {} suite but {current_path} is a {} suite",
+            baseline_axis.name(),
+            current_axis.name()
+        ));
+    }
+    match baseline_axis {
+        Axis::Kernel => {
             let baselines = KernelStats::from_text_multi(&baseline_text)
                 .map_err(|e| format!("{baseline_path}: {e}"))?;
             let currents = KernelStats::from_text_multi(&current_text)
@@ -188,13 +240,40 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
                 ExitCode::FAILURE
             });
         }
-        (true, false) | (false, true) => {
-            return Err(format!(
-                "cannot mix axes: one of {baseline_path}/{current_path} is a kernel_stats \
-                 suite and the other is not"
-            ));
+        Axis::Robust => {
+            let baselines = RobustStats::from_text_multi(&baseline_text)
+                .map_err(|e| format!("{baseline_path}: {e}"))?;
+            let currents = RobustStats::from_text_multi(&current_text)
+                .map_err(|e| format!("{current_path}: {e}"))?;
+            let reports = diff_robust(&baselines, &currents, config)?;
+            let mut passed = true;
+            for (i, report) in reports.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", report.render_text());
+                passed &= report.passed();
+            }
+            if reports.len() > 1 {
+                let failures = reports.iter().filter(|r| !r.passed()).count();
+                println!(
+                    "robustness: {}/{} benchmarks passed{}",
+                    reports.len() - failures,
+                    reports.len(),
+                    if failures > 0 {
+                        format!(" ({failures} REGRESSED)")
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            return Ok(if passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            });
         }
-        (false, false) => {}
+        Axis::Bench => {}
     }
     let (baselines, base_warnings) =
         TraceStats::from_text_multi(&baseline_text).map_err(|e| format!("{baseline_path}: {e}"))?;
@@ -331,13 +410,22 @@ fn cmd_history(args: &[String]) -> Result<ExitCode, String> {
         };
         let stats_text = read(stats_path)?;
         let mut appended = String::new();
-        // A kernel_stats file appends to the kernel axis; anything else
-        // (a bench_stats suite or a trace dump) to the benchmark axis.
+        // kernel_stats and robust_stats files append to their own axes;
+        // anything else (a bench_stats suite or a trace dump) to the
+        // benchmark axis.
         let count = if stats_text.contains(r#""kind":"kernel_stats""#) {
             let stats = KernelStats::from_text_multi(&stats_text)
                 .map_err(|e| format!("{stats_path}: {e}"))?;
             for s in &stats {
                 appended.push_str(&KernelHistoryEntry::from_stats(s).to_json());
+                appended.push('\n');
+            }
+            stats.len()
+        } else if stats_text.contains(r#""kind":"robust_stats""#) {
+            let stats = RobustStats::from_text_multi(&stats_text)
+                .map_err(|e| format!("{stats_path}: {e}"))?;
+            for s in &stats {
+                appended.push_str(&RobustHistoryEntry::from_stats(s).to_json());
                 appended.push('\n');
             }
             stats.len()
@@ -387,16 +475,24 @@ fn cmd_history(args: &[String]) -> Result<ExitCode, String> {
     for warning in warnings {
         eprintln!("warning: {path}: {warning}");
     }
-    // The kernel axis shares the file; render it when present. A file
-    // holding only kernel records skips the benchmark table entirely.
+    // The kernel and robustness axes share the file; render each when
+    // present. A file holding only kernel or robustness records skips
+    // the benchmark table entirely.
     let (kernel_entries, _) = parse_kernel_history(&text);
-    if !entries.is_empty() || kernel_entries.is_empty() {
+    let (robust_entries, _) = parse_robust_history(&text);
+    if !entries.is_empty() || (kernel_entries.is_empty() && robust_entries.is_empty()) {
         print!("{}", render_history(&entries, dataset.as_deref()));
     }
     if !kernel_entries.is_empty() {
         print!(
             "{}",
             render_kernel_history(&kernel_entries, dataset.as_deref())
+        );
+    }
+    if !robust_entries.is_empty() {
+        print!(
+            "{}",
+            render_robust_history(&robust_entries, dataset.as_deref())
         );
     }
     Ok(ExitCode::SUCCESS)

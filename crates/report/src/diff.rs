@@ -643,6 +643,433 @@ fn check_throughput(
     }
 }
 
+/// One benchmark's robustness-campaign numbers — the record format of
+/// the committed `BENCH_robust.ndjson` baseline that `bench_robust`
+/// writes and the `robust-gate` CI job diffs against.
+///
+/// The campaign is fully seeded, so the selected grid point and every
+/// robustness metric (yield, worst fault, droop margin, pruned-point
+/// count) are deterministic and gated **exactly, in both directions** —
+/// a yield that silently drifts is a behavior change even if it improves.
+/// Trials spent and wall time are host-timing–shaped and gated against
+/// the baseline's own measured noise (median ± MAD across the
+/// calibration runs), with the wall gate refused across environment
+/// classes like the other axes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RobustStats {
+    /// Benchmark/dataset name.
+    pub dataset: String,
+    /// Git revision that produced the record (empty when unknown).
+    pub git_sha: String,
+    /// Gini slack τ of the robust-selected design.
+    pub tau: f64,
+    /// Depth cap of the robust-selected design.
+    pub depth: u64,
+    /// Selected design's nominal analog accuracy.
+    pub nominal: f64,
+    /// Selected design's mean accuracy under mismatch (the robust
+    /// selection metric).
+    pub robust_accuracy: f64,
+    /// Selected design's parametric-yield estimate.
+    pub yield_est: f64,
+    /// Selected design's accuracy under the worst single stuck-at fault.
+    pub worst_fault: f64,
+    /// Selected design's supply-droop margin (relative sag).
+    pub droop_margin: f64,
+    /// Grid points the campaign's probe pre-pass pruned (deterministic).
+    pub pruned_points: u64,
+    /// Monte-Carlo trials an exhaustive campaign would have run.
+    pub trials_budget: u64,
+    /// Median Monte-Carlo trials actually spent across the calibration
+    /// runs (deterministic per seed, but calibrated so an adaptive-policy
+    /// tune-up only gates when it *costs* trials).
+    pub trials_median: u64,
+    /// Median absolute deviation of trials spent across the runs.
+    pub trials_mad: u64,
+    /// Median campaign wall time across the calibration runs, µs.
+    pub wall_us_median: u64,
+    /// Median absolute deviation of the campaign wall times, µs.
+    pub wall_us_mad: u64,
+    /// Number of repeat runs behind the calibration (0 = uncalibrated).
+    pub calib_runs: u64,
+    /// Logical CPUs of the producing host (0 = unknown).
+    pub cpus: u64,
+    /// Explicit sweep thread override (0 = auto).
+    pub threads: u64,
+    /// Build profile (`"release"`/`"debug"`, empty = unknown).
+    pub build: String,
+    /// Unix timestamp (seconds) the record was produced (0 = unknown).
+    pub unix_secs: u64,
+}
+
+impl RobustStats {
+    /// Installs the calibration from `k` repeat runs' trial spends and
+    /// campaign wall times, builder style.
+    pub fn with_calibration(mut self, trials_spent: &[u64], walls_us: &[u64]) -> Self {
+        if trials_spent.is_empty() || walls_us.is_empty() {
+            return self;
+        }
+        let (t_median, t_mad) = median_mad(trials_spent);
+        let (w_median, w_mad) = median_mad(walls_us);
+        self.trials_median = t_median;
+        self.trials_mad = t_mad;
+        self.wall_us_median = w_median;
+        self.wall_us_mad = w_mad;
+        self.calib_runs = trials_spent.len() as u64;
+        self
+    }
+
+    /// The host-environment class of the producing run (same format as
+    /// [`TraceStats::env_class`]); `None` for environment-free records.
+    pub fn env_class(&self) -> Option<String> {
+        env_class_of(self.cpus, self.threads, &self.build)
+    }
+
+    /// Serializes to one `{"kind":"robust_stats"}` JSON line.
+    pub fn to_json(&self) -> String {
+        let mut line = JsonLine::new()
+            .str("kind", "robust_stats")
+            .str("dataset", &self.dataset)
+            .str("git_sha", &self.git_sha)
+            .f64("tau", self.tau)
+            .u64("depth", self.depth)
+            .f64("nominal", self.nominal)
+            .f64("robust_accuracy", self.robust_accuracy)
+            .f64("yield", self.yield_est)
+            .f64("worst_fault", self.worst_fault)
+            .f64("droop_margin", self.droop_margin)
+            .u64("pruned_points", self.pruned_points)
+            .u64("trials_budget", self.trials_budget)
+            .u64("trials_median", self.trials_median)
+            .u64("trials_mad", self.trials_mad)
+            .u64("wall_us_median", self.wall_us_median)
+            .u64("wall_us_mad", self.wall_us_mad)
+            .u64("calib_runs", self.calib_runs);
+        if self.env_class().is_some() {
+            line = line
+                .u64("cpus", self.cpus)
+                .u64("threads", self.threads)
+                .str("build", &self.build);
+        }
+        if self.unix_secs > 0 {
+            line = line.u64("unix_secs", self.unix_secs);
+        }
+        line.finish()
+    }
+
+    /// Parses every `robust_stats` line of an NDJSON file. Errors when
+    /// the text holds none — a robustness gate input must be a
+    /// robustness suite.
+    pub fn from_text_multi(text: &str) -> Result<Vec<Self>, String> {
+        let mut stats = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(value) = parse_json(line) else {
+                continue;
+            };
+            if value.get("kind").and_then(JsonValue::as_str) == Some("robust_stats") {
+                stats.push(Self::from_json(&value));
+            }
+        }
+        if stats.is_empty() {
+            return Err("no robust_stats records found".to_owned());
+        }
+        Ok(stats)
+    }
+
+    fn from_json(value: &JsonValue) -> Self {
+        let s = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_owned()
+        };
+        let u = |key: &str| value.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        let f = |key: &str| value.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        Self {
+            dataset: s("dataset"),
+            git_sha: s("git_sha"),
+            tau: f("tau"),
+            depth: u("depth"),
+            nominal: f("nominal"),
+            robust_accuracy: f("robust_accuracy"),
+            yield_est: f("yield"),
+            worst_fault: f("worst_fault"),
+            droop_margin: f("droop_margin"),
+            pruned_points: u("pruned_points"),
+            trials_budget: u("trials_budget"),
+            trials_median: u("trials_median"),
+            trials_mad: u("trials_mad"),
+            wall_us_median: u("wall_us_median"),
+            wall_us_mad: u("wall_us_mad"),
+            calib_runs: u("calib_runs"),
+            cpus: u("cpus"),
+            threads: u("threads"),
+            build: s("build"),
+            unix_secs: u("unix_secs"),
+        }
+    }
+}
+
+/// The outcome of gating one benchmark's robustness record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustDiffReport {
+    /// The committed reference record.
+    pub baseline: RobustStats,
+    /// The fresh run's record.
+    pub current: RobustStats,
+    /// One line per gate failure (empty = pass).
+    pub violations: Vec<String>,
+    /// Non-fatal observations (refusals, improvements, skipped checks).
+    pub notes: Vec<String>,
+}
+
+impl RobustDiffReport {
+    /// Whether the gate passes (no violations).
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the comparison as one block: header, notes, failures,
+    /// verdict.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "robust {}: τ={} d={} yield {:.4} → {:.4}, worst-fault {:.4} → {:.4}, \
+             trials {} → {} (budget {}), pruned {} → {}\n",
+            self.baseline.dataset,
+            self.baseline.tau,
+            self.baseline.depth,
+            self.baseline.yield_est,
+            self.current.yield_est,
+            self.baseline.worst_fault,
+            self.current.worst_fault,
+            self.baseline.trials_median,
+            self.current.trials_median,
+            self.current.trials_budget,
+            self.baseline.pruned_points,
+            self.current.pruned_points,
+        );
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        for violation in &self.violations {
+            out.push_str(&format!("  FAIL: {violation}\n"));
+        }
+        out.push_str(if self.passed() {
+            "  verdict: PASS\n"
+        } else {
+            "  verdict: REGRESSION\n"
+        });
+        out
+    }
+}
+
+/// Gates a fresh robustness suite against a committed baseline suite,
+/// paired by dataset under a strict bijection — a benchmark present on
+/// one side and missing on the other is a hard `Err`, never a silent
+/// skip.
+///
+/// Per pair: the selected grid point (τ, depth) and every deterministic
+/// robustness metric — nominal, robust accuracy, yield, worst-fault,
+/// droop margin, pruned-point count, trial budget — must match
+/// **exactly, in both directions** (the campaign is seeded; any drift is
+/// a behavior change). Trials spent gate at
+///
+/// ```text
+/// current.trials_median  >  baseline.trials_median
+///                           + max(wall_z × trials_MAD,
+///                                 tp_floor × trials_median)
+/// ```
+///
+/// (spending *fewer* trials is an improvement note, not a violation),
+/// and campaign wall time gates like the bench axis — median plus
+/// `max(wall_floor_us, wall_z × MAD)`, refused across environment
+/// classes.
+pub fn diff_robust(
+    baselines: &[RobustStats],
+    currents: &[RobustStats],
+    config: DiffConfig,
+) -> Result<Vec<RobustDiffReport>, String> {
+    if baselines.is_empty() || currents.is_empty() {
+        return Err("empty robust stats set (nothing to compare)".to_owned());
+    }
+    let find = |suite: &[RobustStats], dataset: &str| -> Option<RobustStats> {
+        suite.iter().find(|s| s.dataset == dataset).cloned()
+    };
+    let mut missing = Vec::new();
+    for baseline in baselines {
+        if find(currents, &baseline.dataset).is_none() {
+            missing.push(format!(
+                "baseline dataset {:?} missing from the current run",
+                baseline.dataset
+            ));
+        }
+    }
+    for current in currents {
+        if find(baselines, &current.dataset).is_none() {
+            missing.push(format!(
+                "current dataset {:?} has no baseline record",
+                current.dataset
+            ));
+        }
+    }
+    if !missing.is_empty() {
+        return Err(missing.join("; "));
+    }
+    Ok(baselines
+        .iter()
+        .map(|baseline| {
+            let current = find(currents, &baseline.dataset).expect("bijection checked");
+            diff_robust_one(baseline, &current, config)
+        })
+        .collect())
+}
+
+fn diff_robust_one(
+    baseline: &RobustStats,
+    current: &RobustStats,
+    config: DiffConfig,
+) -> RobustDiffReport {
+    let mut violations = Vec::new();
+    let mut notes = Vec::new();
+
+    // Deterministic selection + metrics: exact equality, blocking both
+    // ways. Floats round-trip bit-exactly through the NDJSON encoding
+    // (shortest-representation formatting), so 1e-9 slack is pure
+    // defense, far below any behavioral change worth a grid point.
+    let mut exact_f = |metric: &str, base: f64, cur: f64| {
+        if (base - cur).abs() > 1e-9 {
+            violations.push(format!(
+                "{metric} changed: {base} → {cur} (deterministic campaign metric must match exactly)"
+            ));
+        }
+    };
+    exact_f("selected τ", baseline.tau, current.tau);
+    exact_f("nominal accuracy", baseline.nominal, current.nominal);
+    exact_f(
+        "robust accuracy",
+        baseline.robust_accuracy,
+        current.robust_accuracy,
+    );
+    exact_f("yield", baseline.yield_est, current.yield_est);
+    exact_f(
+        "worst-fault accuracy",
+        baseline.worst_fault,
+        current.worst_fault,
+    );
+    exact_f("droop margin", baseline.droop_margin, current.droop_margin);
+    let mut exact_u = |metric: &str, base: u64, cur: u64| {
+        if base != cur {
+            violations.push(format!(
+                "{metric} changed: {base} → {cur} (deterministic campaign metric must match exactly)"
+            ));
+        }
+    };
+    exact_u("selected depth", baseline.depth, current.depth);
+    exact_u(
+        "pruned points",
+        baseline.pruned_points,
+        current.pruned_points,
+    );
+    exact_u(
+        "trial budget",
+        baseline.trials_budget,
+        current.trials_budget,
+    );
+
+    check_trials_spent(&mut violations, &mut notes, baseline, current, config);
+    check_robust_wall(&mut violations, &mut notes, baseline, current, config);
+
+    RobustDiffReport {
+        baseline: baseline.clone(),
+        current: current.clone(),
+        violations,
+        notes,
+    }
+}
+
+/// The trials-spent gate: more trials than the baseline's own noise
+/// allows is an efficiency regression of the adaptive early exit; fewer
+/// is an improvement note.
+fn check_trials_spent(
+    violations: &mut Vec<String>,
+    notes: &mut Vec<String>,
+    baseline: &RobustStats,
+    current: &RobustStats,
+    config: DiffConfig,
+) {
+    if baseline.calib_runs == 0 || baseline.trials_median == 0 {
+        notes.push("trials spent: no calibrated baseline, check skipped".to_owned());
+        return;
+    }
+    let slack = ((config.wall_z * baseline.trials_mad as f64) as u64)
+        .max((config.tp_floor * baseline.trials_median as f64) as u64);
+    let threshold = baseline.trials_median + slack;
+    if current.trials_median > threshold {
+        violations.push(format!(
+            "trials spent regressed: {} > {} \
+             (median {} + max({:.0}×MAD {}, {:.0}% floor) from {} calibration runs)",
+            current.trials_median,
+            threshold,
+            baseline.trials_median,
+            config.wall_z,
+            baseline.trials_mad,
+            config.tp_floor * 100.0,
+            baseline.calib_runs,
+        ));
+    } else if current.trials_median < baseline.trials_median {
+        notes.push(format!(
+            "trials spent improved: {} → {} (budget {})",
+            baseline.trials_median, current.trials_median, current.trials_budget,
+        ));
+    }
+}
+
+/// The campaign wall gate — same shape as the bench axis: calibrated
+/// absolute threshold, refused across environment classes.
+fn check_robust_wall(
+    violations: &mut Vec<String>,
+    notes: &mut Vec<String>,
+    baseline: &RobustStats,
+    current: &RobustStats,
+    config: DiffConfig,
+) {
+    if baseline.calib_runs == 0 || baseline.wall_us_median == 0 {
+        notes.push("campaign wall: no calibrated baseline, check skipped".to_owned());
+        return;
+    }
+    if let (Some(base_env), Some(cur_env)) = (baseline.env_class(), current.env_class()) {
+        if base_env != cur_env {
+            notes.push(format!(
+                "campaign wall gate REFUSED: environment class mismatch \
+                 (baseline {base_env}, current {cur_env}) — deterministic metrics still gated"
+            ));
+            return;
+        }
+    }
+    let slack = config
+        .wall_floor_us
+        .max((config.wall_z * baseline.wall_us_mad as f64) as u64);
+    let threshold = baseline.wall_us_median + slack;
+    if current.wall_us_median > threshold {
+        violations.push(format!(
+            "campaign wall regressed: {} µs > {} µs \
+             (median {} + max({} floor, {:.0}×MAD {}) from {} calibration runs)",
+            current.wall_us_median,
+            threshold,
+            baseline.wall_us_median,
+            config.wall_floor_us,
+            config.wall_z,
+            baseline.wall_us_mad,
+            baseline.calib_runs,
+        ));
+    }
+}
+
 /// Median and median-absolute-deviation of a sample, both in the
 /// sample's unit. Even-length samples average the middle pair (rounding
 /// down). Empty samples return `(0, 0)`.
@@ -1539,6 +1966,191 @@ mod tests {
         let err = diff_kernels(&[a.clone(), b], &[a, c], DiffConfig::default()).unwrap_err();
         assert!(err.contains("Seeds/cube_merge missing"), "{err}");
         assert!(err.contains("Cardio/gini_scan has no baseline"), "{err}");
+    }
+
+    fn robust(dataset: &str) -> RobustStats {
+        RobustStats {
+            dataset: dataset.into(),
+            git_sha: "0123456789abcdef0123456789abcdef01234567".into(),
+            tau: 0.01,
+            depth: 4,
+            nominal: 0.9143,
+            robust_accuracy: 0.9021,
+            yield_est: 0.96,
+            worst_fault: 0.55,
+            droop_margin: 0.32,
+            pruned_points: 3,
+            trials_budget: 384,
+            cpus: 8,
+            threads: 0,
+            build: "release".into(),
+            unix_secs: 1_754_000_000,
+            ..RobustStats::default()
+        }
+        // trials median 120 MAD 0; wall median 80_000 MAD 1_000.
+        .with_calibration(&[120, 120, 120], &[79_000, 80_000, 81_000])
+    }
+
+    #[test]
+    fn robust_stats_json_round_trips() {
+        let original = robust("Seeds");
+        let json = original.to_json();
+        assert!(json.starts_with(r#"{"kind":"robust_stats""#), "{json}");
+        let parsed = RobustStats::from_text_multi(&json).expect("parses");
+        assert_eq!(parsed, vec![original]);
+        // A file with no robustness records is a hard error.
+        assert!(RobustStats::from_text_multi(r#"{"kind":"bench_stats"}"#).is_err());
+    }
+
+    #[test]
+    fn robust_deterministic_metrics_gate_exactly_in_both_directions() {
+        let base = robust("Seeds");
+        // Yield drift fails even when it *improves*.
+        for yield_est in [0.90, 0.99] {
+            let mut cur = robust("Seeds");
+            cur.yield_est = yield_est;
+            let reports =
+                diff_robust(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+            assert!(!reports[0].passed(), "yield {yield_est} should violate");
+            assert!(
+                reports[0].violations[0].contains("yield changed"),
+                "{:?}",
+                reports[0].violations
+            );
+        }
+        // Selection drift is a violation.
+        let mut cur = robust("Seeds");
+        cur.depth = 2;
+        let reports =
+            diff_robust(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+        assert!(!reports[0].passed());
+        assert!(reports[0].violations[0].contains("selected depth"));
+        // So is a changed pruned-point count.
+        let mut cur = robust("Seeds");
+        cur.pruned_points = 0;
+        let reports =
+            diff_robust(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+        assert!(!reports[0].passed());
+        assert!(
+            reports[0].violations[0].contains("pruned points"),
+            "{:?}",
+            reports[0].violations
+        );
+        assert!(reports[0].render_text().contains("verdict: REGRESSION"));
+        // An identical run passes.
+        let reports = diff_robust(
+            std::slice::from_ref(&base),
+            std::slice::from_ref(&base),
+            DiffConfig::default(),
+        )
+        .unwrap();
+        assert!(reports[0].passed(), "{:?}", reports[0].violations);
+    }
+
+    #[test]
+    fn robust_trials_gate_fires_upward_only() {
+        let base = robust("Seeds"); // trials median 120, MAD 0
+                                    // Threshold = 120 + max(8×0, 25%×120 = 30) = 150.
+        let mut cur = robust("Seeds");
+        cur.trials_median = 150;
+        let reports =
+            diff_robust(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+        assert!(reports[0].passed(), "{:?}", reports[0].violations);
+        let mut cur = robust("Seeds");
+        cur.trials_median = 151;
+        let reports =
+            diff_robust(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+        assert!(!reports[0].passed());
+        assert!(
+            reports[0].violations[0].contains("trials spent regressed"),
+            "{:?}",
+            reports[0].violations
+        );
+        // Fewer trials is an improvement note, not a violation.
+        let mut cur = robust("Seeds");
+        cur.trials_median = 60;
+        let reports =
+            diff_robust(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+        assert!(reports[0].passed());
+        assert!(reports[0].notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn robust_wall_gate_is_calibrated_and_env_refused() {
+        let base = robust("Seeds"); // wall median 80_000, MAD 1_000
+                                    // Threshold = 80_000 + max(50_000 floor, 8×1_000) = 130_000.
+        let mut cur = robust("Seeds");
+        cur.wall_us_median = 130_000;
+        let reports =
+            diff_robust(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+        assert!(reports[0].passed(), "{:?}", reports[0].violations);
+        let mut cur = robust("Seeds");
+        cur.wall_us_median = 130_001;
+        let reports =
+            diff_robust(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+        assert!(!reports[0].passed());
+        assert!(
+            reports[0].violations[0].contains("campaign wall regressed"),
+            "{:?}",
+            reports[0].violations
+        );
+        // Cross-environment: the wall gate refuses, deterministic gates stay.
+        let mut cur = robust("Seeds");
+        cur.cpus = 2;
+        cur.wall_us_median = 10_000_000;
+        let reports = diff_robust(
+            std::slice::from_ref(&base),
+            &[cur.clone()],
+            DiffConfig::default(),
+        )
+        .unwrap();
+        assert!(reports[0].passed(), "{:?}", reports[0].violations);
+        assert!(reports[0].notes.iter().any(|n| n.contains("REFUSED")));
+        cur.yield_est = 0.5;
+        let reports =
+            diff_robust(std::slice::from_ref(&base), &[cur], DiffConfig::default()).unwrap();
+        assert!(!reports[0].passed());
+    }
+
+    #[test]
+    fn robust_suites_require_a_dataset_bijection() {
+        let a = robust("Seeds");
+        let b = robust("Cardio");
+        let c = robust("Pendigits");
+        let reports = diff_robust(
+            &[a.clone(), b.clone()],
+            &[b.clone(), a.clone()],
+            DiffConfig::default(),
+        )
+        .expect("bijection");
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(RobustDiffReport::passed));
+        let err = diff_robust(&[a.clone(), b], &[a, c], DiffConfig::default()).unwrap_err();
+        assert!(err.contains("\"Cardio\" missing"), "{err}");
+        assert!(err.contains("\"Pendigits\" has no baseline"), "{err}");
+    }
+
+    #[test]
+    fn robust_uncalibrated_baseline_skips_timing_gates() {
+        let mut base = robust("Seeds");
+        base.trials_median = 0;
+        base.trials_mad = 0;
+        base.wall_us_median = 0;
+        base.wall_us_mad = 0;
+        base.calib_runs = 0;
+        let mut cur = robust("Seeds");
+        cur.trials_median = 1_000_000;
+        cur.wall_us_median = 1_000_000;
+        let reports = diff_robust(&[base], &[cur], DiffConfig::default()).unwrap();
+        assert!(reports[0].passed(), "{:?}", reports[0].violations);
+        assert_eq!(
+            reports[0]
+                .notes
+                .iter()
+                .filter(|n| n.contains("skipped"))
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use printed_telemetry::JsonLine;
 
-use crate::diff::{KernelStats, TraceStats};
+use crate::diff::{KernelStats, RobustStats, TraceStats};
 use crate::json::{parse as parse_json, JsonValue};
 
 /// One benchmark's guarded numbers at one revision.
@@ -364,6 +364,182 @@ pub fn render_kernel_history(entries: &[KernelHistoryEntry], dataset: Option<&st
     out
 }
 
+/// One benchmark's robustness-campaign numbers at one revision — the
+/// robustness axis of the history file. CI appends one
+/// `{"kind":"robust_history"}` line per benchmark after the robust gate
+/// passes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RobustHistoryEntry {
+    /// Git revision the record was produced at.
+    pub git_sha: String,
+    /// Unix timestamp (seconds) of the run.
+    pub unix_secs: u64,
+    /// Benchmark/dataset name.
+    pub dataset: String,
+    /// Gini slack τ of the robust-selected design.
+    pub tau: f64,
+    /// Depth cap of the robust-selected design.
+    pub depth: u64,
+    /// Selected design's parametric-yield estimate.
+    pub yield_est: f64,
+    /// Selected design's worst-single-fault accuracy.
+    pub worst_fault: f64,
+    /// Median Monte-Carlo trials spent across the calibration runs.
+    pub trials_median: u64,
+    /// Trials an exhaustive campaign would have run.
+    pub trials_budget: u64,
+    /// Grid points the probe pre-pass pruned.
+    pub pruned_points: u64,
+}
+
+impl RobustHistoryEntry {
+    /// Condenses a robustness baseline record into a history record.
+    pub fn from_stats(stats: &RobustStats) -> Self {
+        Self {
+            git_sha: stats.git_sha.clone(),
+            unix_secs: stats.unix_secs,
+            dataset: stats.dataset.clone(),
+            tau: stats.tau,
+            depth: stats.depth,
+            yield_est: stats.yield_est,
+            worst_fault: stats.worst_fault,
+            trials_median: stats.trials_median,
+            trials_budget: stats.trials_budget,
+            pruned_points: stats.pruned_points,
+        }
+    }
+
+    /// Serializes to one `{"kind":"robust_history"}` NDJSON line.
+    pub fn to_json(&self) -> String {
+        JsonLine::new()
+            .str("kind", "robust_history")
+            .str("git_sha", &self.git_sha)
+            .u64("unix_secs", self.unix_secs)
+            .str("dataset", &self.dataset)
+            .f64("tau", self.tau)
+            .u64("depth", self.depth)
+            .f64("yield", self.yield_est)
+            .f64("worst_fault", self.worst_fault)
+            .u64("trials_median", self.trials_median)
+            .u64("trials_budget", self.trials_budget)
+            .u64("pruned_points", self.pruned_points)
+            .finish()
+    }
+
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        if value.get("kind").and_then(JsonValue::as_str) != Some("robust_history") {
+            return None;
+        }
+        let s = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_owned()
+        };
+        let u = |key: &str| value.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        let f = |key: &str| value.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        Some(Self {
+            git_sha: s("git_sha"),
+            unix_secs: u("unix_secs"),
+            dataset: s("dataset"),
+            tau: f("tau"),
+            depth: u("depth"),
+            yield_est: f("yield"),
+            worst_fault: f("worst_fault"),
+            trials_median: u("trials_median"),
+            trials_budget: u("trials_budget"),
+            pruned_points: u("pruned_points"),
+        })
+    }
+}
+
+/// Parses the robustness axis of a history file: all `robust_history`
+/// lines in file order, plus warnings for unparseable lines. Foreign
+/// kinds (the three axes share the file) are skipped silently.
+pub fn parse_robust_history(text: &str) -> (Vec<RobustHistoryEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut warnings = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_json(line) {
+            Ok(value) => {
+                if let Some(entry) = RobustHistoryEntry::from_json(&value) {
+                    entries.push(entry);
+                }
+            }
+            Err(e) => warnings.push(format!("line {}: unparseable ({e:?})", i + 1)),
+        }
+    }
+    (entries, warnings)
+}
+
+/// Renders per-dataset robustness drift: selection point, yield,
+/// worst-fault, trial spend vs budget, with the per-step Δtrials against
+/// the previous record of the same dataset. `dataset` filters to one
+/// benchmark. Empty input renders nothing.
+pub fn render_robust_history(entries: &[RobustHistoryEntry], dataset: Option<&str>) -> String {
+    let mut datasets: Vec<&str> = Vec::new();
+    for entry in entries {
+        if dataset.is_some_and(|d| d != entry.dataset) {
+            continue;
+        }
+        if !datasets.contains(&entry.dataset.as_str()) {
+            datasets.push(&entry.dataset);
+        }
+    }
+    let mut out = String::new();
+    for name in datasets {
+        let records: Vec<&RobustHistoryEntry> =
+            entries.iter().filter(|e| e.dataset == name).collect();
+        out.push_str(&format!(
+            "robust history: {name} ({} records)\n",
+            records.len()
+        ));
+        out.push_str(&format!(
+            "  {:<10} {:<9} {:>7} {:>5} {:>7} {:>11} {:>7} {:>7} {:>7} {:>8}\n",
+            "date",
+            "sha",
+            "tau",
+            "depth",
+            "yield",
+            "worst_fault",
+            "trials",
+            "budget",
+            "pruned",
+            "Δtrials"
+        ));
+        let mut prev_trials: Option<u64> = None;
+        for record in records {
+            let delta = match prev_trials {
+                Some(prev) if prev > 0 => format!(
+                    "{:+.1}%",
+                    100.0 * (record.trials_median as f64 - prev as f64) / prev as f64
+                ),
+                _ => "—".to_owned(),
+            };
+            out.push_str(&format!(
+                "  {:<10} {:<9} {:>7} {:>5} {:>7.4} {:>11.4} {:>7} {:>7} {:>7} {:>8}\n",
+                civil_date(record.unix_secs),
+                short(&record.git_sha),
+                record.tau,
+                record.depth,
+                record.yield_est,
+                record.worst_fault,
+                record.trials_median,
+                record.trials_budget,
+                record.pruned_points,
+                delta,
+            ));
+            prev_trials = Some(record.trials_median);
+        }
+    }
+    out
+}
+
 fn short(sha: &str) -> &str {
     if sha.is_empty() {
         return "unknown";
@@ -570,6 +746,79 @@ mod tests {
         assert_eq!(entry.kernel, "netlist_synth");
         assert_eq!(entry.tp_median, 5_000);
         assert_eq!(entry.unix_secs, 1_754_611_200);
+    }
+
+    fn robust_entry(trials: u64, secs: u64) -> RobustHistoryEntry {
+        RobustHistoryEntry {
+            git_sha: "0123456789abcdef0123456789abcdef01234567".into(),
+            unix_secs: secs,
+            dataset: "Seeds".into(),
+            tau: 0.01,
+            depth: 4,
+            yield_est: 0.96,
+            worst_fault: 0.55,
+            trials_median: trials,
+            trials_budget: 384,
+            pruned_points: 3,
+        }
+    }
+
+    #[test]
+    fn robust_history_round_trips_and_renders_drift() {
+        let original = robust_entry(120, 1_754_611_200);
+        let line = original.to_json();
+        assert!(line.starts_with(r#"{"kind":"robust_history""#), "{line}");
+        let (parsed, warnings) = parse_robust_history(&line);
+        assert!(warnings.is_empty());
+        assert_eq!(parsed, vec![original]);
+
+        let entries = vec![
+            robust_entry(120, 1_754_611_200),
+            robust_entry(108, 1_754_697_600),
+        ];
+        let text = render_robust_history(&entries, None);
+        assert!(text.contains("robust history: Seeds (2 records)"), "{text}");
+        assert!(text.contains("-10.0%"), "{text}"); // 120 → 108
+        assert_eq!(render_robust_history(&entries, Some("Nope")), "");
+    }
+
+    #[test]
+    fn robust_history_condenses_from_robust_stats() {
+        let stats = RobustStats {
+            dataset: "Seeds".into(),
+            git_sha: "abc".into(),
+            tau: 0.02,
+            depth: 6,
+            yield_est: 0.9,
+            trials_median: 99,
+            trials_budget: 400,
+            pruned_points: 7,
+            unix_secs: 1_754_611_200,
+            ..RobustStats::default()
+        };
+        let entry = RobustHistoryEntry::from_stats(&stats);
+        assert_eq!(entry.depth, 6);
+        assert_eq!(entry.trials_median, 99);
+        assert_eq!(entry.pruned_points, 7);
+    }
+
+    #[test]
+    fn the_three_history_axes_share_a_file_without_crosstalk() {
+        let bench = entry("Seeds", 2468, 1_754_611_200);
+        let kernel = kernel_entry("gini_scan", 1_000_000, 1_754_611_200);
+        let robust = robust_entry(120, 1_754_611_200);
+        let text = format!(
+            "{}\n{}\n{}\n",
+            bench.to_json(),
+            kernel.to_json(),
+            robust.to_json()
+        );
+        let (bench_parsed, _) = parse_history(&text);
+        assert_eq!(bench_parsed, vec![bench]);
+        let (kernel_parsed, _) = parse_kernel_history(&text);
+        assert_eq!(kernel_parsed, vec![kernel]);
+        let (robust_parsed, _) = parse_robust_history(&text);
+        assert_eq!(robust_parsed, vec![robust]);
     }
 
     #[test]

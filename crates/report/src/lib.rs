@@ -60,12 +60,13 @@ pub mod watch;
 
 pub use cost::{AdcRow, ClassRow, CostReport, RobustRow, SelectedDesign};
 pub use diff::{
-    diff_kernels, diff_many, diff_suites, median_mad, DiffConfig, DiffReport, KernelDiffReport,
-    KernelStats, TraceStats,
+    diff_kernels, diff_many, diff_robust, diff_suites, median_mad, DiffConfig, DiffReport,
+    KernelDiffReport, KernelStats, RobustDiffReport, RobustStats, TraceStats,
 };
 pub use history::{
-    parse_history, parse_kernel_history, render_history, render_kernel_history, HistoryEntry,
-    KernelHistoryEntry,
+    parse_history, parse_kernel_history, parse_robust_history, render_history,
+    render_kernel_history, render_robust_history, HistoryEntry, KernelHistoryEntry,
+    RobustHistoryEntry,
 };
 pub use parse::{parse_trace, ParsedTrace};
 pub use profile::{Profile, ProfileNode};

@@ -30,6 +30,15 @@ use std::collections::BTreeSet;
 
 use crate::json::{parse as parse_json, JsonValue};
 
+/// Which candidate set a grid-point record belongs to.
+#[derive(Debug, Clone, Copy)]
+enum GridAxis {
+    /// The τ×depth exploration sweep.
+    Sweep,
+    /// The robustness campaign over the same grid.
+    Robust,
+}
+
 /// Rolling state of one watched trace file.
 #[derive(Debug, Default)]
 pub struct Watcher {
@@ -50,6 +59,22 @@ pub struct WatchState {
     /// Distinct candidates observed via spans / checkpoint lines, keyed
     /// by `(depth, τ.to_bits())`.
     seen: BTreeSet<(u64, u64)>,
+    /// Distinct robustness-campaign candidates observed via
+    /// `robust_candidate` spans / `robust_ckpt` lines / `robust_pruned`
+    /// events, keyed like [`seen`](Self::seen).
+    robust_seen: BTreeSet<(u64, u64)>,
+    /// Largest `done` reported by a `robust_progress` event.
+    robust_progress_done: usize,
+    /// Campaign grid size, from `robust_progress` events (0 = no
+    /// campaign seen).
+    pub robust_total: usize,
+    /// Monte-Carlo trials the campaign has spent so far (largest
+    /// `trials` reported by a `robust_progress` event).
+    pub robust_trials: u64,
+    /// Grid points the campaign's probe pre-pass pruned so far.
+    robust_pruned_reported: u64,
+    /// Distinct pruned points seen as `robust_pruned` events.
+    robust_pruned_seen: BTreeSet<(u64, u64)>,
     /// Alert lines for failed candidates, in observation order.
     pub alerts: Vec<String>,
     /// Informational notes, e.g. the first sighting of an unknown record
@@ -74,6 +99,26 @@ impl WatchState {
     /// the other during a resume).
     pub fn done(&self) -> usize {
         self.progress_done.max(self.seen.len())
+    }
+
+    /// Robustness-campaign candidates finished (profiled, pruned, or
+    /// restored from a campaign checkpoint): the max of event-reported
+    /// progress and distinct campaign candidates seen.
+    pub fn robust_done(&self) -> usize {
+        self.robust_progress_done.max(self.robust_seen.len())
+    }
+
+    /// Grid points the campaign's probe pre-pass pruned: the max of the
+    /// progress events' running counter and distinct `robust_pruned`
+    /// events seen (either can lag the other mid-stream).
+    pub fn robust_pruned(&self) -> u64 {
+        self.robust_pruned_reported
+            .max(self.robust_pruned_seen.len() as u64)
+    }
+
+    /// Whether any robustness-campaign activity has been observed.
+    pub fn robust_active(&self) -> bool {
+        self.robust_done() > 0 || self.robust_total > 0
     }
 
     /// Candidate completion rate in candidates/second, from the run's
@@ -119,6 +164,19 @@ impl WatchState {
         }
         if let Some(eta) = self.eta_secs() {
             out.push_str(&format!(" · ETA {eta:.1}s"));
+        }
+        if self.robust_active() {
+            let total = if self.robust_total > 0 {
+                self.robust_total.to_string()
+            } else {
+                "?".to_owned()
+            };
+            out.push_str(&format!(
+                " · robust {}/{total} ({} trials, {} pruned)",
+                self.robust_done(),
+                self.robust_trials,
+                self.robust_pruned(),
+            ));
         }
         if !self.alerts.is_empty() {
             out.push_str(&format!(" · {} FAILED", self.alerts.len()));
@@ -197,18 +255,29 @@ impl Watcher {
                 }
             }
             // A live span line ("candidate" name) or a finalized dump's
-            // candidate record — both carry depth + tau.
+            // candidate record — both carry depth + tau. Campaign spans
+            // ("robust_candidate") count toward the robustness axis.
             "span" | "candidate" => {
                 let name = value.get("name").and_then(JsonValue::as_str);
+                if kind == "span" && name == Some("robust_candidate") {
+                    self.observe_grid_point(&value, GridAxis::Robust);
+                    self.observe_timestamp(&value);
+                    return;
+                }
                 if kind == "span" && name != Some("candidate") {
                     self.observe_timestamp(&value);
                     return;
                 }
-                self.observe_candidate(&value);
+                self.observe_grid_point(&value, GridAxis::Sweep);
                 self.observe_timestamp(&value);
             }
             "sweep_ckpt" => {
-                self.observe_candidate(&value);
+                self.observe_grid_point(&value, GridAxis::Sweep);
+            }
+            // A campaign checkpoint replay: the grid point was profiled
+            // (or pruned) by a previous, killed campaign run.
+            "robust_ckpt" => {
+                self.observe_grid_point(&value, GridAxis::Robust);
             }
             "event" => {
                 self.observe_timestamp(&value);
@@ -231,6 +300,28 @@ impl Watcher {
                         self.state.alerts.push(format!(
                             "candidate (depth {depth}, τ={tau}) FAILED: {error}"
                         ));
+                    }
+                    Some("robust_progress") => {
+                        let done =
+                            value.get("done").and_then(JsonValue::as_u64).unwrap_or(0) as usize;
+                        let total =
+                            value.get("total").and_then(JsonValue::as_u64).unwrap_or(0) as usize;
+                        let trials = value.get("trials").and_then(JsonValue::as_u64).unwrap_or(0);
+                        let pruned = value.get("pruned").and_then(JsonValue::as_u64).unwrap_or(0);
+                        self.state.robust_progress_done = self.state.robust_progress_done.max(done);
+                        self.state.robust_total = self.state.robust_total.max(total);
+                        self.state.robust_trials = self.state.robust_trials.max(trials);
+                        self.state.robust_pruned_reported =
+                            self.state.robust_pruned_reported.max(pruned);
+                    }
+                    Some("robust_pruned") => {
+                        self.observe_grid_point(&value, GridAxis::Robust);
+                        if let (Some(depth), Some(tau)) = (
+                            value.get("depth").and_then(JsonValue::as_u64),
+                            value.get("tau").and_then(JsonValue::as_f64),
+                        ) {
+                            self.state.robust_pruned_seen.insert((depth, tau.to_bits()));
+                        }
                     }
                     Some("selected") => {
                         let depth = value.get("depth").and_then(JsonValue::as_u64).unwrap_or(0);
@@ -266,14 +357,18 @@ impl Watcher {
         }
     }
 
-    fn observe_candidate(&mut self, value: &JsonValue) {
+    fn observe_grid_point(&mut self, value: &JsonValue, axis: GridAxis) {
         let (Some(depth), Some(tau)) = (
             value.get("depth").and_then(JsonValue::as_u64),
             value.get("tau").and_then(JsonValue::as_f64),
         ) else {
             return;
         };
-        self.state.seen.insert((depth, tau.to_bits()));
+        let set = match axis {
+            GridAxis::Sweep => &mut self.state.seen,
+            GridAxis::Robust => &mut self.state.robust_seen,
+        };
+        set.insert((depth, tau.to_bits()));
     }
 
     fn observe_timestamp(&mut self, value: &JsonValue) {
@@ -477,6 +572,60 @@ mod tests {
             "\n",
         ));
         assert!(w.state().notes.is_empty(), "{:?}", w.state().notes);
+    }
+
+    fn robust_progress_line(done: u64, total: u64, trials: u64, pruned: u64, at: u64) -> String {
+        format!(
+            r#"{{"kind":"event","name":"robust_progress","at_us":{at},"done":{done},"total":{total},"trials":{trials},"pruned":{pruned}}}"#
+        )
+    }
+
+    #[test]
+    fn robust_campaign_progress_is_surfaced_not_unknown() {
+        let mut w = Watcher::new();
+        w.push(&format!(
+            "{}\n{}\n{}\n{}\n{}\n",
+            // A campaign checkpoint replay, a live campaign span, a
+            // pruned point, and two progress snapshots.
+            r#"{"kind":"robust_ckpt","v":1,"stamp":123,"point":"ok","depth":2,"tau":0.0,"trials":8,"yld":1.0}"#,
+            r#"{"kind":"span","name":"robust_candidate","start_us":50,"duration_us":10,"depth":4,"tau":0.0,"trials_spent":6}"#,
+            r#"{"kind":"event","name":"robust_pruned","at_us":70,"depth":6,"tau":0.03,"reason":"droop","nominal":0.88,"droop_margin":0.01}"#,
+            robust_progress_line(2, 6, 14, 0, 80),
+            robust_progress_line(3, 6, 14, 1, 90),
+        ));
+        let s = w.state();
+        // None of the campaign records may land in the unknown-kind bin.
+        assert!(s.notes.is_empty(), "{:?}", s.notes);
+        // Nor in the sweep's candidate count.
+        assert_eq!(s.done(), 0);
+        assert_eq!(s.robust_done(), 3);
+        assert_eq!(s.robust_total, 6);
+        assert_eq!(s.robust_trials, 14);
+        assert_eq!(s.robust_pruned(), 1);
+        assert!(s.robust_active());
+        assert!(
+            s.status_line().contains("robust 3/6 (14 trials, 1 pruned)"),
+            "{}",
+            s.status_line()
+        );
+    }
+
+    #[test]
+    fn robust_resume_interleaving_dedupes_restored_candidates() {
+        let mut w = Watcher::new();
+        // The same campaign grid point replayed from a checkpoint AND
+        // seen as a live span counts once; pruned events dedupe too.
+        w.push(&format!(
+            "{}\n{}\n{}\n{}\n",
+            r#"{"kind":"robust_ckpt","v":1,"stamp":9,"point":"ok","depth":2,"tau":0.0}"#,
+            r#"{"kind":"span","name":"robust_candidate","start_us":5,"duration_us":1,"depth":2,"tau":0.0}"#,
+            r#"{"kind":"event","name":"robust_pruned","at_us":9,"depth":4,"tau":0.0,"reason":"nominal","nominal":0.5}"#,
+            r#"{"kind":"event","name":"robust_pruned","at_us":9,"depth":4,"tau":0.0,"reason":"nominal","nominal":0.5}"#,
+        ));
+        assert_eq!(w.state().robust_done(), 2);
+        assert_eq!(w.state().robust_pruned(), 1);
+        // A campaign with no activity reports inactive.
+        assert!(!Watcher::new().state().robust_active());
     }
 
     #[test]

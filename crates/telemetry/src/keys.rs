@@ -126,6 +126,36 @@ pub const TRUNCATE_SPAN: &str = "truncate";
 /// Counter: single stuck-at faults injected by robustness campaigns.
 pub const FAULTS_INJECTED: &str = "robust.faults";
 
+/// Counter: Monte-Carlo trials actually consumed by robustness campaigns.
+/// Equals `mc.trials` attribution for the campaign stage; under an
+/// adaptive budget the sequential early exit makes this measurably
+/// smaller than [`ROBUST_TRIALS_BUDGET`].
+pub const ROBUST_TRIALS_SPENT: &str = "robust.trials_spent";
+
+/// Counter: Monte-Carlo trials an exhaustive campaign at the same budget
+/// would have run (profiled + pruned candidates × per-candidate budget).
+pub const ROBUST_TRIALS_BUDGET: &str = "robust.trials_budget";
+
+/// Counter: τ×depth points the campaign's cheap-probe pre-pass pruned
+/// before any Monte-Carlo trial (each is also recorded as a
+/// [`ROBUST_PRUNED_EVENT`], never silently skipped).
+pub const ROBUST_PRUNED: &str = "robust.pruned_points";
+
+/// Counter: campaign candidates restored from a robustness checkpoint
+/// instead of being re-profiled.
+pub const ROBUST_CHECKPOINT_HITS: &str = "robust.checkpoint_hits";
+
+/// Event: the probe pre-pass pruned one grid point (fields: `depth`,
+/// `tau`, `reason`, `nominal`, and `droop_margin` when the probe got far
+/// enough to compute it).
+pub const ROBUST_PRUNED_EVENT: &str = "robust_pruned";
+
+/// Event: live robustness-campaign progress, one per finished candidate
+/// (fields: `done`, `total`, `trials`, `pruned`) so `printed-trace watch`
+/// can render campaign trial spend and pruned-point counts while the
+/// campaign is still running.
+pub const ROBUST_PROGRESS_EVENT: &str = "robust_progress";
+
 /// Stage span: the static-analysis lint pass over the selected design.
 pub const STAGE_LINT: &str = "stage:lint";
 

@@ -423,3 +423,91 @@ proptest! {
         prop_assert_eq!(decoded, level);
     }
 }
+
+/// Shared fixture for the campaign properties below: the quick-grid Seeds
+/// sweep plus its test splits, trained once per process — each proptest
+/// case then only pays for the two Monte-Carlo campaigns it compares.
+fn campaign_fixture() -> &'static (printed_ml::codesign::Exploration, QuantizedDataset, Dataset) {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<(printed_ml::codesign::Exploration, QuantizedDataset, Dataset)> =
+        OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        use printed_ml::codesign::explore::{explore, ExplorationConfig};
+        use printed_ml::datasets::Benchmark;
+        let (train, test) = Benchmark::Seeds.load_quantized(4).expect("built-ins load");
+        let (_, analog_test) = Benchmark::Seeds.load_split().expect("built-ins split");
+        let sweep = explore(&train, &test, &ExplorationConfig::quick());
+        (sweep, test, analog_test)
+    })
+}
+
+proptest! {
+    /// DESIGN.md §6 sequential statistics: at full confidence (the
+    /// default), the budgeted campaign's admit/reject decision for every
+    /// grid point — and therefore the robust selection — agrees exactly
+    /// with an exhaustive campaign at the same per-candidate budget, for
+    /// arbitrary budgets, seeds, selection constraints, and loss floors,
+    /// while never spending more trials.
+    #[test]
+    fn budgeted_campaign_decisions_agree_with_exhaustive(
+        budget in 4usize..=16,
+        seed in 0u64..1024,
+        loss in 0.01f64..0.10,
+        yield_bound in (any::<bool>(), 0.5f64..1.0),
+        fault_bound in (any::<bool>(), 0.0f64..0.8),
+        droop_bound in (any::<bool>(), 0.0f64..0.4),
+    ) {
+        use printed_ml::codesign::{
+            AdaptiveBudget, RobustnessCampaign, RobustnessConstraints,
+        };
+        use printed_ml::telemetry::Recorder;
+
+        let (sweep, test, analog_test) = campaign_fixture();
+        let pick = |(on, v): (bool, f64)| if on { Some(v) } else { None };
+        let constraints = RobustnessConstraints {
+            min_yield: pick(yield_bound),
+            min_worst_fault: pick(fault_bound),
+            min_droop_margin: pick(droop_bound),
+        };
+        let floor = sweep.reference_accuracy - loss;
+
+        let mut exhaustive = RobustnessCampaign::quick();
+        exhaustive.trials = budget;
+        exhaustive.seed = seed;
+        let full = exhaustive.run(sweep, test, analog_test, &Recorder::disabled());
+
+        let budgeted = {
+            let mut campaign = RobustnessCampaign::quick();
+            campaign.trials = budget;
+            campaign.seed = seed;
+            campaign.budgeted(
+                AdaptiveBudget::new(budget)
+                    .with_constraints(constraints)
+                    .with_floor(floor),
+            )
+        }
+        .run(sweep, test, analog_test, &Recorder::disabled());
+
+        prop_assert_eq!(budgeted.profiles.len(), full.profiles.len());
+        prop_assert!(budgeted.trials_spent <= full.trials_spent);
+        for (b, f) in budgeted.profiles.iter().zip(&full.profiles) {
+            prop_assert_eq!((b.tau.to_bits(), b.depth), (f.tau.to_bits(), f.depth));
+            let decide = |p: &printed_ml::codesign::RobustnessProfile| {
+                p.robust_accuracy() >= floor - 1e-12 && constraints.admits(p)
+            };
+            prop_assert_eq!(
+                decide(&b.profile),
+                decide(&f.profile),
+                "decision diverged at τ={} depth {} (budget {}, seed {})",
+                b.tau, b.depth, budget, seed
+            );
+        }
+        let key = |c: Option<&printed_ml::codesign::CandidateDesign>| {
+            c.map(|c| (c.tau.to_bits(), c.depth))
+        };
+        prop_assert_eq!(
+            key(sweep.select_robust(loss, &budgeted, &constraints)),
+            key(sweep.select_robust(loss, &full, &constraints))
+        );
+    }
+}
