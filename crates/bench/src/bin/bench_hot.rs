@@ -1,8 +1,8 @@
-//! Hot-kernel throughput baseline generator: drives the five
-//! instrumented kernels (Gini scan, BFS truncate, thermometer encode,
-//! cube merge, netlist synthesis) in isolation on all eight registry
-//! benchmarks and writes one calibrated `kernel_stats` record per
-//! `(benchmark, kernel)` pair.
+//! Hot-kernel throughput baseline generator: drives the six
+//! instrumented kernels (Gini scan, node partition, BFS truncate,
+//! thermometer encode, cube merge, netlist synthesis) in isolation on
+//! all eight registry benchmarks and writes one calibrated
+//! `kernel_stats` record per `(benchmark, kernel)` pair.
 //!
 //! ```sh
 //! cargo run --release -p printed-bench --bin bench_hot -- --runs 5 --out BENCH_hotpath.ndjson
@@ -100,7 +100,7 @@ impl Tally {
 }
 
 /// Runs the paper pipeline once under a kernel scope and returns the
-/// five kernels' tallies, aligned with [`Kernel::ALL`].
+/// six kernels' tallies, aligned with [`Kernel::ALL`].
 fn run_once(benchmark: Benchmark) -> Result<Vec<Tally>, String> {
     let (train, _test) = benchmark
         .load_quantized(BITS)

@@ -63,5 +63,8 @@ pub use printed_lint::{Diagnostic, LintConfig, LintLevel, LintReport, Severity};
 pub use robustness::{decode_one_hot, fault_robustness, FaultRobustness};
 pub use serial::{estimate_serial_unary, SerialUnaryEstimate};
 pub use system::{synthesize_unary, Reduction, UnarySystem};
-pub use train::{train_adc_aware, train_adc_aware_forest, AdcAwareConfig};
-pub use unary::UnaryClassifier;
+pub use train::{
+    train_adc_aware, train_adc_aware_annotated_with_index, train_adc_aware_forest,
+    train_adc_aware_reference, AdcAwareConfig,
+};
+pub use unary::{PackedClassifier, UnaryClassifier};

@@ -35,9 +35,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use printed_datasets::QuantizedDataset;
-use printed_dtree::cart::{split_candidates, CartConfig, SplitCandidate};
-use printed_dtree::{DecisionTree, Node};
+use printed_datasets::{DatasetIndex, QuantizedDataset};
+use printed_dtree::cart::{
+    is_pure, majority_class, split_candidates, CartConfig, SplitCandidate, SplitEngine,
+};
+use printed_dtree::{DecisionTree, IndexArena, Node};
 use printed_telemetry::{keys, Recorder};
 
 /// Configuration for [`train_adc_aware`].
@@ -146,19 +148,48 @@ impl AnnotatedTree {
 /// majority classes (see [`AnnotatedTree`]). The tree and the RNG stream
 /// are bit-identical to the unannotated path — the majorities were always
 /// computed; this merely keeps them.
+///
+/// Builds a fresh [`DatasetIndex`]; sweep drivers training many trees on
+/// the same dataset should build the index once and call
+/// [`train_adc_aware_annotated_with_index`].
 pub fn train_adc_aware_annotated(
     data: &QuantizedDataset,
     config: &AdcAwareConfig,
     recorder: &Recorder,
 ) -> AnnotatedTree {
+    let index = DatasetIndex::new(data);
+    train_adc_aware_annotated_with_index(data, &index, config, recorder)
+}
+
+/// [`train_adc_aware_annotated`] with a caller-provided (shared)
+/// [`DatasetIndex`] — the whole τ×depth sweep grid reuses one index.
+///
+/// # Panics
+///
+/// As for [`train_adc_aware`]; additionally panics if `index` was not
+/// built from `data`.
+pub fn train_adc_aware_annotated_with_index(
+    data: &QuantizedDataset,
+    index: &DatasetIndex,
+    config: &AdcAwareConfig,
+    recorder: &Recorder,
+) -> AnnotatedTree {
+    assert!(
+        index.len() == data.len() && index.n_features() == data.n_features(),
+        "index must be built from the training dataset"
+    );
     let mut selected = BTreeSet::new();
     let mut used_features = BTreeSet::new();
+    let mut engine = SplitEngine::new(index);
+    let mut arena = IndexArena::new();
+    arena.reset_identity(data.len());
     train_adc_aware_seeded(
         data,
+        &mut engine,
+        &mut arena,
         config,
         &mut selected,
         &mut used_features,
-        &(0..data.len()).collect::<Vec<_>>(),
         recorder,
     )
 }
@@ -194,6 +225,11 @@ pub fn train_adc_aware_forest_recorded(
     let mut selected: BTreeSet<(usize, u8)> = BTreeSet::new();
     let mut used_features: BTreeSet<usize> = BTreeSet::new();
     let mut boot_rng = StdRng::seed_from_u64(config.seed ^ 0xB007);
+    // One index, engine, and arena for the whole ensemble; only the
+    // arena's root subset (the bootstrap resample) changes per tree.
+    let index = DatasetIndex::new(data);
+    let mut engine = SplitEngine::new(&index);
+    let mut arena = IndexArena::new();
     let members: Vec<DecisionTree> = (0..trees)
         .map(|t| {
             let indices: Vec<usize> = (0..data.len())
@@ -203,12 +239,14 @@ pub fn train_adc_aware_forest_recorded(
                 seed: config.seed.wrapping_add(t as u64),
                 ..*config
             };
+            arena.reset_from(&indices);
             train_adc_aware_seeded(
                 data,
+                &mut engine,
+                &mut arena,
                 &cfg,
                 &mut selected,
                 &mut used_features,
-                &indices,
                 recorder,
             )
             .tree
@@ -218,20 +256,25 @@ pub fn train_adc_aware_forest_recorded(
 }
 
 /// Core Algorithm 1 growth with externally owned hardware state (so
-/// ensembles can share it) over an explicit root subset. Also returns the
-/// per-slot majority classes: the FIFO BFS pops nodes in slot-allocation
-/// order, so recording the majority at each pop yields a slot-indexed
-/// vector.
+/// ensembles can share it) over the arena's current root subset. Also
+/// returns the per-slot majority classes: the FIFO BFS pops nodes in
+/// slot-allocation order, so recording the majority at each pop yields a
+/// slot-indexed vector.
+///
+/// In-place partitioning is safe under BFS: every queued node owns a
+/// disjoint arena range, a pop only permutes *within* its own range, and
+/// ancestors are never partitioned again — so a child's range is exactly
+/// what its parent's stable partition left there.
 fn train_adc_aware_seeded(
     data: &QuantizedDataset,
+    engine: &mut SplitEngine<'_>,
+    arena: &mut IndexArena,
     config: &AdcAwareConfig,
     selected: &mut BTreeSet<(usize, u8)>,
     used_features: &mut BTreeSet<usize>,
-    root_indices: &[usize],
     recorder: &Recorder,
 ) -> AnnotatedTree {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
-    assert!(!root_indices.is_empty(), "cannot train on an empty subset");
     assert!(
         config.tau.is_finite() && config.tau >= 0.0,
         "tau must be a non-negative finite number, got {}",
@@ -252,31 +295,35 @@ fn train_adc_aware_seeded(
     let mut nodes: Vec<Node> = Vec::new();
     let mut majorities: Vec<usize> = Vec::new();
 
-    // BFS queue of (placeholder index, subset, depth).
-    let mut queue: VecDeque<(usize, Vec<usize>, usize)> = VecDeque::new();
+    // BFS queue of (placeholder index, arena range start, range len, depth).
+    let root_len = arena.len();
+    assert!(root_len > 0, "cannot train on an empty subset");
+    let mut queue: VecDeque<(usize, usize, usize, usize)> = VecDeque::new();
     nodes.push(Node::Leaf { class: 0 }); // placeholder for the root
-    queue.push_back((0, root_indices.to_vec(), 0));
+    queue.push_back((0, 0, root_len, 0));
 
-    while let Some((slot, indices, depth)) = queue.pop_front() {
-        let majority = majority_class(data, &indices);
+    while let Some((slot, start, len, depth)) = queue.pop_front() {
+        let majority = engine.majority_class(arena.slice(start, len));
         debug_assert_eq!(majorities.len(), slot, "FIFO pops in slot order");
         majorities.push(majority);
         let stop = depth >= config.max_depth
-            || indices.len() < config.min_samples_split
-            || is_pure(data, &indices);
+            || len < config.min_samples_split
+            || engine.is_pure(arena.slice(start, len));
         if stop {
             nodes[slot] = Node::Leaf { class: majority };
             continue;
         }
+        // The scan's work is proportional to the sample values it reads
+        // (node size × features), not the candidate count it returns.
         let timer = printed_telemetry::KernelTimer::start(printed_telemetry::Kernel::GiniScan);
-        let candidates = split_candidates(data, &indices, &cart_cfg);
-        timer.finish(candidates.len() as u64);
+        let candidates = engine.candidates(arena.slice(start, len), &cart_cfg);
+        timer.finish((len * data.n_features()) as u64);
         gini_evals += candidates.len() as u64;
         if candidates.is_empty() {
             nodes[slot] = Node::Leaf { class: majority };
             continue;
         }
-        let split = select_split(&candidates, selected, used_features, config.tau, &mut rng);
+        let split = select_split(candidates, selected, used_features, config.tau, &mut rng);
         // Classify against the hardware state *before* committing the
         // split — afterwards every pick would look zero-cost.
         match classify(&split, selected, used_features) {
@@ -287,10 +334,9 @@ fn train_adc_aware_seeded(
         selected.insert((split.feature, split.threshold));
         used_features.insert(split.feature);
 
-        let (lo_idx, hi_idx): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| data.sample(i)[split.feature] < split.threshold);
-        debug_assert!(!lo_idx.is_empty() && !hi_idx.is_empty());
+        let column = engine.index().column(split.feature);
+        let lo_len = arena.partition(start, len, column, split.threshold);
+        debug_assert!(lo_len > 0 && lo_len < len);
 
         let lo_slot = nodes.len();
         nodes.push(Node::Leaf { class: 0 }); // placeholder
@@ -302,8 +348,8 @@ fn train_adc_aware_seeded(
             lo: lo_slot,
             hi: hi_slot,
         };
-        queue.push_back((lo_slot, lo_idx, depth + 1));
-        queue.push_back((hi_slot, hi_idx, depth + 1));
+        queue.push_back((lo_slot, start, lo_len, depth + 1));
+        queue.push_back((hi_slot, start + lo_len, len - lo_len, depth + 1));
     }
 
     if recorder.is_enabled() {
@@ -380,22 +426,76 @@ fn select_split(
     *finalists[rng.gen_range(0..finalists.len())]
 }
 
-fn majority_class(data: &QuantizedDataset, indices: &[usize]) -> usize {
-    let mut counts = vec![0usize; data.n_classes()];
-    for &i in indices {
-        counts[data.label(i)] += 1;
-    }
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|&(c, &n)| (n, std::cmp::Reverse(c)))
-        .map(|(c, _)| c)
-        .expect("non-empty subset")
-}
+/// Scalar reference implementation of Algorithm 1: per-node recounting via
+/// [`split_candidates`] and `Iterator::partition`, no index, no arena, no
+/// instrumentation — the executable specification the vectorized trainer
+/// is pinned bit-identical against (same candidates, same RNG stream, same
+/// tree). Kept for tests and diagnostics; production callers should use
+/// [`train_adc_aware`].
+///
+/// # Panics
+///
+/// As for [`train_adc_aware`].
+pub fn train_adc_aware_reference(data: &QuantizedDataset, config: &AdcAwareConfig) -> DecisionTree {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(
+        config.tau.is_finite() && config.tau >= 0.0,
+        "tau must be a non-negative finite number, got {}",
+        config.tau
+    );
+    let mut selected: BTreeSet<(usize, u8)> = BTreeSet::new();
+    let mut used_features: BTreeSet<usize> = BTreeSet::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let cart_cfg = CartConfig {
+        max_depth: config.max_depth,
+        min_samples_split: config.min_samples_split,
+        threshold_strides: Vec::new(),
+    };
 
-fn is_pure(data: &QuantizedDataset, indices: &[usize]) -> bool {
-    let first = data.label(indices[0]);
-    indices.iter().all(|&i| data.label(i) == first)
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut queue: VecDeque<(usize, Vec<usize>, usize)> = VecDeque::new();
+    nodes.push(Node::Leaf { class: 0 });
+    queue.push_back((0, (0..data.len()).collect(), 0));
+
+    while let Some((slot, indices, depth)) = queue.pop_front() {
+        let majority = majority_class(data, &indices);
+        let stop = depth >= config.max_depth
+            || indices.len() < config.min_samples_split
+            || is_pure(data, &indices);
+        if stop {
+            nodes[slot] = Node::Leaf { class: majority };
+            continue;
+        }
+        let candidates = split_candidates(data, &indices, &cart_cfg);
+        if candidates.is_empty() {
+            nodes[slot] = Node::Leaf { class: majority };
+            continue;
+        }
+        let split = select_split(&candidates, &selected, &used_features, config.tau, &mut rng);
+        selected.insert((split.feature, split.threshold));
+        used_features.insert(split.feature);
+
+        let (lo_idx, hi_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| data.sample(i)[split.feature] < split.threshold);
+        debug_assert!(!lo_idx.is_empty() && !hi_idx.is_empty());
+
+        let lo_slot = nodes.len();
+        nodes.push(Node::Leaf { class: 0 });
+        let hi_slot = nodes.len();
+        nodes.push(Node::Leaf { class: 0 });
+        nodes[slot] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            lo: lo_slot,
+            hi: hi_slot,
+        };
+        queue.push_back((lo_slot, lo_idx, depth + 1));
+        queue.push_back((hi_slot, hi_idx, depth + 1));
+    }
+
+    DecisionTree::from_nodes(data.bits(), data.n_features(), data.n_classes(), nodes)
+        .expect("trainer builds valid trees")
 }
 
 #[cfg(test)]
@@ -550,6 +650,27 @@ mod tests {
             train_adc_aware_forest(&train_data, &cfg, 3),
             train_adc_aware_forest(&train_data, &cfg, 3)
         );
+    }
+
+    #[test]
+    fn vectorized_trainer_matches_scalar_reference() {
+        // The engine/arena path must reproduce the scalar reference
+        // bit-for-bit: same candidates → same RNG stream → same tree.
+        for benchmark in [Benchmark::Seeds, Benchmark::Cardio, Benchmark::WhiteWine] {
+            let (train_data, _) = benchmark.load_quantized(4).unwrap();
+            for tau in [0.0, 0.01, 0.03] {
+                let cfg = AdcAwareConfig {
+                    max_depth: 8,
+                    tau,
+                    ..Default::default()
+                };
+                assert_eq!(
+                    train_adc_aware(&train_data, &cfg),
+                    train_adc_aware_reference(&train_data, &cfg),
+                    "{benchmark} tau {tau}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -29,9 +29,10 @@ use std::collections::BTreeSet;
 use serde::{Deserialize, Serialize};
 
 use printed_adc::BespokeAdcBank;
+use printed_datasets::QuantizedDataset;
 use printed_dtree::DecisionTree;
 use printed_logic::netlist::Netlist;
-use printed_logic::sop::{Cube, Sop};
+use printed_logic::sop::{Cube, PackedCover, Sop};
 
 /// A decision tree re-expressed as per-class two-level logic over unary
 /// literals.
@@ -311,16 +312,31 @@ impl UnaryClassifier {
         if n == 0 {
             return Some(self.class_sops.clone());
         }
+        // The 2^n sweep runs on packed covers: each minterm `m` *is* the
+        // packed assignment word, feasibility is one mask expression, and
+        // cover membership is word compares — no per-minterm Vec<bool>.
+        let packed: Vec<PackedCover> = self.class_sops.iter().map(PackedCover::from_sop).collect();
+        // `adj` marks literals sharing a feature with their predecessor
+        // (literals are sorted by (feature, tap), so a feature's taps form
+        // one ascending run). Thermometer-infeasible ⇔ some marked literal
+        // is 1 while its predecessor is 0: `(m & adj) & !(m << 1) != 0` —
+        // the mask form of [`UnaryClassifier::is_feasible_assignment`].
+        let mut adj = 0u64;
+        for i in 1..n {
+            if self.literals[i].0 == self.literals[i - 1].0 {
+                adj |= 1u64 << i;
+            }
+        }
         let mut onsets: Vec<Vec<u32>> = vec![Vec::new(); self.class_sops.len()];
         let mut dc: Vec<u32> = Vec::new();
         for m in 0..(1u32 << n) {
-            let assignment: Vec<bool> = (0..n).map(|v| m & (1 << v) != 0).collect();
-            if !self.is_feasible_assignment(&assignment) {
+            let w = m as u64;
+            if (w & adj) & !(w << 1) != 0 {
                 dc.push(m);
                 continue;
             }
-            for (class, sop) in self.class_sops.iter().enumerate() {
-                if sop.eval(&assignment) {
+            for (class, cover) in packed.iter().enumerate() {
+                if cover.eval_words(&[w]) {
                     onsets[class].push(m);
                 }
             }
@@ -331,6 +347,19 @@ impl UnaryClassifier {
                 .map(|onset| printed_logic::qm::minimize(n, onset, &dc))
                 .collect(),
         )
+    }
+
+    /// Compiles the classifier's covers to bit-parallel word masks for
+    /// fast repeated prediction — the hot shape for grid accuracy scoring.
+    pub fn packed(&self) -> PackedClassifier {
+        let covers: Vec<PackedCover> = self.class_sops.iter().map(PackedCover::from_sop).collect();
+        let words = PackedCover::words_for(self.literals.len());
+        PackedClassifier {
+            n_features: self.n_features,
+            literals: self.literals.clone(),
+            covers,
+            words,
+        }
     }
 
     /// Lowers the QM-minimized covers (see
@@ -355,6 +384,110 @@ impl UnaryClassifier {
         }
         nl.prune();
         Some(nl)
+    }
+}
+
+/// A [`UnaryClassifier`] compiled to bit-packed thermometer words: the
+/// literal assignment of a sample is a `u64` word vector (bit `v` =
+/// `sample[f_v] ≥ tap_v`) and every class cover is a [`PackedCover`], so
+/// one prediction is a handful of word AND+compare operations.
+///
+/// Exact: [`predict`](Self::predict) returns precisely what
+/// [`UnaryClassifier::predict`] returns on every sample (the packing and
+/// the packed cover evaluation are both exact — pinned by tests), so
+/// [`accuracy`](Self::accuracy) equals the unpacked score and, for
+/// classifiers built from a tree, the tree's own accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedClassifier {
+    n_features: usize,
+    literals: Vec<(usize, u8)>,
+    covers: Vec<PackedCover>,
+    words: usize,
+}
+
+impl PackedClassifier {
+    /// Feature-space dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.covers.len()
+    }
+
+    /// Words per packed literal assignment.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Packs a quantized sample's thermometer assignment into `out`
+    /// (cleared and refilled): bit `v` is `sample[f] ≥ tap` for literal
+    /// `v = (f, tap)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() < self.n_features()`.
+    pub fn assignment_into(&self, sample: &[u8], out: &mut Vec<u64>) {
+        assert!(sample.len() >= self.n_features, "sample too short");
+        out.clear();
+        out.resize(self.words, 0);
+        for (v, &(f, tap)) in self.literals.iter().enumerate() {
+            if sample[f] >= tap {
+                out[v / 64] |= 1u64 << (v % 64);
+            }
+        }
+    }
+
+    /// One-hot prediction over a packed assignment; `None` when zero or
+    /// two classes assert (same contract as [`UnaryClassifier::predict`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < self.words()`.
+    pub fn predict_packed(&self, assignment: &[u64]) -> Option<usize> {
+        let mut hit = None;
+        for (class, cover) in self.covers.iter().enumerate() {
+            if cover.eval_words(assignment) {
+                if hit.is_some() {
+                    return None; // two classes asserted
+                }
+                hit = Some(class);
+            }
+        }
+        hit
+    }
+
+    /// Packs and predicts — prefer [`predict_packed`](Self::predict_packed)
+    /// with a reused buffer in hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() < self.n_features()`.
+    pub fn predict(&self, sample: &[u8]) -> Option<usize> {
+        let mut packed = Vec::with_capacity(self.words);
+        self.assignment_into(sample, &mut packed);
+        self.predict_packed(&packed)
+    }
+
+    /// Fraction of `data` classified correctly (a `None` prediction counts
+    /// as wrong). For tree-derived classifiers this equals
+    /// `tree.accuracy(data)` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or narrower than the feature space.
+    pub fn accuracy(&self, data: &QuantizedDataset) -> f64 {
+        assert!(!data.is_empty(), "cannot score an empty dataset");
+        let mut packed = Vec::with_capacity(self.words);
+        let correct = data
+            .iter()
+            .filter(|(sample, label)| {
+                self.assignment_into(sample, &mut packed);
+                self.predict_packed(&packed) == Some(*label)
+            })
+            .count();
+        correct as f64 / data.len() as f64
     }
 }
 
@@ -642,6 +775,39 @@ mod tests {
         let u = UnaryClassifier::from_tree(&tree);
         assert!(u.literals().len() > 10);
         assert!(u.minimized_covers(10).is_none());
+    }
+
+    #[test]
+    fn packed_classifier_matches_unpacked_exhaustively() {
+        let tree = fig2_tree();
+        let u = UnaryClassifier::from_tree(&tree);
+        let p = u.packed();
+        for a in (0..16u8).step_by(3) {
+            for b in 0..16u8 {
+                for c in (0..16u8).step_by(2) {
+                    for e in 0..8u8 {
+                        let sample = [a, b, c, 0, e];
+                        assert_eq!(p.predict(&sample), u.predict(&sample), "{sample:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_accuracy_equals_tree_accuracy_on_benchmarks() {
+        // The grid scorer's substitution: packed classifier accuracy must
+        // be the very same f64 as the tree's accuracy.
+        for bench in [Benchmark::Seeds, Benchmark::Cardio, Benchmark::WhiteWine] {
+            let (train_data, test_data) = bench.load_quantized(4).unwrap();
+            let tree = train(&train_data, &CartConfig::with_max_depth(6));
+            let p = UnaryClassifier::from_tree(&tree).packed();
+            assert_eq!(
+                p.accuracy(&test_data).to_bits(),
+                tree.accuracy(&test_data).to_bits(),
+                "{bench}"
+            );
+        }
     }
 
     #[test]

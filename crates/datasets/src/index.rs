@@ -1,0 +1,296 @@
+//! Precomputed per-dataset training index: feature-major level columns,
+//! per-feature sorted sample orders, and class-count prefix sums.
+//!
+//! Split-candidate enumeration reads every sample once per feature at
+//! every tree node, so its memory layout dominates training wall time.
+//! [`DatasetIndex`] computes, **once per dataset**, everything the
+//! trainers' incremental split engine needs:
+//!
+//! * **feature-major columns** — `column(f)[i] == sample(i)[f]`, so a
+//!   per-node scan of one feature walks contiguous bytes instead of
+//!   striding across row-major samples;
+//! * **per-feature sorted orders** — sample indices counting-sorted
+//!   (stably) by the feature's level;
+//! * **class-count prefix sums along those orders** —
+//!   `counts_below(f, level)[c]` is the number of class-`c` samples with
+//!   `column(f) < level`, so any level-range class histogram of the
+//!   *whole* dataset is a subtraction, with no per-sample scan at all.
+//!
+//! The index is plain read-only data (`Sync`), built once and shared by
+//! every training across a τ×depth sweep grid.
+//!
+//! ```
+//! use printed_datasets::{Benchmark, DatasetIndex};
+//!
+//! let (train, _) = Benchmark::Seeds.load_quantized(4)?;
+//! let index = DatasetIndex::new(&train);
+//! // Class histogram of samples with feature 0 in levels [4, 8):
+//! let lo = index.counts_below(0, 4);
+//! let hi = index.counts_below(0, 8);
+//! let in_range: Vec<u32> = lo.iter().zip(hi).map(|(&a, &b)| b - a).collect();
+//! assert_eq!(in_range.iter().sum::<u32>() as usize,
+//!            index.sorted_order(0).iter()
+//!                .filter(|&&i| (4..8).contains(&index.column(0)[i as usize]))
+//!                .count());
+//! # Ok::<(), printed_datasets::DatasetError>(())
+//! ```
+
+use crate::quantize::QuantizedDataset;
+
+/// Read-only per-dataset training index (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetIndex {
+    n_samples: usize,
+    n_features: usize,
+    n_classes: usize,
+    levels: usize,
+    /// Feature-major level matrix: feature `f` occupies
+    /// `columns[f * n_samples .. (f + 1) * n_samples]`.
+    columns: Vec<u8>,
+    /// Sample labels, one per sample (u32: datasets are index-arena sized).
+    labels: Vec<u32>,
+    /// Per-feature stable counting-sorted sample order: feature `f`
+    /// occupies `orders[f * n_samples .. (f + 1) * n_samples]`, samples
+    /// ascending by level, ties in dataset order.
+    orders: Vec<u32>,
+    /// Per-feature class-count prefix sums: entry
+    /// `((f * (levels + 1) + level) * n_classes + class)` counts class
+    /// `class` samples with `column(f) < level`.
+    prefix: Vec<u32>,
+}
+
+impl DatasetIndex {
+    /// Builds the index for `data`. `O(features × (samples + levels ×
+    /// classes))` time and space — run once, share everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` holds more than `u32::MAX` samples (the index
+    /// stores sample ids as `u32`).
+    pub fn new(data: &QuantizedDataset) -> Self {
+        let n = data.len();
+        assert!(u32::try_from(n).is_ok(), "dataset too large for u32 ids");
+        let n_features = data.n_features();
+        let n_classes = data.n_classes();
+        let levels = 1usize << data.bits();
+
+        let labels: Vec<u32> = (0..n).map(|i| data.label(i) as u32).collect();
+        let mut columns = vec![0u8; n_features * n];
+        for (i, (sample, _)) in data.iter().enumerate() {
+            for (f, &level) in sample.iter().enumerate() {
+                columns[f * n + i] = level;
+            }
+        }
+
+        let mut orders = vec![0u32; n_features * n];
+        let mut prefix = vec![0u32; n_features * (levels + 1) * n_classes];
+        let mut starts = vec![0u32; levels + 1];
+        for f in 0..n_features {
+            let column = &columns[f * n..(f + 1) * n];
+            // Counting sort: level histogram → start offsets → stable place.
+            starts.fill(0);
+            for &level in column {
+                starts[level as usize + 1] += 1;
+            }
+            for level in 0..levels {
+                starts[level + 1] += starts[level];
+            }
+            let order = &mut orders[f * n..(f + 1) * n];
+            for (i, &level) in column.iter().enumerate() {
+                order[starts[level as usize] as usize] = i as u32;
+                starts[level as usize] += 1;
+            }
+            // Class-count prefix sums along the sorted order: row `level`
+            // holds the class histogram of everything strictly below it.
+            let rows =
+                &mut prefix[f * (levels + 1) * n_classes..(f + 1) * (levels + 1) * n_classes];
+            let mut cursor = 0usize;
+            for level in 0..levels {
+                let (done, rest) = rows.split_at_mut((level + 1) * n_classes);
+                let row = &mut rest[..n_classes];
+                row.copy_from_slice(&done[level * n_classes..]);
+                while cursor < n && column[order[cursor] as usize] as usize == level {
+                    row[labels[order[cursor] as usize] as usize] += 1;
+                    cursor += 1;
+                }
+            }
+            debug_assert_eq!(cursor, n, "every sample lands in exactly one level");
+        }
+
+        Self {
+            n_samples: n,
+            n_features,
+            n_classes,
+            levels,
+            columns,
+            labels,
+            orders,
+            prefix,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.n_samples
+    }
+
+    /// True for an index over zero samples.
+    pub fn is_empty(&self) -> bool {
+        self.n_samples == 0
+    }
+
+    /// Feature-space dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of quantization levels (`2^bits`).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Sample labels, indexed by sample id.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// The contiguous level column of `feature`: `column(f)[i]` is
+    /// `data.sample(i)[f]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of range.
+    pub fn column(&self, feature: usize) -> &[u8] {
+        assert!(feature < self.n_features, "feature out of range");
+        &self.columns[feature * self.n_samples..(feature + 1) * self.n_samples]
+    }
+
+    /// Sample ids sorted (stably) by `feature`'s level, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of range.
+    pub fn sorted_order(&self, feature: usize) -> &[u32] {
+        assert!(feature < self.n_features, "feature out of range");
+        &self.orders[feature * self.n_samples..(feature + 1) * self.n_samples]
+    }
+
+    /// Class histogram of samples whose `feature` level is strictly below
+    /// `level` (`level` may be `levels()`, giving the whole dataset's
+    /// class counts). One `u32` per class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` or `level` is out of range.
+    pub fn counts_below(&self, feature: usize, level: usize) -> &[u32] {
+        assert!(feature < self.n_features, "feature out of range");
+        assert!(level <= self.levels, "level out of range");
+        let at = (feature * (self.levels + 1) + level) * self.n_classes;
+        &self.prefix[at..at + self.n_classes]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::registry::Benchmark;
+
+    fn index_of(bench: Benchmark) -> (QuantizedDataset, DatasetIndex) {
+        let (train, _) = bench.load_quantized(4).unwrap();
+        let index = DatasetIndex::new(&train);
+        (train, index)
+    }
+
+    #[test]
+    fn columns_transpose_the_samples() {
+        let (data, index) = index_of(Benchmark::Seeds);
+        assert_eq!(index.len(), data.len());
+        for (i, (sample, label)) in data.iter().enumerate() {
+            assert_eq!(index.labels()[i] as usize, label);
+            for (f, &level) in sample.iter().enumerate() {
+                assert_eq!(index.column(f)[i], level);
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_orders_are_stable_permutations() {
+        let (data, index) = index_of(Benchmark::Cardio);
+        for f in 0..data.n_features() {
+            let order = index.sorted_order(f);
+            assert_eq!(order.len(), data.len());
+            let mut seen = vec![false; data.len()];
+            for pair in order.windows(2) {
+                let (a, b) = (pair[0] as usize, pair[1] as usize);
+                let (la, lb) = (index.column(f)[a], index.column(f)[b]);
+                assert!(la <= lb, "order must ascend by level");
+                if la == lb {
+                    assert!(a < b, "ties must keep dataset order (stable sort)");
+                }
+            }
+            for &i in order {
+                assert!(!seen[i as usize], "each sample appears once");
+                seen[i as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sums_match_naive_counting() {
+        let (data, index) = index_of(Benchmark::Vertebral3C);
+        for f in 0..data.n_features() {
+            for level in 0..=index.levels() {
+                let counts = index.counts_below(f, level);
+                for (c, &count) in counts.iter().enumerate().take(data.n_classes()) {
+                    let naive = data
+                        .iter()
+                        .filter(|(s, l)| (s[f] as usize) < level && *l == c)
+                        .count();
+                    assert_eq!(count as usize, naive, "f={f} level={level} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_dataset_counts_equal_class_counts() {
+        let (data, index) = index_of(Benchmark::Seeds);
+        let full = index.counts_below(0, index.levels());
+        let expected = data.class_counts();
+        assert_eq!(
+            full.iter().map(|&c| c as usize).collect::<Vec<_>>(),
+            expected
+        );
+    }
+
+    #[test]
+    fn tiny_dataset_by_hand() {
+        let ds = Dataset::from_rows(
+            "t",
+            1,
+            vec![
+                (vec![0.9], 1),
+                (vec![0.1], 0),
+                (vec![0.9], 0),
+                (vec![0.1], 1),
+            ],
+        )
+        .unwrap();
+        let q = QuantizedDataset::from_dataset(&ds, 2);
+        let index = DatasetIndex::new(&q);
+        assert_eq!(index.levels(), 4);
+        // 0.1 → level 0, 0.9 → level 3.
+        assert_eq!(index.column(0), &[3, 0, 3, 0]);
+        // Stable: the two level-0 samples keep dataset order, then level 3.
+        assert_eq!(index.sorted_order(0), &[1, 3, 0, 2]);
+        assert_eq!(index.counts_below(0, 0), &[0, 0]);
+        assert_eq!(index.counts_below(0, 1), &[1, 1]);
+        assert_eq!(index.counts_below(0, 4), &[2, 2]);
+    }
+}

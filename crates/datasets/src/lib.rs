@@ -21,12 +21,14 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod index;
 pub mod io;
 pub mod quantize;
 pub mod registry;
 pub mod synth;
 
 pub use dataset::{Dataset, DatasetError};
+pub use index::DatasetIndex;
 pub use io::{parse_csv, read_csv, to_csv, write_csv, CsvError};
 pub use quantize::{dequantize_level, quantize_level, QuantizedDataset};
 pub use registry::{Benchmark, BenchmarkSpec, TRAIN_FRACTION};

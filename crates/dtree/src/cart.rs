@@ -3,9 +3,25 @@
 //! This is the conventional (ADC-unaware) trainer of the baseline \[2\]:
 //! greedy recursive partitioning minimizing the Gini impurity of each
 //! split, thresholds drawn from the values the feature takes in the data.
-//! The split-candidate enumeration is exposed ([`split_candidates`]) so the
-//! ADC-aware trainer in `printed-codesign` can reuse it verbatim and differ
-//! only in *which* near-optimal candidate it picks.
+//! The split-candidate enumeration is exposed so the ADC-aware trainer in
+//! `printed-codesign` can reuse it verbatim and differ only in *which*
+//! near-optimal candidate it picks — in two forms:
+//!
+//! * [`split_candidates`] — the scalar reference implementation: per-node
+//!   histogram built from scratch, row-major sample reads. Kept as the
+//!   executable specification the fast path is pinned against.
+//! * [`SplitEngine`] — the production hot path: reads feature-major
+//!   columns from a shared [`DatasetIndex`], tracks only *occupied*
+//!   stride-grid cells, walks them with incremental low-side histograms,
+//!   and answers whole-dataset nodes straight from class-count prefix
+//!   sums with no per-sample scan at all. Bit-identical to the scalar
+//!   path: same candidate order, same `gini` f64 bits (all histogram
+//!   arithmetic is exact integer accumulation feeding the very same
+//!   [`gini_impurity`] expression).
+//!
+//! Tree growth itself partitions node subsets in place through an
+//! [`IndexArena`](crate::arena::IndexArena) instead of allocating per-node
+//! index vectors.
 //!
 //! ```
 //! use printed_datasets::{Dataset, QuantizedDataset};
@@ -22,8 +38,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use printed_datasets::QuantizedDataset;
+use printed_datasets::{DatasetIndex, QuantizedDataset};
 
+use crate::arena::IndexArena;
 use crate::tree::{DecisionTree, Node};
 
 /// Configuration for [`train`].
@@ -98,6 +115,9 @@ pub fn gini_impurity(counts: &[usize]) -> f64 {
 /// the feature's stride grid. Candidates are returned in ascending
 /// `(feature, threshold)` order.
 ///
+/// This is the scalar **reference** enumeration; production training goes
+/// through [`SplitEngine`], which is pinned bit-identical to it.
+///
 /// # Panics
 ///
 /// Panics if `indices` is empty or contains an out-of-range index.
@@ -127,13 +147,13 @@ pub fn split_candidates(
         }
         // Thresholds are the values the (stride-coarsened) feature actually
         // takes in the node — "∀ C value in dataset for I_i" in Algorithm 1.
+        // Every count was floored onto the grid above, so only grid cells
+        // can be occupied and the occupancy probe reads exactly one cell.
         // The smallest occupied cell is skipped: `I ≥ min` is trivially true
         // (and a threshold of 0 needs no comparator at all).
         let occupied: Vec<usize> = (0..levels)
             .step_by(stride)
-            .filter(|&t| {
-                (t..(t + stride).min(levels)).any(|lvl| counts[lvl].iter().any(|&c| c > 0))
-            })
+            .filter(|&t| counts[t].iter().any(|&c| c > 0))
             .collect();
         let total: Vec<usize> = (0..n_classes)
             .map(|c| counts.iter().map(|row| row[c]).sum())
@@ -167,76 +187,326 @@ pub fn split_candidates(
     out
 }
 
-/// Majority class of the subset (ties broken toward the smaller class id).
-fn majority_class(data: &QuantizedDataset, indices: &[usize]) -> usize {
-    let mut counts = vec![0usize; data.n_classes()];
-    for &i in indices {
-        counts[data.label(i)] += 1;
+/// Incremental split-candidate engine over a shared [`DatasetIndex`].
+///
+/// One engine serves every node of every tree trained on the dataset: all
+/// scratch (grid-cell histograms, occupied-cell list, low/high/total class
+/// histograms, the output vector) is allocated once and reused, so a call
+/// to [`candidates`](Self::candidates) allocates nothing.
+///
+/// Exactness: the engine produces the same `Vec<SplitCandidate>` as
+/// [`split_candidates`] — same order, same `gini` down to the f64 bit
+/// pattern. Histogram accumulation is integer (order-insensitive, exact),
+/// skipped empty cells contribute zero exactly as the scalar path's
+/// explicit zero-adds do, and the final score evaluates the identical
+/// floating-point expression on identical integer inputs.
+#[derive(Debug)]
+pub struct SplitEngine<'a> {
+    index: &'a DatasetIndex,
+    /// Flat `levels × n_classes` grid-cell histogram scratch; only cells
+    /// in `touched` are nonzero between features.
+    counts: Vec<usize>,
+    /// Per-cell subset totals (`cell_n[level] == Σ_c counts[level][c]`).
+    cell_n: Vec<usize>,
+    /// Occupied stride-grid cells of the current feature, ascending.
+    touched: Vec<usize>,
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+    total: Vec<usize>,
+    class_counts: Vec<usize>,
+    out: Vec<SplitCandidate>,
+}
+
+impl<'a> SplitEngine<'a> {
+    /// An engine over `index`, with all scratch preallocated.
+    pub fn new(index: &'a DatasetIndex) -> Self {
+        let levels = index.levels();
+        let n_classes = index.n_classes();
+        Self {
+            index,
+            counts: vec![0; levels * n_classes],
+            cell_n: vec![0; levels],
+            touched: Vec::with_capacity(levels),
+            lo: vec![0; n_classes],
+            hi: vec![0; n_classes],
+            total: vec![0; n_classes],
+            class_counts: vec![0; n_classes],
+            out: Vec::new(),
+        }
     }
+
+    /// The shared dataset index (returned at the index's own lifetime, so
+    /// callers can hold column slices across later `&mut self` calls).
+    pub fn index(&self) -> &'a DatasetIndex {
+        self.index
+    }
+
+    /// Enumerates every valid split of the node subset `indices` —
+    /// bit-identical to [`split_candidates`] on the same subset. The
+    /// returned slice is valid until the next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or contains an out-of-range id.
+    pub fn candidates(&mut self, indices: &[u32], config: &CartConfig) -> &[SplitCandidate] {
+        assert!(
+            !indices.is_empty(),
+            "cannot enumerate splits of an empty node"
+        );
+        let n = indices.len();
+        let levels = self.index.levels();
+        let n_classes = self.index.n_classes();
+        self.out.clear();
+        // A whole-dataset node in identity order (every non-bootstrap
+        // root) needs no per-sample scan at all: its grid-cell histograms
+        // are prefix-sum differences.
+        let identity =
+            n == self.index.len() && indices.iter().enumerate().all(|(i, &id)| id as usize == i);
+
+        for feature in 0..self.index.n_features() {
+            let stride = config.stride(feature) as usize;
+            self.touched.clear();
+            if identity {
+                let mut t = 0usize;
+                while t < levels {
+                    let below_t = self.index.counts_below(feature, t);
+                    let below_next = self.index.counts_below(feature, (t + stride).min(levels));
+                    let row = &mut self.counts[t * n_classes..(t + 1) * n_classes];
+                    let mut cell_total = 0usize;
+                    for c in 0..n_classes {
+                        let v = (below_next[c] - below_t[c]) as usize;
+                        row[c] = v;
+                        cell_total += v;
+                    }
+                    if cell_total > 0 {
+                        self.touched.push(t);
+                        self.cell_n[t] = cell_total;
+                    } else {
+                        // Keep the scratch invariant: untouched rows stay 0.
+                        row.fill(0);
+                    }
+                    t += stride;
+                }
+            } else {
+                let column = self.index.column(feature);
+                let labels = self.index.labels();
+                for &id in indices {
+                    let i = id as usize;
+                    let level = (column[i] as usize / stride) * stride;
+                    if self.cell_n[level] == 0 {
+                        self.touched.push(level);
+                    }
+                    self.cell_n[level] += 1;
+                    self.counts[level * n_classes + labels[i] as usize] += 1;
+                }
+                self.touched.sort_unstable();
+            }
+
+            // Subset class totals (integer sums over occupied cells only —
+            // the scalar path also sums the empty cells, which add zero, so
+            // the values are identical).
+            self.total.fill(0);
+            for k in 0..self.touched.len() {
+                let t = self.touched[k];
+                for c in 0..n_classes {
+                    self.total[c] += self.counts[t * n_classes + c];
+                }
+            }
+
+            // Walk occupied cells, folding each previous cell into the
+            // incremental low side. The first occupied cell is skipped
+            // (trivial split), exactly like the scalar path.
+            self.lo.fill(0);
+            let mut lo_n = 0usize;
+            for k in 1..self.touched.len() {
+                let prev = self.touched[k - 1];
+                for c in 0..n_classes {
+                    self.lo[c] += self.counts[prev * n_classes + c];
+                }
+                lo_n += self.cell_n[prev];
+                let t = self.touched[k];
+                debug_assert!(
+                    lo_n > 0 && lo_n < n,
+                    "occupied-cell thresholds split non-trivially"
+                );
+                for c in 0..n_classes {
+                    self.hi[c] = self.total[c] - self.lo[c];
+                }
+                let hi_n = n - lo_n;
+                let g = (lo_n as f64 * gini_impurity(&self.lo)
+                    + hi_n as f64 * gini_impurity(&self.hi))
+                    / n as f64;
+                self.out.push(SplitCandidate {
+                    feature,
+                    threshold: t as u8,
+                    gini: g,
+                });
+            }
+
+            // Zero only what this feature touched.
+            for k in 0..self.touched.len() {
+                let t = self.touched[k];
+                self.cell_n[t] = 0;
+                self.counts[t * n_classes..(t + 1) * n_classes].fill(0);
+            }
+        }
+        &self.out
+    }
+
+    /// Majority class of the subset (shared tie-break rule:
+    /// [`majority_from_counts`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or contains an out-of-range id.
+    pub fn majority_class(&mut self, indices: &[u32]) -> usize {
+        assert!(!indices.is_empty(), "non-empty subset");
+        let labels = self.index.labels();
+        self.class_counts.fill(0);
+        for &id in indices {
+            self.class_counts[labels[id as usize] as usize] += 1;
+        }
+        majority_from_counts(&self.class_counts)
+    }
+
+    /// True when every sample in the subset has the same label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or contains an out-of-range id.
+    pub fn is_pure(&self, indices: &[u32]) -> bool {
+        let labels = self.index.labels();
+        let first = labels[indices[0] as usize];
+        indices.iter().all(|&id| labels[id as usize] == first)
+    }
+}
+
+/// Majority vote over a class histogram, ties broken toward the smaller
+/// class id — the **single** tie-break rule every trainer in the workspace
+/// shares (CART here, the ADC-aware trainer, and forests).
+///
+/// # Panics
+///
+/// Panics if `counts` is empty.
+pub fn majority_from_counts(counts: &[usize]) -> usize {
     counts
         .iter()
         .enumerate()
         .max_by_key(|&(c, &n)| (n, std::cmp::Reverse(c)))
         .map(|(c, _)| c)
-        .expect("non-empty subset")
+        .expect("non-empty histogram")
 }
 
-fn is_pure(data: &QuantizedDataset, indices: &[usize]) -> bool {
+/// Majority class of the subset (ties broken toward the smaller class id).
+///
+/// # Panics
+///
+/// Panics if `indices` is empty or contains an out-of-range index.
+pub fn majority_class(data: &QuantizedDataset, indices: &[usize]) -> usize {
+    let mut counts = vec![0usize; data.n_classes()];
+    for &i in indices {
+        counts[data.label(i)] += 1;
+    }
+    majority_from_counts(&counts)
+}
+
+/// True when every sample in the subset has the same label.
+///
+/// # Panics
+///
+/// Panics if `indices` is empty or contains an out-of-range index.
+pub fn is_pure(data: &QuantizedDataset, indices: &[usize]) -> bool {
     let first = data.label(indices[0]);
     indices.iter().all(|&i| data.label(i) == first)
+}
+
+/// The winning candidate under the deterministic selection rule every
+/// Gini-greedy trainer shares: lowest impurity, ties toward the smaller
+/// `(feature, threshold)`.
+pub fn best_split(candidates: &[SplitCandidate]) -> Option<SplitCandidate> {
+    candidates.iter().copied().min_by(|a, b| {
+        a.gini
+            .partial_cmp(&b.gini)
+            .expect("finite gini")
+            .then(a.feature.cmp(&b.feature))
+            .then(a.threshold.cmp(&b.threshold))
+    })
 }
 
 /// Trains a CART decision tree on `data`.
 ///
 /// Deterministic: among equal-Gini candidates the smallest
-/// `(feature, threshold)` wins.
+/// `(feature, threshold)` wins. Builds a fresh [`DatasetIndex`]; callers
+/// training repeatedly on the same dataset should build the index once and
+/// use [`train_with_index`].
 ///
 /// # Panics
 ///
 /// Panics if `data` is empty.
 pub fn train(data: &QuantizedDataset, config: &CartConfig) -> DecisionTree {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
-    let all: Vec<usize> = (0..data.len()).collect();
+    let index = DatasetIndex::new(data);
+    train_with_index(data, &index, config)
+}
+
+/// [`train`] with a caller-provided (shared) [`DatasetIndex`].
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `index` was not built from `data`.
+pub fn train_with_index(
+    data: &QuantizedDataset,
+    index: &DatasetIndex,
+    config: &CartConfig,
+) -> DecisionTree {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(
+        index.len() == data.len() && index.n_features() == data.n_features(),
+        "index must be built from the training dataset"
+    );
+    let mut engine = SplitEngine::new(index);
+    let mut arena = IndexArena::new();
+    arena.reset_identity(data.len());
     let mut nodes = Vec::new();
-    grow(data, config, &all, 0, &mut nodes);
+    grow(
+        &mut engine,
+        &mut arena,
+        config,
+        0,
+        data.len(),
+        0,
+        &mut nodes,
+    );
     DecisionTree::from_nodes(data.bits(), data.n_features(), data.n_classes(), nodes)
         .expect("trainer builds valid trees")
 }
 
 fn grow(
-    data: &QuantizedDataset,
+    engine: &mut SplitEngine<'_>,
+    arena: &mut IndexArena,
     config: &CartConfig,
-    indices: &[usize],
+    start: usize,
+    len: usize,
     depth: usize,
     nodes: &mut Vec<Node>,
 ) -> usize {
-    let make_leaf = |nodes: &mut Vec<Node>| {
-        nodes.push(Node::Leaf {
-            class: majority_class(data, indices),
-        });
-        nodes.len() - 1
-    };
     if depth >= config.max_depth
-        || indices.len() < config.min_samples_split
-        || is_pure(data, indices)
+        || len < config.min_samples_split
+        || engine.is_pure(arena.slice(start, len))
     {
-        return make_leaf(nodes);
+        let class = engine.majority_class(arena.slice(start, len));
+        nodes.push(Node::Leaf { class });
+        return nodes.len() - 1;
     }
-    let candidates = split_candidates(data, indices, config);
-    let Some(best) = candidates.iter().min_by(|a, b| {
-        a.gini
-            .partial_cmp(&b.gini)
-            .expect("finite gini")
-            .then(a.feature.cmp(&b.feature))
-            .then(a.threshold.cmp(&b.threshold))
-    }) else {
-        return make_leaf(nodes);
+    let Some(best) = best_split(engine.candidates(arena.slice(start, len), config)) else {
+        let class = engine.majority_class(arena.slice(start, len));
+        nodes.push(Node::Leaf { class });
+        return nodes.len() - 1;
     };
 
-    let (lo_idx, hi_idx): (Vec<usize>, Vec<usize>) = indices
-        .iter()
-        .partition(|&&i| data.sample(i)[best.feature] < best.threshold);
-    debug_assert!(!lo_idx.is_empty() && !hi_idx.is_empty());
+    let column = engine.index().column(best.feature);
+    let lo_len = arena.partition(start, len, column, best.threshold);
+    debug_assert!(lo_len > 0 && lo_len < len);
 
     let me = nodes.len();
     nodes.push(Node::Split {
@@ -245,8 +515,16 @@ fn grow(
         lo: usize::MAX,
         hi: usize::MAX,
     });
-    let lo = grow(data, config, &lo_idx, depth + 1, nodes);
-    let hi = grow(data, config, &hi_idx, depth + 1, nodes);
+    let lo = grow(engine, arena, config, start, lo_len, depth + 1, nodes);
+    let hi = grow(
+        engine,
+        arena,
+        config,
+        start + lo_len,
+        len - lo_len,
+        depth + 1,
+        nodes,
+    );
     nodes[me] = Node::Split {
         feature: best.feature,
         threshold: best.threshold,
@@ -271,7 +549,8 @@ pub struct TrainedModel {
 
 /// Trains at every depth `1..=max_depth` and returns the model at the
 /// *minimum* depth achieving the maximum test accuracy — the paper's
-/// baseline model-selection rule.
+/// baseline model-selection rule. The [`DatasetIndex`] is built once and
+/// shared across every depth.
 ///
 /// # Panics
 ///
@@ -282,9 +561,10 @@ pub fn train_depth_selected(
     max_depth: usize,
 ) -> TrainedModel {
     assert!(max_depth >= 1, "max_depth must be at least 1");
+    let index = DatasetIndex::new(train_data);
     let mut best: Option<TrainedModel> = None;
     for depth in 1..=max_depth {
-        let tree = train(train_data, &CartConfig::with_max_depth(depth));
+        let tree = train_with_index(train_data, &index, &CartConfig::with_max_depth(depth));
         let model = TrainedModel {
             train_accuracy: tree.accuracy(train_data),
             test_accuracy: tree.accuracy(test_data),
@@ -348,6 +628,132 @@ mod tests {
         // Perfect separator on feature 1 at threshold 0.8·16=12..13 region:
         let perfect = cands.iter().find(|c| c.gini == 0.0);
         assert!(perfect.is_some(), "a zero-gini split exists: {cands:?}");
+    }
+
+    #[test]
+    fn majority_tie_breaks_toward_smaller_class_id() {
+        // The single shared tie-break rule: equal counts → smaller class.
+        assert_eq!(majority_from_counts(&[3, 3]), 0);
+        assert_eq!(majority_from_counts(&[0, 2, 2]), 1);
+        assert_eq!(majority_from_counts(&[1, 4, 4, 2]), 1);
+        assert_eq!(majority_from_counts(&[0, 0, 5]), 2);
+        // And through both subset-level entry points.
+        let q = quantized(vec![(vec![0.1], 1), (vec![0.5], 0), (vec![0.9], 1)], 1);
+        assert_eq!(majority_class(&q, &[0, 1]), 0, "1-vs-1 tie → class 0");
+        let index = DatasetIndex::new(&q);
+        let mut engine = SplitEngine::new(&index);
+        assert_eq!(engine.majority_class(&[0, 1]), 0);
+        assert_eq!(engine.majority_class(&[0, 1, 2]), 1);
+        assert!(!engine.is_pure(&[0, 1]));
+        assert!(engine.is_pure(&[0, 2]));
+    }
+
+    /// Brute-force recount of one split — the slowest possible oracle.
+    fn brute_force_candidates(
+        data: &QuantizedDataset,
+        indices: &[usize],
+        config: &CartConfig,
+    ) -> Vec<SplitCandidate> {
+        let levels = 1usize << data.bits();
+        let n = indices.len();
+        let mut out = Vec::new();
+        for feature in 0..data.n_features() {
+            let stride = config.threshold_strides.get(feature).copied().unwrap_or(1) as usize;
+            let floored = |i: usize| (data.sample(i)[feature] as usize / stride) * stride;
+            let occupied: Vec<usize> = (0..levels)
+                .step_by(stride)
+                .filter(|&t| indices.iter().any(|&i| floored(i) == t))
+                .collect();
+            for &t in occupied.iter().skip(1) {
+                let mut lo = vec![0usize; data.n_classes()];
+                let mut hi = vec![0usize; data.n_classes()];
+                for &i in indices {
+                    if floored(i) < t {
+                        lo[data.label(i)] += 1;
+                    } else {
+                        hi[data.label(i)] += 1;
+                    }
+                }
+                let lo_n: usize = lo.iter().sum();
+                let hi_n = n - lo_n;
+                let g = (lo_n as f64 * gini_impurity(&lo) + hi_n as f64 * gini_impurity(&hi))
+                    / n as f64;
+                out.push(SplitCandidate {
+                    feature,
+                    threshold: t as u8,
+                    gini: g,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn strided_candidates_match_brute_force_exactly() {
+        // Regression for the dead-scan occupancy probe: with stride > 1 the
+        // coarsened grid must yield exactly the brute-force candidate list
+        // (same order, same gini bits), at every stride.
+        let (train_data, _) = Benchmark::Vertebral3C.load_quantized(4).unwrap();
+        let all: Vec<usize> = (0..train_data.len()).collect();
+        let subset: Vec<usize> = (0..train_data.len()).step_by(3).collect();
+        for stride in [1u8, 2, 4, 8] {
+            let mut config = CartConfig::with_max_depth(8);
+            config.threshold_strides = vec![stride; train_data.n_features()];
+            for indices in [&all, &subset] {
+                let got = split_candidates(&train_data, indices, &config);
+                let want = brute_force_candidates(&train_data, indices, &config);
+                assert_eq!(got.len(), want.len(), "stride {stride}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!((g.feature, g.threshold), (w.feature, w.threshold));
+                    assert_eq!(g.gini.to_bits(), w.gini.to_bits(), "stride {stride}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_scalar_reference_bit_for_bit() {
+        for bench in [Benchmark::Seeds, Benchmark::Cardio, Benchmark::WhiteWine] {
+            let (train_data, _) = bench.load_quantized(4).unwrap();
+            let index = DatasetIndex::new(&train_data);
+            let mut engine = SplitEngine::new(&index);
+            let n = train_data.len();
+            // Identity (prefix-sum fast path), a strided subset, a reversed
+            // subset, and a tiny tail (scan path).
+            let identity: Vec<usize> = (0..n).collect();
+            let strided: Vec<usize> = (0..n).step_by(7).collect();
+            let reversed: Vec<usize> = (0..n).rev().collect();
+            let tail: Vec<usize> = (n.saturating_sub(5)..n).collect();
+            for (name, subset) in [
+                ("identity", &identity),
+                ("strided", &strided),
+                ("reversed", &reversed),
+                ("tail", &tail),
+            ] {
+                for strides in [Vec::new(), vec![2; train_data.n_features()]] {
+                    let mut config = CartConfig::with_max_depth(8);
+                    config.threshold_strides = strides;
+                    let want = split_candidates(&train_data, subset, &config);
+                    let ids: Vec<u32> = subset.iter().map(|&i| i as u32).collect();
+                    let got = engine.candidates(&ids, &config);
+                    assert_eq!(got.len(), want.len(), "{bench:?}/{name}");
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(
+                            (g.feature, g.threshold),
+                            (w.feature, w.threshold),
+                            "{bench:?}/{name}"
+                        );
+                        assert_eq!(
+                            g.gini.to_bits(),
+                            w.gini.to_bits(),
+                            "{bench:?}/{name} f{} t{}",
+                            g.feature,
+                            g.threshold
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -458,5 +864,13 @@ mod tests {
     fn split_candidates_reject_empty_node() {
         let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
         split_candidates(&train_data, &[], &CartConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn engine_rejects_empty_node() {
+        let (train_data, _) = Benchmark::Seeds.load_quantized(4).unwrap();
+        let index = DatasetIndex::new(&train_data);
+        SplitEngine::new(&index).candidates(&[], &CartConfig::default());
     }
 }

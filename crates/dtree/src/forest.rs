@@ -23,9 +23,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use printed_datasets::QuantizedDataset;
+use printed_datasets::{DatasetIndex, QuantizedDataset};
 
-use crate::cart::CartConfig;
+use crate::arena::IndexArena;
+use crate::cart::{best_split, CartConfig, SplitCandidate, SplitEngine};
 use crate::tree::{DecisionTree, Node};
 
 /// Configuration for [`train_forest`].
@@ -147,6 +148,12 @@ pub fn train_forest(data: &QuantizedDataset, config: &ForestConfig) -> Forest {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n_keep = ((data.n_features() as f64 * config.feature_fraction).ceil() as usize).max(1);
 
+    // One dataset index, split engine, and index arena serve the whole
+    // ensemble — only the arena's root subset changes per tree.
+    let index = DatasetIndex::new(data);
+    let mut engine = SplitEngine::new(&index);
+    let mut arena = IndexArena::new();
+
     let trees = (0..config.trees)
         .map(|_| {
             // Bootstrap indices.
@@ -161,77 +168,60 @@ pub fn train_forest(data: &QuantizedDataset, config: &ForestConfig) -> Forest {
             }
             let keep: std::collections::BTreeSet<usize> =
                 features.into_iter().take(n_keep).collect();
-            train_on_subset(data, &indices, &keep, config.max_depth)
+            let cart_cfg = CartConfig::with_max_depth(config.max_depth);
+            arena.reset_from(&indices);
+            let mut nodes = Vec::new();
+            grow(
+                &mut engine,
+                &mut arena,
+                &keep,
+                &cart_cfg,
+                0,
+                data.len(),
+                0,
+                &mut nodes,
+            );
+            DecisionTree::from_nodes(data.bits(), data.n_features(), data.n_classes(), nodes)
+                .expect("trainer builds valid trees")
         })
         .collect();
     Forest::from_trees(trees)
 }
 
-/// CART on a bootstrap subset restricted to `keep` features.
-fn train_on_subset(
-    data: &QuantizedDataset,
-    indices: &[usize],
-    keep: &std::collections::BTreeSet<usize>,
-    max_depth: usize,
-) -> DecisionTree {
-    let config = CartConfig::with_max_depth(max_depth);
-    let mut nodes = Vec::new();
-    grow(data, indices, keep, &config, 0, &mut nodes);
-    DecisionTree::from_nodes(data.bits(), data.n_features(), data.n_classes(), nodes)
-        .expect("trainer builds valid trees")
-}
-
-fn majority(data: &QuantizedDataset, indices: &[usize]) -> usize {
-    let mut counts = vec![0usize; data.n_classes()];
-    for &i in indices {
-        counts[data.label(i)] += 1;
-    }
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|&(c, &n)| (n, std::cmp::Reverse(c)))
-        .map(|(c, _)| c)
-        .expect("non-empty subset")
-}
-
+#[allow(clippy::too_many_arguments)]
 fn grow(
-    data: &QuantizedDataset,
-    indices: &[usize],
+    engine: &mut SplitEngine<'_>,
+    arena: &mut IndexArena,
     keep: &std::collections::BTreeSet<usize>,
     config: &CartConfig,
+    start: usize,
+    len: usize,
     depth: usize,
     nodes: &mut Vec<Node>,
 ) -> usize {
-    let leaf = |nodes: &mut Vec<Node>| {
-        nodes.push(Node::Leaf {
-            class: majority(data, indices),
-        });
-        nodes.len() - 1
-    };
-    let first = data.label(indices[0]);
-    let pure = indices.iter().all(|&i| data.label(i) == first);
-    if depth >= config.max_depth || indices.len() < config.min_samples_split || pure {
-        return leaf(nodes);
+    if depth >= config.max_depth
+        || len < config.min_samples_split
+        || engine.is_pure(arena.slice(start, len))
+    {
+        let class = engine.majority_class(arena.slice(start, len));
+        nodes.push(Node::Leaf { class });
+        return nodes.len() - 1;
     }
     // Candidates restricted to the kept features.
-    let candidates = crate::cart::split_candidates(data, indices, config);
-    let best = candidates
+    let kept: Vec<SplitCandidate> = engine
+        .candidates(arena.slice(start, len), config)
         .iter()
+        .copied()
         .filter(|c| keep.contains(&c.feature))
-        .min_by(|a, b| {
-            a.gini
-                .partial_cmp(&b.gini)
-                .expect("finite gini")
-                .then(a.feature.cmp(&b.feature))
-                .then(a.threshold.cmp(&b.threshold))
-        });
-    let Some(best) = best else {
-        return leaf(nodes);
+        .collect();
+    let Some(best) = best_split(&kept) else {
+        let class = engine.majority_class(arena.slice(start, len));
+        nodes.push(Node::Leaf { class });
+        return nodes.len() - 1;
     };
-    let (lo_idx, hi_idx): (Vec<usize>, Vec<usize>) = indices
-        .iter()
-        .partition(|&&i| data.sample(i)[best.feature] < best.threshold);
-    debug_assert!(!lo_idx.is_empty() && !hi_idx.is_empty());
+    let column = engine.index().column(best.feature);
+    let lo_len = arena.partition(start, len, column, best.threshold);
+    debug_assert!(lo_len > 0 && lo_len < len);
 
     let me = nodes.len();
     nodes.push(Node::Split {
@@ -240,8 +230,17 @@ fn grow(
         lo: usize::MAX,
         hi: usize::MAX,
     });
-    let lo = grow(data, &lo_idx, keep, config, depth + 1, nodes);
-    let hi = grow(data, &hi_idx, keep, config, depth + 1, nodes);
+    let lo = grow(engine, arena, keep, config, start, lo_len, depth + 1, nodes);
+    let hi = grow(
+        engine,
+        arena,
+        keep,
+        config,
+        start + lo_len,
+        len - lo_len,
+        depth + 1,
+        nodes,
+    );
     nodes[me] = Node::Split {
         feature: best.feature,
         threshold: best.threshold,

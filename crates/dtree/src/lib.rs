@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod arena;
 pub mod baseline;
 pub mod cart;
 pub mod forest;
@@ -38,8 +39,11 @@ pub mod prune;
 pub mod tree;
 
 pub use approx::{synthesize_approx, ApproxConfig, ApproxDesign};
+pub use arena::IndexArena;
 pub use baseline::{synthesize_baseline, synthesize_baseline_with, BaselineDesign};
-pub use cart::{train, train_depth_selected, CartConfig, SplitCandidate, TrainedModel};
+pub use cart::{
+    train, train_depth_selected, CartConfig, SplitCandidate, SplitEngine, TrainedModel,
+};
 pub use forest::{train_forest, Forest, ForestConfig};
 pub use metrics::{evaluate, ClassMetrics, Classifier, Evaluation};
 pub use prune::{prune, pruning_path};

@@ -26,7 +26,7 @@ use std::process::ExitCode;
 
 use printed_report::{
     diff_kernels, diff_many, diff_robust, diff_suites, parse_history, parse_kernel_history,
-    parse_robust_history, parse_trace, render_history, render_kernel_history,
+    parse_robust_history, parse_trace, render_history, render_kernel_history, render_kernel_table,
     render_robust_history, CostReport, DiffConfig, HistoryEntry, KernelHistoryEntry, KernelStats,
     Profile, RobustHistoryEntry, RobustStats, TraceStats, Watcher,
 };
@@ -38,7 +38,7 @@ commands:
   report <trace.ndjson>
       Flame/self-time profile plus hardware-cost attribution.
   diff <baseline> <current> [--max-regress PCT] [--max-wall-regress PCT]
-       [--wall-floor-us N] [--wall-z Z] [--tp-floor PCT]
+       [--wall-floor-us N] [--wall-z Z] [--tp-floor PCT] [--table]
       Gate a run against a baseline; exits 1 on regression.
       Inputs may be bench_stats NDJSON (single line or a whole suite
       like BENCH_all.ndjson) or NDJSON traces. Suites are paired by
@@ -58,6 +58,9 @@ commands:
       and campaign wall gate at median + max(z*MAD, floor) — wall is
       refused across environment classes. Axes never mix: the baseline
       and current file must carry the same record kind.
+      --table renders the kernel axis as one markdown table (before /
+      after throughput per kernel) instead of per-kernel text blocks —
+      the shape CI step summaries want. Kernel suites only.
   watch <trace.ndjson> [--poll-ms N] [--once]
       Tail an in-flight traced run: rolling k/N progress, candidate
       rate, ETA, and failed-candidate alerts. Robust to torn tails and
@@ -140,9 +143,11 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let mut paths = Vec::new();
     let mut config = DiffConfig::default();
     let mut wall_override = None;
+    let mut table = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--table" => table = true,
             "--max-regress" => {
                 let v = iter.next().ok_or("--max-regress needs a value")?;
                 let tolerance = parse_pct(v)?;
@@ -209,6 +214,9 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
             current_axis.name()
         ));
     }
+    if table && baseline_axis != Axis::Kernel {
+        return Err("--table renders kernel suites only (kernel_stats inputs)".into());
+    }
     match baseline_axis {
         Axis::Kernel => {
             let baselines = KernelStats::from_text_multi(&baseline_text)
@@ -217,6 +225,15 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
                 .map_err(|e| format!("{current_path}: {e}"))?;
             let reports = diff_kernels(&baselines, &currents, config)?;
             let mut passed = true;
+            if table {
+                print!("{}", render_kernel_table(&reports));
+                passed = reports.iter().all(|r| r.passed());
+                return Ok(if passed {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                });
+            }
             for report in &reports {
                 print!("{}", report.render_text());
                 passed &= report.passed();

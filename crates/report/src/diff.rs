@@ -501,6 +501,45 @@ impl KernelDiffReport {
     }
 }
 
+/// Renders a kernel-gate suite as a GitHub-flavored markdown table —
+/// one row per `(dataset, kernel)` pair with the before/after
+/// throughputs, their relative delta, and the verdict. Meant for CI
+/// step summaries, where the plain-text blocks of
+/// [`KernelDiffReport::render_text`] are too noisy to scan.
+pub fn render_kernel_table(reports: &[KernelDiffReport]) -> String {
+    let mut out = String::from(
+        "| dataset | kernel | calls | items | baseline items/s | current items/s | Δ | verdict |\n\
+         |---|---|---:|---:|---:|---:|---:|---|\n",
+    );
+    for report in reports {
+        let delta = if report.baseline.tp_median == 0 {
+            "n/a".to_owned()
+        } else {
+            format!(
+                "{:+.1}%",
+                100.0 * (report.current.tp_median as f64 - report.baseline.tp_median as f64)
+                    / report.baseline.tp_median as f64
+            )
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            report.baseline.dataset,
+            report.baseline.kernel,
+            report.current.calls,
+            report.current.items,
+            report.baseline.tp_median,
+            report.current.tp_median,
+            delta,
+            if report.passed() {
+                "pass"
+            } else {
+                "REGRESSION"
+            },
+        ));
+    }
+    out
+}
+
 /// Gates a fresh kernel suite against a committed baseline suite,
 /// paired by `(dataset, kernel)` under a strict bijection — a kernel
 /// record present on one side and missing on the other is a hard `Err`
@@ -1865,6 +1904,28 @@ mod tests {
         assert_eq!(parsed, vec![original]);
         // A file with no kernel records is a hard error.
         assert!(KernelStats::from_text_multi(r#"{"kind":"bench_stats"}"#).is_err());
+    }
+
+    #[test]
+    fn kernel_table_renders_one_markdown_row_per_pair() {
+        let base = kernel("Seeds", "gini_scan");
+        let mut cur = kernel("Seeds", "gini_scan");
+        cur.tp_median = 2_000_000; // a 2× improvement
+        let reports = diff_kernels(&[base], &[cur], DiffConfig::default()).unwrap();
+        let table = render_kernel_table(&reports);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "header + separator + one row:\n{table}");
+        assert!(lines[0].starts_with("| dataset | kernel |"));
+        assert!(lines[2].contains("| Seeds | gini_scan |"));
+        assert!(lines[2].contains("| 1000000 | 2000000 | +100.0% | pass |"));
+        // A regressed pair renders its verdict in the same row shape.
+        let mut base = kernel("Seeds", "gini_scan");
+        base.tp_mad = 0;
+        let mut cur = kernel("Seeds", "gini_scan");
+        cur.tp_median = 100_000;
+        let reports = diff_kernels(&[base], &[cur], DiffConfig::default()).unwrap();
+        let table = render_kernel_table(&reports);
+        assert!(table.contains("| -90.0% | REGRESSION |"), "{table}");
     }
 
     #[test]

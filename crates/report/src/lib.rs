@@ -60,8 +60,8 @@ pub mod watch;
 
 pub use cost::{AdcRow, ClassRow, CostReport, RobustRow, SelectedDesign};
 pub use diff::{
-    diff_kernels, diff_many, diff_robust, diff_suites, median_mad, DiffConfig, DiffReport,
-    KernelDiffReport, KernelStats, RobustDiffReport, RobustStats, TraceStats,
+    diff_kernels, diff_many, diff_robust, diff_suites, median_mad, render_kernel_table, DiffConfig,
+    DiffReport, KernelDiffReport, KernelStats, RobustDiffReport, RobustStats, TraceStats,
 };
 pub use history::{
     parse_history, parse_kernel_history, parse_robust_history, render_history,

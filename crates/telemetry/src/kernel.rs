@@ -1,10 +1,10 @@
 //! Per-kernel hot-path profiling: invocation counts, items processed, and
-//! cumulative self time for the five kernels that dominate flow wall time.
+//! cumulative self time for the six kernels that dominate flow wall time.
 //!
 //! Stage spans say *that* `stage:sweep` is slow; this module says *which
-//! kernel* — the Gini candidate scan, thermometer encoding, BFS
-//! truncation, cube merging, or netlist synthesis — and at how many
-//! items/sec. The design constraints, in order:
+//! kernel* — the Gini candidate scan, node partitioning, thermometer
+//! encoding, BFS truncation, cube merging, or netlist synthesis — and at
+//! how many items/sec. The design constraints, in order:
 //!
 //! 1. **Inert off the profiling path.** A [`KernelTimer`] costs one
 //!    thread-local flag read when no [`KernelScope`] is active on the
@@ -46,8 +46,13 @@ use crate::recorder::Recorder;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// Algorithm 1's Gini scan over split candidates (one BFS node's
-    /// candidate set per call; items = candidates scored).
+    /// candidate enumeration per call; items = sample-level reads
+    /// scanned, i.e. node size × features — the quantity the scan's
+    /// work is actually proportional to).
     GiniScan,
+    /// Stable in-place partition of a node's sample subset into its two
+    /// children after a split commits (items = sample ids moved).
+    NodePartition,
     /// Tree → per-class two-level unary logic (items = root-to-leaf paths
     /// encoded).
     ThermoEncode,
@@ -63,12 +68,13 @@ pub enum Kernel {
 }
 
 /// Number of kernels (the tally array width).
-const N: usize = 5;
+const N: usize = 6;
 
 impl Kernel {
     /// Every kernel, in tally order.
     pub const ALL: [Kernel; N] = [
         Kernel::GiniScan,
+        Kernel::NodePartition,
         Kernel::ThermoEncode,
         Kernel::BfsTruncate,
         Kernel::CubeMerge,
@@ -79,6 +85,7 @@ impl Kernel {
     pub fn name(self) -> &'static str {
         match self {
             Kernel::GiniScan => "gini_scan",
+            Kernel::NodePartition => "node_partition",
             Kernel::ThermoEncode => "thermo_encode",
             Kernel::BfsTruncate => "bfs_truncate",
             Kernel::CubeMerge => "cube_merge",
@@ -95,6 +102,7 @@ impl Kernel {
     pub fn calls_key(self) -> &'static str {
         match self {
             Kernel::GiniScan => "kernel.gini_scan.calls",
+            Kernel::NodePartition => "kernel.node_partition.calls",
             Kernel::ThermoEncode => "kernel.thermo_encode.calls",
             Kernel::BfsTruncate => "kernel.bfs_truncate.calls",
             Kernel::CubeMerge => "kernel.cube_merge.calls",
@@ -106,6 +114,7 @@ impl Kernel {
     pub fn items_key(self) -> &'static str {
         match self {
             Kernel::GiniScan => "kernel.gini_scan.items",
+            Kernel::NodePartition => "kernel.node_partition.items",
             Kernel::ThermoEncode => "kernel.thermo_encode.items",
             Kernel::BfsTruncate => "kernel.bfs_truncate.items",
             Kernel::CubeMerge => "kernel.cube_merge.items",
@@ -117,6 +126,7 @@ impl Kernel {
     pub fn ns_key(self) -> &'static str {
         match self {
             Kernel::GiniScan => "kernel.gini_scan.ns",
+            Kernel::NodePartition => "kernel.node_partition.ns",
             Kernel::ThermoEncode => "kernel.thermo_encode.ns",
             Kernel::BfsTruncate => "kernel.bfs_truncate.ns",
             Kernel::CubeMerge => "kernel.cube_merge.ns",
@@ -127,10 +137,11 @@ impl Kernel {
     fn index(self) -> usize {
         match self {
             Kernel::GiniScan => 0,
-            Kernel::ThermoEncode => 1,
-            Kernel::BfsTruncate => 2,
-            Kernel::CubeMerge => 3,
-            Kernel::NetlistSynth => 4,
+            Kernel::NodePartition => 1,
+            Kernel::ThermoEncode => 2,
+            Kernel::BfsTruncate => 3,
+            Kernel::CubeMerge => 4,
+            Kernel::NetlistSynth => 5,
         }
     }
 }

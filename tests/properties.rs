@@ -269,6 +269,53 @@ proptest! {
         }
     }
 
+    /// The vectorized split engine is pinned bit-for-bit to the scalar
+    /// reference scan: for random datasets, node subsets, and per-feature
+    /// stride grids, both paths return the same candidates in the same
+    /// order with the same `gini` f64 bit pattern.
+    #[test]
+    fn split_engine_matches_scalar_scan_bit_for_bit(
+        rows in vec((vec(0.0f64..1.0, 4), 0usize..3), 12..48),
+        subset_bits in vec(any::<bool>(), 48),
+        strides in vec(1u8..=8, 4),
+        strided in any::<bool>(),
+    ) {
+        use printed_ml::datasets::DatasetIndex;
+        use printed_ml::dtree::cart::{split_candidates, SplitEngine};
+        let mut rows = rows;
+        rows[0].1 = 0;
+        rows[1].1 = 1;
+        let ds = Dataset::from_rows("prop", 4, rows).expect("consistent rows");
+        let q = QuantizedDataset::from_dataset(&ds.normalized(), 4);
+        let config = CartConfig {
+            threshold_strides: if strided {
+                // Clamp to powers of two, the stride contract.
+                strides.iter().map(|s| s.next_power_of_two()).collect()
+            } else {
+                Vec::new()
+            },
+            ..CartConfig::default()
+        };
+        let subset: Vec<usize> = (0..q.len()).filter(|&i| subset_bits[i]).collect();
+        let index = DatasetIndex::new(&q);
+        let mut engine = SplitEngine::new(&index);
+        // Both the whole-dataset fast path and an arbitrary subset.
+        let full: Vec<usize> = (0..q.len()).collect();
+        for node in [&full, &subset] {
+            if node.is_empty() {
+                continue;
+            }
+            let scalar = split_candidates(&q, node, &config);
+            let ids: Vec<u32> = node.iter().map(|&i| i as u32).collect();
+            let fast = engine.candidates(&ids, &config);
+            prop_assert_eq!(fast.len(), scalar.len());
+            for (f, s) in fast.iter().zip(&scalar) {
+                prop_assert_eq!((f.feature, f.threshold), (s.feature, s.threshold));
+                prop_assert_eq!(f.gini.to_bits(), s.gini.to_bits());
+            }
+        }
+    }
+
     /// For arbitrary valid trees, the baseline netlist, the unary covers,
     /// and all three unary netlist styles agree with tree prediction on
     /// random samples.
