@@ -83,6 +83,21 @@ impl BespokeAdcBank {
         Ok(())
     }
 
+    /// Releases the comparator at `tap` of `feature` — the inverse of
+    /// [`require`](Self::require), used by autofix to drop dead hardware.
+    /// A feature whose last comparator is released stops counting as an
+    /// ADC at all. Returns whether anything was retained to release.
+    pub fn release(&mut self, feature: usize, tap: usize) -> bool {
+        let Some(taps) = self.taps.get_mut(&feature) else {
+            return false;
+        };
+        let removed = taps.remove(&tap);
+        if taps.is_empty() {
+            self.taps.remove(&feature);
+        }
+        removed
+    }
+
     /// Number of input features with at least one retained comparator
     /// (= number of bespoke ADCs).
     pub fn input_count(&self) -> usize {
@@ -367,6 +382,33 @@ mod tests {
         assert_eq!(bank.comparator_count(), 1);
         assert_eq!(bank.taps_of(2), vec![7]);
         assert_eq!(bank.input_count(), 1);
+    }
+
+    #[test]
+    fn release_undoes_require_and_prices_strictly_less() {
+        let m = model();
+        let mut bank = BespokeAdcBank::new(4);
+        for t in [3, 9] {
+            bank.require(0, t).unwrap();
+        }
+        bank.require(2, 9).unwrap();
+        let before = bank.cost(&m);
+        assert!(bank.release(0, 9));
+        assert_eq!(bank.taps_of(0), vec![3]);
+        // Tap 9 is still live on feature 2, so the ladder keeps it.
+        assert_eq!(bank.distinct_taps(), vec![3, 9]);
+        let after = bank.cost(&m);
+        assert!(after.power < before.power);
+        assert!(after.area < before.area);
+        assert_eq!(after.comparators, before.comparators - 1);
+        // Releasing a missing tap (or feature) is a no-op.
+        assert!(!bank.release(0, 9));
+        assert!(!bank.release(7, 1));
+        // Releasing the last tap of a feature retires its ADC entirely.
+        assert!(bank.release(2, 9));
+        assert_eq!(bank.input_count(), 1);
+        assert_eq!(bank.distinct_taps(), vec![3]);
+        assert_eq!(bank.cost(&m).ladder_resistors, 2);
     }
 
     #[test]

@@ -25,9 +25,16 @@
 //!   the same seed, resume from them instead of re-training; with
 //!   `--robust` the campaign checkpoints per-candidate profiles to
 //!   `<path>.robust` and resumes them the same way;
-//! * `--lint[=deny]` — run the static-analysis suite over the selected
-//!   design and print the diagnostic table; with `=deny`, exit non-zero
-//!   when any error-severity diagnostic fires (warnings never block);
+//! * `--lint[=deny|=deny-warnings|=fix]` — run the static-analysis suite
+//!   over the selected design (and report the whole-grid sweep lint that
+//!   every exploration already performs in-flow). With `=deny`, exit
+//!   non-zero when any error-severity diagnostic fires — on the chosen
+//!   design *or on any grid candidate* — while warnings-only runs still
+//!   exit 0; with `=deny-warnings`, warnings block too; with `=fix`, run
+//!   the fixpoint autofix rewriter (drop dead comparators, prune their
+//!   literals, re-derive the ADC cost), print the repair walkthrough, and
+//!   exit non-zero only if the repaired design fails to re-lint clean or
+//!   to prove feasible-domain equivalence;
 //! * `--verilog <path>` — write the unary classifier netlist as Verilog;
 //! * `--spice <path>` — write the bespoke reference ladder as a SPICE deck.
 
@@ -41,6 +48,7 @@ use printed_codesign::{AdaptiveBudget, RobustnessCampaign, RobustnessConstraints
 use printed_datasets::Benchmark;
 use printed_dtree::cart::train_depth_selected;
 use printed_dtree::synthesize_baseline;
+use printed_logic::equiv::Equivalence;
 use printed_logic::verilog::to_verilog;
 use printed_pdk::AnalogModel;
 use printed_telemetry::{keys, RunManifest};
@@ -50,6 +58,21 @@ enum LintMode {
     Off,
     Warn,
     Deny,
+    DenyWarnings,
+    Fix,
+}
+
+impl LintMode {
+    /// Whether this mode runs the lint stage at all.
+    fn enabled(self) -> bool {
+        self != LintMode::Off
+    }
+
+    /// Whether error-severity diagnostics (chosen design or any grid
+    /// candidate) fail the run.
+    fn denies_errors(self) -> bool {
+        matches!(self, LintMode::Deny | LintMode::DenyWarnings)
+    }
 }
 
 struct Args {
@@ -71,7 +94,8 @@ fn parse_args() -> Result<Args, String> {
         .next()
         .ok_or(
             "usage: codesign <benchmark> [--loss F] [--quick] [--robust] [--trials N] \
-             [--trials-max N] [--resume P] [--lint[=deny]] [--verilog P] [--spice P]",
+             [--trials-max N] [--resume P] [--lint[=deny|=deny-warnings|=fix]] \
+             [--verilog P] [--spice P]",
         )?
         .parse()
         .map_err(|e| format!("{e}"))?;
@@ -100,6 +124,8 @@ fn parse_args() -> Result<Args, String> {
             "--robust" => args.robust = true,
             "--lint" => args.lint = LintMode::Warn,
             "--lint=deny" => args.lint = LintMode::Deny,
+            "--lint=deny-warnings" => args.lint = LintMode::DenyWarnings,
+            "--lint=fix" => args.lint = LintMode::Fix,
             "--trials" => {
                 let v = argv.next().ok_or("--trials needs a value")?;
                 let n: usize = v.parse().map_err(|e| format!("--trials: {e}"))?;
@@ -204,7 +230,7 @@ fn run(args: &Args, hook: &mut TraceHook) -> Result<(), String> {
         )
     );
 
-    if args.lint != LintMode::Off {
+    if args.lint.enabled() {
         let stage = hook.recorder().span(keys::STAGE_LINT);
         let report = printed_codesign::lint_candidate(
             chosen,
@@ -215,10 +241,33 @@ fn run(args: &Args, hook: &mut TraceHook) -> Result<(), String> {
         printed_codesign::record_lint(hook.recorder(), &report);
         stage.finish();
         println!("{}", report.render_text());
-        if args.lint == LintMode::Deny && report.has_errors() {
+
+        // The whole-grid in-flow lint already ran inside the sweep
+        // workers; surface its verdict next to the chosen design's.
+        let grid_errors: usize = sweep.lint.iter().map(|l| l.report.error_count()).sum();
+        let grid_warnings: usize = sweep.lint.iter().map(|l| l.report.warning_count()).sum();
+        println!(
+            "whole-grid lint: {} candidate(s), {grid_errors} error(s) / {grid_warnings} warning(s)",
+            sweep.lint.len()
+        );
+
+        if args.lint == LintMode::Fix {
+            run_fix(chosen, &grid)?;
+        }
+        if args.lint.denies_errors() && (report.has_errors() || grid_errors > 0) {
             return Err(format!(
-                "lint found {} error-severity diagnostic(s)",
+                "lint found {} error-severity diagnostic(s) on the chosen design \
+                 and {grid_errors} across the sweep grid",
                 report.error_count()
+            ));
+        }
+        if args.lint == LintMode::DenyWarnings
+            && (!report.diagnostics.is_empty() || grid_warnings > 0)
+        {
+            return Err(format!(
+                "lint found {} diagnostic(s) on the chosen design and \
+                 {grid_warnings} warning(s) across the sweep grid (deny-warnings)",
+                report.diagnostics.len()
             ));
         }
     }
@@ -253,6 +302,64 @@ fn run(args: &Args, hook: &mut TraceHook) -> Result<(), String> {
         println!("wrote bespoke ladder SPICE deck to {path}");
     }
     Ok(())
+}
+
+/// The `--lint=fix` leg: run the fixpoint autofix rewriter over the
+/// chosen design and print the repair walkthrough — comparators
+/// released, the re-derived ADC cost, the re-lint verdict, and the
+/// feasible-domain equivalence proof. Errors (→ non-zero exit) only when
+/// the repaired design fails to re-lint clean or to prove equivalent.
+fn run_fix(
+    chosen: &printed_codesign::CandidateDesign,
+    grid: &ExplorationConfig,
+) -> Result<(), String> {
+    let before = &chosen.system.adc;
+    let outcome = printed_codesign::fix_candidate(
+        chosen,
+        &AnalogModel::egfet(),
+        Some(grid),
+        &printed_codesign::LintConfig::new(),
+    );
+    if outcome.dropped.is_empty() {
+        println!("autofix: design is already a fixpoint — nothing to repair");
+    } else {
+        println!(
+            "autofix: {} iteration(s) released {} dead comparator(s):",
+            outcome.iterations,
+            outcome.dropped.len()
+        );
+        for &(feature, tap) in &outcome.dropped {
+            println!("  - adc x{feature} tap {tap}");
+        }
+        println!(
+            "  ADC bank: {} → {} comparators, {:.2} → {:.2}, {:.2} → {:.2}",
+            before.comparators,
+            outcome.reported.comparators,
+            before.power,
+            outcome.reported.power,
+            before.area,
+            outcome.reported.area
+        );
+    }
+    match &outcome.equivalence {
+        Equivalence::Equivalent { exhaustive: true } => {
+            println!("  equivalence: proven exhaustively over the feasible domain")
+        }
+        Equivalence::Equivalent { exhaustive: false } => {
+            println!("  equivalence: holds on the seeded feasible-domain sample")
+        }
+        other => println!("  equivalence: FAILED — {other:?}"),
+    }
+    if outcome.report.diagnostics.is_empty() {
+        println!("  re-lint: clean");
+    } else {
+        println!("  re-lint:\n{}", outcome.report.render_text());
+    }
+    if outcome.is_sound() {
+        Ok(())
+    } else {
+        Err("autofix produced an unsound repair (see the re-lint and equivalence verdicts)".into())
+    }
 }
 
 /// The `--robust` leg: profile every sweep candidate under faults,

@@ -55,9 +55,11 @@ pub use campaign::{
 };
 pub use datasheet::Datasheet;
 pub use ensemble::{synthesize_ensemble, EnsembleSystem};
-pub use explore::{explore, CandidateDesign, Exploration, ExplorationConfig, FailedCandidate};
+pub use explore::{
+    explore, CandidateDesign, CandidateLint, Exploration, ExplorationConfig, FailedCandidate,
+};
 pub use flow::{record_process_gauges, record_selection, CodesignFlow, FlowOutcome};
-pub use lint::{lint_candidate, record_lint};
+pub use lint::{fix_candidate, lint_candidate, lint_candidate_scoped, record_lint};
 pub use mismatch::{mismatch_accuracy, MismatchReport, MismatchTrialStream, MismatchTrials};
 pub use printed_lint::{Diagnostic, LintConfig, LintLevel, LintReport, Severity};
 pub use robustness::{decode_one_hot, fault_robustness, FaultRobustness};

@@ -9,11 +9,25 @@
 //! cross-check — and mirrors the findings into telemetry so traced runs
 //! and the `printed-trace` report can surface them.
 
-use printed_lint::{GridRef, LintConfig, LintReport, LintTarget, Linter};
+use printed_lint::{DroopRef, GridRef, LintConfig, LintReport, LintTarget, Linter};
 use printed_pdk::AnalogModel;
 use printed_telemetry::{keys, FieldValue, Recorder};
 
+use crate::campaign::SupplyDroopModel;
 use crate::explore::{CandidateDesign, ExplorationConfig};
+
+/// The flow's worst-case droop envelope for the P003 sag-margin pass,
+/// lowered from the printed-default [`SupplyDroopModel`] so the linter
+/// judges margins against the same harvester the robustness campaigns
+/// sweep.
+pub(crate) fn printed_droop() -> DroopRef {
+    let model = SupplyDroopModel::printed_default();
+    DroopRef {
+        max_sag: model.max_sag(),
+        vref_leak: model.vref_leak,
+        offset_per_sag: model.offset_per_sag,
+    }
+}
 
 /// Runs the full built-in lint suite over a synthesized candidate.
 ///
@@ -28,6 +42,86 @@ pub fn lint_candidate(
     grid: Option<&ExplorationConfig>,
     config: &LintConfig,
 ) -> LintReport {
+    lint_candidate_scoped(candidate, analog, grid, config, true)
+}
+
+/// [`lint_candidate`] with the tree-fidelity scope explicit: passing
+/// `verify_tree = false` leaves the tree out of the target, skipping the
+/// T001 path-fidelity/equivalence re-verification. The whole-grid sweep
+/// lint uses this for every candidate below the deepest cap — those trees
+/// are BFS truncations of the deepest tree of their τ, so re-proving the
+/// prefix-shared structure at every depth would only re-check what the
+/// deepest candidate's full lint already covers.
+pub fn lint_candidate_scoped(
+    candidate: &CandidateDesign,
+    analog: &AnalogModel,
+    grid: Option<&ExplorationConfig>,
+    config: &LintConfig,
+    verify_tree: bool,
+) -> LintReport {
+    let netlist = candidate.system.classifier.to_netlist();
+    lint_candidate_borrowed(candidate, &netlist, analog, grid, config, verify_tree, None)
+}
+
+/// Cap on the feasible patterns the in-flow grid lint's T001
+/// equivalence leg checks per candidate. The full budget (up to 2^16
+/// exhaustive patterns) costs hundreds of milliseconds on the larger
+/// benchmarks' deepest candidates — enough to trip the calibrated suite
+/// wall gate — while a 512-pattern seeded sample keeps the whole-grid
+/// sweep overhead inside the gate's 50 ms noise floor. The selected
+/// design is always re-verified at full budget by the flow's
+/// `stage:lint` pass ([`lint_candidate`] passes `equiv_budget: None`).
+pub(crate) const GRID_EQUIV_BUDGET: usize = 512;
+
+/// [`lint_candidate_scoped`] over a netlist the caller already holds —
+/// the whole-grid sweep lint borrows the synthesis's own netlist so the
+/// in-flow analysis costs no second lowering (and perturbs no kernel
+/// tallies), and caps T001's equivalence leg at `equiv_budget`
+/// feasible patterns (`None` = full budget).
+pub(crate) fn lint_candidate_borrowed(
+    candidate: &CandidateDesign,
+    netlist: &printed_logic::netlist::Netlist,
+    analog: &AnalogModel,
+    grid: Option<&ExplorationConfig>,
+    config: &LintConfig,
+    verify_tree: bool,
+    equiv_budget: Option<usize>,
+) -> LintReport {
+    let classifier = &candidate.system.classifier;
+    let bank = classifier.adc_bank();
+    let grid_ref = grid.map(|g| GridRef {
+        taus: &g.taus,
+        depths: &g.depths,
+        seed: g.seed,
+    });
+    let target = LintTarget {
+        tree: verify_tree.then_some(&candidate.tree),
+        netlist,
+        bank: &bank,
+        literals: classifier.literals(),
+        class_sops: classifier.class_sops(),
+        reported_adc: Some(&candidate.system.adc),
+        model: analog,
+        grid: grid_ref,
+        droop: Some(printed_droop()),
+        equiv_budget,
+    };
+    Linter::with_config(config.clone()).run(&target)
+}
+
+/// Runs the `--lint=fix` fixpoint rewriter over a synthesized candidate,
+/// lowering it into the same [`LintTarget`] vocabulary as
+/// [`lint_candidate`]: dead comparators are released from the bank, the
+/// literals they backed are pruned from the covers and netlist, and the
+/// ADC cost is re-derived — then the repaired design is re-linted and
+/// proven feasible-domain equivalent to the original. See
+/// [`printed_lint::fix`] for the soundness argument.
+pub fn fix_candidate(
+    candidate: &CandidateDesign,
+    analog: &AnalogModel,
+    grid: Option<&ExplorationConfig>,
+    config: &LintConfig,
+) -> printed_lint::fix::FixOutcome {
     let classifier = &candidate.system.classifier;
     let netlist = classifier.to_netlist();
     let bank = classifier.adc_bank();
@@ -45,8 +139,54 @@ pub fn lint_candidate(
         reported_adc: Some(&candidate.system.adc),
         model: analog,
         grid: grid_ref,
+        droop: Some(printed_droop()),
+        equiv_budget: None,
     };
-    Linter::with_config(config.clone()).run(&target)
+    printed_lint::fix::fix(&target, config)
+}
+
+/// Renders a report's code tally as the compact `codes` event field:
+/// `code:severity=count` entries joined with `;`, ascending by code
+/// (e.g. `A002:warning=2;C001:error=1`). Empty for a clean report.
+pub(crate) fn code_summary(report: &LintReport) -> String {
+    use std::collections::BTreeMap;
+    let mut tally: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for d in &report.diagnostics {
+        *tally
+            .entry((d.code.as_str(), d.severity.label()))
+            .or_insert(0) += 1;
+    }
+    tally
+        .into_iter()
+        .map(|((code, severity), count)| format!("{code}:{severity}={count}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Records one whole-grid lint verdict as a
+/// [`keys::LINT_CANDIDATE_EVENT`]: the grid coordinates, the
+/// error/warning counts, and the `codes` tally summary. No-op when the
+/// recorder is disabled.
+pub(crate) fn record_grid_lint(recorder: &Recorder, tau: f64, depth: usize, report: &LintReport) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    recorder.event(
+        keys::LINT_CANDIDATE_EVENT,
+        vec![
+            ("tau".to_owned(), FieldValue::F64(tau)),
+            ("depth".to_owned(), FieldValue::U64(depth as u64)),
+            (
+                "errors".to_owned(),
+                FieldValue::U64(report.error_count() as u64),
+            ),
+            (
+                "warnings".to_owned(),
+                FieldValue::U64(report.warning_count() as u64),
+            ),
+            ("codes".to_owned(), FieldValue::Str(code_summary(report))),
+        ],
+    );
 }
 
 /// Records a lint report into `recorder`: the [`keys::LINT_DIAGNOSTICS`]

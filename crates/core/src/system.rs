@@ -104,15 +104,31 @@ pub fn synthesize_unary_with(
     analog: &AnalogModel,
     config: &AnalysisConfig,
 ) -> UnarySystem {
+    synthesize_unary_parts(tree, library, analog, config).0
+}
+
+/// [`synthesize_unary_with`] that also hands back the synthesized
+/// netlist, so in-flow consumers (the whole-grid sweep lint) can borrow
+/// it instead of paying — and double-counting in the kernel profile —
+/// a second synthesis.
+pub(crate) fn synthesize_unary_parts(
+    tree: &DecisionTree,
+    library: &CellLibrary,
+    analog: &AnalogModel,
+    config: &AnalysisConfig,
+) -> (UnarySystem, printed_logic::netlist::Netlist) {
     let classifier = UnaryClassifier::from_tree(tree);
     let netlist = classifier.to_netlist();
     let digital = analyze(&netlist, library, config);
     let adc = classifier.adc_bank().cost(analog);
-    UnarySystem {
-        classifier,
-        digital,
-        adc,
-    }
+    (
+        UnarySystem {
+            classifier,
+            digital,
+            adc,
+        },
+        netlist,
+    )
 }
 
 #[cfg(test)]

@@ -17,6 +17,9 @@
 //!   built-in suite, filtered through a [`LintConfig`] allow/deny map.
 //! * [`Diagnostic`] / [`LintReport`] — findings with code, severity,
 //!   locus, message, and suggestion, renderable as a text table or NDJSON.
+//! * [`fix::fix`] — a fixpoint rewriter that consumes A002/C001
+//!   diagnostics, drops the dead comparators, re-derives the cost, and
+//!   proves the repaired design equivalent on the feasible domain.
 //!
 //! ## Diagnostic codes
 //!
@@ -30,6 +33,9 @@
 //! | L001 | error    | two class outputs can assert together on a thermometer-feasible input |
 //! | T001 | error    | tree path not reflected in the covers, or netlist differs from the tree on the feasible domain |
 //! | G001 | warning  | exploration-grid hygiene (duplicate τ after `to_bits`, empty ranges, seed collisions) |
+//! | P001 | error    | pruned-ladder tap voltages (MNA-solved) drift from the ideal references, or bank/model resolutions disagree |
+//! | P002 | error    | comparator reference ordering disagrees with the retained thresholds or the netlist wiring |
+//! | P003 | warning  | a retained reference lacks margin under worst-case supply sag |
 //!
 //! One-hot checking (L001) needs no SAT solver: under thermometer
 //! monotonicity a cube constrains each feature to an interval
@@ -40,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fix;
 pub mod passes;
 
 use std::collections::BTreeMap;
@@ -196,6 +203,31 @@ pub struct LintTarget<'a> {
     pub model: &'a AnalogModel,
     /// The exploration grid that produced the design (G001).
     pub grid: Option<GridRef<'a>>,
+    /// Worst-case supply-droop parameters (P003). `None` skips the
+    /// sag-margin pass.
+    pub droop: Option<DroopRef>,
+    /// Cap on the feasible patterns T001's equivalence leg checks.
+    /// `None` runs the full budget (exhaustive up to 2^16 patterns,
+    /// 4096 seeded samples beyond). In-flow whole-grid linting sets a
+    /// small cap so per-candidate cost stays bounded — the selected
+    /// design is always re-checked at full budget by the flow's lint
+    /// stage.
+    pub equiv_budget: Option<usize>,
+}
+
+/// Worst-case supply-droop parameters, decoupled from
+/// `printed-codesign`'s `SupplyDroopModel` so the linter stays upstream
+/// of it. All values are normalized to the full supply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DroopRef {
+    /// Largest supply sag fraction the harvester allows
+    /// (`1 − V_min / V_full`).
+    pub max_sag: f64,
+    /// Reference-voltage leak per unit sag: a normalized threshold `t`
+    /// droops to `t · (1 − vref_leak · sag)`.
+    pub vref_leak: f64,
+    /// Comparator offset drift per unit sag, in full-scale units.
+    pub offset_per_sag: f64,
 }
 
 /// A borrowed view of an exploration grid, decoupled from
@@ -424,10 +456,10 @@ mod tests {
     fn registry_lists_the_documented_codes() {
         let codes = Linter::new().codes();
         for expected in [
-            "U001", "U002", "A001", "A002", "C001", "L001", "T001", "G001",
+            "U001", "U002", "A001", "A002", "C001", "L001", "T001", "G001", "P001", "P002", "P003",
         ] {
             assert!(codes.contains(&expected), "missing {expected}");
         }
-        assert_eq!(codes.len(), 8);
+        assert_eq!(codes.len(), 11);
     }
 }

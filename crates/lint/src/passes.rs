@@ -8,6 +8,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use printed_analog::ladder::Ladder;
 use printed_dtree::DecisionTree;
 use printed_logic::blocks::or_tree;
 use printed_logic::equiv::{check_equivalence_on, thermometer_patterns, Equivalence};
@@ -29,6 +30,9 @@ pub(crate) fn builtin() -> Vec<Box<dyn Lint>> {
         Box::new(ClassOverlap),
         Box::new(PathFidelity),
         Box::new(GridHygiene),
+        Box::new(LadderMonotonicity),
+        Box::new(ReferenceOrdering),
+        Box::new(SagMargin),
     ]
 }
 
@@ -54,7 +58,7 @@ fn feature_bounds(
 
 /// The first feature whose interval is empty (`max_pos ≥ min_neg`), if
 /// any — the cube can then never fire on a thermometer-consistent input.
-fn contradiction(cube: &Cube, literals: &[(usize, u8)]) -> Option<(usize, u8, u8)> {
+pub(crate) fn contradiction(cube: &Cube, literals: &[(usize, u8)]) -> Option<(usize, u8, u8)> {
     feature_bounds(cube, literals)
         .into_iter()
         .find_map(|(feature, (pos, neg))| match (pos, neg) {
@@ -466,8 +470,8 @@ struct PathFidelity;
 
 /// Above this many feasible patterns the equivalence leg samples instead
 /// of enumerating (`Π (taps_per_feature + 1)` grows multiplicatively).
-const FEASIBLE_ENUM_LIMIT: usize = 1 << 16;
-const FEASIBLE_SAMPLES: usize = 4096;
+pub(crate) const FEASIBLE_ENUM_LIMIT: usize = 1 << 16;
+pub(crate) const FEASIBLE_SAMPLES: usize = 4096;
 
 impl Lint for PathFidelity {
     fn code(&self) -> &'static str {
@@ -562,13 +566,19 @@ impl Lint for PathFidelity {
             .iter()
             .try_fold(1usize, |acc, &r| acc.checked_mul(r + 1))
             .unwrap_or(usize::MAX);
-        let verdict = if domain_size <= FEASIBLE_ENUM_LIMIT {
+        let enum_limit = target
+            .equiv_budget
+            .map_or(FEASIBLE_ENUM_LIMIT, |b| b.min(FEASIBLE_ENUM_LIMIT));
+        let samples = target
+            .equiv_budget
+            .map_or(FEASIBLE_SAMPLES, |b| b.min(FEASIBLE_SAMPLES));
+        let verdict = if domain_size <= enum_limit {
             check_equivalence_on(&reference, target.netlist, thermometer_patterns(&runs))
         } else {
             check_equivalence_on(
                 &reference,
                 target.netlist,
-                sample_thermometer_patterns(&runs, 0x0ADC_11A7, FEASIBLE_SAMPLES),
+                sample_thermometer_patterns(&runs, 0x0ADC_11A7, samples),
             )
         };
         match verdict {
@@ -606,7 +616,7 @@ impl Lint for PathFidelity {
 /// Rebuilds the paper's physical netlist (per-path AND chains, one OR per
 /// class) straight from the tree — the independent reference T001
 /// compares the design's netlist against.
-fn tree_netlist(tree: &DecisionTree, literals: &[(usize, u8)]) -> Netlist {
+pub(crate) fn tree_netlist(tree: &DecisionTree, literals: &[(usize, u8)]) -> Netlist {
     let mut nl = Netlist::new("lint-ref");
     let vars: Vec<Signal> = literals
         .iter()
@@ -642,7 +652,7 @@ fn tree_netlist(tree: &DecisionTree, literals: &[(usize, u8)]) -> Netlist {
 
 /// Lengths of the consecutive same-feature runs of the (sorted) literal
 /// order — the thermometer group sizes of the input space.
-fn feature_runs(literals: &[(usize, u8)]) -> Vec<usize> {
+pub(crate) fn feature_runs(literals: &[(usize, u8)]) -> Vec<usize> {
     let mut runs = Vec::new();
     let mut current: Option<(usize, usize)> = None;
     for &(feature, _) in literals {
@@ -664,7 +674,11 @@ fn feature_runs(literals: &[(usize, u8)]) -> Vec<usize> {
 
 /// Seeded random thermometer-consistent patterns (uniform level per
 /// group) for domains too large to enumerate.
-fn sample_thermometer_patterns(runs: &[usize], seed: u64, count: usize) -> Vec<Vec<bool>> {
+pub(crate) fn sample_thermometer_patterns(
+    runs: &[usize],
+    seed: u64,
+    count: usize,
+) -> Vec<Vec<bool>> {
     let total: usize = runs.iter().sum();
     let mut state = seed | 1;
     let mut next = move || {
@@ -763,10 +777,285 @@ impl Lint for GridHygiene {
     }
 }
 
+/// P001 — the analog layer must agree with the logical artifacts: the
+/// bank's resolution must match the model's, and the pruned ladder the
+/// bank implies must *electrically* (MNA-solved) produce strictly
+/// increasing tap voltages that track the ideal references. Every
+/// analog-layer failure surfaces as a diagnostic — the pass never panics,
+/// even on models with corrupted electrical parameters.
+struct LadderMonotonicity;
+
+impl Lint for LadderMonotonicity {
+    fn code(&self) -> &'static str {
+        "P001"
+    }
+    fn description(&self) -> &'static str {
+        "pruned-ladder tap voltages drift from the ideal references"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let bits = target.bank.bits();
+        if bits != target.model.resolution_bits {
+            out.push(
+                Diagnostic::new(
+                    self.code(),
+                    self.default_severity(),
+                    "ladder",
+                    format!(
+                        "bank quantizes at {bits} bits but the analog model resolves \
+                         {} bits — the taps do not name the model's reference nodes",
+                        target.model.resolution_bits
+                    ),
+                )
+                .suggest("re-price the design with a model at the bank's resolution"),
+            );
+            return;
+        }
+        let distinct = target.bank.distinct_taps();
+        if distinct.is_empty() {
+            return;
+        }
+        let supply = target.model.supply.volts();
+        let unit_ohms = target.model.unit_resistor.ohms();
+        if !(supply > 0.0 && supply.is_finite() && unit_ohms > 0.0 && unit_ohms.is_finite()) {
+            out.push(Diagnostic::new(
+                self.code(),
+                self.default_severity(),
+                "ladder",
+                format!(
+                    "analog model is electrically invalid (supply {supply} V, unit \
+                     resistor {unit_ohms} Ω) — the ladder cannot be solved"
+                ),
+            ));
+            return;
+        }
+        let ladder = match Ladder::pruned(bits, &distinct, supply, unit_ohms) {
+            Ok(ladder) => ladder,
+            Err(error) => {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    self.default_severity(),
+                    "ladder",
+                    format!("the bank's distinct taps do not form a buildable ladder: {error}"),
+                ));
+                return;
+            }
+        };
+        let voltages = match ladder.tap_voltages() {
+            Ok(voltages) => voltages,
+            Err(error) => {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    self.default_severity(),
+                    "ladder",
+                    format!("the pruned ladder's MNA system did not solve: {error}"),
+                ));
+                return;
+            }
+        };
+        let mut prev = 0.0;
+        for &tap in &distinct {
+            let Some(&solved) = voltages.get(&tap) else {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    self.default_severity(),
+                    format!("ladder tap {tap}"),
+                    format!("the solved ladder reports no voltage for tap {tap}"),
+                ));
+                continue;
+            };
+            let ideal = ladder.ideal_tap_voltage(tap);
+            if solved <= prev {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    self.default_severity(),
+                    format!("ladder tap {tap}"),
+                    format!(
+                        "tap {tap} solves to {solved:.6} V, not above the previous tap's \
+                         {prev:.6} V — the reference ladder is electrically non-monotone"
+                    ),
+                ));
+            }
+            if (solved - ideal).abs() > 1e-6 * supply {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    self.default_severity(),
+                    format!("ladder tap {tap}"),
+                    format!(
+                        "tap {tap} solves to {solved:.9} V but the ideal divider gives \
+                         {ideal:.9} V — the pruned ladder is mis-sized"
+                    ),
+                ));
+            }
+            prev = solved;
+        }
+    }
+}
+
+/// P002 — ordering agreement between the retained thresholds, the
+/// literal order every other pass binary-searches, and the netlist's
+/// input wiring: `literals` must be strictly ascending by
+/// `(feature, tap)`, each netlist input `u{f}_{t}` must sit at its
+/// literal's position (crossed wires silently permute the comparator
+/// outputs), and each feature's retained references must be strictly
+/// increasing in voltage.
+struct ReferenceOrdering;
+
+impl Lint for ReferenceOrdering {
+    fn code(&self) -> &'static str {
+        "P002"
+    }
+    fn description(&self) -> &'static str {
+        "comparator reference ordering disagrees with the retained thresholds"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, pair) in target.literals.windows(2).enumerate() {
+            if pair[0] >= pair[1] {
+                let (f0, t0) = pair[0];
+                let (f1, t1) = pair[1];
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        self.default_severity(),
+                        format!("literal {i}"),
+                        format!(
+                            "literal order is not strictly ascending: (x{f0}, tap {t0}) \
+                             precedes (x{f1}, tap {t1}) — binary-searched passes and the \
+                             thermometer interval arithmetic both assume sorted literals"
+                        ),
+                    )
+                    .suggest("sort the literal order by (feature, tap) and rebuild the covers"),
+                );
+            }
+        }
+        for (i, name) in target.netlist.input_names().iter().enumerate() {
+            let Some((feature, tap)) = input_name_pair(name) else {
+                continue;
+            };
+            let Some(&(want_feature, want_tap)) = target.literals.get(i) else {
+                continue; // count mismatch is A001's finding
+            };
+            if (feature, tap) != (want_feature, want_tap as usize) {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        self.default_severity(),
+                        format!("netlist input {i}"),
+                        format!(
+                            "netlist input {i} is wired to {name} but the design's \
+                             literal order places u{want_feature}_{want_tap} there — \
+                             the comparator outputs are crossed"
+                        ),
+                    )
+                    .suggest("re-synthesize the netlist in the design's literal order"),
+                );
+            }
+        }
+        if target.bank.bits() == target.model.resolution_bits {
+            for (feature, taps) in target.bank.iter() {
+                let mut prev = f64::NEG_INFINITY;
+                for tap in taps {
+                    if tap == 0 || tap > target.model.tap_count() {
+                        continue; // P001 reports the resolution breakage
+                    }
+                    let volts = target.model.reference_voltage(tap).volts();
+                    if volts <= prev {
+                        out.push(Diagnostic::new(
+                            self.code(),
+                            self.default_severity(),
+                            format!("adc x{feature} tap {tap}"),
+                            format!(
+                                "reference for x{feature} ≥ {tap} is {volts:.6} V, not \
+                                 above the previous retained reference {prev:.6} V"
+                            ),
+                        ));
+                    }
+                    prev = volts;
+                }
+            }
+        }
+    }
+}
+
+/// P003 — sag-margin sanity: under the worst-case supply sag the droop
+/// model allows, every retained reference must stay inside its own code
+/// bin (shift < 1 LSB) and above ground. A reference that escapes its
+/// bin reorders decision boundaries exactly when the harvester browns
+/// out — suspicious, not provably wrong, hence a warning.
+struct SagMargin;
+
+impl Lint for SagMargin {
+    fn code(&self) -> &'static str {
+        "P003"
+    }
+    fn description(&self) -> &'static str {
+        "retained reference lacks margin under worst-case supply sag"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(droop) = target.droop else {
+            return;
+        };
+        let sag = droop.max_sag;
+        if !(sag > 0.0 && sag.is_finite()) {
+            return;
+        }
+        let lsb = 1.0 / (1u64 << target.bank.bits()) as f64;
+        for (feature, taps) in target.bank.iter() {
+            for tap in taps {
+                let nominal = tap as f64 * lsb;
+                // Same shift the droop campaign applies at full sag: the
+                // reference leaks proportionally and the comparator offset
+                // drifts additively (normalized full-scale units).
+                let shift = nominal * droop.vref_leak * sag + droop.offset_per_sag * sag;
+                let effective = nominal - shift;
+                if effective <= 0.0 {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            self.default_severity(),
+                            format!("adc x{feature} tap {tap}"),
+                            format!(
+                                "at {:.0}% sag the reference for x{feature} ≥ {tap} \
+                                 droops to {effective:.4} of full scale — the comparator \
+                                 saturates and the boundary vanishes",
+                                sag * 100.0
+                            ),
+                        )
+                        .suggest("raise the tap or regulate the reference supply"),
+                    );
+                } else if shift >= lsb {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            self.default_severity(),
+                            format!("adc x{feature} tap {tap}"),
+                            format!(
+                                "at {:.0}% sag the reference for x{feature} ≥ {tap} \
+                                 shifts by {shift:.4} of full scale (≥ 1 LSB = {lsb:.4}) \
+                                 — the decision boundary leaves its code bin",
+                                sag * 100.0
+                            ),
+                        )
+                        .suggest("tighten the droop budget or retrain with sag-aware thresholds"),
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{GridRef, LintReport, Linter};
+    use crate::{DroopRef, GridRef, LintReport, Linter};
     use printed_adc::{AdcCost, BespokeAdcBank};
     use printed_dtree::Node;
     use printed_logic::sop::Sop;
@@ -785,6 +1074,7 @@ mod tests {
         model: AnalogModel,
         taus: Vec<f64>,
         depths: Vec<usize>,
+        droop: DroopRef,
     }
 
     impl Fixture {
@@ -843,6 +1133,13 @@ mod tests {
                 model,
                 taus: vec![0.0, 0.01, 0.05],
                 depths: vec![2, 3, 4],
+                // The EGFET-calibrated printed defaults: 40% worst sag,
+                // 12% reference leak, 4% offset drift per unit sag.
+                droop: DroopRef {
+                    max_sag: 0.4,
+                    vref_leak: 0.12,
+                    offset_per_sag: 0.04,
+                },
             }
         }
 
@@ -860,6 +1157,8 @@ mod tests {
                     depths: &self.depths,
                     seed: 0x0ADC,
                 }),
+                droop: Some(self.droop),
+                equiv_budget: None,
             };
             Linter::new().run(&target)
         }
@@ -1120,11 +1419,195 @@ mod tests {
             reported_adc: None,
             model: &fx.model,
             grid: None,
+            droop: None,
+            equiv_budget: None,
         };
-        // No tree → no T001, no cost → no C001, no grid → no G001; the
-        // structural passes still run and stay clean.
+        // No tree → no T001, no cost → no C001, no grid → no G001, no
+        // droop → no P003; the structural passes still run and stay
+        // clean.
         let report = Linter::new().run(&target);
         assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn p001_fires_on_a_resolution_mismatch() {
+        // A 3-bit model under a 4-bit bank: the bank's taps no longer
+        // name the model's reference nodes. C001/T001 are gated out so
+        // the cross-layer finding surfaces alone (pricing the bank on
+        // the mismatched model would panic before ever drifting).
+        let fx = Fixture::pristine();
+        let model = AnalogModel::egfet_with_bits(3);
+        let target = LintTarget {
+            tree: None,
+            netlist: &fx.netlist,
+            bank: &fx.bank,
+            literals: &fx.literals,
+            class_sops: &fx.class_sops,
+            reported_adc: None,
+            model: &model,
+            grid: None,
+            droop: None,
+            equiv_budget: None,
+        };
+        let report = Linter::new().run(&target);
+        let diags: Vec<_> = report.with_code("P001").collect();
+        assert_eq!(diags.len(), 1, "{}", report.render_text());
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("4 bits"), "{}", diags[0].message);
+        assert!(
+            report.diagnostics.iter().all(|d| d.code == "P001"),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn p001_fires_on_an_unsolvable_analog_model() {
+        let mut fx = Fixture::pristine();
+        fx.model.supply = printed_pdk::Voltage::from_v(0.0);
+        let target = LintTarget {
+            tree: None,
+            netlist: &fx.netlist,
+            bank: &fx.bank,
+            literals: &fx.literals,
+            class_sops: &fx.class_sops,
+            reported_adc: None,
+            model: &fx.model,
+            grid: None,
+            droop: None,
+            equiv_budget: None,
+        };
+        let report = Linter::new().run(&target);
+        let diag = report.with_code("P001").next().expect("P001 fires");
+        assert!(
+            diag.message.contains("electrically invalid"),
+            "{}",
+            diag.message
+        );
+    }
+
+    #[test]
+    fn p002_fires_on_crossed_netlist_inputs() {
+        // The same gates, but the input declaration order swapped: every
+        // positional read now sees the other comparator's digit.
+        let mut fx = Fixture::pristine();
+        let mut netlist = Netlist::new("crossed");
+        let v1 = netlist.input("u0_9");
+        let v0 = netlist.input("u0_3");
+        let nv0 = netlist.gate(CellKind::Inv, &[v0]);
+        let nv1 = netlist.gate(CellKind::Inv, &[v1]);
+        let lo = netlist.gate(CellKind::And2, &[v0, nv1]);
+        let c0 = netlist.gate(CellKind::Or2, &[nv0, lo]);
+        netlist.output("class0", c0);
+        netlist.output("class1", v1);
+        fx.netlist = netlist;
+        let target = LintTarget {
+            tree: None, // T001 would (rightly) also flag the crossed wiring
+            netlist: &fx.netlist,
+            bank: &fx.bank,
+            literals: &fx.literals,
+            class_sops: &fx.class_sops,
+            reported_adc: Some(&fx.reported),
+            model: &fx.model,
+            grid: None,
+            droop: Some(fx.droop),
+            equiv_budget: None,
+        };
+        let report = Linter::new().run(&target);
+        let diags: Vec<_> = report.with_code("P002").collect();
+        assert_eq!(diags.len(), 2, "{}", report.render_text());
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("crossed"), "{}", diags[0].message);
+        assert!(report.diagnostics.iter().all(|d| d.code == "P002"));
+    }
+
+    #[test]
+    fn p002_fires_on_unsorted_literals() {
+        let fx = Fixture::pristine();
+        let backwards = vec![(0usize, 9u8), (0, 3)];
+        let target = LintTarget {
+            tree: None,
+            netlist: &fx.netlist,
+            bank: &fx.bank,
+            literals: &backwards,
+            class_sops: &fx.class_sops,
+            reported_adc: None,
+            model: &fx.model,
+            grid: None,
+            droop: None,
+            equiv_budget: None,
+        };
+        let report = Linter::new().run(&target);
+        let diag = report.with_code("P002").next().expect("P002 fires");
+        assert!(
+            diag.message.contains("strictly ascending"),
+            "{}",
+            diag.message
+        );
+    }
+
+    #[test]
+    fn p003_fires_when_sag_moves_a_reference_out_of_its_bin() {
+        let mut fx = Fixture::pristine();
+        // A harvester this leaky shifts both retained references by more
+        // than one LSB at full sag: tap 9 moves 0.5625·0.36 + 0.016 ≈
+        // 0.218 of full scale, 3.5 code bins.
+        fx.droop.vref_leak = 0.9;
+        let report = fx.lint();
+        let diags: Vec<_> = report.with_code("P003").collect();
+        assert_eq!(diags.len(), 2, "{}", report.render_text());
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+        assert!(
+            diags[1].message.contains("leaves its code bin"),
+            "{}",
+            diags[1].message
+        );
+        assert!(report.diagnostics.iter().all(|d| d.code == "P003"));
+    }
+
+    #[test]
+    fn p003_fires_when_sag_saturates_a_comparator() {
+        let mut fx = Fixture::pristine();
+        // Offset drift alone swallows the tap-3 reference: 0.1875 of
+        // full scale nominal, 0.5·0.4 = 0.2 of drift.
+        fx.droop.offset_per_sag = 0.5;
+        let report = fx.lint();
+        let saturated: Vec<_> = report
+            .with_code("P003")
+            .filter(|d| d.message.contains("saturates"))
+            .collect();
+        assert_eq!(saturated.len(), 1, "{}", report.render_text());
+        assert_eq!(saturated[0].locus, "adc x0 tap 3");
+    }
+
+    #[test]
+    fn p003_stays_quiet_at_the_printed_default_droop() {
+        // The acceptance boundary: at 4 bits the worst printed-default
+        // shift (tap 15: 0.9375·0.048 + 0.016 ≈ 0.061) stays under the
+        // 0.0625 LSB, so even a full-scale bank lints clean.
+        let mut fx = Fixture::pristine();
+        for tap in 1..=15 {
+            fx.bank.require(1, tap).unwrap();
+        }
+        let target = LintTarget {
+            tree: None,
+            netlist: &fx.netlist,
+            bank: &fx.bank,
+            literals: &fx.literals,
+            class_sops: &fx.class_sops,
+            reported_adc: None,
+            model: &fx.model,
+            grid: None,
+            droop: Some(fx.droop),
+            equiv_budget: None,
+        };
+        let report = Linter::new().run(&target);
+        assert_eq!(
+            report.with_code("P003").count(),
+            0,
+            "{}",
+            report.render_text()
+        );
     }
 
     #[test]

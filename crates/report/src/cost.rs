@@ -77,6 +77,82 @@ pub struct LintRow {
     pub message: String,
 }
 
+/// One cell of the sweep-wide lint matrix: a diagnostic code, its
+/// severity, and its grid-wide tally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepLintRow {
+    /// Diagnostic code (`U001`, `A002`, …).
+    pub code: String,
+    /// Severity label (`"error"` or `"warning"`).
+    pub severity: String,
+    /// Total findings with this code across every linted grid candidate.
+    pub findings: u64,
+    /// How many grid candidates fired this code at least once.
+    pub candidates: u64,
+}
+
+/// The grid candidate with the most findings (errors first, then
+/// warnings; ties resolve to the smallest `(depth, τ)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepLintWorst {
+    /// Gini slack τ of the worst candidate.
+    pub tau: f64,
+    /// Depth cap of the worst candidate.
+    pub depth: u64,
+    /// Error-severity findings on that candidate.
+    pub errors: u64,
+    /// Warning-severity findings on that candidate.
+    pub warnings: u64,
+}
+
+/// Rollup of the whole-grid in-flow lint the sweep workers performed:
+/// per-candidate verdict totals plus the code × severity matrix.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepLint {
+    /// Grid candidates the sweep linted in-flow.
+    pub candidates: u64,
+    /// Error-severity findings across the whole grid.
+    pub errors: u64,
+    /// Warning-severity findings across the whole grid.
+    pub warnings: u64,
+    /// Code × severity tallies, ascending by code then severity.
+    pub matrix: Vec<SweepLintRow>,
+    /// The noisiest candidate, absent when every candidate linted clean.
+    pub worst: Option<SweepLintWorst>,
+}
+
+impl SweepLint {
+    /// Considers one candidate's verdict for the worst-candidate slot.
+    /// Deterministic regardless of visit order: more errors wins, then
+    /// more warnings, then the smaller `(depth, τ)` coordinate.
+    fn consider_worst(&mut self, tau: f64, depth: u64, errors: u64, warnings: u64) {
+        if errors == 0 && warnings == 0 {
+            return;
+        }
+        let replace = match &self.worst {
+            None => true,
+            Some(w) => {
+                use std::cmp::Ordering;
+                match (errors, warnings).cmp(&(w.errors, w.warnings)) {
+                    Ordering::Greater => true,
+                    Ordering::Less => false,
+                    Ordering::Equal => {
+                        (depth, tau.to_bits()).cmp(&(w.depth, w.tau.to_bits())) == Ordering::Less
+                    }
+                }
+            }
+        };
+        if replace {
+            self.worst = Some(SweepLintWorst {
+                tau,
+                depth,
+                errors,
+                warnings,
+            });
+        }
+    }
+}
+
 /// The selected grid point's headline numbers.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SelectedDesign {
@@ -135,6 +211,9 @@ pub struct CostReport {
     pub lint: Vec<LintRow>,
     /// Error-severity findings among [`CostReport::lint`].
     pub lint_errors: u64,
+    /// The whole-grid in-flow lint rollup (zero candidates when the
+    /// sweep predates grid lint or was never traced).
+    pub sweep_lint: SweepLint,
 }
 
 impl CostReport {
@@ -219,6 +298,46 @@ impl CostReport {
                 message: str_of(e, "message"),
             })
             .collect();
+        let mut sweep_lint = SweepLint::default();
+        let mut matrix: std::collections::BTreeMap<(String, String), (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for e in trace
+            .events
+            .iter()
+            .filter(|e| e.name == keys::LINT_CANDIDATE_EVENT)
+        {
+            let errors = u64_of(e, "errors");
+            let warnings = u64_of(e, "warnings");
+            sweep_lint.candidates += 1;
+            sweep_lint.errors += errors;
+            sweep_lint.warnings += warnings;
+            sweep_lint.consider_worst(f64_of(e, "tau"), u64_of(e, "depth"), errors, warnings);
+            // The `codes` field is the compact per-candidate tally:
+            // `code:severity=count` entries joined with `;`.
+            for entry in str_of(e, "codes").split(';').filter(|s| !s.is_empty()) {
+                let Some((key, count)) = entry.split_once('=') else {
+                    continue;
+                };
+                let Some((code, severity)) = key.split_once(':') else {
+                    continue;
+                };
+                let count: u64 = count.parse().unwrap_or(0);
+                let cell = matrix
+                    .entry((code.to_owned(), severity.to_owned()))
+                    .or_insert((0, 0));
+                cell.0 += count;
+                cell.1 += 1;
+            }
+        }
+        sweep_lint.matrix = matrix
+            .into_iter()
+            .map(|((code, severity), (findings, candidates))| SweepLintRow {
+                code,
+                severity,
+                findings,
+                candidates,
+            })
+            .collect();
         Self {
             title: trace.title.clone(),
             selected,
@@ -237,6 +356,7 @@ impl CostReport {
             failed_candidates: trace.counter(keys::SWEEP_FAILED),
             lint,
             lint_errors: trace.counter(keys::LINT_ERRORS),
+            sweep_lint,
         }
     }
 
@@ -281,6 +401,38 @@ impl CostReport {
         }
         let retained = system.comparator_count() as u64;
         let full = (bank.input_count() * ((1usize << bank.bits()) - 1)) as u64;
+        let mut sweep_lint = SweepLint::default();
+        let mut matrix: std::collections::BTreeMap<(String, String), (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for candidate in &outcome.sweep.lint {
+            let errors = candidate.report.error_count() as u64;
+            let warnings = candidate.report.warning_count() as u64;
+            sweep_lint.candidates += 1;
+            sweep_lint.errors += errors;
+            sweep_lint.warnings += warnings;
+            sweep_lint.consider_worst(candidate.tau, candidate.depth as u64, errors, warnings);
+            let mut per_candidate: std::collections::BTreeMap<(String, String), u64> =
+                std::collections::BTreeMap::new();
+            for d in &candidate.report.diagnostics {
+                *per_candidate
+                    .entry((d.code.clone(), d.severity.label().to_owned()))
+                    .or_insert(0) += 1;
+            }
+            for (key, count) in per_candidate {
+                let cell = matrix.entry(key).or_insert((0, 0));
+                cell.0 += count;
+                cell.1 += 1;
+            }
+        }
+        sweep_lint.matrix = matrix
+            .into_iter()
+            .map(|((code, severity), (findings, candidates))| SweepLintRow {
+                code,
+                severity,
+                findings,
+                candidates,
+            })
+            .collect();
         let base = Self {
             title: outcome.title.clone(),
             selected: Some(SelectedDesign {
@@ -342,6 +494,7 @@ impl CostReport {
                 .as_ref()
                 .map(|report| report.error_count() as u64)
                 .unwrap_or(0),
+            sweep_lint,
             ..Self::default()
         };
         match outcome.trace() {
@@ -477,6 +630,30 @@ impl CostReport {
                 ));
             }
         }
+        if self.sweep_lint.candidates > 0 {
+            out.push_str(&format!(
+                "  sweep lint: {} candidate(s), {} error(s) / {} warning(s)\n",
+                self.sweep_lint.candidates, self.sweep_lint.errors, self.sweep_lint.warnings,
+            ));
+            if !self.sweep_lint.matrix.is_empty() {
+                out.push_str(&format!(
+                    "  {:<8} {:>8} {:>9} {:>11}\n",
+                    "code", "severity", "findings", "candidates"
+                ));
+                for row in &self.sweep_lint.matrix {
+                    out.push_str(&format!(
+                        "  {:<8} {:>8} {:>9} {:>11}\n",
+                        row.code, row.severity, row.findings, row.candidates,
+                    ));
+                }
+            }
+            if let Some(worst) = &self.sweep_lint.worst {
+                out.push_str(&format!(
+                    "  worst candidate: τ={} depth={} — {} error(s) / {} warning(s)\n",
+                    worst.tau, worst.depth, worst.errors, worst.warnings,
+                ));
+            }
+        }
         if let Some(fits) = self.within_harvester_budget() {
             let s = self.selected.as_ref().expect("selected is present");
             out.push_str(&format!(
@@ -529,6 +706,20 @@ mod tests {
         assert_eq!(from_trace.lint, from_outcome.lint);
         assert_eq!(from_trace.lint_errors, from_outcome.lint_errors);
         assert_eq!(from_trace.lint_errors, 0, "clean design must lint clean");
+        // The whole-grid rollup reconstructs identically from the
+        // lint_candidate records and from the outcome's lint vector.
+        assert_eq!(from_trace.sweep_lint, from_outcome.sweep_lint);
+        assert_eq!(
+            from_trace.sweep_lint.candidates,
+            outcome.sweep.candidates.len() as u64,
+            "every grid candidate was linted in-flow"
+        );
+        assert_eq!(from_trace.sweep_lint.errors, 0, "grid must lint error-free");
+        // The NDJSON round trip (kind:"lint_candidate" lines) preserves it.
+        let parsed = crate::parse::parse_trace(&outcome.trace().unwrap().to_ndjson());
+        assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
+        let reparsed = CostReport::from_trace(&parsed.trace);
+        assert_eq!(reparsed.sweep_lint, from_trace.sweep_lint);
         let (a, b) = (
             from_trace.selected.expect("selected event"),
             from_outcome.selected.expect("chosen design"),

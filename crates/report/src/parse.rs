@@ -115,6 +115,9 @@ pub fn parse_trace(text: &str) -> ParsedTrace {
                 }
             }),
             "event" => parse_event(&value).map(|event| events.push(event)),
+            // Finalized dumps lift whole-grid lint verdicts to their own
+            // kind; structurally they are still events (name retained).
+            "lint_candidate" => parse_event(&value).map(|event| events.push(event)),
             "counter" => parse_counter(&value).map(|(name, v)| {
                 counters.insert(name, v);
             }),

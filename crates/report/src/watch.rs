@@ -26,7 +26,7 @@
 //!   point restored from a checkpoint *and* seen as a live span counts
 //!   once.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::json::{parse as parse_json, JsonValue};
 
@@ -75,6 +75,11 @@ pub struct WatchState {
     robust_pruned_reported: u64,
     /// Distinct pruned points seen as `robust_pruned` events.
     robust_pruned_seen: BTreeSet<(u64, u64)>,
+    /// Whole-grid lint verdicts observed so far, keyed by
+    /// `(depth, τ.to_bits())` with `(errors, warnings)` values — the lint
+    /// is deterministic per grid point, so a candidate replayed from a
+    /// checkpoint and seen live carries the same verdict and counts once.
+    lint_seen: BTreeMap<(u64, u64), (u64, u64)>,
     /// Alert lines for failed candidates, in observation order.
     pub alerts: Vec<String>,
     /// Informational notes, e.g. the first sighting of an unknown record
@@ -119,6 +124,26 @@ impl WatchState {
     /// Whether any robustness-campaign activity has been observed.
     pub fn robust_active(&self) -> bool {
         self.robust_done() > 0 || self.robust_total > 0
+    }
+
+    /// Grid candidates whose in-flow lint verdict has been observed.
+    pub fn lint_done(&self) -> usize {
+        self.lint_seen.len()
+    }
+
+    /// Error-severity findings across the observed lint verdicts.
+    pub fn lint_errors(&self) -> u64 {
+        self.lint_seen.values().map(|&(e, _)| e).sum()
+    }
+
+    /// Warning-severity findings across the observed lint verdicts.
+    pub fn lint_warnings(&self) -> u64 {
+        self.lint_seen.values().map(|&(_, w)| w).sum()
+    }
+
+    /// Whether any whole-grid lint activity has been observed.
+    pub fn lint_active(&self) -> bool {
+        !self.lint_seen.is_empty()
     }
 
     /// Candidate completion rate in candidates/second, from the run's
@@ -176,6 +201,19 @@ impl WatchState {
                 self.robust_done(),
                 self.robust_trials,
                 self.robust_pruned(),
+            ));
+        }
+        if self.lint_active() {
+            let total = if self.total > 0 {
+                self.total.to_string()
+            } else {
+                "?".to_owned()
+            };
+            out.push_str(&format!(
+                " · lint {}/{total}, {} error(s) / {} warning(s)",
+                self.lint_done(),
+                self.lint_errors(),
+                self.lint_warnings(),
             ));
         }
         if !self.alerts.is_empty() {
@@ -279,6 +317,12 @@ impl Watcher {
             "robust_ckpt" => {
                 self.observe_grid_point(&value, GridAxis::Robust);
             }
+            // A finalized dump's whole-grid lint verdict (live streams
+            // carry the same record as an event named "lint_candidate").
+            "lint_candidate" => {
+                self.observe_timestamp(&value);
+                self.observe_lint(&value);
+            }
             "event" => {
                 self.observe_timestamp(&value);
                 match value.get("name").and_then(JsonValue::as_str) {
@@ -322,6 +366,9 @@ impl Watcher {
                         ) {
                             self.state.robust_pruned_seen.insert((depth, tau.to_bits()));
                         }
+                    }
+                    Some("lint_candidate") => {
+                        self.observe_lint(&value);
                     }
                     Some("selected") => {
                         let depth = value.get("depth").and_then(JsonValue::as_u64).unwrap_or(0);
@@ -369,6 +416,23 @@ impl Watcher {
             GridAxis::Robust => &mut self.state.robust_seen,
         };
         set.insert((depth, tau.to_bits()));
+    }
+
+    fn observe_lint(&mut self, value: &JsonValue) {
+        let (Some(depth), Some(tau)) = (
+            value.get("depth").and_then(JsonValue::as_u64),
+            value.get("tau").and_then(JsonValue::as_f64),
+        ) else {
+            return;
+        };
+        let errors = value.get("errors").and_then(JsonValue::as_u64).unwrap_or(0);
+        let warnings = value
+            .get("warnings")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        self.state
+            .lint_seen
+            .insert((depth, tau.to_bits()), (errors, warnings));
     }
 
     fn observe_timestamp(&mut self, value: &JsonValue) {
@@ -626,6 +690,49 @@ mod tests {
         assert_eq!(w.state().robust_pruned(), 1);
         // A campaign with no activity reports inactive.
         assert!(!Watcher::new().state().robust_active());
+    }
+
+    fn lint_event_line(depth: u64, tau: f64, errors: u64, warnings: u64, at: u64) -> String {
+        format!(
+            r#"{{"kind":"event","name":"lint_candidate","at_us":{at},"tau":{tau:?},"depth":{depth},"errors":{errors},"warnings":{warnings},"codes":"A002:warning={warnings}"}}"#
+        )
+    }
+
+    #[test]
+    fn whole_grid_lint_progress_is_surfaced_not_unknown() {
+        let mut w = Watcher::new();
+        w.push(&format!(
+            "{}\n{}\n{}\n{}\n",
+            r#"{"kind":"manifest","dataset":"Seeds","taus":[0.0,0.01,0.03],"depths":[2,4,6]}"#,
+            // Two live-streamed verdicts plus one in the finalized form.
+            lint_event_line(2, 0.0, 0, 2, 50),
+            lint_event_line(4, 0.0, 1, 0, 60),
+            r#"{"kind":"lint_candidate","name":"lint_candidate","at_us":70,"tau":0.01,"depth":2,"errors":0,"warnings":3,"codes":"U002:warning=3"}"#,
+        ));
+        let s = w.state();
+        // Neither the live nor the finalized form lands in the
+        // unknown-kind bin (or the sweep's candidate count).
+        assert!(s.notes.is_empty(), "{:?}", s.notes);
+        assert_eq!(s.done(), 0);
+        assert_eq!(s.lint_done(), 3);
+        assert_eq!(s.lint_errors(), 1);
+        assert_eq!(s.lint_warnings(), 5);
+        assert!(s.lint_active());
+        assert_eq!(s.last_at_us, 70);
+        assert!(
+            s.status_line()
+                .contains("lint 3/9, 1 error(s) / 5 warning(s)"),
+            "{}",
+            s.status_line()
+        );
+        // The same grid point replayed (e.g. after a resume) counts once.
+        w.push(&format!("{}\n", lint_event_line(4, 0.0, 1, 0, 80)));
+        assert_eq!(w.state().lint_done(), 3);
+        assert_eq!(w.state().lint_errors(), 1);
+        // A lint-free watch renders no lint segment at all.
+        let quiet = Watcher::new();
+        assert!(!quiet.state().lint_active());
+        assert!(!quiet.state().status_line().contains("lint"));
     }
 
     #[test]

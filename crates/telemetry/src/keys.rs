@@ -169,6 +169,14 @@ pub const LINT_ERRORS: &str = "lint.errors";
 /// `message`).
 pub const LINT_EVENT: &str = "lint";
 
+/// Event: the whole-grid lint verdict of one sweep candidate (fields:
+/// `tau`, `depth`, `errors`, `warnings`, and `codes` — a
+/// `code:severity=count` summary joined with `;`). Finalized traces lift
+/// these into `kind:"lint_candidate"` records so `printed-trace report`
+/// can build the sweep-wide diagnostics matrix and `printed-trace watch`
+/// can show live lint progress.
+pub const LINT_CANDIDATE_EVENT: &str = "lint_candidate";
+
 /// Event: live sweep progress, emitted as each grid point completes
 /// (fields: `done`, `total`). Streamed traces carry one per candidate so
 /// `printed-trace watch` can render rolling k/N progress without waiting

@@ -210,8 +210,16 @@ impl FlowTrace {
             lines.push(span_line("span", span));
         }
         for event in &self.events {
+            // Whole-grid lint verdicts get their own record kind so
+            // downstream consumers (report, watch) can dispatch on it
+            // without sniffing event names.
+            let kind = if event.name == keys::LINT_CANDIDATE_EVENT {
+                keys::LINT_CANDIDATE_EVENT
+            } else {
+                "event"
+            };
             let mut line = JsonLine::new()
-                .str("kind", "event")
+                .str("kind", kind)
                 .str("name", &event.name)
                 .u64("at_us", event.at_us);
             for (key, value) in &event.fields {

@@ -9,9 +9,20 @@ use proptest::prelude::*;
 use printed_ml::codesign::explore::{explore, ExplorationConfig};
 use printed_ml::codesign::{lint_candidate, CandidateDesign, LintConfig};
 use printed_ml::datasets::{Benchmark, Dataset, QuantizedDataset};
-use printed_ml::lint::{GridRef, LintTarget, Linter};
+use printed_ml::lint::{DroopRef, GridRef, LintTarget, Linter};
+use printed_ml::logic::equiv::thermometer_patterns;
 use printed_ml::logic::sop::{Cube, Sop};
 use printed_ml::pdk::AnalogModel;
+
+/// The printed-default droop envelope (mirrors
+/// `SupplyDroopModel::printed_default()`: 1.0 → 0.6 V harvester).
+fn printed_droop() -> DroopRef {
+    DroopRef {
+        max_sag: 0.4,
+        vref_leak: 0.12,
+        offset_per_sag: 0.04,
+    }
+}
 
 /// Lints one candidate with the paper grid attached and asserts no
 /// error-severity diagnostic fires.
@@ -85,6 +96,143 @@ proptest! {
     }
 }
 
+/// Thermometer run lengths of an ascending `(feature, tap)` literal
+/// order — the shape the feasible-domain enumerator consumes.
+fn runs_of(literals: &[(usize, u8)]) -> Vec<usize> {
+    let mut runs: Vec<usize> = Vec::new();
+    let mut last: Option<usize> = None;
+    for &(feature, _) in literals {
+        if last == Some(feature) {
+            *runs.last_mut().expect("non-empty on repeat") += 1;
+        } else {
+            runs.push(1);
+            last = Some(feature);
+        }
+    }
+    runs
+}
+
+proptest! {
+    /// `--lint=fix` is behavior-preserving on random designs: injecting
+    /// random dead comparators into a synthesized candidate's bank, the
+    /// rewriter must drop every injected pair, clear all A002/C001
+    /// findings without introducing errors, and the repaired netlist must
+    /// classify every thermometer-feasible input exactly like the
+    /// original — re-proven here with the T001 feasible-domain enumerator
+    /// rather than trusting the rewriter's own verdict. The re-derived
+    /// cost must also satisfy the C001 component-sum identity: bank total
+    /// = Σ per-input shares + shared ladder.
+    #[test]
+    fn autofix_preserves_behavior_on_random_designs(
+        rows in vec((vec(0.0f64..1.0, 3), 0usize..3), 16..40),
+        seed in any::<u64>(),
+        tau in 0.0f64..0.1,
+        dead in vec((0usize..3, 1usize..16), 1..4),
+    ) {
+        let mut rows = rows;
+        rows[0].1 = 0;
+        rows[1].1 = 1;
+        let ds = Dataset::from_rows("prop", 3, rows).expect("consistent rows");
+        let q = QuantizedDataset::from_dataset(&ds.normalized(), 4);
+        let grid = ExplorationConfig {
+            seed,
+            taus: vec![tau],
+            ..ExplorationConfig::quick()
+        };
+        let sweep = explore(&q, &q, &grid);
+        prop_assert!(sweep.failed_candidates.is_empty());
+        let candidate = sweep.most_accurate().expect("non-empty sweep");
+        let classifier = &candidate.system.classifier;
+        let literals = classifier.literals().to_vec();
+        let netlist = classifier.to_netlist();
+        let runs = runs_of(&literals);
+        // 3 features × 4-bit codes bound the feasible domain at 16³,
+        // comfortably inside the exhaustive-enumeration limit.
+        let domain: usize = runs.iter().map(|r| r + 1).product();
+        prop_assert!(domain <= 1 << 16, "domain {domain} exceeds the enumeration limit");
+
+        // Inject dead hardware: comparators no literal backs.
+        let mut bank = classifier.adc_bank();
+        let mut injected: Vec<(usize, usize)> = Vec::new();
+        for &(feature, tap) in &dead {
+            if literals.contains(&(feature, tap as u8)) || injected.contains(&(feature, tap)) {
+                continue;
+            }
+            bank.require(feature, tap).expect("tap in range for 4 bits");
+            injected.push((feature, tap));
+        }
+
+        let target = LintTarget {
+            tree: Some(&candidate.tree),
+            netlist: &netlist,
+            bank: &bank,
+            literals: &literals,
+            class_sops: classifier.class_sops(),
+            reported_adc: Some(&candidate.system.adc),
+            model: &AnalogModel::egfet(),
+            grid: Some(GridRef {
+                taus: &grid.taus,
+                depths: &grid.depths,
+                seed: grid.seed,
+            }),
+            droop: Some(printed_droop()),
+            equiv_budget: None,
+        };
+        let outcome = printed_ml::lint::fix::fix(&target, &printed_ml::lint::LintConfig::new());
+
+        // Every injected dead comparator was dropped, and the repaired
+        // design carries no A002 (or any error) any more.
+        for pair in &injected {
+            prop_assert!(
+                outcome.dropped.contains(pair),
+                "injected dead comparator {pair:?} survived the fix: {:?}",
+                outcome.dropped
+            );
+        }
+        prop_assert_eq!(outcome.report.with_code("A002").count(), 0);
+        prop_assert_eq!(outcome.report.with_code("C001").count(), 0);
+        prop_assert!(!outcome.report.has_errors(), "{}", outcome.report.render_text());
+        prop_assert!(outcome.equivalence.is_equivalent(), "{:?}", outcome.equivalence);
+
+        // Independent behavior-preservation proof over the full original
+        // feasible domain (T001's enumerator), projecting each pattern
+        // through the surviving literal positions.
+        let kept: Vec<usize> = literals
+            .iter()
+            .enumerate()
+            .filter(|(_, lit)| outcome.literals.contains(lit))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(kept.len(), outcome.literals.len());
+        for pattern in thermometer_patterns(&runs) {
+            let projected: Vec<bool> = kept.iter().map(|&i| pattern[i]).collect();
+            prop_assert_eq!(
+                netlist.eval(&pattern),
+                outcome.netlist.eval(&projected),
+                "repaired netlist diverges on feasible pattern {pattern:?}"
+            );
+        }
+
+        // C001 component-sum identity on the repaired bank: the reported
+        // cost is the bank's own, its comparators are exactly the
+        // per-input shares, and area/power decompose into per-input
+        // shares plus the (non-negative) shared-ladder remainder.
+        let model = AnalogModel::egfet();
+        prop_assert_eq!(&outcome.reported, &outcome.bank.cost(&model));
+        let mut comparators = 0usize;
+        let (mut area, mut power) = (0.0f64, 0.0f64);
+        for (feature, _) in outcome.bank.iter() {
+            let share = outcome.bank.input_cost(feature, &model);
+            comparators += share.comparators;
+            area += share.area.mm2();
+            power += share.power.uw();
+        }
+        prop_assert_eq!(comparators, outcome.reported.comparators);
+        prop_assert!(area <= outcome.reported.area.mm2() + 1e-9);
+        prop_assert!(power <= outcome.reported.power.uw() + 1e-9);
+    }
+}
+
 /// A real Seeds design plus the pieces the corruption tests perturb.
 struct RealDesign {
     candidate: CandidateDesign,
@@ -131,6 +279,8 @@ impl RealDesign {
                 depths: &self.grid.depths,
                 seed: self.grid.seed,
             }),
+            droop: Some(printed_droop()),
+            equiv_budget: None,
         };
         Linter::new().run(&target)
     }
